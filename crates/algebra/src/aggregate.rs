@@ -1,0 +1,219 @@
+//! Aggregation functions for the γ operator.
+//!
+//! The paper's `QSPJADU` supports grouping with the associative
+//! functions SUM, COUNT and AVG (Tables 9, 11, 12 give specialized i-diff
+//! propagation rules for them); MIN/MAX are also provided for the
+//! *general* γ rule of Table 7, which recomputes affected groups and so
+//! works for any function. [`Accumulator`] is the streaming evaluation
+//! used by the executor; [`AggFunc::is_incremental`] tells the IVM
+//! planner whether the specialized delta rules apply.
+
+use crate::expr::Expr;
+use idivm_types::{Row, Value};
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// True for functions with specialized incremental (delta) rules in
+    /// the paper: SUM (Table 9), COUNT (Table 11), AVG via SUM+COUNT
+    /// caches (Table 12). MIN/MAX fall back to the general group
+    /// recomputation rule (Table 7).
+    pub fn is_incremental(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Count | AggFunc::Avg)
+    }
+
+    /// Human-readable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate output of a γ operator: `func(arg) AS name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Argument expression over the operator's input schema. For COUNT
+    /// this is evaluated only for NULL-ness (COUNT(*) uses a literal).
+    pub arg: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, arg: Expr, name: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            arg,
+            name: name.into(),
+        }
+    }
+}
+
+/// Streaming accumulator for one aggregate over one group.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    Sum { total: Value, seen: bool },
+    Count { n: i64 },
+    Avg { total: Value, n: i64 },
+    Min { best: Option<Value> },
+    Max { best: Option<Value> },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Sum => Accumulator::Sum {
+                total: Value::Int(0),
+                seen: false,
+            },
+            AggFunc::Count => Accumulator::Count { n: 0 },
+            AggFunc::Avg => Accumulator::Avg {
+                total: Value::Int(0),
+                n: 0,
+            },
+            AggFunc::Min => Accumulator::Min { best: None },
+            AggFunc::Max => Accumulator::Max { best: None },
+        }
+    }
+
+    /// Fold one input value (NULLs are ignored, per SQL).
+    pub fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            Accumulator::Sum { total, seen } => {
+                *total = total.add(v);
+                *seen = true;
+            }
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::Avg { total, n } => {
+                *total = total.add(v);
+                *n += 1;
+            }
+            Accumulator::Min { best } => {
+                if best.as_ref().is_none_or(|b| v < b) {
+                    *best = Some(v.clone());
+                }
+            }
+            Accumulator::Max { best } => {
+                if best.as_ref().is_none_or(|b| v > b) {
+                    *best = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Final aggregate value. SUM/MIN/MAX of an all-NULL (or empty)
+    /// group is NULL; COUNT is 0; AVG of an empty group is NULL.
+    pub fn finish(&self) -> Value {
+        match self {
+            Accumulator::Sum { total, seen } => {
+                if *seen {
+                    total.clone()
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Count { n } => Value::Int(*n),
+            Accumulator::Avg { total, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    total.div(&Value::Int(*n))
+                }
+            }
+            Accumulator::Min { best } | Accumulator::Max { best } => {
+                best.clone().unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+/// Evaluate `spec` over a full group of input rows (non-streaming
+/// convenience used by group recomputation rules).
+pub fn aggregate_rows(spec: &AggSpec, rows: &[Row]) -> Value {
+    let mut acc = Accumulator::new(spec.func);
+    for r in rows {
+        acc.update(&spec.arg.eval(r));
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::row;
+
+    fn spec(f: AggFunc) -> AggSpec {
+        AggSpec::new(f, Expr::col(0), "agg")
+    }
+
+    #[test]
+    fn sum_count_avg() {
+        let rows = vec![row![10], row![20], row![30]];
+        assert_eq!(aggregate_rows(&spec(AggFunc::Sum), &rows), Value::Int(60));
+        assert_eq!(aggregate_rows(&spec(AggFunc::Count), &rows), Value::Int(3));
+        assert_eq!(aggregate_rows(&spec(AggFunc::Avg), &rows), Value::Int(20));
+    }
+
+    #[test]
+    fn min_max() {
+        let rows = vec![row![7], row![2], row![5]];
+        assert_eq!(aggregate_rows(&spec(AggFunc::Min), &rows), Value::Int(2));
+        assert_eq!(aggregate_rows(&spec(AggFunc::Max), &rows), Value::Int(7));
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let rows = vec![
+            idivm_types::Row::new(vec![Value::Null]),
+            row![4],
+            idivm_types::Row::new(vec![Value::Null]),
+        ];
+        assert_eq!(aggregate_rows(&spec(AggFunc::Sum), &rows), Value::Int(4));
+        assert_eq!(aggregate_rows(&spec(AggFunc::Count), &rows), Value::Int(1));
+        assert_eq!(aggregate_rows(&spec(AggFunc::Avg), &rows), Value::Int(4));
+    }
+
+    #[test]
+    fn empty_group_semantics() {
+        assert!(aggregate_rows(&spec(AggFunc::Sum), &[]).is_null());
+        assert_eq!(aggregate_rows(&spec(AggFunc::Count), &[]), Value::Int(0));
+        assert!(aggregate_rows(&spec(AggFunc::Avg), &[]).is_null());
+        assert!(aggregate_rows(&spec(AggFunc::Min), &[]).is_null());
+    }
+
+    #[test]
+    fn avg_divides_floats() {
+        let rows = vec![row![1.0], row![2.0]];
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Avg), &rows),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn incremental_classification() {
+        assert!(AggFunc::Sum.is_incremental());
+        assert!(AggFunc::Count.is_incremental());
+        assert!(AggFunc::Avg.is_incremental());
+        assert!(!AggFunc::Min.is_incremental());
+        assert!(!AggFunc::Max.is_incremental());
+    }
+}

@@ -1,0 +1,603 @@
+//! Scalar expressions: the language of selection/join predicates and of
+//! generalized-projection output columns.
+//!
+//! Expressions reference input columns *positionally* ([`Expr::Col`]);
+//! the [`PlanBuilder`](crate::builder::PlanBuilder) resolves
+//! human-readable names to positions when plans are constructed. The IVM
+//! planner relies on [`Expr::columns`] to find which attributes a
+//! condition depends on (the paper's *conditional attributes* `C_op`) and
+//! on [`Expr::remap`] to re-express a condition over a diff table's
+//! schema (the `φ(X̄_pre)` / `φ(X̄_post)` rewrites of Tables 6 and 10).
+
+use idivm_types::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison operators (three-valued logic: NULL operands ⇒ unknown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The negated comparison (`¬(a < b)` ⇒ `a >= b`, etc.).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// Scalar functions for generalized projection (π with functions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFn {
+    /// Absolute value of a numeric argument.
+    Abs,
+    /// Integer modulus (`args[0] % args[1]`).
+    Mod,
+    /// String concatenation of all arguments.
+    Concat,
+    /// Smaller of two values (total order).
+    Least,
+    /// Larger of two values (total order).
+    Greatest,
+}
+
+/// A scalar expression over one input row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Input column at a position.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Arithmetic.
+    Bin {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Comparison (yields Bool or NULL).
+    Cmp {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Conjunction (empty ⇒ TRUE).
+    And(Vec<Expr>),
+    /// Disjunction (empty ⇒ FALSE).
+    Or(Vec<Expr>),
+    /// Negation (three-valued).
+    Not(Box<Expr>),
+    /// NULL test (never unknown).
+    IsNull(Box<Expr>),
+    /// Scalar function application.
+    Func { f: ScalarFn, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Ne,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Lt,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Le,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Gt,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Ge,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self AND other` (flattens nested conjunctions).
+    pub fn and(self, other: Expr) -> Expr {
+        match (self, other) {
+            (Expr::And(mut a), Expr::And(b)) => {
+                a.extend(b);
+                Expr::And(a)
+            }
+            (Expr::And(mut a), b) => {
+                a.push(b);
+                Expr::And(a)
+            }
+            (a, Expr::And(mut b)) => {
+                b.insert(0, a);
+                Expr::And(b)
+            }
+            (a, b) => Expr::And(vec![a, b]),
+        }
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(vec![self, other])
+    }
+
+    /// `NOT self` (pushes through comparisons for readability).
+    pub fn negate(self) -> Expr {
+        match self {
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: op.negate(),
+                left,
+                right,
+            },
+            Expr::Not(inner) => *inner,
+            e => Expr::Not(Box::new(e)),
+        }
+    }
+
+    /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::Add,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::Sub,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::Mul,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self / other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Bin {
+            op: BinOp::Div,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Evaluate over a row (positional access).
+    pub fn eval(&self, row: &idivm_types::Row) -> Value {
+        match self {
+            Expr::Col(i) => row[*i].clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Bin { op, left, right } => {
+                let l = left.eval(row);
+                let r = right.eval(row);
+                match op {
+                    BinOp::Add => l.add(&r),
+                    BinOp::Sub => l.sub(&r),
+                    BinOp::Mul => l.mul(&r),
+                    BinOp::Div => l.div(&r),
+                }
+            }
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(row);
+                let r = right.eval(row);
+                match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    }),
+                }
+            }
+            Expr::And(es) => {
+                let mut saw_null = false;
+                for e in es {
+                    match e.eval(row) {
+                        Value::Bool(false) => return Value::Bool(false),
+                        Value::Null => saw_null = true,
+                        Value::Bool(true) => {}
+                        other => panic!("non-boolean in AND: {other:?}"),
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(true)
+                }
+            }
+            Expr::Or(es) => {
+                let mut saw_null = false;
+                for e in es {
+                    match e.eval(row) {
+                        Value::Bool(true) => return Value::Bool(true),
+                        Value::Null => saw_null = true,
+                        Value::Bool(false) => {}
+                        other => panic!("non-boolean in OR: {other:?}"),
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                }
+            }
+            Expr::Not(e) => match e.eval(row) {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                other => panic!("non-boolean in NOT: {other:?}"),
+            },
+            Expr::IsNull(e) => Value::Bool(e.eval(row).is_null()),
+            Expr::Func { f, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
+                eval_fn(*f, &vals)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: TRUE passes, FALSE and UNKNOWN (NULL)
+    /// filter out, per SQL WHERE semantics.
+    pub fn eval_pred(&self, row: &idivm_types::Row) -> bool {
+        matches!(self.eval(row), Value::Bool(true))
+    }
+
+    /// All input column positions referenced by this expression.
+    pub fn columns(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Expr::Col(i) => {
+                out.insert(*i);
+            }
+            Expr::Lit(_) => {}
+            Expr::Bin { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrite column references through `f`. Used to re-express a
+    /// predicate over a different input schema (e.g. a diff table whose
+    /// columns are a permutation/subset of the operator input).
+    pub fn remap(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        self.map_cols(&|i| Expr::Col(f(i)))
+    }
+
+    /// Rewrite every column reference into an arbitrary expression.
+    pub fn map_cols(&self, f: &impl Fn(usize) -> Expr) -> Expr {
+        match self {
+            Expr::Col(i) => f(*i),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Bin { op, left, right } => Expr::Bin {
+                op: *op,
+                left: Box::new(left.map_cols(f)),
+                right: Box::new(right.map_cols(f)),
+            },
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: *op,
+                left: Box::new(left.map_cols(f)),
+                right: Box::new(right.map_cols(f)),
+            },
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.map_cols(f)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.map_cols(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_cols(f))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_cols(f))),
+            Expr::Func { f: func, args } => Expr::Func {
+                f: *func,
+                args: args.iter().map(|e| e.map_cols(f)).collect(),
+            },
+        }
+    }
+}
+
+fn eval_fn(f: ScalarFn, args: &[Value]) -> Value {
+    match f {
+        ScalarFn::Abs => match &args[0] {
+            Value::Int(i) => Value::Int(i.abs()),
+            Value::Float(x) => Value::Float(x.abs()),
+            _ => Value::Null,
+        },
+        ScalarFn::Mod => match (&args[0], &args[1]) {
+            (Value::Int(a), Value::Int(b)) if *b != 0 => Value::Int(a % b),
+            _ => Value::Null,
+        },
+        ScalarFn::Concat => {
+            let mut s = String::new();
+            for a in args {
+                match a {
+                    Value::Null => return Value::Null,
+                    Value::Str(x) => s.push_str(x),
+                    other => s.push_str(&other.to_string()),
+                }
+            }
+            Value::str(s)
+        }
+        ScalarFn::Least => args.iter().min().cloned().unwrap_or(Value::Null),
+        ScalarFn::Greatest => args.iter().max().cloned().unwrap_or(Value::Null),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin { op, left, right } => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::Cmp { op, left, right } => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+            Expr::Func { f: func, args } => {
+                write!(f, "{func:?}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::row;
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let r = row![3, 4];
+        let e = Expr::col(0).add(Expr::col(1)); // 3 + 4
+        assert_eq!(e.eval(&r), Value::Int(7));
+        let p = Expr::col(0).lt(Expr::col(1));
+        assert!(p.eval_pred(&r));
+        let p = Expr::col(0).ge(Expr::col(1));
+        assert!(!p.eval_pred(&r));
+    }
+
+    #[test]
+    fn null_is_filtered_by_predicates() {
+        let r = idivm_types::Row::new(vec![Value::Null, Value::Int(1)]);
+        let p = Expr::col(0).eq(Expr::col(1));
+        assert!(!p.eval_pred(&r)); // unknown ⇒ filtered
+        assert_eq!(p.eval(&r), Value::Null);
+        let isnull = Expr::IsNull(Box::new(Expr::col(0)));
+        assert!(isnull.eval_pred(&r));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = idivm_types::Row::new(vec![Value::Null]);
+        let null_cmp = Expr::col(0).eq(Expr::lit(1));
+        // NULL AND FALSE = FALSE
+        let e = null_cmp.clone().and(Expr::lit(1).eq(Expr::lit(2)));
+        assert_eq!(e.eval(&r), Value::Bool(false));
+        // NULL OR TRUE = TRUE
+        let e = null_cmp.clone().or(Expr::lit(1).eq(Expr::lit(1)));
+        assert_eq!(e.eval(&r), Value::Bool(true));
+        // NULL AND TRUE = NULL
+        let e = null_cmp.and(Expr::lit(1).eq(Expr::lit(1)));
+        assert_eq!(e.eval(&r), Value::Null);
+    }
+
+    #[test]
+    fn negate_pushes_into_comparisons() {
+        let p = Expr::col(0).lt(Expr::lit(5)).negate();
+        assert_eq!(p, Expr::col(0).ge(Expr::lit(5)));
+        let r = row![7];
+        assert!(p.eval_pred(&r));
+        // double negation cancels
+        let q = p.clone().negate().negate();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn columns_collects_references() {
+        let e = Expr::col(2)
+            .add(Expr::col(0))
+            .eq(Expr::lit(1))
+            .and(Expr::col(5).gt(Expr::lit(0)));
+        let cols: Vec<usize> = e.columns().into_iter().collect();
+        assert_eq!(cols, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn remap_rewrites_positions() {
+        let e = Expr::col(1).eq(Expr::col(3));
+        let m = e.remap(&|i| i + 10);
+        assert_eq!(m, Expr::col(11).eq(Expr::col(13)));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let r = row![-5, 3, "ab"];
+        assert_eq!(
+            Expr::Func {
+                f: ScalarFn::Abs,
+                args: vec![Expr::col(0)]
+            }
+            .eval(&r),
+            Value::Int(5)
+        );
+        assert_eq!(
+            Expr::Func {
+                f: ScalarFn::Mod,
+                args: vec![Expr::lit(7), Expr::col(1)]
+            }
+            .eval(&r),
+            Value::Int(1)
+        );
+        assert_eq!(
+            Expr::Func {
+                f: ScalarFn::Concat,
+                args: vec![Expr::col(2), Expr::lit("!")]
+            }
+            .eval(&r),
+            Value::str("ab!")
+        );
+        assert_eq!(
+            Expr::Func {
+                f: ScalarFn::Least,
+                args: vec![Expr::lit(4), Expr::lit(9)]
+            }
+            .eval(&r),
+            Value::Int(4)
+        );
+        assert_eq!(
+            Expr::Func {
+                f: ScalarFn::Greatest,
+                args: vec![Expr::lit(4), Expr::lit(9)]
+            }
+            .eval(&r),
+            Value::Int(9)
+        );
+    }
+
+    #[test]
+    fn and_flattens() {
+        let e = Expr::lit(true)
+            .eq(Expr::lit(true))
+            .and(Expr::lit(1).eq(Expr::lit(1)))
+            .and(Expr::lit(2).eq(Expr::lit(2)));
+        match e {
+            Expr::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::col(0).add(Expr::lit(1)).gt(Expr::lit(10));
+        assert_eq!(e.to_string(), "((#0 + 1) > 10)");
+    }
+}

@@ -1,0 +1,184 @@
+//! Criterion wall-clock benchmarks of one maintenance round per engine,
+//! complementing the deterministic access-count harness binaries.
+//!
+//! Groups:
+//! * `spj_update`   — Figure 12-style SPJ view, 100 price updates.
+//! * `agg_update`   — aggregate view V′ with cache, 100 price updates.
+//! * `bsma_q7`      — BSMA Q7, 50 user updates (Figure 10's flavor).
+//! * `minimization` — Pass-4 ablation: idIVM with Figure-8 rewrites on
+//!   vs off (the paper reports >50 % improvements from this pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_reldb::Database;
+use idivm_tuple::TupleIvm;
+use idivm_workloads::bsma::{Bsma, BsmaQuery};
+use idivm_workloads::RunningExample;
+
+fn example_cfg() -> RunningExample {
+    RunningExample {
+        n_parts: 2_000,
+        n_devices: 2_000,
+        fanout: 10,
+        selectivity_pct: 20,
+        joins: 2,
+        seed: 42,
+    }
+}
+
+/// One measured iteration = fresh batch + maintain (the database state
+/// advances between iterations, which keeps every round non-trivial).
+fn bench_engine<E>(
+    c: &mut Criterion,
+    group: &str,
+    label: &str,
+    mut db: Database,
+    engine: E,
+    mut batch: impl FnMut(&mut Database, u64),
+) where
+    E: Fn(&mut Database) -> idivm_core::MaintenanceReport,
+{
+    let mut g = c.benchmark_group(group);
+    let mut round = 0u64;
+    g.bench_function(BenchmarkId::from_parameter(label), |b| {
+        b.iter(|| {
+            round += 1;
+            batch(&mut db, round);
+            engine(&mut db)
+        })
+    });
+    g.finish();
+}
+
+fn spj_update(c: &mut Criterion) {
+    let cfg = example_cfg();
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.spj_plan(&db).unwrap();
+        let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "spj_update_100",
+            "id_based",
+            db,
+            move |db| ivm.maintain(db).unwrap(),
+            move |db, r| cfg2.price_update_batch(db, 100, r).unwrap(),
+        );
+    }
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.spj_plan(&db).unwrap();
+        let tivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "spj_update_100",
+            "tuple_based",
+            db,
+            move |db| tivm.maintain(db).unwrap(),
+            move |db, r| cfg2.price_update_batch(db, 100, r).unwrap(),
+        );
+    }
+}
+
+fn agg_update(c: &mut Criterion) {
+    let cfg = example_cfg();
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.agg_plan(&db).unwrap();
+        let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "agg_update_100",
+            "id_based",
+            db,
+            move |db| ivm.maintain(db).unwrap(),
+            move |db, r| cfg2.price_update_batch(db, 100, r).unwrap(),
+        );
+    }
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.agg_plan(&db).unwrap();
+        let tivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "agg_update_100",
+            "tuple_based",
+            db,
+            move |db| tivm.maintain(db).unwrap(),
+            move |db, r| cfg2.price_update_batch(db, 100, r).unwrap(),
+        );
+    }
+}
+
+fn bsma_q7(c: &mut Criterion) {
+    let cfg = Bsma {
+        scale: 0.2,
+        seed: 2015,
+    };
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, BsmaQuery::Q7).unwrap();
+        let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "bsma_q7_update_50",
+            "id_based",
+            db,
+            move |db| ivm.maintain(db).unwrap(),
+            move |db, r| cfg2.user_update_batch(db, 50, r).unwrap(),
+        );
+    }
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, BsmaQuery::Q7).unwrap();
+        let tivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "bsma_q7_update_50",
+            "tuple_based",
+            db,
+            move |db| tivm.maintain(db).unwrap(),
+            move |db, r| cfg2.user_update_batch(db, 50, r).unwrap(),
+        );
+    }
+}
+
+fn minimization_ablation(c: &mut Criterion) {
+    let cfg = example_cfg();
+    for (label, minimize) in [("pass4_on", true), ("pass4_off", false)] {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.spj_plan(&db).unwrap();
+        let ivm = IdIvm::setup(
+            &mut db,
+            "V",
+            plan,
+            IvmOptions {
+                minimize,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg2 = cfg.clone();
+        bench_engine(
+            c,
+            "minimization_ablation",
+            label,
+            db,
+            move |db| ivm.maintain(db).unwrap(),
+            move |db, r| cfg2.price_update_batch(db, 100, r).unwrap(),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = spj_update, agg_update, bsma_q7, minimization_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Figure 10 — speedup of ID-based over tuple-based IVM on the eight
+//! BSMA social-analytics views, with 100 update diffs on
+//! `users(tweetsnum, favornum)`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idivm-bench --bin fig10 [-- --scale N --diffs D]
+//! ```
+//!
+//! Default scale 0.1 keeps the tuple-based baseline's Q*1 run (its
+//! worst case — exactly the paper's point) under two minutes; raise
+//! `--scale` toward 1.0 (= 1/1000 of the paper's data) when patient.
+//!
+//! Paper reference speedups: Q7 29x, Q10 54x, Q11 26x, Q15 4x, Q18 14x,
+//! Q*1 26x, Q*2 7x, Q*3 9x. Absolute values depend on data scale; the
+//! *shape* to check: all > 1, Q10/Q*1 (long chains / late selectivity)
+//! among the highest, Q15 (huge view) the lowest.
+
+use idivm_bench::fmt_row;
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_tuple::TupleIvm;
+use idivm_workloads::bsma::{Bsma, BsmaQuery};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get("--scale", 0.1);
+    let diffs = get("--diffs", 100.0) as usize;
+    let cfg = Bsma {
+        scale,
+        seed: 2015,
+    };
+    println!("Figure 10 — BSMA social analytics, {diffs} update diffs on users");
+    println!("scale {scale} (1.0 = 1/1000 of the paper's data: 1k users, 20k tweets, 100k edges)\n");
+    println!("Figure 9a relation sizes at this scale:");
+    {
+        let db = cfg.build().expect("generator failed");
+        for t in db.table_names() {
+            println!("  {:<22} {:>8} tuples", t, db.table(t).unwrap().len());
+        }
+    }
+    println!();
+    let widths = &[6usize, 12, 12, 9, 10, 10, 44];
+    println!(
+        "{}",
+        fmt_row(
+            &[
+                "query".into(),
+                "ID accesses".into(),
+                "tuple acc.".into(),
+                "speedup".into(),
+                "ID ms".into(),
+                "tuple ms".into(),
+                "description".into(),
+            ],
+            widths
+        )
+    );
+    for q in BsmaQuery::ALL {
+        // idIVM.
+        let mut db_i = cfg.build().unwrap();
+        let plan_i = cfg.plan(&db_i, q).unwrap();
+        let ivm = IdIvm::setup(&mut db_i, "V", plan_i, IvmOptions::default()).unwrap();
+        cfg.user_update_batch(&mut db_i, diffs, 0).unwrap();
+        let _ = ivm.maintain(&mut db_i).unwrap(); // warm round
+        cfg.user_update_batch(&mut db_i, diffs, 1).unwrap();
+        db_i.stats().reset();
+        let ri = ivm.maintain(&mut db_i).unwrap();
+
+        // Tuple-based.
+        let mut db_t = cfg.build().unwrap();
+        let plan_t = cfg.plan(&db_t, q).unwrap();
+        let tivm = TupleIvm::setup(&mut db_t, "V", plan_t).unwrap();
+        cfg.user_update_batch(&mut db_t, diffs, 0).unwrap();
+        let _ = tivm.maintain(&mut db_t).unwrap();
+        cfg.user_update_batch(&mut db_t, diffs, 1).unwrap();
+        db_t.stats().reset();
+        let rt = tivm.maintain(&mut db_t).unwrap();
+
+        let speed = if ri.total_accesses() == 0 {
+            f64::INFINITY
+        } else {
+            rt.total_accesses() as f64 / ri.total_accesses() as f64
+        };
+        println!(
+            "{}",
+            fmt_row(
+                &[
+                    q.label().into(),
+                    ri.total_accesses().to_string(),
+                    rt.total_accesses().to_string(),
+                    format!("{speed:.1}x"),
+                    format!("{:.2}", ri.wall.as_secs_f64() * 1e3),
+                    format!("{:.2}", rt.wall.as_secs_f64() * 1e3),
+                    q.description().into(),
+                ],
+                widths
+            )
+        );
+    }
+    println!("\npaper (PostgreSQL, full scale): Q7 29x  Q10 54x  Q11 26x  Q15 4x  Q18 14x  Q*1 26x  Q*2 7x  Q*3 9x");
+}

@@ -1,0 +1,148 @@
+//! Figure 12 — view-maintenance cost of ID-based IVM vs tuple-based IVM
+//! vs the two SDBT variants while varying (a) diff size, (b) number of
+//! joins, (c) selectivity, (d) fanout.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idivm-bench --bin fig12 [-- diff-size|joins|selectivity|fanout|all] [--scale N]
+//! ```
+//!
+//! Output: one block per sweep. For each parameter value the cost (in
+//! the paper's access unit) of the four systems, the per-phase
+//! breakdown of A and B (the stacked bars of Figure 12), and the
+//! speedup of ID-based over tuple-based IVM.
+
+use idivm_bench::{fmt_row, run_running_example_round, speedup, Measured};
+use idivm_workloads::RunningExample;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    let base = RunningExample {
+        n_parts: (5_000.0 * scale) as usize,
+        n_devices: (5_000.0 * scale) as usize,
+        fanout: 10,
+        selectivity_pct: 20,
+        joins: 2,
+        seed: 42,
+    };
+    println!("Figure 12 — running-example parameter sweeps (aggregate view V')");
+    println!(
+        "relations: parts {}  devices {}  devices_parts ~{}  (paper: 5M/5M/50M)",
+        base.n_parts,
+        base.n_devices,
+        base.n_devices * base.fanout
+    );
+    println!("defaults: d=200  s=20%  f=10  j=2  (paper Figure 11b)\n");
+
+    if which == "diff-size" || which == "all" {
+        println!("(a) Varying diff size d (paper: speedup ~4-5, slight downtrend)");
+        header();
+        for d in [100, 200, 300, 400, 500] {
+            let cfg = base.clone();
+            row(&format!("d={d}"), &run(&cfg, d), d);
+        }
+        println!();
+    }
+    if which == "joins" || which == "all" {
+        println!("(b) Varying number of joins j, selection disabled (paper: 1.2 -> 3.3, ID flat)");
+        header();
+        for j in [2, 3, 4, 5, 6] {
+            let cfg = RunningExample {
+                joins: j,
+                ..base.clone()
+            };
+            row(&format!("j={j}"), &run(&cfg, 200), 200);
+        }
+        println!();
+    }
+    if which == "selectivity" || which == "all" {
+        println!("(c) Varying selectivity s (paper: 15.9 at 6% -> 1.2 at 100%)");
+        header();
+        for s in [6, 12, 25, 50, 100] {
+            let cfg = RunningExample {
+                selectivity_pct: s,
+                ..base.clone()
+            };
+            row(&format!("s={s}%"), &run(&cfg, 200), 200);
+        }
+        println!();
+    }
+    if which == "fanout" || which == "all" {
+        println!("(d) Varying fanout f (paper: speedup 4-5 across the range)");
+        header();
+        for f in [5, 10, 15, 20, 25] {
+            let cfg = RunningExample {
+                fanout: f,
+                ..base.clone()
+            };
+            row(&format!("f={f}"), &run(&cfg, 200), 200);
+        }
+        println!();
+    }
+}
+
+fn run(cfg: &RunningExample, d: usize) -> Vec<Measured> {
+    run_running_example_round(cfg, true, d).expect("experiment failed")
+}
+
+const WIDTHS: &[usize] = &[8, 12, 12, 12, 12, 9, 22, 22];
+
+fn header() {
+    println!(
+        "{}",
+        fmt_row(
+            &[
+                "param".into(),
+                "A:ID".into(),
+                "B:tuple".into(),
+                "C:SDBT-fix".into(),
+                "D:SDBT-str".into(),
+                "speedup".into(),
+                "A breakdown".into(),
+                "B breakdown".into(),
+            ],
+            WIDTHS
+        )
+    );
+}
+
+fn row(param: &str, m: &[Measured], _d: usize) {
+    let a = &m[0];
+    let b = &m[1];
+    let breakdown = |x: &Measured| {
+        format!(
+            "c:{} u:{} v:{}",
+            x.report.cache_update.total(),
+            x.report.diff_compute.total(),
+            x.report.view_update.total()
+        )
+    };
+    println!(
+        "{}",
+        fmt_row(
+            &[
+                param.into(),
+                a.cost().to_string(),
+                b.cost().to_string(),
+                m[2].cost().to_string(),
+                m[3].cost().to_string(),
+                format!("{:.1}x", speedup(a, b)),
+                breakdown(a),
+                breakdown(b),
+            ],
+            WIDTHS
+        )
+    );
+}

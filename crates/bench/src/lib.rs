@@ -1,0 +1,210 @@
+//! `idivm-bench`: the experiment harness regenerating every table and
+//! figure of the paper's evaluation (Section 7).
+//!
+//! Binaries (`cargo run --release -p idivm-bench --bin <name>`):
+//!
+//! * `table2` — SPJ cost breakdown + model parameters (paper Table 2).
+//! * `table3` — aggregate cost breakdown with cache (paper Table 3).
+//! * `fig10` — BSMA speedups for Q7…Q*3 (paper Figure 10).
+//! * `fig12` — parameter sweeps `diff-size | joins | selectivity |
+//!   fanout` with all four systems (paper Figure 12).
+//! * `analysis` — analytic speedup surfaces and model-vs-measured
+//!   validation (paper Section 6).
+//!
+//! All binaries report the paper's cost unit (tuple accesses + index
+//! lookups) and wall time; access counts are deterministic and
+//! machine-independent, wall time is indicative.
+
+use idivm_core::{IdIvm, IvmOptions, MaintenanceReport};
+use idivm_reldb::Database;
+use idivm_sdbt::{Sdbt, SdbtVariant};
+use idivm_tuple::TupleIvm;
+use idivm_types::Result;
+use idivm_workloads::RunningExample;
+
+/// One engine's measured round.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    pub label: &'static str,
+    pub report: MaintenanceReport,
+}
+
+impl Measured {
+    /// Total accesses (the paper's cost unit).
+    pub fn cost(&self) -> u64 {
+        self.report.total_accesses()
+    }
+
+    /// Wall-clock milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.report.wall.as_secs_f64() * 1e3
+    }
+}
+
+/// Run one running-example round on all four systems (fresh databases,
+/// identical seeds) and return their reports in the order
+/// `[idIVM, tuple, SDBT-fixed, SDBT-streams]`.
+///
+/// # Errors
+/// Any engine failure (a bug).
+pub fn run_running_example_round(
+    cfg: &RunningExample,
+    aggregate: bool,
+    diff_size: usize,
+) -> Result<Vec<Measured>> {
+    let mut out = Vec::new();
+
+    // idIVM.
+    {
+        let mut db = cfg.build()?;
+        let plan = if aggregate {
+            cfg.agg_plan(&db)?
+        } else {
+            cfg.spj_plan(&db)?
+        };
+        let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default())?;
+        warmup(&mut db, cfg, diff_size)?;
+        let _ = ivm.maintain(&mut db)?;
+        cfg.price_update_batch(&mut db, diff_size, 1)?;
+        db.stats().reset();
+        let report = ivm.maintain(&mut db)?;
+        out.push(Measured {
+            label: "ID-based IVM",
+            report,
+        });
+    }
+    // Tuple-based.
+    {
+        let mut db = cfg.build()?;
+        let plan = if aggregate {
+            cfg.agg_plan(&db)?
+        } else {
+            cfg.spj_plan(&db)?
+        };
+        let ivm = TupleIvm::setup(&mut db, "V", plan)?;
+        warmup(&mut db, cfg, diff_size)?;
+        let _ = ivm.maintain(&mut db)?;
+        cfg.price_update_batch(&mut db, diff_size, 1)?;
+        db.stats().reset();
+        let report = ivm.maintain(&mut db)?;
+        out.push(Measured {
+            label: "Tuple-based IVM",
+            report,
+        });
+    }
+    // SDBT-fixed.
+    {
+        let mut db = cfg.build()?;
+        let plan = if aggregate {
+            cfg.agg_plan(&db)?
+        } else {
+            cfg.spj_plan(&db)?
+        };
+        let partial = cfg.sdbt_parts_partial(&db)?;
+        let sdbt = Sdbt::setup(
+            &mut db,
+            "V",
+            plan,
+            vec![partial],
+            SdbtVariant::Fixed("parts".to_string()),
+        )?;
+        warmup(&mut db, cfg, diff_size)?;
+        let _ = sdbt.maintain(&mut db)?;
+        cfg.price_update_batch(&mut db, diff_size, 1)?;
+        db.stats().reset();
+        let report = sdbt.maintain(&mut db)?;
+        out.push(Measured {
+            label: "SDBT-fixed",
+            report,
+        });
+    }
+    // SDBT-streams.
+    {
+        let mut db = cfg.build()?;
+        let plan = if aggregate {
+            cfg.agg_plan(&db)?
+        } else {
+            cfg.spj_plan(&db)?
+        };
+        let partials = cfg.sdbt_all_partials(&db)?;
+        let sdbt = Sdbt::setup(&mut db, "V", plan, partials, SdbtVariant::Streams)?;
+        warmup(&mut db, cfg, diff_size)?;
+        let _ = sdbt.maintain(&mut db)?;
+        cfg.price_update_batch(&mut db, diff_size, 1)?;
+        db.stats().reset();
+        let report = sdbt.maintain(&mut db)?;
+        out.push(Measured {
+            label: "SDBT-streams",
+            report,
+        });
+    }
+    Ok(out)
+}
+
+fn warmup(db: &mut Database, cfg: &RunningExample, diff_size: usize) -> Result<()> {
+    cfg.price_update_batch(db, diff_size, 0)
+}
+
+/// Render a speedup row: `baseline cost / subject cost`.
+pub fn speedup(subject: &Measured, baseline: &Measured) -> f64 {
+    if subject.cost() == 0 {
+        return f64::INFINITY;
+    }
+    baseline.cost() as f64 / subject.cost() as f64
+}
+
+/// Fixed-width table cell helpers for the report binaries.
+pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_produces_all_four_systems() {
+        let cfg = RunningExample {
+            n_parts: 100,
+            n_devices: 80,
+            fanout: 3,
+            selectivity_pct: 30,
+            joins: 2,
+            seed: 3,
+        };
+        let measured = run_running_example_round(&cfg, true, 10).unwrap();
+        assert_eq!(measured.len(), 4);
+        let labels: Vec<&str> = measured.iter().map(|m| m.label).collect();
+        assert_eq!(
+            labels,
+            vec!["ID-based IVM", "Tuple-based IVM", "SDBT-fixed", "SDBT-streams"]
+        );
+        // The paper's ordering on the update workload:
+        // fixed ≤ id < tuple, streams worst.
+        let cost: Vec<u64> = measured.iter().map(Measured::cost).collect();
+        assert!(cost[0] < cost[1], "id {} < tuple {}", cost[0], cost[1]);
+        assert!(cost[3] > cost[2], "streams {} > fixed {}", cost[3], cost[2]);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let mk = |total: u64| Measured {
+            label: "x",
+            report: {
+                MaintenanceReport {
+                    view_update: idivm_reldb::StatsSnapshot {
+                        tuple_accesses: total,
+                        index_lookups: 0,
+                    },
+                    ..Default::default()
+                }
+            },
+        };
+        assert!((speedup(&mk(10), &mk(40)) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,704 @@
+//! `RelAccess`: counted access paths to arbitrary subviews.
+//!
+//! Propagation rules reference the data under an operator through the
+//! `Input_{l,r}` and `Output` keywords, in pre- or post-state (paper
+//! Section 4). Physically that data is
+//!
+//! * a base table (when the child is a scan),
+//! * an intermediate **cache** (when idIVM materialized the subview), or
+//! * a *virtual* subview that must be computed on the fly.
+//!
+//! [`lookup`] is the workhorse: an equality probe on a subview, pushed
+//! down through the operators as a **diff-driven index-nested-loop** —
+//! probe one side, then chase join keys with index lookups — which is
+//! exactly the plan shape the paper's cost model assumes (Appendix A:
+//! "for each tuple t of D it executes the subplan σ_c′(E)"). Every base
+//! or cache touch goes through the counted paths of `idivm-reldb`, so
+//! the paper's access accounting falls out automatically.
+
+use crate::diff::State;
+use idivm_algebra::Plan;
+use idivm_exec::executor::{hash_aggregate, hash_join, project_row, semi_or_anti};
+use idivm_reldb::{Database, PreState, TableChanges};
+use idivm_types::{Error, Key, Result, Row, Value};
+use std::collections::HashMap;
+
+/// Identifies a plan node by the child indices from the root (root =
+/// `[]`, left child of root = `[0]`, …).
+pub type PathId = Vec<usize>;
+
+/// Everything the access layer needs to resolve a subview.
+pub struct AccessCtx<'a> {
+    /// The database (base tables in post-state, plus caches and views).
+    pub db: &'a Database,
+    /// Folded net changes of this maintenance round (pre-state overlay
+    /// source for base tables).
+    pub base_changes: &'a HashMap<String, TableChanges>,
+    /// Materialized subviews: plan path → cache table name. Caches are
+    /// assumed already updated (post-state) when consulted.
+    pub caches: &'a HashMap<PathId, String>,
+    /// Net changes applied to each cache this round (pre-state overlay
+    /// source for caches).
+    pub cache_changes: &'a HashMap<String, TableChanges>,
+}
+
+impl AccessCtx<'_> {
+    fn cache_of(&self, path: &[usize]) -> Option<&str> {
+        self.caches.get(path).map(String::as_str)
+    }
+}
+
+/// Full (counted) scan of the subview rooted at `plan` in `state`.
+///
+/// # Errors
+/// Unknown tables or malformed plans.
+pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Result<Vec<Row>> {
+    if let Some(cache) = ctx.cache_of(path) {
+        let table = ctx.db.table(cache)?;
+        return Ok(match state {
+            State::Post => table.scan(),
+            State::Pre => PreState::new(table, ctx.cache_changes.get(cache)).scan(),
+        });
+    }
+    match plan {
+        Plan::Scan { table, .. } => {
+            let t = ctx.db.table(table)?;
+            Ok(match state {
+                State::Post => t.scan(),
+                State::Pre => PreState::new(t, ctx.base_changes.get(table)).scan(),
+            })
+        }
+        Plan::Select { input, pred } => {
+            let rows = scan(ctx, input, &child(path, 0), state)?;
+            Ok(rows.into_iter().filter(|r| pred.eval_pred(r)).collect())
+        }
+        Plan::Project { input, cols } => {
+            let rows = scan(ctx, input, &child(path, 0), state)?;
+            Ok(rows.iter().map(|r| project_row(r, cols)).collect())
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let l = scan(ctx, left, &child(path, 0), state)?;
+            let r = scan(ctx, right, &child(path, 1), state)?;
+            Ok(hash_join(&l, &r, on, residual.as_ref()))
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let l = scan(ctx, left, &child(path, 0), state)?;
+            let r = scan(ctx, right, &child(path, 1), state)?;
+            Ok(semi_or_anti(&l, &r, on, residual.as_ref(), true))
+        }
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let l = scan(ctx, left, &child(path, 0), state)?;
+            let r = scan(ctx, right, &child(path, 1), state)?;
+            Ok(semi_or_anti(&l, &r, on, residual.as_ref(), false))
+        }
+        Plan::UnionAll { left, right } => {
+            let mut out = Vec::new();
+            for (branch, side, idx) in [(0i64, left, 0usize), (1, right, 1)] {
+                for mut row in scan(ctx, side, &child(path, idx), state)? {
+                    row.0.push(Value::Int(branch));
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let rows = scan(ctx, input, &child(path, 0), state)?;
+            Ok(hash_aggregate(&rows, keys, aggs))
+        }
+    }
+}
+
+/// Equality probe: rows of the subview whose `cols` equal `probe`.
+/// Pushed down to index lookups wherever the operator structure allows;
+/// falls back to counted scans otherwise.
+///
+/// # Errors
+/// Unknown tables or malformed plans.
+pub fn lookup(
+    ctx: &AccessCtx<'_>,
+    plan: &Plan,
+    path: &PathId,
+    state: State,
+    cols: &[usize],
+    probe: &Key,
+) -> Result<Vec<Row>> {
+    debug_assert_eq!(cols.len(), probe.arity());
+    if cols.is_empty() {
+        return scan(ctx, plan, path, state);
+    }
+    if let Some(cache) = ctx.cache_of(path) {
+        let table = ctx.db.table(cache)?;
+        return Ok(match state {
+            State::Post => table.lookup(cols, probe),
+            State::Pre => {
+                PreState::new(table, ctx.cache_changes.get(cache)).lookup(cols, probe)
+            }
+        });
+    }
+    match plan {
+        Plan::Scan { table, .. } => {
+            let t = ctx.db.table(table)?;
+            Ok(match state {
+                State::Post => t.lookup(cols, probe),
+                State::Pre => {
+                    PreState::new(t, ctx.base_changes.get(table)).lookup(cols, probe)
+                }
+            })
+        }
+        Plan::Select { input, pred } => {
+            let rows = lookup(ctx, input, &child(path, 0), state, cols, probe)?;
+            Ok(rows.into_iter().filter(|r| pred.eval_pred(r)).collect())
+        }
+        Plan::Project { input, cols: pcols } => {
+            // Map probe columns through direct copies.
+            let mut mapped = Vec::with_capacity(cols.len());
+            for &c in cols {
+                match &pcols[c].1 {
+                    idivm_algebra::Expr::Col(i) => mapped.push(*i),
+                    _ => {
+                        // Probe on a computed column: evaluate and filter.
+                        let rows = scan(ctx, plan, path, state)?;
+                        return Ok(filter_by(rows, cols, probe));
+                    }
+                }
+            }
+            let rows = lookup(ctx, input, &child(path, 0), state, &mapped, probe)?;
+            Ok(rows.iter().map(|r| project_row(r, pcols)).collect())
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let la = left.arity();
+            let left_part: Vec<usize> = cols.iter().copied().filter(|&c| c < la).collect();
+            let right_part: Vec<usize> =
+                cols.iter().copied().filter(|&c| c >= la).collect();
+            let lp = &child(path, 0);
+            let rp = &child(path, 1);
+            if !left_part.is_empty() || right_part.is_empty() {
+                // Drive from the left side.
+                let lprobe = sub_probe(cols, probe, |c| c < la);
+                let lrows = lookup(ctx, left, lp, state, &left_part, &lprobe)?;
+                // For each left row, chase the join keys into the right,
+                // constraining also by the right part of the probe.
+                // Columns may repeat (a probe column that is also a join
+                // key); dedupe so index matching is not defeated, and
+                // reject contradictory constraints.
+                let mut rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+                for &c in &right_part {
+                    rcols.push(c - la);
+                }
+                let right_vals = probe_values(cols, probe, |c| c >= la);
+                let mut out = Vec::new();
+                for l in lrows {
+                    let mut vals: Vec<Value> =
+                        on.iter().map(|&(lc, _)| l[lc].clone()).collect();
+                    vals.extend(right_vals.iter().cloned());
+                    if vals.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let Some((dcols, dvals)) = dedupe_probe(&rcols, vals) else {
+                        continue; // contradictory duplicate constraints
+                    };
+                    let rrows = lookup(ctx, right, rp, state, &dcols, &Key(dvals))?;
+                    for r in rrows {
+                        let joined = l.concat(&r);
+                        if residual.as_ref().is_none_or(|e| e.eval_pred(&joined)) {
+                            out.push(joined);
+                        }
+                    }
+                }
+                Ok(out)
+            } else {
+                // Probe columns are all on the right: drive from there.
+                let rprobe_cols: Vec<usize> = right_part.iter().map(|&c| c - la).collect();
+                let rprobe = sub_probe(cols, probe, |c| c >= la);
+                let rrows = lookup(ctx, right, rp, state, &rprobe_cols, &rprobe)?;
+                let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let mut out = Vec::new();
+                for r in rrows {
+                    let vals: Vec<Value> = on
+                        .iter()
+                        .map(|&(_, rc)| r[rc].clone())
+                        .collect();
+                    if vals.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let lrows = lookup(ctx, left, lp, state, &lcols, &Key(vals))?;
+                    for l in lrows {
+                        let joined = l.concat(&r);
+                        if residual.as_ref().is_none_or(|e| e.eval_pred(&joined)) {
+                            out.push(joined);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => probe_semi(ctx, plan, path, state, cols, probe, left, right, on, residual, true),
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => probe_semi(ctx, plan, path, state, cols, probe, left, right, on, residual, false),
+        Plan::UnionAll { left, right } => {
+            let branch_pos = plan.arity() - 1;
+            let inner_cols: Vec<usize> = cols
+                .iter()
+                .copied()
+                .filter(|&c| c != branch_pos)
+                .collect();
+            let inner_probe = sub_probe(cols, probe, |c| c != branch_pos);
+            let branch_filter = cols
+                .iter()
+                .position(|&c| c == branch_pos)
+                .map(|i| probe.0[i].clone());
+            let mut out = Vec::new();
+            for (branch, side, idx) in [(0i64, left, 0usize), (1, right, 1)] {
+                if let Some(b) = &branch_filter {
+                    if b != &Value::Int(branch) {
+                        continue;
+                    }
+                }
+                for mut row in
+                    lookup(ctx, side, &child(path, idx), state, &inner_cols, &inner_probe)?
+                {
+                    row.0.push(Value::Int(branch));
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            if cols.iter().all(|&c| c < keys.len()) {
+                // Probe on (a subset of) the group key: fetch the
+                // matching groups' member rows and aggregate.
+                let in_cols: Vec<usize> = cols.iter().map(|&c| keys[c]).collect();
+                let members =
+                    lookup(ctx, input, &child(path, 0), state, &in_cols, probe)?;
+                Ok(hash_aggregate(&members, keys, aggs))
+            } else {
+                // Probe touches an aggregate output: no push-down.
+                let rows = scan(ctx, plan, path, state)?;
+                Ok(filter_by(rows, cols, probe))
+            }
+        }
+    }
+}
+
+/// Point-probe whether a subview contains any row matching `cols = probe`
+/// (used by antisemijoin rules). Same cost as [`lookup`].
+///
+/// # Errors
+/// Unknown tables or malformed plans.
+pub fn exists(
+    ctx: &AccessCtx<'_>,
+    plan: &Plan,
+    path: &PathId,
+    state: State,
+    cols: &[usize],
+    probe: &Key,
+) -> Result<bool> {
+    Ok(!lookup(ctx, plan, path, state, cols, probe)?.is_empty())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn probe_semi(
+    ctx: &AccessCtx<'_>,
+    _plan: &Plan,
+    path: &PathId,
+    state: State,
+    cols: &[usize],
+    probe: &Key,
+    left: &Plan,
+    right: &Plan,
+    on: &[(usize, usize)],
+    residual: &Option<idivm_algebra::Expr>,
+    keep_matched: bool,
+) -> Result<Vec<Row>> {
+    // Output schema = left schema, so probe columns address the left.
+    let lrows = lookup(ctx, left, &child(path, 0), state, cols, probe)?;
+    let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let rp = &child(path, 1);
+    let mut out = Vec::new();
+    for l in lrows {
+        let vals: Vec<Value> = on.iter().map(|&(lc, _)| l[lc].clone()).collect();
+        let matched = if vals.iter().any(Value::is_null) {
+            false
+        } else {
+            let rrows = lookup(ctx, right, rp, state, &rcols, &Key(vals))?;
+            rrows.iter().any(|r| {
+                residual.as_ref().is_none_or(|e| e.eval_pred(&l.concat(r)))
+            })
+        };
+        if matched == keep_matched {
+            out.push(l);
+        }
+    }
+    Ok(out)
+}
+
+fn child(path: &[usize], idx: usize) -> PathId {
+    let mut p = path.to_vec();
+    p.push(idx);
+    p
+}
+
+fn filter_by(rows: Vec<Row>, cols: &[usize], probe: &Key) -> Vec<Row> {
+    rows.into_iter()
+        .filter(|r| &r.key(cols) == probe)
+        .collect()
+}
+
+fn sub_probe(cols: &[usize], probe: &Key, keep: impl Fn(usize) -> bool) -> Key {
+    Key(probe_values(cols, probe, keep))
+}
+
+/// Remove duplicate probe columns and sort the probe by column position
+/// (index and primary-key matching are order-sensitive) so a repeated or
+/// permuted column set cannot defeat index matching. Returns `None` when
+/// a duplicated column carries contradictory values — the probe can
+/// match nothing.
+fn dedupe_probe(cols: &[usize], vals: Vec<Value>) -> Option<(Vec<usize>, Vec<Value>)> {
+    let mut pairs: Vec<(usize, Value)> = Vec::with_capacity(cols.len());
+    for (&c, v) in cols.iter().zip(vals) {
+        match pairs.iter().position(|(o, _)| *o == c) {
+            Some(i) => {
+                if pairs[i].1 != v {
+                    return None;
+                }
+            }
+            None => pairs.push((c, v)),
+        }
+    }
+    pairs.sort_by_key(|(c, _)| *c);
+    Some(pairs.into_iter().unzip())
+}
+
+fn probe_values(cols: &[usize], probe: &Key, keep: impl Fn(usize) -> bool) -> Vec<Value> {
+    cols.iter()
+        .zip(probe.0.iter())
+        .filter(|(c, _)| keep(**c))
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+/// Resolve the plan node at `path` (for callers that hold only the root).
+///
+/// # Errors
+/// [`Error::Plan`] if the path is invalid.
+pub fn node_at<'p>(root: &'p Plan, path: &[usize]) -> Result<&'p Plan> {
+    let mut cur = root;
+    for &i in path {
+        cur = *cur
+            .children()
+            .get(i)
+            .ok_or_else(|| Error::Plan(format!("invalid plan path {path:?}")))?;
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_algebra::{AggFunc, PlanBuilder};
+    use idivm_exec::DbCatalog;
+    use idivm_types::{row, ColumnType, Schema};
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.set_logging(false); // bulk load is not part of a round
+        db.create_table(
+            "parts",
+            Schema::from_pairs(
+                &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+                &["pid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            "devices_parts",
+            Schema::from_pairs(
+                &[("did", ColumnType::Str), ("pid", ColumnType::Str)],
+                &["did", "pid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("parts", row!["P1", 10]).unwrap();
+        db.insert("parts", row!["P2", 20]).unwrap();
+        db.insert("devices_parts", row!["D1", "P1"]).unwrap();
+        db.insert("devices_parts", row!["D2", "P1"]).unwrap();
+        db.insert("devices_parts", row!["D1", "P2"]).unwrap();
+        db.table_mut("devices_parts")
+            .unwrap()
+            .create_index(&["pid"])
+            .unwrap();
+        db
+    }
+
+    fn empty_ctx<'a>(
+        db: &'a Database,
+        base: &'a HashMap<String, TableChanges>,
+        caches: &'a HashMap<PathId, String>,
+        cch: &'a HashMap<String, TableChanges>,
+    ) -> AccessCtx<'a> {
+        AccessCtx {
+            db,
+            base_changes: base,
+            caches,
+            cache_changes: cch,
+        }
+    }
+
+    #[test]
+    fn join_lookup_is_index_driven() {
+        let db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let (base, caches, cch) = (HashMap::new(), HashMap::new(), HashMap::new());
+        let ctx = empty_ctx(&db, &base, &caches, &cch);
+        db.stats().reset();
+        // Probe by parts.pid = P1 (column 0 of the join output).
+        let rows = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0],
+            &Key(vec![Value::str("P1")]),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2); // joins with D1 and D2
+        let snap = db.stats().snapshot();
+        // 1 pk probe into parts (1 lookup + 1 tuple) then 1 index probe
+        // into devices_parts (1 lookup + 2 tuples).
+        assert_eq!(snap.index_lookups, 2);
+        assert_eq!(snap.tuple_accesses, 3);
+    }
+
+    #[test]
+    fn group_by_lookup_recomputes_single_group() {
+        let db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "devices_parts")
+            .unwrap()
+            .group_by(&["devices_parts.did"], &[(AggFunc::Count, "*", "n")])
+            .unwrap()
+            .build()
+            .unwrap();
+        let (base, caches, cch) = (HashMap::new(), HashMap::new(), HashMap::new());
+        let ctx = empty_ctx(&db, &base, &caches, &cch);
+        // did is a prefix of devices_parts' composite key, so there is
+        // no index for [did] alone — lookup degrades to a scan, still
+        // correct.
+        let rows = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0],
+            &Key(vec![Value::str("D1")]),
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row!["D1", 2]]);
+    }
+
+    #[test]
+    fn pre_state_lookup_through_select() {
+        let mut db = setup();
+        db.set_logging(true);
+        // Update P1's price 10 → 99 with logging on.
+        db.update_named(
+            "parts",
+            &Key(vec![Value::str("P1")]),
+            &[("price", Value::Int(99))],
+        )
+        .unwrap();
+        let base = db.fold_log();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .select(
+                idivm_algebra::Expr::col(1).lt(idivm_algebra::Expr::lit(50)),
+            )
+            .build()
+            .unwrap();
+        let (caches, cch) = (HashMap::new(), HashMap::new());
+        let ctx = empty_ctx(&db, &base, &caches, &cch);
+        // Post-state: P1 has price 99 ⇒ filtered out.
+        let post = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0],
+            &Key(vec![Value::str("P1")]),
+        )
+        .unwrap();
+        assert!(post.is_empty());
+        // Pre-state: price was 10 ⇒ present.
+        let pre = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Pre,
+            &[0],
+            &Key(vec![Value::str("P1")]),
+        )
+        .unwrap();
+        assert_eq!(pre, vec![row!["P1", 10]]);
+    }
+
+    #[test]
+    fn cache_shortcuts_subview() {
+        let mut db = setup();
+        // Materialize the join as a "cache" table.
+        db.create_table(
+            "cache0",
+            Schema::from_pairs(
+                &[
+                    ("pid", ColumnType::Str),
+                    ("price", ColumnType::Int),
+                    ("did", ColumnType::Str),
+                    ("pid2", ColumnType::Str),
+                ],
+                &["pid", "did"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for r in [
+            row!["P1", 10, "D1", "P1"],
+            row!["P1", 10, "D2", "P1"],
+            row!["P2", 20, "D1", "P2"],
+        ] {
+            db.table_mut("cache0").unwrap().load(r).unwrap();
+        }
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let base = HashMap::new();
+        let mut caches = HashMap::new();
+        caches.insert(vec![], "cache0".to_string());
+        let cch = HashMap::new();
+        let ctx = empty_ctx(&db, &base, &caches, &cch);
+        db.stats().reset();
+        let rows = scan(&ctx, &plan, &vec![], State::Post).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Served from the cache: 3 tuple accesses, no base-table reads.
+        assert_eq!(db.stats().snapshot().tuple_accesses, 3);
+    }
+
+    #[test]
+    fn antijoin_lookup_probes_right() {
+        let mut db = setup();
+        db.insert("parts", row!["P3", 30]).unwrap(); // unused part
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .anti_join(
+                PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        let (base, caches, cch) = (HashMap::new(), HashMap::new(), HashMap::new());
+        let ctx = empty_ctx(&db, &base, &caches, &cch);
+        let rows = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0],
+            &Key(vec![Value::str("P3")]),
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row!["P3", 30]]);
+        let used = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0],
+            &Key(vec![Value::str("P1")]),
+        )
+        .unwrap();
+        assert!(used.is_empty());
+    }
+
+    #[test]
+    fn union_lookup_routes_by_branch() {
+        let db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .union_all(PlanBuilder::scan(&cat, "parts").unwrap())
+            .build()
+            .unwrap();
+        let (base, caches, cch) = (HashMap::new(), HashMap::new(), HashMap::new());
+        let ctx = empty_ctx(&db, &base, &caches, &cch);
+        // Probe pid = P1 in branch 1 only.
+        let rows = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0, 2],
+            &Key(vec![Value::str("P1"), Value::Int(1)]),
+        )
+        .unwrap();
+        assert_eq!(rows, vec![row!["P1", 10, 1]]);
+        // Probe pid = P1 in both branches.
+        let rows = lookup(
+            &ctx,
+            &plan,
+            &vec![],
+            State::Post,
+            &[0],
+            &Key(vec![Value::str("P1")]),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Maintenance-round reporting, broken down into the phases the paper's
+//! Figure 12 stacks: diff computation, cache update, and view update.
+
+use crate::apply::ApplyOutcome;
+use idivm_reldb::StatsSnapshot;
+use std::fmt;
+use std::time::Duration;
+
+/// Cost and outcome of one maintenance round.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Accesses spent computing diffs (rule evaluation / probes).
+    pub diff_compute: StatsSnapshot,
+    /// Accesses spent applying diffs to intermediate caches.
+    pub cache_update: StatsSnapshot,
+    /// Accesses spent applying diffs to the view.
+    pub view_update: StatsSnapshot,
+    /// What happened to the view.
+    pub view_outcome: ApplyOutcome,
+    /// What happened to the caches (summed).
+    pub cache_outcome: ApplyOutcome,
+    /// Base-table diff tuples consumed.
+    pub base_diff_tuples: usize,
+    /// View-level diff tuples produced (before application).
+    pub view_diff_tuples: usize,
+    /// Wall-clock time of the round.
+    pub wall: Duration,
+}
+
+impl MaintenanceReport {
+    /// Combined access cost (the paper's unit) across all phases.
+    pub fn total_accesses(&self) -> u64 {
+        self.diff_compute.total() + self.cache_update.total() + self.view_update.total()
+    }
+
+    /// i-diff compression factor observed at the view:
+    /// `p = |D_V| / |∆_V|` — view tuples actually modified per view diff
+    /// tuple (Section 6's `p`). `None` when no view diffs were produced.
+    pub fn compression_factor(&self) -> Option<f64> {
+        if self.view_diff_tuples == 0 {
+            return None;
+        }
+        let modified = self.view_outcome.inserted
+            + self.view_outcome.deleted
+            + self.view_outcome.updated;
+        Some(modified as f64 / self.view_diff_tuples as f64)
+    }
+}
+
+impl fmt::Display for MaintenanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "maintenance: {} base diff tuples -> {} view diff tuples",
+            self.base_diff_tuples, self.view_diff_tuples
+        )?;
+        writeln!(f, "  diff computation: {}", self.diff_compute)?;
+        writeln!(f, "  cache update:     {}", self.cache_update)?;
+        writeln!(f, "  view update:      {}", self.view_update)?;
+        writeln!(
+            f,
+            "  view outcome: +{} -{} ~{} (dummies {})",
+            self.view_outcome.inserted,
+            self.view_outcome.deleted,
+            self.view_outcome.updated,
+            self.view_outcome.dummies
+        )?;
+        write!(f, "  total accesses: {}", self.total_accesses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_compression() {
+        let mut r = MaintenanceReport {
+            diff_compute: StatsSnapshot {
+                tuple_accesses: 5,
+                index_lookups: 2,
+            },
+            view_update: StatsSnapshot {
+                tuple_accesses: 3,
+                index_lookups: 1,
+            },
+            view_diff_tuples: 2,
+            ..Default::default()
+        };
+        r.view_outcome.updated = 4;
+        assert_eq!(r.total_accesses(), 11);
+        assert_eq!(r.compression_factor(), Some(2.0));
+        let text = r.to_string();
+        assert!(text.contains("total accesses: 11"));
+    }
+
+    #[test]
+    fn compression_none_without_diffs() {
+        let r = MaintenanceReport::default();
+        assert!(r.compression_factor().is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! i-diff propagation rules — paper Tables 4–13, one module per
+//! operator family.
+//!
+//! Each operator transforms (effective) i-diffs over its input schema
+//! into (effective) i-diffs over its output schema (paper Section 4).
+//! The rules may consult the data under the operator through the counted
+//! access paths of [`crate::access`] (`Input_pre`, `Input_post`,
+//! `Output`).
+//!
+//! Two forms per rule, following the paper's Pass 4 (semantic
+//! minimization, Figure 8): a **general** form that probes the input
+//! subview, and — where Figure 8 licenses it — a **minimized** form that
+//! answers from the diff alone. [`RuleCtx::minimize`] selects between
+//! them; results are identical, access counts are not (the paper reports
+//! >50 % improvements from minimization).
+
+pub mod agg;
+pub mod common;
+pub mod join;
+pub mod project;
+pub mod select;
+pub mod semi;
+pub mod union;
+
+use crate::access::{AccessCtx, PathId};
+use crate::diff::DiffInstance;
+use idivm_algebra::Plan;
+use idivm_types::{Error, Result};
+
+/// Context handed to every rule invocation.
+pub struct RuleCtx<'a> {
+    /// Access paths to subviews/caches.
+    pub access: &'a AccessCtx<'a>,
+    /// Pass-4 semantic minimization on/off.
+    pub minimize: bool,
+}
+
+/// A diff arriving at an operator, tagged with the child it came from
+/// (0 = only/left input, 1 = right input).
+#[derive(Debug, Clone)]
+pub struct IncomingDiff {
+    pub side: usize,
+    pub diff: DiffInstance,
+}
+
+/// Propagate all diffs arriving at `node` (located at `path` in the
+/// root plan) to diffs over the node's output schema.
+///
+/// Non-blocking operators map each incoming diff independently; the
+/// blocking aggregate rules (SUM/COUNT/AVG, Tables 9/11/12) inspect the
+/// whole batch (paper's blocking-operator distinction, Example 4.4).
+///
+/// # Errors
+/// Propagates access errors; scans reaching this function are a planner
+/// bug ([`Error::Internal`]).
+pub fn propagate(
+    ctx: &RuleCtx<'_>,
+    node: &Plan,
+    path: &PathId,
+    incoming: Vec<IncomingDiff>,
+) -> Result<Vec<DiffInstance>> {
+    if incoming.iter().all(|d| d.diff.is_empty()) {
+        return Ok(Vec::new());
+    }
+    match node {
+        Plan::Scan { .. } => Err(Error::Internal(
+            "scan nodes receive base diffs directly; nothing to propagate".into(),
+        )),
+        Plan::Select { input, pred } => {
+            let mut out = Vec::new();
+            for inc in incoming {
+                out.extend(select::propagate(ctx, pred, input, path, inc.diff)?);
+            }
+            Ok(out)
+        }
+        Plan::Project { input, cols } => {
+            let mut out = Vec::new();
+            for inc in incoming {
+                out.extend(project::propagate(ctx, cols, input, path, inc.diff)?);
+            }
+            Ok(out)
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let mut out = Vec::new();
+            for inc in incoming {
+                out.extend(join::propagate(
+                    ctx,
+                    left,
+                    right,
+                    on,
+                    residual.as_ref(),
+                    path,
+                    inc.side,
+                    inc.diff,
+                )?);
+            }
+            Ok(out)
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let mut out = Vec::new();
+            for inc in incoming {
+                out.extend(semi::propagate(
+                    ctx,
+                    left,
+                    right,
+                    on,
+                    residual.as_ref(),
+                    path,
+                    inc.side,
+                    inc.diff,
+                    semi::Kind::Semi,
+                )?);
+            }
+            Ok(out)
+        }
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let mut out = Vec::new();
+            for inc in incoming {
+                out.extend(semi::propagate(
+                    ctx,
+                    left,
+                    right,
+                    on,
+                    residual.as_ref(),
+                    path,
+                    inc.side,
+                    inc.diff,
+                    semi::Kind::Anti,
+                )?);
+            }
+            Ok(out)
+        }
+        Plan::UnionAll { left, right } => {
+            let mut out = Vec::new();
+            let arity = node.arity();
+            for inc in incoming {
+                let side_plan = if inc.side == 0 { left } else { right };
+                out.push(union::propagate(side_plan, arity, inc.side, inc.diff)?);
+            }
+            Ok(out)
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            agg::propagate(ctx, node, input, keys, aggs, path, incoming)
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! End-to-end differential tests of the idIVM engine against full
+//! recomputation, on the paper's running example (Figures 1, 2 and 5).
+
+use idivm_algebra::{AggFunc, PlanBuilder};
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_exec::{executor::sorted, recompute_rows, DbCatalog};
+use idivm_reldb::Database;
+use idivm_types::{row, ColumnType, Key, Schema, Value};
+
+/// Figure 1/2's database.
+fn setup_db() -> Database {
+    let mut db = Database::new();
+    db.set_logging(false);
+    db.create_table(
+        "parts",
+        Schema::from_pairs(
+            &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+            &["pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "devices",
+        Schema::from_pairs(
+            &[("did", ColumnType::Str), ("category", ColumnType::Str)],
+            &["did"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "devices_parts",
+        Schema::from_pairs(
+            &[("did", ColumnType::Str), ("pid", ColumnType::Str)],
+            &["did", "pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.insert("parts", row!["P1", 10]).unwrap();
+    db.insert("parts", row!["P2", 20]).unwrap();
+    db.insert("devices", row!["D1", "phone"]).unwrap();
+    db.insert("devices", row!["D2", "phone"]).unwrap();
+    db.insert("devices", row!["D3", "tablet"]).unwrap();
+    db.insert("devices_parts", row!["D1", "P1"]).unwrap();
+    db.insert("devices_parts", row!["D2", "P1"]).unwrap();
+    db.insert("devices_parts", row!["D1", "P2"]).unwrap();
+    db.set_logging(true);
+    db
+}
+
+/// Figure 1b's SPJ view V.
+fn spj_plan(db: &Database) -> idivm_algebra::Plan {
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "parts")
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+            &[("parts.pid", "devices_parts.pid")],
+        )
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&cat, "devices").unwrap(),
+            &[("devices_parts.did", "devices.did")],
+        )
+        .unwrap()
+        .select_eq("devices.category", "phone")
+        .unwrap()
+        .project_names(&["devices_parts.did", "parts.pid", "parts.price"])
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// Figure 5b's aggregate view V′.
+fn agg_plan(db: &Database) -> idivm_algebra::Plan {
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "parts")
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+            &[("parts.pid", "devices_parts.pid")],
+        )
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&cat, "devices").unwrap(),
+            &[("devices_parts.did", "devices.did")],
+        )
+        .unwrap()
+        .select_eq("devices.category", "phone")
+        .unwrap()
+        .group_by(
+            &["devices_parts.did"],
+            &[(AggFunc::Sum, "parts.price", "cost")],
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn check(db: &Database, ivm: &IdIvm) {
+    let expected = sorted(recompute_rows(db, ivm.plan()).unwrap());
+    let actual = sorted(db.table(ivm.view_name()).unwrap().rows_uncounted());
+    assert_eq!(actual, expected, "view diverged from recomputation");
+}
+
+fn k(s: &str) -> Key {
+    Key(vec![Value::str(s)])
+}
+
+fn k2(a: &str, b: &str) -> Key {
+    Key(vec![Value::str(a), Value::str(b)])
+}
+
+#[test]
+fn figure2_price_update_on_spj_view() {
+    let mut db = setup_db();
+    let plan = spj_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    // The Figure 2 modification: P1's price 10 → 11.
+    db.update_named("parts", &k("P1"), &[("price", Value::Int(11))])
+        .unwrap();
+    let report = ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    // One base diff tuple (compression: the single i-diff tuple updates
+    // two view tuples).
+    assert_eq!(report.base_diff_tuples, 1);
+    assert_eq!(report.view_outcome.updated, 2);
+    // Non-conditional update: zero diff-computation accesses (the
+    // i-diff passes straight to the view — queries Q∆ of Example 1.2).
+    assert_eq!(report.diff_compute.total(), 0);
+}
+
+#[test]
+fn figure7_aggregate_view_with_cache() {
+    let mut db = setup_db();
+    let plan = agg_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "Vagg", plan, IvmOptions::default()).unwrap();
+    assert_eq!(ivm.caches().len(), 1, "input cache below γ expected");
+    // Initial content: D1 → 30, D2 → 10.
+    db.update_named("parts", &k("P1"), &[("price", Value::Int(11))])
+        .unwrap();
+    let report = ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    let v = db.table("Vagg").unwrap();
+    assert_eq!(v.get_uncounted(&k("D1")).unwrap(), &row!["D1", 31]);
+    assert_eq!(v.get_uncounted(&k("D2")).unwrap(), &row!["D2", 11]);
+    // The cache holds the SPJ subview and was updated too.
+    assert!(report.cache_update.total() > 0);
+}
+
+#[test]
+fn inserts_into_all_tables() {
+    let mut db = setup_db();
+    let plan = spj_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    db.insert("parts", row!["P3", 30]).unwrap();
+    db.insert("devices_parts", row!["D3", "P3"]).unwrap(); // tablet: filtered
+    db.insert("devices_parts", row!["D1", "P3"]).unwrap(); // phone: joins
+    db.insert("devices", row!["D4", "phone"]).unwrap();
+    db.insert("devices_parts", row!["D4", "P1"]).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    assert_eq!(db.table("V").unwrap().len(), 5);
+}
+
+#[test]
+fn deletes_cascade_through_joins() {
+    let mut db = setup_db();
+    let plan = spj_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    db.delete("parts", &k("P1")).unwrap();
+    db.delete("devices_parts", &k2("D1", "P1")).unwrap();
+    db.delete("devices_parts", &k2("D2", "P1")).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    assert_eq!(db.table("V").unwrap().len(), 1); // only (D1, P2)
+}
+
+#[test]
+fn conditional_update_moves_tuples_in_and_out() {
+    let mut db = setup_db();
+    let plan = spj_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    // D3 becomes a phone (enters), D2 becomes a tablet (leaves).
+    db.insert("devices_parts", row!["D3", "P2"]).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    db.update_named("devices", &k("D3"), &[("category", Value::str("phone"))])
+        .unwrap();
+    db.update_named("devices", &k("D2"), &[("category", Value::str("tablet"))])
+        .unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    // Compare the user-visible columns (Pass 1 appended extra ID
+    // columns to the projection: Vorig = π_Ā V_ID, Section 4).
+    let rows = sorted(
+        db.table("V")
+            .unwrap()
+            .rows_uncounted()
+            .into_iter()
+            .map(|r| r.project(&[0, 1, 2]))
+            .collect(),
+    );
+    assert_eq!(
+        rows,
+        vec![
+            row!["D1", "P1", 10],
+            row!["D1", "P2", 20],
+            row!["D3", "P2", 20],
+        ]
+    );
+}
+
+#[test]
+fn aggregate_group_creation_and_deletion() {
+    let mut db = setup_db();
+    let plan = agg_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "Vagg", plan, IvmOptions::default()).unwrap();
+    // New device with parts: a fresh group must appear.
+    db.insert("devices", row!["D4", "phone"]).unwrap();
+    db.insert("devices_parts", row!["D4", "P2"]).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    assert_eq!(
+        db.table("Vagg").unwrap().get_uncounted(&k("D4")).unwrap(),
+        &row!["D4", 20]
+    );
+    // Remove all of D2's parts: its group must disappear.
+    db.delete("devices_parts", &k2("D2", "P1")).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    assert!(db.table("Vagg").unwrap().get_uncounted(&k("D2")).is_none());
+}
+
+#[test]
+fn mixed_batch_in_one_round() {
+    let mut db = setup_db();
+    let plan = agg_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "Vagg", plan, IvmOptions::default()).unwrap();
+    // Update + insert + delete in one deferred round.
+    db.update_named("parts", &k("P2"), &[("price", Value::Int(25))])
+        .unwrap();
+    db.insert("parts", row!["P3", 7]).unwrap();
+    db.insert("devices_parts", row!["D2", "P3"]).unwrap();
+    db.delete("devices_parts", &k2("D1", "P1")).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    check(&db, &ivm);
+    let v = db.table("Vagg").unwrap();
+    assert_eq!(v.get_uncounted(&k("D1")).unwrap(), &row!["D1", 25]);
+    assert_eq!(v.get_uncounted(&k("D2")).unwrap(), &row!["D2", 17]);
+}
+
+#[test]
+fn repeated_rounds_converge() {
+    let mut db = setup_db();
+    let plan = spj_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    for i in 0..5 {
+        db.update_named("parts", &k("P1"), &[("price", Value::Int(100 + i))])
+            .unwrap();
+        ivm.maintain(&mut db).unwrap();
+        check(&db, &ivm);
+    }
+    // Empty round is a no-op.
+    let report = ivm.maintain(&mut db).unwrap();
+    assert_eq!(report.base_diff_tuples, 0);
+    assert_eq!(report.total_accesses(), 0);
+}
+
+#[test]
+fn minimization_off_gives_same_result_more_accesses() {
+    let run = |minimize: bool| -> (Vec<idivm_types::Row>, u64) {
+        let mut db = setup_db();
+        let plan = spj_plan(&db);
+        let ivm = IdIvm::setup(
+            &mut db,
+            "V",
+            plan,
+            IvmOptions {
+                minimize,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        db.update_named("parts", &k("P1"), &[("price", Value::Int(11))])
+            .unwrap();
+        let report = ivm.maintain(&mut db).unwrap();
+        check(&db, &ivm);
+        (
+            sorted(db.table("V").unwrap().rows_uncounted()),
+            report.total_accesses(),
+        )
+    };
+    let (rows_min, cost_min) = run(true);
+    let (rows_gen, cost_gen) = run(false);
+    assert_eq!(rows_min, rows_gen);
+    assert!(
+        cost_min < cost_gen,
+        "minimization should reduce accesses ({cost_min} vs {cost_gen})"
+    );
+}
+
+#[test]
+fn delta_script_rendering_mentions_caches_and_tables() {
+    let mut db = setup_db();
+    let plan = agg_plan(&db);
+    let ivm = IdIvm::setup(&mut db, "Vagg", plan, IvmOptions::default()).unwrap();
+    let script = idivm_core::script::explain_script(&ivm);
+    assert!(script.contains("∆-script for view `Vagg`"));
+    assert!(script.contains("parts"));
+    assert!(script.contains("APPLY"));
+    assert!(script.contains("cache"));
+}

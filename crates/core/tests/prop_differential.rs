@@ -1,0 +1,299 @@
+//! Property-based differential testing: random modification batches
+//! against random-ish views, with full recomputation as the oracle.
+//!
+//! This is the strongest correctness statement in the repository: for
+//! *any* interleaving of inserts, deletes, and updates across all three
+//! base tables, maintaining the view with idIVM produces exactly the
+//! relation a from-scratch recomputation produces.
+
+use idivm_algebra::{AggFunc, Expr, Plan, PlanBuilder};
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_exec::{executor::sorted, recompute_rows, DbCatalog};
+use idivm_reldb::Database;
+use idivm_types::{row, ColumnType, Key, Schema, Value};
+use proptest::prelude::*;
+
+/// One randomly chosen base-table modification.
+#[derive(Debug, Clone)]
+enum Mutation {
+    InsertPart { pid: u8, price: i64 },
+    DeletePart { pid: u8 },
+    UpdatePrice { pid: u8, price: i64 },
+    InsertDevice { did: u8, phone: bool },
+    DeleteDevice { did: u8 },
+    FlipCategory { did: u8 },
+    InsertLink { did: u8, pid: u8 },
+    DeleteLink { did: u8, pid: u8 },
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0u8..12, 1i64..50).prop_map(|(pid, price)| Mutation::InsertPart { pid, price }),
+        (0u8..12).prop_map(|pid| Mutation::DeletePart { pid }),
+        (0u8..12, 1i64..50).prop_map(|(pid, price)| Mutation::UpdatePrice { pid, price }),
+        (0u8..8, any::<bool>()).prop_map(|(did, phone)| Mutation::InsertDevice { did, phone }),
+        (0u8..8).prop_map(|did| Mutation::DeleteDevice { did }),
+        (0u8..8).prop_map(|did| Mutation::FlipCategory { did }),
+        (0u8..8, 0u8..12).prop_map(|(did, pid)| Mutation::InsertLink { did, pid }),
+        (0u8..8, 0u8..12).prop_map(|(did, pid)| Mutation::DeleteLink { did, pid }),
+    ]
+}
+
+fn pid(n: u8) -> String {
+    format!("P{n}")
+}
+
+fn did(n: u8) -> String {
+    format!("D{n}")
+}
+
+fn apply_mutation(db: &mut Database, m: &Mutation) {
+    match m {
+        Mutation::InsertPart { pid: p, price } => {
+            let _ = db.insert("parts", row![pid(*p).as_str(), *price]);
+        }
+        Mutation::DeletePart { pid: p } => {
+            let _ = db.delete("parts", &Key(vec![Value::str(pid(*p))]));
+        }
+        Mutation::UpdatePrice { pid: p, price } => {
+            let _ = db.update_named(
+                "parts",
+                &Key(vec![Value::str(pid(*p))]),
+                &[("price", Value::Int(*price))],
+            );
+        }
+        Mutation::InsertDevice { did: d, phone } => {
+            let cat = if *phone { "phone" } else { "tablet" };
+            let _ = db.insert("devices", row![did(*d).as_str(), cat]);
+        }
+        Mutation::DeleteDevice { did: d } => {
+            let _ = db.delete("devices", &Key(vec![Value::str(did(*d))]));
+        }
+        Mutation::FlipCategory { did: d } => {
+            let key = Key(vec![Value::str(did(*d))]);
+            let current = db
+                .table("devices")
+                .unwrap()
+                .get_uncounted(&key)
+                .map(|r| r[1].clone());
+            if let Some(Value::Str(s)) = current {
+                let new = if &*s == "phone" { "tablet" } else { "phone" };
+                let _ = db.update_named("devices", &key, &[("category", Value::str(new))]);
+            }
+        }
+        Mutation::InsertLink { did: d, pid: p } => {
+            let _ = db.insert("devices_parts", row![did(*d).as_str(), pid(*p).as_str()]);
+        }
+        Mutation::DeleteLink { did: d, pid: p } => {
+            let _ = db.delete(
+                "devices_parts",
+                &Key(vec![Value::str(did(*d)), Value::str(pid(*p))]),
+            );
+        }
+    }
+}
+
+fn setup_db(seed_links: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    db.set_logging(false);
+    db.create_table(
+        "parts",
+        Schema::from_pairs(
+            &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+            &["pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "devices",
+        Schema::from_pairs(
+            &[("did", ColumnType::Str), ("category", ColumnType::Str)],
+            &["did"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "devices_parts",
+        Schema::from_pairs(
+            &[("did", ColumnType::Str), ("pid", ColumnType::Str)],
+            &["did", "pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for p in 0..6u8 {
+        db.insert("parts", row![pid(p).as_str(), (p as i64 + 1) * 10])
+            .unwrap();
+    }
+    for d in 0..4u8 {
+        let cat = if d % 2 == 0 { "phone" } else { "tablet" };
+        db.insert("devices", row![did(d).as_str(), cat]).unwrap();
+    }
+    for (d, p) in seed_links {
+        let _ = db.insert("devices_parts", row![did(*d).as_str(), pid(*p).as_str()]);
+    }
+    db.set_logging(true);
+    db
+}
+
+/// The view shapes exercised.
+#[derive(Debug, Clone, Copy)]
+enum ViewShape {
+    Spj,
+    Aggregate,
+    AntiJoin,
+    Union,
+    Projection,
+}
+
+fn build_view(db: &Database, shape: ViewShape) -> Plan {
+    let cat = DbCatalog(db);
+    match shape {
+        ViewShape::Spj => PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "devices").unwrap(),
+                &[("devices_parts.did", "devices.did")],
+            )
+            .unwrap()
+            .select_eq("devices.category", "phone")
+            .unwrap()
+            .build()
+            .unwrap(),
+        ViewShape::Aggregate => PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "devices").unwrap(),
+                &[("devices_parts.did", "devices.did")],
+            )
+            .unwrap()
+            .select_eq("devices.category", "phone")
+            .unwrap()
+            .group_by(
+                &["devices_parts.did"],
+                &[
+                    (AggFunc::Sum, "parts.price", "cost"),
+                    (AggFunc::Count, "parts.pid", "n_parts"),
+                ],
+            )
+            .unwrap()
+            .build()
+            .unwrap(),
+        ViewShape::AntiJoin => PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .anti_join(
+                PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .build()
+            .unwrap(),
+        ViewShape::Union => {
+            let cheap = PlanBuilder::scan(&cat, "parts")
+                .unwrap()
+                .select(Expr::col(1).lt(Expr::lit(25)))
+                .build()
+                .unwrap();
+            let used = PlanBuilder::scan(&cat, "parts")
+                .unwrap()
+                .semi_join(
+                    PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+                    &[("parts.pid", "devices_parts.pid")],
+                )
+                .unwrap()
+                .build()
+                .unwrap();
+            Plan::UnionAll {
+                left: Box::new(cheap),
+                right: Box::new(used),
+            }
+        }
+        ViewShape::Projection => PlanBuilder::scan(&cat, "parts")
+            .unwrap()
+            .project(vec![
+                ("pid".to_string(), Expr::col(0)),
+                (
+                    "double_price".to_string(),
+                    Expr::col(1).mul(Expr::lit(2)),
+                ),
+            ])
+            .build()
+            .unwrap(),
+    }
+}
+
+fn run_differential(shape: ViewShape, seed_links: Vec<(u8, u8)>, batches: Vec<Vec<Mutation>>) {
+    let mut db = setup_db(&seed_links);
+    let plan = build_view(&db, shape);
+    let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    for batch in &batches {
+        for m in batch {
+            apply_mutation(&mut db, m);
+        }
+        ivm.maintain(&mut db).unwrap();
+        let expected = sorted(recompute_rows(&db, ivm.plan()).unwrap());
+        let actual = sorted(db.table("V").unwrap().rows_uncounted());
+        assert_eq!(actual, expected, "divergence for {shape:?} after {batch:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spj_view_matches_oracle(
+        links in proptest::collection::vec((0u8..4, 0u8..6), 0..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(mutation_strategy(), 1..8), 1..4),
+    ) {
+        run_differential(ViewShape::Spj, links, batches);
+    }
+
+    #[test]
+    fn aggregate_view_matches_oracle(
+        links in proptest::collection::vec((0u8..4, 0u8..6), 0..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(mutation_strategy(), 1..8), 1..4),
+    ) {
+        run_differential(ViewShape::Aggregate, links, batches);
+    }
+
+    #[test]
+    fn antijoin_view_matches_oracle(
+        links in proptest::collection::vec((0u8..4, 0u8..6), 0..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(mutation_strategy(), 1..8), 1..4),
+    ) {
+        run_differential(ViewShape::AntiJoin, links, batches);
+    }
+
+    #[test]
+    fn union_view_matches_oracle(
+        links in proptest::collection::vec((0u8..4, 0u8..6), 0..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(mutation_strategy(), 1..8), 1..4),
+    ) {
+        run_differential(ViewShape::Union, links, batches);
+    }
+
+    #[test]
+    fn projection_view_matches_oracle(
+        links in proptest::collection::vec((0u8..4, 0u8..6), 0..10),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(mutation_strategy(), 1..8), 1..4),
+    ) {
+        run_differential(ViewShape::Projection, links, batches);
+    }
+}

@@ -1,0 +1,106 @@
+//! SPJ-view cost model — paper Section 6.1 / Appendix A.1 (Table 2).
+//!
+//! | cost component      | ID-based | tuple-based (diff-driven loop) |
+//! |---------------------|----------|--------------------------------|
+//! | diff computation    | 0        | `|Du_R| · a`                   |
+//! | view index lookups  | `|Du_R|` | `|Du_R| · p`                   |
+//! | view tuple accesses | `|Du_R| · p` | `|Du_R| · p`               |
+//!
+//! giving `speedup = (a + 2p) / (1 + p)` for update diffs on
+//! non-conditional attributes, and `≥ min((a+2p)/(1+p), 1)` otherwise.
+
+/// Model parameters for an SPJ view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpjModel {
+    /// Tuple-based accesses per base diff tuple (`a`).
+    pub a: f64,
+    /// i-diff compression factor (`p`).
+    pub p: f64,
+}
+
+impl SpjModel {
+    /// ID-based IVM cost for `d` base diff tuples (Table 2, left).
+    pub fn id_cost(&self, d: u64) -> f64 {
+        d as f64 * (1.0 + self.p)
+    }
+
+    /// Tuple-based IVM cost for `d` base diff tuples (Table 2, right).
+    pub fn tuple_cost(&self, d: u64) -> f64 {
+        d as f64 * (self.a + 2.0 * self.p)
+    }
+
+    /// Speedup for update diffs on non-conditional attributes
+    /// (Equation 1): `(a + 2p) / (1 + p)`.
+    pub fn speedup_nonconditional_update(&self) -> f64 {
+        (self.a + 2.0 * self.p) / (1.0 + self.p)
+    }
+
+    /// Lower bound for any other diff type (Section 6.1, case (b)):
+    /// `min((a+2p)/(1+p), 1)` — pure-insert workloads degenerate to
+    /// parity.
+    pub fn speedup_lower_bound(&self) -> f64 {
+        self.speedup_nonconditional_update().min(1.0)
+    }
+
+    /// The corner case in which tuple-based wins (Section 6.1
+    /// discussion): requires `a < 1 − p`, i.e. sub-unit probe cost
+    /// combined with severe overestimation.
+    pub fn tuple_based_wins(&self) -> bool {
+        self.a < 1.0 - self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_matches_cost_ratio() {
+        let m = SpjModel { a: 4.0, p: 2.0 };
+        let ratio = m.tuple_cost(100) / m.id_cost(100);
+        assert!((ratio - m.speedup_nonconditional_update()).abs() < 1e-12);
+        assert!((m.speedup_nonconditional_update() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The speedup grows with `a` — each extra join in the chain raises
+    /// `a` while leaving the ID-based cost unchanged (Figure 12b's
+    /// shape).
+    #[test]
+    fn speedup_monotone_in_a() {
+        let mut prev = 0.0;
+        for a in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let s = SpjModel { a, p: 1.0 }.speedup_nonconditional_update();
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    /// For `p ≥ 1` the ID-based approach is never slower.
+    #[test]
+    fn id_wins_when_compressing() {
+        for p in [1.0, 2.0, 10.0] {
+            for a in [1.0, 2.0, 8.0] {
+                let m = SpjModel { a, p };
+                assert!(m.speedup_nonconditional_update() >= 1.0);
+                assert!(!m.tuple_based_wins());
+            }
+        }
+    }
+
+    /// The paper's corner case: `a < 1 − p` (sub-unit probe cost and
+    /// heavy overestimation) lets tuple-based win.
+    #[test]
+    fn corner_case_detected() {
+        let m = SpjModel { a: 0.2, p: 0.1 };
+        assert!(m.tuple_based_wins());
+        assert!(m.speedup_nonconditional_update() < 1.0);
+        let m = SpjModel { a: 1.5, p: 0.1 };
+        assert!(!m.tuple_based_wins());
+    }
+
+    #[test]
+    fn lower_bound_capped_at_one() {
+        let m = SpjModel { a: 9.0, p: 1.0 };
+        assert!((m.speedup_lower_bound() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Adapter exposing a [`Database`]'s tables as a
+//! [`idivm_algebra::builder::SchemaSource`] for the plan
+//! builder.
+
+use idivm_algebra::builder::SchemaSource;
+use idivm_reldb::Database;
+use idivm_types::{Result, Schema};
+
+/// Borrow of a database usable as a plan-builder catalog.
+pub struct DbCatalog<'a>(pub &'a Database);
+
+impl SchemaSource for DbCatalog<'_> {
+    fn schema(&self, table: &str) -> Result<Schema> {
+        Ok(self.0.table(table)?.schema().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::ColumnType;
+
+    #[test]
+    fn catalog_resolves_and_errors() {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::from_pairs(&[("a", ColumnType::Int)], &["a"]).unwrap(),
+        )
+        .unwrap();
+        let cat = DbCatalog(&db);
+        assert!(cat.schema("t").is_ok());
+        assert!(cat.schema("missing").is_err());
+    }
+}

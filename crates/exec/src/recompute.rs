@@ -1,0 +1,179 @@
+//! View materialization and the recomputation oracle.
+//!
+//! A materialized view is an ordinary [`Table`](idivm_reldb::Table) whose
+//! primary key is the view's inferred ID set (paper Section 2: "the set
+//! Ī of ID attributes of a view V forms a key of that view"). Both IVM
+//! engines and the tests use [`recompute_rows`] as ground truth.
+
+use crate::executor::execute;
+use idivm_algebra::{infer_ids, Plan};
+use idivm_reldb::Database;
+use idivm_types::{Column, ColumnType, Error, Result, Row, Schema};
+
+/// Derive the storage schema for a view from its plan: column names are
+/// the plan's output names, the primary key is the inferred ID set.
+/// Column types are taken from base-table provenance where available
+/// (synthesized columns — aggregates, function results — default to
+/// `Float`, which is only documentation: execution is dynamically
+/// typed).
+///
+/// # Errors
+/// Fails if IDs cannot be inferred (run
+/// [`ensure_ids`](idivm_algebra::ensure_ids) first).
+pub fn view_schema(db: &Database, plan: &Plan) -> Result<Schema> {
+    let ids = infer_ids(plan)?;
+    let cols = plan.output_cols();
+    let scans = plan.scans();
+    let mut columns = Vec::with_capacity(cols.len());
+    for c in &cols {
+        let ty = c
+            .origin
+            .as_ref()
+            .and_then(|o| {
+                let table = scans
+                    .iter()
+                    .find(|(alias, _)| *alias == o.alias)
+                    .map(|(_, t)| *t)?;
+                let schema = db.table(table).ok()?.schema().clone();
+                Some(schema.columns()[o.column].ty)
+            })
+            .unwrap_or(ColumnType::Float);
+        columns.push(Column::new(&c.name, ty));
+    }
+    let key_names: Vec<&str> = ids.iter().map(|&i| cols[i].name.as_str()).collect();
+    Schema::new(columns, &key_names)
+}
+
+/// Recompute the view's rows from scratch (the oracle).
+///
+/// # Errors
+/// Unknown tables or malformed plans.
+pub fn recompute_rows(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
+    execute(db, plan)
+}
+
+/// Create table `name` with the view's schema and fill it with the
+/// current result of `plan`.
+///
+/// # Errors
+/// Name collision, inference failure, or duplicate IDs in the result
+/// (which indicates the plan's ID set is not actually a key — a bug in
+/// the view definition).
+pub fn materialize_view(db: &mut Database, name: &str, plan: &Plan) -> Result<()> {
+    let schema = view_schema(db, plan)?;
+    let rows = execute(db, plan)?;
+    db.create_table(name, schema)?;
+    let table = db.table_mut(name)?;
+    for r in rows {
+        table.load(r).map_err(|e| match e {
+            Error::DuplicateKey(m) => Error::Plan(format!(
+                "view `{name}`: inferred IDs are not a key of the result ({m})"
+            )),
+            other => other,
+        })?;
+    }
+    Ok(())
+}
+
+/// Re-fill an existing materialized view from scratch (full refresh —
+/// the non-incremental alternative the paper's IVM competes with).
+///
+/// # Errors
+/// Unknown view or evaluation failure.
+pub fn refresh_view(db: &mut Database, name: &str, plan: &Plan) -> Result<()> {
+    let rows = execute(db, plan)?;
+    let table = db.table_mut(name)?;
+    table.clear();
+    for r in rows {
+        table.load(r)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DbCatalog;
+    use idivm_algebra::{AggFunc, PlanBuilder};
+    use idivm_types::{row, Key, Value};
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.set_logging(false);
+        db.create_table(
+            "parts",
+            Schema::from_pairs(
+                &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+                &["pid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            "devices_parts",
+            Schema::from_pairs(
+                &[("did", ColumnType::Str), ("pid", ColumnType::Str)],
+                &["did", "pid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("parts", row!["P1", 10]).unwrap();
+        db.insert("parts", row!["P2", 20]).unwrap();
+        db.insert("devices_parts", row!["D1", "P1"]).unwrap();
+        db.insert("devices_parts", row!["D1", "P2"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn materialized_view_is_keyed_by_ids() {
+        let mut db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "devices_parts")
+            .unwrap()
+            .group_by(
+                &["devices_parts.did"],
+                &[(AggFunc::Count, "*", "n")],
+            )
+            .unwrap()
+            .build()
+            .unwrap();
+        materialize_view(&mut db, "v", &plan).unwrap();
+        let v = db.table("v").unwrap();
+        assert_eq!(v.schema().key_names(), vec!["devices_parts.did"]);
+        assert_eq!(
+            v.get_uncounted(&Key(vec![Value::str("D1")])).unwrap(),
+            &row!["D1", 2]
+        );
+    }
+
+    #[test]
+    fn view_schema_types_follow_provenance() {
+        let db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts").unwrap().build().unwrap();
+        let schema = view_schema(&db, &plan).unwrap();
+        assert_eq!(schema.columns()[0].ty, ColumnType::Str);
+        assert_eq!(schema.columns()[1].ty, ColumnType::Int);
+    }
+
+    #[test]
+    fn refresh_view_tracks_base_changes() {
+        let mut db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts").unwrap().build().unwrap();
+        materialize_view(&mut db, "v", &plan).unwrap();
+        db.insert("parts", row!["P3", 30]).unwrap();
+        refresh_view(&mut db, "v", &plan).unwrap();
+        assert_eq!(db.table("v").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_view_name_rejected() {
+        let mut db = setup();
+        let cat = DbCatalog(&db);
+        let plan = PlanBuilder::scan(&cat, "parts").unwrap().build().unwrap();
+        materialize_view(&mut db, "v", &plan).unwrap();
+        assert!(materialize_view(&mut db, "v", &plan).is_err());
+    }
+}

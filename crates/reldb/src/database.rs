@@ -1,0 +1,324 @@
+//! The [`Database`]: a named collection of [`Table`]s sharing one
+//! [`AccessStats`] instrument and one [`ModificationLog`].
+//!
+//! Base-table DML goes through the logged methods ([`Database::insert`],
+//! [`Database::delete`], [`Database::update`]) so the modification logger
+//! captures every change (the paper's data-modification-time component).
+//! Materialized views and IVM caches are ordinary tables created through
+//! [`Database::create_table`] and mutated through unlogged access
+//! ([`Database::table_mut`]) by the ∆-script executor.
+
+use crate::log::{LogEntry, ModificationLog, TableChanges};
+use crate::overlay::PreState;
+use crate::stats::AccessStats;
+use crate::table::Table;
+use idivm_types::{Error, Key, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// An in-memory database instance.
+#[derive(Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    stats: AccessStats,
+    log: ModificationLog,
+    logging: bool,
+}
+
+impl Database {
+    /// Empty database with modification logging enabled.
+    pub fn new() -> Self {
+        Database {
+            tables: HashMap::new(),
+            stats: AccessStats::new(),
+            log: ModificationLog::new(),
+            logging: true,
+        }
+    }
+
+    /// The shared access-count instrument.
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Enable/disable modification logging (e.g. while bulk-loading).
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
+    }
+
+    /// Create an empty table.
+    ///
+    /// # Errors
+    /// Fails if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(Error::Schema(format!("table `{name}` already exists")));
+        }
+        self.tables
+            .insert(name.to_string(), Table::new(name, schema, self.stats.clone()));
+        Ok(())
+    }
+
+    /// Drop a table (used to tear down caches).
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Borrow a table.
+    ///
+    /// # Errors
+    /// [`Error::NotFound`] for unknown names.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+    }
+
+    /// Mutably borrow a table (unlogged access — used for views/caches).
+    ///
+    /// # Errors
+    /// [`Error::NotFound`] for unknown names.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::NotFound(format!("table `{name}`")))
+    }
+
+    /// True iff a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables (sorted, for deterministic output).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    // ------------------------------------------------------------------
+    // Logged base-table DML
+    // ------------------------------------------------------------------
+
+    /// Insert into a base table, logging the modification.
+    ///
+    /// # Errors
+    /// Unknown table, duplicate key, or arity mismatch.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<()> {
+        let t = self.table_mut(table)?;
+        t.insert(row.clone())?;
+        if self.logging {
+            self.log.push(LogEntry::Insert {
+                table: table.to_string(),
+                row,
+            });
+        }
+        Ok(())
+    }
+
+    /// Delete by primary key from a base table, logging the
+    /// modification. Returns the removed row (if any).
+    ///
+    /// # Errors
+    /// Unknown table.
+    pub fn delete(&mut self, table: &str, key: &Key) -> Result<Option<Row>> {
+        let t = self.table_mut(table)?;
+        let pre = t.delete(key);
+        if let (true, Some(pre_row)) = (self.logging, pre.as_ref()) {
+            self.log.push(LogEntry::Delete {
+                table: table.to_string(),
+                key: key.clone(),
+                pre: pre_row.clone(),
+            });
+        }
+        Ok(pre)
+    }
+
+    /// Update selected columns of a base-table row, logging the
+    /// modification. Returns `(pre, post)`.
+    ///
+    /// # Errors
+    /// Unknown table/row, or key-column assignment.
+    pub fn update(
+        &mut self,
+        table: &str,
+        key: &Key,
+        assignments: &[(usize, Value)],
+    ) -> Result<(Row, Row)> {
+        let t = self.table_mut(table)?;
+        let (pre, post) = t.update_columns(key, assignments)?;
+        if self.logging {
+            self.log.push(LogEntry::Update {
+                table: table.to_string(),
+                key: key.clone(),
+                pre: pre.clone(),
+                post: post.clone(),
+            });
+        }
+        Ok((pre, post))
+    }
+
+    /// Update selected columns addressed by name.
+    ///
+    /// # Errors
+    /// Unknown table/row/column, or key-column assignment.
+    pub fn update_named(
+        &mut self,
+        table: &str,
+        key: &Key,
+        assignments: &[(&str, Value)],
+    ) -> Result<(Row, Row)> {
+        let schema = self.table(table)?.schema().clone();
+        let mut resolved = Vec::with_capacity(assignments.len());
+        for (name, v) in assignments {
+            resolved.push((schema.index_of(name)?, v.clone()));
+        }
+        self.update(table, key, &resolved)
+    }
+
+    // ------------------------------------------------------------------
+    // Log access
+    // ------------------------------------------------------------------
+
+    /// The modification log (read-only).
+    pub fn log(&self) -> &ModificationLog {
+        &self.log
+    }
+
+    /// Fold the log into effective per-table net changes (Section 5's
+    /// combination step) without consuming it.
+    pub fn fold_log(&self) -> HashMap<String, TableChanges> {
+        self.log.fold(|table, row| {
+            let key_cols = self.tables[table].schema().key();
+            row.key(key_cols)
+        })
+    }
+
+    /// Clear the modification log (after a maintenance round).
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Pre-state view of `table` given the folded `changes` map for the
+    /// whole database.
+    ///
+    /// # Errors
+    /// Unknown table.
+    pub fn pre_state<'a>(
+        &'a self,
+        table: &str,
+        changes: &'a HashMap<String, TableChanges>,
+    ) -> Result<PreState<'a>> {
+        Ok(PreState::new(self.table(table)?, changes.get(table)))
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Database ({} tables):", self.tables.len())?;
+        for name in self.table_names() {
+            writeln!(f, "  {:?}", self.tables[name])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::NetChange;
+    use idivm_types::{row, ColumnType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "parts",
+            Schema::from_pairs(
+                &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+                &["pid"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn k(s: &str) -> Key {
+        Key(vec![Value::str(s)])
+    }
+
+    #[test]
+    fn dml_is_logged_with_pre_images() {
+        let mut d = db();
+        d.insert("parts", row!["P1", 10]).unwrap();
+        d.update("parts", &k("P1"), &[(1, Value::Int(11))]).unwrap();
+        d.delete("parts", &k("P1")).unwrap();
+        assert_eq!(d.log().len(), 3);
+        match &d.log().entries()[1] {
+            LogEntry::Update { pre, post, .. } => {
+                assert_eq!(pre, &row!["P1", 10]);
+                assert_eq!(post, &row!["P1", 11]);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        // net effect: insert then delete cancels.
+        assert!(d.fold_log().is_empty());
+    }
+
+    #[test]
+    fn fold_log_produces_net_changes() {
+        let mut d = db();
+        d.set_logging(false);
+        d.insert("parts", row!["P1", 10]).unwrap();
+        d.set_logging(true);
+        d.update("parts", &k("P1"), &[(1, Value::Int(11))]).unwrap();
+        d.update("parts", &k("P1"), &[(1, Value::Int(12))]).unwrap();
+        let folded = d.fold_log();
+        assert_eq!(
+            folded["parts"][&k("P1")],
+            NetChange::Updated {
+                pre: row!["P1", 10],
+                post: row!["P1", 12]
+            }
+        );
+    }
+
+    #[test]
+    fn delete_of_missing_row_not_logged() {
+        let mut d = db();
+        assert!(d.delete("parts", &k("nope")).unwrap().is_none());
+        assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut d = db();
+        let r = d.create_table(
+            "parts",
+            Schema::from_pairs(&[("x", ColumnType::Int)], &["x"]).unwrap(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn update_named_resolves_columns() {
+        let mut d = db();
+        d.insert("parts", row!["P1", 10]).unwrap();
+        let (pre, post) = d
+            .update_named("parts", &k("P1"), &[("price", Value::Int(42))])
+            .unwrap();
+        assert_eq!(pre, row!["P1", 10]);
+        assert_eq!(post, row!["P1", 42]);
+    }
+
+    #[test]
+    fn pre_state_through_database() {
+        let mut d = db();
+        d.set_logging(false);
+        d.insert("parts", row!["P1", 10]).unwrap();
+        d.set_logging(true);
+        d.update("parts", &k("P1"), &[(1, Value::Int(11))]).unwrap();
+        let folded = d.fold_log();
+        let pre = d.pre_state("parts", &folded).unwrap();
+        assert_eq!(pre.rows_uncounted(), vec![row!["P1", 10]]);
+    }
+}

@@ -1,0 +1,29 @@
+//! `idivm-reldb`: the in-memory relational storage substrate for the
+//! idIVM reproduction.
+//!
+//! The paper evaluates IVM approaches on PostgreSQL with a cost model that
+//! counts *tuple accesses* and *index lookups* (Section 6 / Appendix A).
+//! This crate substitutes a from-scratch engine that provides exactly what
+//! that analysis needs:
+//!
+//! * [`Table`]s keyed by primary key, with optional secondary hash
+//!   indexes ([`index`]),
+//! * an [`AccessStats`] instrument counting tuple accesses and index
+//!   lookups at the same granularity as the paper's model,
+//! * a [`ModificationLog`] capturing inserts/deletes/updates with
+//!   pre-images (the paper's "modification logger"), and
+//! * a [`PreState`] overlay that serves the *pre-state* of a table during
+//!   deferred view maintenance, reconstructed from the net changes.
+
+pub mod database;
+pub mod index;
+pub mod log;
+pub mod overlay;
+pub mod stats;
+pub mod table;
+
+pub use database::Database;
+pub use log::{LogEntry, ModificationLog, NetChange, TableChanges};
+pub use overlay::PreState;
+pub use stats::{AccessStats, StatsSnapshot};
+pub use table::Table;

@@ -1,0 +1,394 @@
+//! The modification logger and net-change folding.
+//!
+//! Section 5 of the paper: base-table modifications are recorded by a
+//! *modification logger* at data-modification time; at view-maintenance
+//! time the *i-diff instance generator* "combines multiple modifications
+//! to the same tuple to a single modification, so as to generate effective
+//! diffs". [`ModificationLog::fold`] implements exactly that combination,
+//! producing one [`NetChange`] per (table, primary key).
+
+use idivm_types::{Key, Row};
+use std::collections::HashMap;
+
+/// One logged base-table modification, with pre-images where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogEntry {
+    Insert {
+        table: String,
+        row: Row,
+    },
+    Delete {
+        table: String,
+        key: Key,
+        pre: Row,
+    },
+    Update {
+        table: String,
+        key: Key,
+        pre: Row,
+        post: Row,
+    },
+}
+
+impl LogEntry {
+    /// The table this entry belongs to.
+    pub fn table(&self) -> &str {
+        match self {
+            LogEntry::Insert { table, .. }
+            | LogEntry::Delete { table, .. }
+            | LogEntry::Update { table, .. } => table,
+        }
+    }
+}
+
+/// The *net* effect of all logged modifications on one tuple, i.e. the
+/// effective single modification between the table's pre-state and
+/// post-state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetChange {
+    /// Tuple did not exist before and exists now.
+    Inserted { post: Row },
+    /// Tuple existed before and does not exist now.
+    Deleted { pre: Row },
+    /// Tuple existed before and after with different contents.
+    Updated { pre: Row, post: Row },
+}
+
+/// Net changes of one table: primary key → [`NetChange`].
+pub type TableChanges = HashMap<Key, NetChange>;
+
+/// An append-only log of base-table modifications.
+#[derive(Debug, Clone, Default)]
+pub struct ModificationLog {
+    entries: Vec<LogEntry>,
+}
+
+impl ModificationLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, e: LogEntry) {
+        self.entries.push(e);
+    }
+
+    /// All entries in arrival order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries (after a maintenance round has consumed them).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drain the log, returning the entries.
+    pub fn take(&mut self) -> Vec<LogEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Fold the log into effective per-tuple net changes, grouped by
+    /// table. `key_of` extracts the primary key of an inserted row (the
+    /// caller — normally [`Database`](crate::Database) — knows each
+    /// table's key positions). See [`fold_keyed`] for the collapse rules.
+    pub fn fold(&self, key_of: impl Fn(&str, &Row) -> Key) -> HashMap<String, TableChanges> {
+        fold_keyed(&self.entries, key_of)
+    }
+}
+
+fn apply_insert(changes: &mut TableChanges, key: Key, row: Row) {
+    match changes.remove(&key) {
+        None => {
+            changes.insert(key, NetChange::Inserted { post: row });
+        }
+        Some(NetChange::Deleted { pre }) => {
+            // delete → insert: net update (or nothing).
+            if pre != row {
+                changes.insert(key, NetChange::Updated { pre, post: row });
+            }
+        }
+        Some(other) => {
+            // insert over an existing live tuple: the storage layer
+            // rejects this (duplicate key), so a well-formed log cannot
+            // contain it; restore and ignore.
+            changes.insert(key, other);
+        }
+    }
+}
+
+fn apply_delete(changes: &mut TableChanges, key: Key, pre: Row) {
+    match changes.remove(&key) {
+        None => {
+            changes.insert(key, NetChange::Deleted { pre });
+        }
+        Some(NetChange::Inserted { .. }) => {
+            // insert → delete: net nothing.
+        }
+        Some(NetChange::Updated { pre: first_pre, .. }) => {
+            changes.insert(key, NetChange::Deleted { pre: first_pre });
+        }
+        Some(NetChange::Deleted { pre }) => {
+            // double delete: keep the first (log anomaly).
+            changes.insert(key, NetChange::Deleted { pre });
+        }
+    }
+}
+
+fn apply_update(changes: &mut TableChanges, key: Key, pre: Row, post: Row) {
+    match changes.remove(&key) {
+        None => {
+            changes.insert(key, NetChange::Updated { pre, post });
+        }
+        Some(NetChange::Inserted { .. }) => {
+            changes.insert(key, NetChange::Inserted { post });
+        }
+        Some(NetChange::Updated { pre: first_pre, .. }) => {
+            changes.insert(
+                key,
+                NetChange::Updated {
+                    pre: first_pre,
+                    post,
+                },
+            );
+        }
+        Some(NetChange::Deleted { pre: del_pre }) => {
+            // update after delete: log anomaly; keep delete.
+            changes.insert(key, NetChange::Deleted { pre: del_pre });
+        }
+    }
+}
+
+/// Fold log entries into effective per-tuple net changes, grouped by
+/// table. Modifications to the same key collapse pairwise:
+///
+/// * insert → update ⇒ insert (with updated contents)
+/// * insert → delete ⇒ nothing
+/// * update → update ⇒ one update (first pre, last post)
+/// * update → delete ⇒ delete (first pre)
+/// * delete → insert ⇒ update (or nothing if contents identical)
+/// * update with pre == post ⇒ nothing
+///
+/// The result is *effective* in the paper's sense: for each tuple it
+/// reflects the final value, so diff application order is immaterial.
+/// `key_of` extracts the primary key of an inserted row.
+pub fn fold_keyed(
+    entries: &[LogEntry],
+    key_of: impl Fn(&str, &Row) -> Key,
+) -> HashMap<String, TableChanges> {
+    let mut out: HashMap<String, TableChanges> = HashMap::new();
+    for e in entries {
+        let per_table = out.entry(e.table().to_string()).or_default();
+        match e {
+            LogEntry::Insert { table, row } => {
+                apply_insert(per_table, key_of(table, row), row.clone());
+            }
+            LogEntry::Delete { key, pre, .. } => {
+                apply_delete(per_table, key.clone(), pre.clone());
+            }
+            LogEntry::Update { key, pre, post, .. } => {
+                apply_update(per_table, key.clone(), pre.clone(), post.clone());
+            }
+        }
+    }
+    for changes in out.values_mut() {
+        changes.retain(|_, c| match c {
+            NetChange::Updated { pre, post } => pre != post,
+            _ => true,
+        });
+    }
+    out.retain(|_, changes| !changes.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::row;
+
+    fn k(v: i64) -> Key {
+        Key(vec![idivm_types::Value::Int(v)])
+    }
+
+    fn key_of(_t: &str, r: &Row) -> Key {
+        Key(vec![r[0].clone()])
+    }
+
+    #[test]
+    fn update_update_collapses() {
+        let entries = vec![
+            LogEntry::Update {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+                post: row![1, 11],
+            },
+            LogEntry::Update {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 11],
+                post: row![1, 12],
+            },
+        ];
+        let folded = fold_keyed(&entries, key_of);
+        assert_eq!(
+            folded["p"][&k(1)],
+            NetChange::Updated {
+                pre: row![1, 10],
+                post: row![1, 12]
+            }
+        );
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let entries = vec![
+            LogEntry::Insert {
+                table: "p".into(),
+                row: row![1, 10],
+            },
+            LogEntry::Delete {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+            },
+        ];
+        assert!(fold_keyed(&entries, key_of).is_empty());
+    }
+
+    #[test]
+    fn insert_then_update_is_insert() {
+        let entries = vec![
+            LogEntry::Insert {
+                table: "p".into(),
+                row: row![1, 10],
+            },
+            LogEntry::Update {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+                post: row![1, 99],
+            },
+        ];
+        let folded = fold_keyed(&entries, key_of);
+        assert_eq!(folded["p"][&k(1)], NetChange::Inserted { post: row![1, 99] });
+    }
+
+    #[test]
+    fn update_then_delete_is_delete_with_first_pre() {
+        let entries = vec![
+            LogEntry::Update {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+                post: row![1, 11],
+            },
+            LogEntry::Delete {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 11],
+            },
+        ];
+        let folded = fold_keyed(&entries, key_of);
+        assert_eq!(folded["p"][&k(1)], NetChange::Deleted { pre: row![1, 10] });
+    }
+
+    #[test]
+    fn delete_then_insert_same_contents_cancels() {
+        let entries = vec![
+            LogEntry::Delete {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+            },
+            LogEntry::Insert {
+                table: "p".into(),
+                row: row![1, 10],
+            },
+        ];
+        assert!(fold_keyed(&entries, key_of).is_empty());
+    }
+
+    #[test]
+    fn delete_then_insert_different_contents_is_update() {
+        let entries = vec![
+            LogEntry::Delete {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+            },
+            LogEntry::Insert {
+                table: "p".into(),
+                row: row![1, 20],
+            },
+        ];
+        let folded = fold_keyed(&entries, key_of);
+        assert_eq!(
+            folded["p"][&k(1)],
+            NetChange::Updated {
+                pre: row![1, 10],
+                post: row![1, 20]
+            }
+        );
+    }
+
+    #[test]
+    fn update_back_to_original_cancels() {
+        let entries = vec![
+            LogEntry::Update {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 10],
+                post: row![1, 11],
+            },
+            LogEntry::Update {
+                table: "p".into(),
+                key: k(1),
+                pre: row![1, 11],
+                post: row![1, 10],
+            },
+        ];
+        assert!(fold_keyed(&entries, key_of).is_empty());
+    }
+
+    #[test]
+    fn changes_group_by_table() {
+        let entries = vec![
+            LogEntry::Insert {
+                table: "a".into(),
+                row: row![1],
+            },
+            LogEntry::Insert {
+                table: "b".into(),
+                row: row![1],
+            },
+        ];
+        let folded = fold_keyed(&entries, key_of);
+        assert_eq!(folded.len(), 2);
+    }
+
+    #[test]
+    fn log_basic_ops() {
+        let mut log = ModificationLog::new();
+        assert!(log.is_empty());
+        log.push(LogEntry::Insert {
+            table: "p".into(),
+            row: row![1, 10],
+        });
+        assert_eq!(log.len(), 1);
+        let taken = log.take();
+        assert_eq!(taken.len(), 1);
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Pre-state access for deferred IVM.
+//!
+//! In deferred IVM the base tables are already in *post-state* when the
+//! view is maintained (DML applies eagerly, the log holds pre-images).
+//! Propagation rules, however, may request `Input_pre` — the subview over
+//! the base tables *before* the logged changes (Section 4, "the input
+//! subviews can be requested either in their pre-state form … or in the
+//! post-state"). [`PreState`] serves that by inverse-applying the
+//! effective [`NetChange`]s over the post-state table:
+//!
+//! * rows whose key was net-*inserted* are hidden,
+//! * rows whose key was net-*updated* are replaced by their pre-image,
+//! * net-*deleted* pre-images are added back.
+//!
+//! Cost accounting matches the underlying table's access paths; the
+//! (small) change-map patches are charged one tuple access per patched
+//! row produced, so pre-state reads are never cheaper than post-state
+//! reads.
+
+use crate::log::{NetChange, TableChanges};
+use crate::table::Table;
+use idivm_types::{Key, Row};
+
+/// A read-only view of a table's pre-state.
+pub struct PreState<'a> {
+    table: &'a Table,
+    changes: Option<&'a TableChanges>,
+}
+
+impl<'a> PreState<'a> {
+    /// Wrap `table` with the net changes that produced its current
+    /// (post-) state. `None` means the table did not change.
+    pub fn new(table: &'a Table, changes: Option<&'a TableChanges>) -> Self {
+        PreState { table, changes }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &idivm_types::Schema {
+        self.table.schema()
+    }
+
+    /// Point lookup by primary key in the pre-state.
+    pub fn get(&self, key: &Key) -> Option<Row> {
+        if let Some(changes) = self.changes {
+            match changes.get(key) {
+                Some(NetChange::Inserted { .. }) => return None,
+                Some(NetChange::Updated { pre, .. })
+                | Some(NetChange::Deleted { pre }) => {
+                    // One logical index lookup + one tuple access, same
+                    // as a post-state point read.
+                    self.table.stats().index_lookup();
+                    self.table.stats().tuples(1);
+                    return Some(pre.clone());
+                }
+                None => {}
+            }
+        }
+        self.table.get(key).cloned()
+    }
+
+    /// Full scan of the pre-state.
+    pub fn scan(&self) -> Vec<Row> {
+        let Some(changes) = self.changes else {
+            return self.table.scan();
+        };
+        let key_cols = self.table.schema().key().to_vec();
+        let mut out: Vec<Row> = Vec::with_capacity(self.table.len());
+        for row in self.table.scan() {
+            let k = row.key(&key_cols);
+            match changes.get(&k) {
+                Some(NetChange::Inserted { .. }) => {}
+                Some(NetChange::Updated { pre, .. }) => out.push(pre.clone()),
+                Some(NetChange::Deleted { .. }) | None => out.push(row),
+            }
+        }
+        for (_, c) in changes.iter() {
+            if let NetChange::Deleted { pre } = c {
+                self.table.stats().tuples(1);
+                out.push(pre.clone());
+            }
+        }
+        out
+    }
+
+    /// Equality lookup on a column subset in the pre-state.
+    ///
+    /// Uses the post-state access path, then patches with the change map:
+    /// post-state hits whose key was inserted are dropped, updated rows
+    /// are re-checked against their pre-image, and deleted/updated
+    /// pre-images matching the probe are added.
+    pub fn lookup(&self, positions: &[usize], probe: &Key) -> Vec<Row> {
+        let Some(changes) = self.changes else {
+            return self.table.lookup(positions, probe);
+        };
+        let key_cols = self.table.schema().key().to_vec();
+        let mut out = Vec::new();
+        for row in self.table.lookup(positions, probe) {
+            let k = row.key(&key_cols);
+            match changes.get(&k) {
+                Some(NetChange::Inserted { .. }) => {}
+                Some(NetChange::Updated { .. }) => {
+                    // pre-image handled below (it may or may not match).
+                }
+                Some(NetChange::Deleted { .. }) | None => out.push(row),
+            }
+        }
+        for (_, c) in changes.iter() {
+            let pre = match c {
+                NetChange::Deleted { pre } => pre,
+                NetChange::Updated { pre, .. } => pre,
+                NetChange::Inserted { .. } => continue,
+            };
+            if &pre.key(positions) == probe {
+                self.table.stats().tuples(1);
+                out.push(pre.clone());
+            }
+        }
+        out
+    }
+
+    /// Uncounted pre-state row set — for oracles and tests.
+    pub fn rows_uncounted(&self) -> Vec<Row> {
+        let Some(changes) = self.changes else {
+            return self.table.rows_uncounted();
+        };
+        let key_cols = self.table.schema().key().to_vec();
+        let mut out = Vec::new();
+        for row in self.table.rows_uncounted() {
+            let k = row.key(&key_cols);
+            match changes.get(&k) {
+                Some(NetChange::Inserted { .. }) => {}
+                Some(NetChange::Updated { pre, .. }) => out.push(pre.clone()),
+                Some(NetChange::Deleted { .. }) | None => out.push(row),
+            }
+        }
+        for c in changes.values() {
+            if let NetChange::Deleted { pre } = c {
+                out.push(pre.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AccessStats;
+    use idivm_types::{row, ColumnType, Schema, Value};
+    use std::collections::HashMap;
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(
+            &[("pid", ColumnType::Int), ("price", ColumnType::Int)],
+            &["pid"],
+        )
+        .unwrap();
+        let mut t = Table::new("parts", schema, AccessStats::new());
+        // post-state: (1,11) updated from (1,10); (2,20) untouched;
+        // (3,30) freshly inserted; (4,40) was deleted.
+        t.load(row![1, 11]).unwrap();
+        t.load(row![2, 20]).unwrap();
+        t.load(row![3, 30]).unwrap();
+        t
+    }
+
+    fn changes() -> TableChanges {
+        let mut c = HashMap::new();
+        c.insert(
+            Key(vec![Value::Int(1)]),
+            NetChange::Updated {
+                pre: row![1, 10],
+                post: row![1, 11],
+            },
+        );
+        c.insert(
+            Key(vec![Value::Int(3)]),
+            NetChange::Inserted { post: row![3, 30] },
+        );
+        c.insert(
+            Key(vec![Value::Int(4)]),
+            NetChange::Deleted { pre: row![4, 40] },
+        );
+        c
+    }
+
+    #[test]
+    fn pre_state_scan_reconstructs() {
+        let t = table();
+        let ch = changes();
+        let pre = PreState::new(&t, Some(&ch));
+        let mut rows = pre.scan();
+        rows.sort();
+        assert_eq!(rows, vec![row![1, 10], row![2, 20], row![4, 40]]);
+    }
+
+    #[test]
+    fn pre_state_get_patches() {
+        let t = table();
+        let ch = changes();
+        let pre = PreState::new(&t, Some(&ch));
+        assert_eq!(pre.get(&Key(vec![Value::Int(1)])), Some(row![1, 10]));
+        assert_eq!(pre.get(&Key(vec![Value::Int(2)])), Some(row![2, 20]));
+        assert_eq!(pre.get(&Key(vec![Value::Int(3)])), None); // inserted
+        assert_eq!(pre.get(&Key(vec![Value::Int(4)])), Some(row![4, 40])); // deleted
+    }
+
+    #[test]
+    fn pre_state_lookup_on_non_key() {
+        let t = table();
+        let ch = changes();
+        let pre = PreState::new(&t, Some(&ch));
+        // price = 10 existed only in the pre-state of pid 1.
+        let hits = pre.lookup(&[1], &Key(vec![Value::Int(10)]));
+        assert_eq!(hits, vec![row![1, 10]]);
+        // price = 11 exists only in the post-state.
+        let hits = pre.lookup(&[1], &Key(vec![Value::Int(11)]));
+        assert!(hits.is_empty());
+        // price = 40 was deleted.
+        let hits = pre.lookup(&[1], &Key(vec![Value::Int(40)]));
+        assert_eq!(hits, vec![row![4, 40]]);
+    }
+
+    #[test]
+    fn no_changes_passthrough() {
+        let t = table();
+        let pre = PreState::new(&t, None);
+        let mut rows = pre.scan();
+        rows.sort();
+        assert_eq!(rows, vec![row![1, 11], row![2, 20], row![3, 30]]);
+    }
+}

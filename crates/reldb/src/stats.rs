@@ -1,0 +1,175 @@
+//! Access-count instrumentation — the paper's cost unit.
+//!
+//! Section 6 of the paper measures IVM cost as "the combined number of
+//! tuple accesses and index lookups", with the convention that retrieving
+//! the `m` tuples matching an index probe costs `1 + m` (one index lookup
+//! plus `m` tuple accesses). [`AccessStats`] counts exactly those two
+//! quantities; the executor and DML layer report every data touch here.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared access counters. Cloning shares the underlying counters
+/// (`Rc`-based: the engine is single-threaded, like the ∆-script executor
+/// in the paper).
+#[derive(Clone, Default)]
+pub struct AccessStats {
+    inner: Rc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    tuple_accesses: Cell<u64>,
+    index_lookups: Cell<u64>,
+}
+
+/// A point-in-time copy of the counters, used to compute deltas around a
+/// measured region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub tuple_accesses: u64,
+    pub index_lookups: u64,
+}
+
+impl StatsSnapshot {
+    /// Combined cost in the paper's unit: tuple accesses + index lookups.
+    pub fn total(&self) -> u64 {
+        self.tuple_accesses + self.index_lookups
+    }
+
+    /// Counter-wise difference (`self` must be the later snapshot).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tuple_accesses: self.tuple_accesses - earlier.tuple_accesses,
+            index_lookups: self.index_lookups - earlier.index_lookups,
+        }
+    }
+
+    /// Counter-wise sum (accumulating phase costs).
+    pub fn merge(self, other: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tuple_accesses: self.tuple_accesses + other.tuple_accesses,
+            index_lookups: self.index_lookups + other.index_lookups,
+        }
+    }
+}
+
+impl AccessStats {
+    /// Fresh counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` tuple accesses.
+    #[inline]
+    pub fn tuples(&self, n: u64) {
+        let c = &self.inner.tuple_accesses;
+        c.set(c.get() + n);
+    }
+
+    /// Record one index lookup.
+    #[inline]
+    pub fn index_lookup(&self) {
+        let c = &self.inner.index_lookups;
+        c.set(c.get() + 1);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            tuple_accesses: self.inner.tuple_accesses.get(),
+            index_lookups: self.inner.index_lookups.get(),
+        }
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        self.inner.tuple_accesses.set(0);
+        self.inner.index_lookups.set(0);
+    }
+
+    /// Measure the counter delta produced by `f`.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, StatsSnapshot) {
+        let before = self.snapshot();
+        let out = f();
+        (out, self.snapshot().since(&before))
+    }
+}
+
+impl fmt::Debug for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.snapshot();
+        write!(
+            f,
+            "AccessStats {{ tuples: {}, index_lookups: {} }}",
+            s.tuple_accesses, s.index_lookups
+        )
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tuple accesses + {} index lookups = {}",
+            self.tuple_accesses,
+            self.index_lookups,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_share() {
+        let s = AccessStats::new();
+        let s2 = s.clone();
+        s.tuples(3);
+        s2.index_lookup();
+        let snap = s.snapshot();
+        assert_eq!(snap.tuple_accesses, 3);
+        assert_eq!(snap.index_lookups, 1);
+        assert_eq!(snap.total(), 4);
+    }
+
+    #[test]
+    fn measure_isolates_delta() {
+        let s = AccessStats::new();
+        s.tuples(10);
+        let (val, delta) = s.measure(|| {
+            s.tuples(2);
+            s.index_lookup();
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(delta.tuple_accesses, 2);
+        assert_eq!(delta.index_lookups, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = AccessStats::new();
+        s.tuples(5);
+        s.reset();
+        assert_eq!(s.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = StatsSnapshot {
+            tuple_accesses: 10,
+            index_lookups: 4,
+        };
+        let b = StatsSnapshot {
+            tuple_accesses: 3,
+            index_lookups: 1,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.tuple_accesses, 7);
+        assert_eq!(d.index_lookups, 3);
+    }
+}

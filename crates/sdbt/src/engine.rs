@@ -1,0 +1,497 @@
+//! The SDBT engine: materialized partial maps + trigger-style delta
+//! application.
+
+use crate::partial::Partial;
+use idivm_algebra::{ensure_ids, AggFunc, AggSpec, Plan};
+use idivm_core::engine::ensure_probe_indexes;
+use idivm_core::MaintenanceReport;
+use idivm_exec::{execute, materialize_view, view_schema};
+use idivm_reldb::{Database, NetChange, TableChanges};
+use idivm_tuple::TupleIvm;
+use idivm_types::{Column, ColumnType, Error, Key, Result, Row, Schema, Value};
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+/// Which change pattern the engine is configured for (paper §7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdbtVariant {
+    /// Only the named table ever changes; the maps are static.
+    Fixed(String),
+    /// Any table may change; every map is maintained each round.
+    Streams,
+}
+
+/// The root shape of the maintained view.
+enum RootShape {
+    /// Plain SPJ view: composed rows *are* view rows.
+    Spj,
+    /// Root aggregation with DBToaster-style multiplicity tracking: the
+    /// stored view carries a hidden `__count` column and groups vanish
+    /// when it reaches zero.
+    Aggregate { keys: Vec<usize>, aggs: Vec<AggSpec> },
+}
+
+/// A Simulated-DBToaster-maintained view.
+pub struct Sdbt {
+    view_name: String,
+    view_plan: Plan,
+    shape: RootShape,
+    variant: SdbtVariant,
+    partials: Vec<PartialState>,
+}
+
+struct PartialState {
+    def: Partial,
+    /// Per probe step: materialized map table name + maintainer
+    /// (Streams only).
+    maps: Vec<MapState>,
+}
+
+struct MapState {
+    name: String,
+    maintainer: Option<TupleIvm>,
+}
+
+impl Sdbt {
+    /// Register and materialize the view and its partial maps.
+    ///
+    /// For aggregate roots only SUM/COUNT aggregates are supported (the
+    /// multiplicity-map model DBToaster uses; AVG is expressed as
+    /// SUM/COUNT upstream).
+    ///
+    /// # Errors
+    /// Unsupported plans, name collisions, unknown tables.
+    pub fn setup(
+        db: &mut Database,
+        view_name: &str,
+        plan: Plan,
+        partials: Vec<Partial>,
+        variant: SdbtVariant,
+    ) -> Result<Self> {
+        let plan = ensure_ids(plan)?;
+        plan.validate()?;
+        ensure_probe_indexes(db, &plan)?;
+        let shape = match &plan {
+            Plan::GroupBy { keys, aggs, .. } => {
+                if aggs
+                    .iter()
+                    .any(|a| !matches!(a.func, AggFunc::Sum | AggFunc::Count))
+                {
+                    return Err(Error::Unsupported(
+                        "SDBT aggregates must be SUM/COUNT (DBToaster's \
+                         multiplicity-map model)"
+                            .into(),
+                    ));
+                }
+                RootShape::Aggregate {
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                }
+            }
+            _ => RootShape::Spj,
+        };
+        // Materialize the view (aggregates get the hidden multiplicity
+        // column).
+        match &shape {
+            RootShape::Spj => materialize_view(db, view_name, &plan)?,
+            RootShape::Aggregate { keys, .. } => {
+                let base_schema = view_schema(db, &plan)?;
+                let mut cols: Vec<Column> = base_schema.columns().to_vec();
+                cols.push(Column::new("__count", ColumnType::Int));
+                let key_names: Vec<&str> = base_schema.key_names().to_vec();
+                let schema = Schema::new(cols, &key_names)?;
+                let rows = execute(db, &plan)?;
+                let counts = group_counts(db, &plan)?;
+                db.create_table(view_name, schema)?;
+                let t = db.table_mut(view_name)?;
+                for mut r in rows {
+                    let gk = r.key(&(0..keys.len()).collect::<Vec<_>>());
+                    let n = counts.get(&gk).copied().unwrap_or(0);
+                    r.0.push(Value::Int(n));
+                    t.load(r)?;
+                }
+            }
+        }
+        // Materialize the maps of every partial.
+        let mut states = Vec::new();
+        for (pi, def) in partials.into_iter().enumerate() {
+            if let SdbtVariant::Fixed(t) = &variant {
+                if &def.table != t {
+                    return Err(Error::Unsupported(format!(
+                        "SDBT-fixed({t}) takes only the partial for `{t}`, \
+                         got one for `{}`",
+                        def.table
+                    )));
+                }
+            }
+            let mut maps = Vec::new();
+            for (si, step) in def.steps.iter().enumerate() {
+                let mplan = ensure_ids(step.plan.clone())?;
+                let name = format!("{view_name}#m{pi}_{si}_{}", def.table);
+                let maintainer = match &variant {
+                    SdbtVariant::Streams => Some(TupleIvm::setup(db, &name, mplan)?),
+                    SdbtVariant::Fixed(_) => {
+                        materialize_view(db, &name, &mplan)?;
+                        None
+                    }
+                };
+                db.table_mut(&name)?
+                    .create_index_positions(step.join.iter().map(|&(_, m)| m).collect());
+                maps.push(MapState { name, maintainer });
+            }
+            states.push(PartialState { def, maps });
+        }
+        Ok(Sdbt {
+            view_name: view_name.to_string(),
+            view_plan: plan,
+            shape,
+            variant,
+            partials: states,
+        })
+    }
+
+    /// The maintained view's name.
+    pub fn view_name(&self) -> &str {
+        &self.view_name
+    }
+
+    /// The (ID-extended) view plan.
+    pub fn plan(&self) -> &Plan {
+        &self.view_plan
+    }
+
+    /// The view contents with the hidden multiplicity column projected
+    /// away (for comparisons against the other engines / the oracle).
+    ///
+    /// # Errors
+    /// Unknown view.
+    pub fn visible_rows(&self, db: &Database) -> Result<Vec<Row>> {
+        let rows = db.table(&self.view_name)?.rows_uncounted();
+        Ok(match self.shape {
+            RootShape::Spj => rows,
+            RootShape::Aggregate { .. } => rows
+                .into_iter()
+                .map(|mut r| {
+                    r.0.pop();
+                    r
+                })
+                .collect(),
+        })
+    }
+
+    /// Run one maintenance round.
+    ///
+    /// # Errors
+    /// `Unsupported` when a Fixed engine sees changes on other tables;
+    /// propagation failures otherwise.
+    pub fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
+        let started = Instant::now();
+        let mut report = MaintenanceReport::default();
+        let net = db.fold_log();
+        db.clear_log();
+        if net.is_empty() {
+            report.wall = started.elapsed();
+            return Ok(report);
+        }
+        if let SdbtVariant::Fixed(t) = &self.variant {
+            if net.keys().any(|k| k != t) {
+                return Err(Error::Unsupported(format!(
+                    "SDBT-fixed({t}) received changes on other tables"
+                )));
+            }
+        }
+        report.base_diff_tuples = net.values().map(TableChanges::len).sum();
+
+        // Phase 2 first: compose deltas against the *pre-round* maps, so
+        // map maintenance (phase 1, Streams) cannot double-apply other
+        // tables' changes. In the paper's experiments only one table
+        // changes per round, making the order immaterial for results —
+        // but not for cost: Streams still pays the map maintenance.
+        let before = db.stats().snapshot();
+        let mut composed = ComposedDiffs::default();
+        for p in &self.partials {
+            let Some(changes) = net.get(&p.def.table) else {
+                continue;
+            };
+            self.compose_table(db, p, changes, &mut composed)?;
+        }
+        report.diff_compute = db.stats().snapshot().since(&before);
+        report.view_diff_tuples = composed.len();
+
+        // Phase 1 (Streams): maintain every map — the overhead that
+        // makes SDBT-streams slow (Figure 12, column D).
+        let before = db.stats().snapshot();
+        for p in &self.partials {
+            for m in &p.maps {
+                if let Some(t) = &m.maintainer {
+                    t.maintain_with_changes(db, &net)?;
+                }
+            }
+        }
+        report.cache_update = db.stats().snapshot().since(&before);
+
+        // Phase 3: apply to the view.
+        let before = db.stats().snapshot();
+        match &self.shape {
+            RootShape::Spj => {
+                let d = idivm_tuple::TDiffs {
+                    inserts: composed.inserts,
+                    deletes: composed.deletes,
+                    updates: composed.updates,
+                };
+                let out = idivm_tuple::tdiff::apply(db.table_mut(&self.view_name)?, &d)?;
+                report.view_outcome.inserted = out.inserted;
+                report.view_outcome.deleted = out.deleted;
+                report.view_outcome.updated = out.updated;
+                report.view_outcome.dummies = out.dummies;
+            }
+            RootShape::Aggregate { keys, aggs } => {
+                let (keys, aggs) = (keys.clone(), aggs.clone());
+                self.apply_aggregate(db, &keys, &aggs, composed, &mut report)?;
+            }
+        }
+        report.view_update = db.stats().snapshot().since(&before);
+        report.wall = started.elapsed();
+        Ok(report)
+    }
+
+    /// Run the probe chain for one base row, accumulating matches.
+    fn chain(&self, db: &Database, p: &PartialState, start: &Row) -> Result<Vec<Row>> {
+        let mut acc = vec![start.clone()];
+        for (step, map) in p.def.steps.iter().zip(&p.maps) {
+            let table = db.table(&map.name)?;
+            let probe_cols: Vec<usize> = step.join.iter().map(|&(_, m)| m).collect();
+            let mut next = Vec::new();
+            for row in &acc {
+                let vals: Vec<Value> =
+                    step.join.iter().map(|&(a, _)| row[a].clone()).collect();
+                if vals.iter().any(Value::is_null) {
+                    continue;
+                }
+                for m in table.lookup(&probe_cols, &Key(vals)) {
+                    next.push(row.concat(&m));
+                }
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+
+    /// Compose per-table changes through the probe chain.
+    fn compose_table(
+        &self,
+        db: &Database,
+        p: &PartialState,
+        changes: &TableChanges,
+        out: &mut ComposedDiffs,
+    ) -> Result<()> {
+        let arity = changes
+            .values()
+            .next()
+            .map(|c| match c {
+                NetChange::Inserted { post } => post.arity(),
+                NetChange::Deleted { pre } => pre.arity(),
+                NetChange::Updated { pre, .. } => pre.arity(),
+            })
+            .unwrap_or(0);
+        let sensitive = p.def.sensitive_table_cols(arity);
+        for c in changes.values() {
+            match c {
+                NetChange::Inserted { post } => {
+                    for acc in self.chain(db, p, post)? {
+                        let row = p.def.compose_row(&acc);
+                        if p.def.passes(&row) {
+                            out.inserts.push(row);
+                        }
+                    }
+                }
+                NetChange::Deleted { pre } => {
+                    for acc in self.chain(db, p, pre)? {
+                        let row = p.def.compose_row(&acc);
+                        if p.def.passes(&row) {
+                            out.deletes.push(row);
+                        }
+                    }
+                }
+                NetChange::Updated { pre, post } => {
+                    let reshaped = sensitive.iter().any(|&c| pre[c] != post[c]);
+                    if reshaped {
+                        for acc in self.chain(db, p, pre)? {
+                            let row = p.def.compose_row(&acc);
+                            if p.def.passes(&row) {
+                                out.deletes.push(row);
+                            }
+                        }
+                        for acc in self.chain(db, p, post)? {
+                            let row = p.def.compose_row(&acc);
+                            if p.def.passes(&row) {
+                                out.inserts.push(row);
+                            }
+                        }
+                    } else {
+                        // One chain walk reconstructs both states: the
+                        // accumulated non-table part is identical.
+                        for acc_post in self.chain(db, p, post)? {
+                            let mut acc_pre = acc_post.clone();
+                            acc_pre.0[..arity].clone_from_slice(&pre.0);
+                            let rp = p.def.compose_row(&acc_pre);
+                            let rq = p.def.compose_row(&acc_post);
+                            if p.def.passes(&rq)
+                                && rp != rq {
+                                    out.updates.push((rp, rq));
+                                }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_aggregate(
+        &self,
+        db: &mut Database,
+        keys: &[usize],
+        aggs: &[AggSpec],
+        composed: ComposedDiffs,
+        report: &mut MaintenanceReport,
+    ) -> Result<()> {
+        // Dedupe composed contributions by the view-input's ID (several
+        // partials can assert the same input row in multi-table rounds).
+        let input_ids = match &self.view_plan {
+            Plan::GroupBy { input, .. } => idivm_algebra::infer_ids(input)?,
+            _ => Vec::new(),
+        };
+        let mut seen: BTreeSet<(u8, Key)> = BTreeSet::new();
+        let composed = ComposedDiffs {
+            inserts: composed
+                .inserts
+                .into_iter()
+                .filter(|r| seen.insert((b'+', r.key(&input_ids))))
+                .collect(),
+            deletes: composed
+                .deletes
+                .into_iter()
+                .filter(|r| seen.insert((b'-', r.key(&input_ids))))
+                .collect(),
+            updates: composed
+                .updates
+                .into_iter()
+                .filter(|(_, q)| seen.insert((b'u', q.key(&input_ids))))
+                .collect(),
+        };
+        // Fold into per-group deltas with multiplicities (DBToaster's
+        // map model: groups live while their multiplicity is positive).
+        let mut deltas: HashMap<Key, (Vec<Value>, i64)> = HashMap::new();
+        let eval = |a: &AggSpec, r: &Row| -> Value {
+            let v = a.arg.eval(r);
+            match a.func {
+                AggFunc::Sum => {
+                    if v.is_null() {
+                        Value::Int(0)
+                    } else {
+                        v
+                    }
+                }
+                AggFunc::Count => Value::Int(i64::from(!v.is_null())),
+                _ => Value::Int(0),
+            }
+        };
+        let mut add = |gk: Key, per: Vec<Value>, mult: i64| {
+            let e = deltas
+                .entry(gk)
+                .or_insert_with(|| (vec![Value::Int(0); aggs.len()], 0));
+            for (s, v) in e.0.iter_mut().zip(&per) {
+                *s = s.add(v);
+            }
+            e.1 += mult;
+        };
+        for r in &composed.inserts {
+            add(r.key(keys), aggs.iter().map(|a| eval(a, r)).collect(), 1);
+        }
+        for r in &composed.deletes {
+            add(
+                r.key(keys),
+                aggs.iter().map(|a| eval(a, r).neg()).collect(),
+                -1,
+            );
+        }
+        for (p, q) in &composed.updates {
+            add(
+                p.key(keys),
+                aggs.iter().map(|a| eval(a, q).sub(&eval(a, p))).collect(),
+                0,
+            );
+        }
+        let view = db.table_mut(&self.view_name)?;
+        let key_cols: Vec<usize> = (0..keys.len()).collect();
+        let count_col = keys.len() + aggs.len();
+        for (gk, (delta, mult)) in deltas {
+            let old = view.lookup(&key_cols, &gk);
+            match old.first() {
+                Some(old_row) => {
+                    let new_count = old_row[count_col].as_int().unwrap_or(0) + mult;
+                    let pk = old_row.key(view.schema().key());
+                    if new_count <= 0 {
+                        view.delete_located(&pk);
+                        report.view_outcome.deleted += 1;
+                        continue;
+                    }
+                    let mut assignments: Vec<(usize, Value)> = delta
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| !is_zero(d))
+                        .map(|(i, d)| (keys.len() + i, old_row[keys.len() + i].add(d)))
+                        .collect();
+                    if mult != 0 {
+                        assignments.push((count_col, Value::Int(new_count)));
+                    }
+                    if !assignments.is_empty() {
+                        view.patch(&pk, &assignments);
+                        report.view_outcome.updated += 1;
+                    }
+                }
+                None => {
+                    if mult > 0 {
+                        let mut r = gk.into_row();
+                        r.0.extend(delta);
+                        r.0.push(Value::Int(mult));
+                        view.insert_if_absent(r)?;
+                        report.view_outcome.inserted += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct ComposedDiffs {
+    inserts: Vec<Row>,
+    deletes: Vec<Row>,
+    updates: Vec<(Row, Row)>,
+}
+
+impl ComposedDiffs {
+    fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len() + self.updates.len()
+    }
+}
+
+/// Per-group input-row multiplicities of an aggregate plan.
+fn group_counts(db: &Database, plan: &Plan) -> Result<HashMap<Key, i64>> {
+    let Plan::GroupBy { input, keys, .. } = plan else {
+        return Ok(HashMap::new());
+    };
+    let rows = execute(db, input)?;
+    let mut counts: HashMap<Key, i64> = HashMap::new();
+    for r in rows {
+        *counts.entry(r.key(keys)).or_default() += 1;
+    }
+    Ok(counts)
+}
+
+fn is_zero(v: &Value) -> bool {
+    matches!(v, Value::Int(0)) || matches!(v, Value::Float(f) if *f == 0.0)
+}

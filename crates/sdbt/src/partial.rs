@@ -1,0 +1,122 @@
+//! Partial-view descriptors: the materialized `∂V/∂R` structures.
+//!
+//! DBToaster compiles, for each stream `R`, a *trigger* that folds a
+//! diff on `R` into the view using a hierarchy of materialized maps.
+//! [`Partial`] models one such trigger as a **probe chain**: starting
+//! from the diff row, each [`ProbeStep`] looks up one materialized map
+//! by equi-columns of the row accumulated so far and appends the
+//! matches. After the chain, [`Partial::compose`] projects the
+//! accumulated row onto the view-input columns and an optional
+//! [`Partial::filter`] applies residual conditions that involve the
+//! factored table (e.g. a selection on the factored relation itself).
+
+use idivm_algebra::{Expr, Plan};
+use idivm_types::Row;
+
+/// One materialized map probed during delta composition.
+#[derive(Debug, Clone)]
+pub struct ProbeStep {
+    /// Definition of the map (an SPJ plan over base tables *other than*
+    /// the partial's table). Materialized at setup; maintained each
+    /// round under the Streams variant.
+    pub plan: Plan,
+    /// Equi-join pairs `(accumulated-row column, map column)`.
+    pub join: Vec<(usize, usize)>,
+}
+
+/// One materialized partial: how diffs on `table` become view deltas.
+#[derive(Debug, Clone)]
+pub struct Partial {
+    /// The factored-out base table.
+    pub table: String,
+    /// Probe chain. The accumulated row starts as the base-table row
+    /// and grows by each step's map row.
+    pub steps: Vec<ProbeStep>,
+    /// Projection of the final accumulated row onto the view-input
+    /// columns (positions into the accumulated row).
+    pub compose: Vec<usize>,
+    /// Residual predicate over the *composed* row (conditions involving
+    /// the factored table that no map could pre-apply).
+    pub filter: Option<Expr>,
+}
+
+impl Partial {
+    /// Assemble the composed row from a final accumulated row.
+    pub fn compose_row(&self, acc: &Row) -> Row {
+        acc.project(&self.compose)
+    }
+
+    /// Does the composed row pass the residual filter?
+    pub fn passes(&self, composed: &Row) -> bool {
+        self.filter.as_ref().is_none_or(|f| f.eval_pred(composed))
+    }
+
+    /// Base-table columns read by the first probe step and the filter —
+    /// used to decide whether an update changed the probe behaviour.
+    pub fn sensitive_table_cols(&self, table_arity: usize) -> Vec<usize> {
+        let mut cols: Vec<usize> = self
+            .steps
+            .first()
+            .map(|s| s.join.iter().map(|&(a, _)| a).collect())
+            .unwrap_or_default();
+        if let Some(f) = &self.filter {
+            // Filter columns that project straight from the table part
+            // of the accumulated row.
+            for (out_pos, &acc_pos) in self.compose.iter().enumerate() {
+                if acc_pos < table_arity && f.columns().contains(&out_pos) {
+                    cols.push(acc_pos);
+                }
+            }
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        cols.retain(|&c| c < table_arity);
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::row;
+
+    #[test]
+    fn compose_projects_accumulated_row() {
+        let p = Partial {
+            table: "parts".into(),
+            steps: vec![],
+            compose: vec![0, 2, 1],
+            filter: Some(Expr::col(2).gt(Expr::lit(0))),
+        };
+        let acc = row!["P1", 10, "D1"];
+        let c = p.compose_row(&acc);
+        assert_eq!(c, row!["P1", "D1", 10]);
+        assert!(p.passes(&c));
+        let acc = row!["P1", -5, "D1"];
+        assert!(!p.passes(&p.compose_row(&acc)));
+    }
+
+    #[test]
+    fn sensitive_cols_from_first_step_and_filter() {
+        let step = ProbeStep {
+            plan: Plan::Scan {
+                table: "m".into(),
+                alias: "m".into(),
+                schema: idivm_types::Schema::from_pairs(
+                    &[("k", idivm_types::ColumnType::Int)],
+                    &["k"],
+                )
+                .unwrap(),
+            },
+            join: vec![(1, 0)],
+        };
+        let p = Partial {
+            table: "t".into(),
+            steps: vec![step],
+            compose: vec![0, 2],
+            filter: Some(Expr::col(0).gt(Expr::lit(0))),
+        };
+        // Table arity 2: join col 1 + filter col mapping to table col 0.
+        assert_eq!(p.sensitive_table_cols(2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,51 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used by every crate in the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the storage engine, planner, and IVM layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Schema construction / resolution problems.
+    Schema(String),
+    /// Unknown table, view, cache, or diff referenced by name.
+    NotFound(String),
+    /// Primary-key violation on insert.
+    DuplicateKey(String),
+    /// Malformed plan handed to the executor or IVM planner.
+    Plan(String),
+    /// A view definition outside the supported QSPJADU language.
+    Unsupported(String),
+    /// Internal invariant violation (a bug, surfaced instead of UB).
+    Internal(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::NotFound("table `parts`".into());
+        assert_eq!(e.to_string(), "not found: table `parts`");
+        let e = Error::DuplicateKey("(1)".into());
+        assert!(e.to_string().contains("duplicate key"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Core data-model primitives shared by every crate in the idIVM
+//! reproduction: SQL-style [`Value`]s, [`Row`]s, [`Schema`]s with primary
+//! keys, and the common [`Error`] type.
+//!
+//! The paper ("Utilizing IDs to Accelerate Incremental View Maintenance",
+//! SIGMOD 2015) assumes a relational model in which *every base table has a
+//! primary key*; the key columns of a relation are recorded in its
+//! [`Schema`] and are what i-diffs use to identify tuples.
+
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use row::{Key, Row};
+pub use schema::{Column, ColumnType, Schema};
+pub use value::Value;

@@ -1,0 +1,153 @@
+//! Rows and keys.
+//!
+//! A [`Row`] is a fixed-width vector of [`Value`]s positionally aligned
+//! with a [`Schema`](crate::Schema). A [`Key`] is the projection of a row
+//! onto some column subset — primary keys, join keys, group keys, and the
+//! `Ī′` ID-subsets that i-diffs use to address view tuples are all `Key`s.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple of values. Cloning is cheap-ish (string payloads are `Arc`s).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Row(pub Vec<Value>);
+
+/// A projection of a row used as a lookup key (primary key, index key,
+/// group key, or i-diff ID subset).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub Vec<Value>);
+
+impl Row {
+    /// Construct from anything convertible to values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the value at `idx`. Panics on out-of-range (schema bugs are
+    /// programming errors, not data errors).
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// Project the row onto the given column positions, yielding a key.
+    pub fn key(&self, cols: &[usize]) -> Key {
+        Key(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Project the row onto the given column positions, yielding a row.
+    pub fn project(&self, cols: &[usize]) -> Row {
+        Row(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenate two rows (used by join/product operators).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Iterate over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Key {
+    /// Number of key columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Convert the key back into a row.
+    pub fn into_row(self) -> Row {
+        Row(self.0)
+    }
+}
+
+impl fmt::Debug for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// Convenience macro: `row![1, "phone", 3.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_projection() {
+        let r = row![1, "a", 2.5];
+        assert_eq!(r.key(&[0, 2]), Key(vec![Value::Int(1), Value::Float(2.5)]));
+        assert_eq!(r.key(&[1]).arity(), 1);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = row![1, 2];
+        let b = row!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c[2], Value::str("x"));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let r = row![10, 20, 30];
+        assert_eq!(r.project(&[2, 0]), row![30, 10]);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(row![1, "p"].to_string(), "(1, 'p')");
+    }
+
+    #[test]
+    fn rows_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(row![1, 2]);
+        assert!(s.contains(&row![1, 2]));
+        assert!(!s.contains(&row![2, 1]));
+        assert!(row![1] < row![2]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Relation schemas with primary keys.
+//!
+//! The idIVM algorithm requires every base relation to have a primary key
+//! (the paper's standing assumption), and every view / intermediate
+//! subview to carry a set of *ID attributes* that form a key. Both are
+//! modelled here as the `key` column set of a [`Schema`].
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Column data type. The engine is dynamically typed at execution time;
+/// types are carried for documentation, generators, and sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: Arc<str>,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl AsRef<str>, ty: ColumnType) -> Self {
+        Column {
+            name: Arc::from(name.as_ref()),
+            ty,
+        }
+    }
+}
+
+/// A relation schema: ordered columns plus the positions of the primary
+/// key (ID) columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    key: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema. `key` lists the *names* of the key columns.
+    ///
+    /// # Errors
+    /// Fails if a key column is unknown or column names are duplicated.
+    pub fn new(columns: Vec<Column>, key: &[&str]) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(Error::Schema(format!("duplicate column `{}`", c.name)));
+            }
+        }
+        let mut key_idx = Vec::with_capacity(key.len());
+        for k in key {
+            let idx = columns
+                .iter()
+                .position(|c| &*c.name == *k)
+                .ok_or_else(|| Error::Schema(format!("unknown key column `{k}`")))?;
+            key_idx.push(idx);
+        }
+        Ok(Schema {
+            columns,
+            key: key_idx,
+        })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(cols: &[(&str, ColumnType)], key: &[&str]) -> Result<Self> {
+        Schema::new(
+            cols.iter().map(|(n, t)| Column::new(n, *t)).collect(),
+            key,
+        )
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Positions of the primary-key (ID) columns.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Names of the primary-key columns.
+    pub fn key_names(&self) -> Vec<&str> {
+        self.key.iter().map(|&i| &*self.columns[i].name).collect()
+    }
+
+    /// Positions of the non-key columns, in schema order.
+    pub fn non_key(&self) -> Vec<usize> {
+        (0..self.columns.len())
+            .filter(|i| !self.key.contains(i))
+            .collect()
+    }
+
+    /// Resolve a column name to its position.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| &*c.name == name)
+            .ok_or_else(|| Error::Schema(format!("unknown column `{name}`")))
+    }
+
+    /// Column name at position `idx`.
+    pub fn name_of(&self, idx: usize) -> &str {
+        &self.columns[idx].name
+    }
+
+    /// True iff `idx` is a key column.
+    pub fn is_key_col(&self, idx: usize) -> bool {
+        self.key.contains(&idx)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if self.key.contains(&i) {
+                write!(f, "*{}", c.name)?;
+            } else {
+                write!(f, "{}", c.name)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts() -> Schema {
+        Schema::from_pairs(
+            &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+            &["pid"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn key_resolution() {
+        let s = parts();
+        assert_eq!(s.key(), &[0]);
+        assert_eq!(s.key_names(), vec!["pid"]);
+        assert_eq!(s.non_key(), vec![1]);
+    }
+
+    #[test]
+    fn index_of_and_name_of() {
+        let s = parts();
+        assert_eq!(s.index_of("price").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.name_of(0), "pid");
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let r = Schema::from_pairs(
+            &[("a", ColumnType::Int), ("a", ColumnType::Int)],
+            &["a"],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let r = Schema::from_pairs(&[("a", ColumnType::Int)], &["z"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_marks_key_cols() {
+        assert_eq!(parts().to_string(), "(*pid, price)");
+    }
+
+    #[test]
+    fn composite_key() {
+        let s = Schema::from_pairs(
+            &[("did", ColumnType::Str), ("pid", ColumnType::Str)],
+            &["did", "pid"],
+        )
+        .unwrap();
+        assert_eq!(s.key(), &[0, 1]);
+        assert!(s.non_key().is_empty());
+        assert!(s.is_key_col(1));
+    }
+}

@@ -1,0 +1,364 @@
+//! The [`Value`] enum: the dynamic SQL value type used throughout the
+//! engine.
+//!
+//! `Value` implements total ordering and hashing (floats are ordered via
+//! their IEEE total order and hashed by bit pattern) so values can serve as
+//! hash-index keys and sort keys without wrapper types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dynamically typed SQL value.
+///
+/// `Null` compares less than every non-null value and equal to itself;
+/// this gives `Value` a total order usable for sorting and B-tree keys.
+/// (SQL three-valued logic is handled at the predicate-evaluation layer,
+/// not here.)
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Interned UTF-8 string. `Arc` keeps row cloning cheap: diff
+    /// propagation copies rows frequently.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret the value as a boolean for predicate evaluation.
+    /// NULL maps to `None` (unknown).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            other => panic!("as_bool on non-boolean value {other:?}"),
+        }
+    }
+
+    /// Integer payload, if the value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float payload; integers are widened. `None` for other variants.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// String payload, if the value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric addition with NULL propagation and int/float coercion.
+    pub fn add(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Numeric subtraction with NULL propagation and int/float coercion.
+    pub fn sub(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Numeric multiplication with NULL propagation and int/float coercion.
+    pub fn mul(&self, other: &Value) -> Value {
+        numeric_binop(self, other, |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Division. Integer division by zero and NULL operands yield NULL
+    /// (mirrors the engine's permissive expression semantics).
+    pub fn div(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) if y != 0.0 => Value::Float(x / y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Unary negation; NULL for non-numeric input.
+    pub fn neg(&self) -> Value {
+        match self {
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            _ => Value::Null,
+        }
+    }
+
+    /// SQL equality: NULL = anything is unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self.cmp_total(other) == Ordering::Equal)
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL, otherwise the
+    /// total-order comparison.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self.cmp_total(other))
+        }
+    }
+
+    /// Total-order comparison used for indexing/sorting. Cross-type
+    /// numeric comparisons coerce Int to Float; otherwise the variant
+    /// rank decides (Null < Bool < numeric < Str).
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> Value {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => Value::Null,
+        (Value::Int(x), Value::Int(y)) => int_op(*x, *y).map_or(Value::Null, Value::Int),
+        (x, y) => match (x.as_float(), y.as_float()) {
+            (Some(fx), Some(fy)) => Value::Float(float_op(fx, fy)),
+            _ => Value::Null,
+        },
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float hash consistently with cross-type equality:
+            // an Int that equals a Float must hash the same, so integers
+            // hash via their f64 bit pattern. i64 -> f64 is lossy above
+            // 2^53, which is acceptable for this engine's key domains.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_ordering_is_lowest() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::str(""));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality_and_hash_agree() {
+        let i = Value::Int(42);
+        let f = Value::Float(42.0);
+        assert_eq!(i, f);
+        assert_eq!(hash_of(&i), hash_of(&f));
+    }
+
+    #[test]
+    fn arithmetic_int_fast_path() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)), Value::Int(-1));
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)), Value::Int(6));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Int(3));
+    }
+
+    #[test]
+    fn arithmetic_coerces_to_float() {
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(Value::Float(1.0).div(&Value::Int(4)), Value::Float(0.25));
+    }
+
+    #[test]
+    fn arithmetic_null_propagates() {
+        assert!(Value::Null.add(&Value::Int(1)).is_null());
+        assert!(Value::Int(1).mul(&Value::Null).is_null());
+        assert!(Value::Int(1).div(&Value::Int(0)).is_null());
+    }
+
+    #[test]
+    fn int_overflow_yields_null() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_null());
+        assert!(Value::Int(i64::MIN).sub(&Value::Int(1)).is_null());
+    }
+
+    #[test]
+    fn sql_eq_is_three_valued() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn string_compare() {
+        assert!(Value::str("abc") < Value::str("abd"));
+        assert_eq!(Value::str("x"), Value::str("x"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+    }
+
+    #[test]
+    fn neg_works() {
+        assert_eq!(Value::Int(5).neg(), Value::Int(-5));
+        assert_eq!(Value::Float(2.5).neg(), Value::Float(-2.5));
+        assert!(Value::str("x").neg().is_null());
+    }
+}

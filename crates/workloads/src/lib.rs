@@ -1,0 +1,22 @@
+//! `idivm-workloads`: data and workload generators for the paper's two
+//! experiment families.
+//!
+//! * [`running_example`] — the devices/parts/devices_parts schema of
+//!   Figure 1, parameterized exactly like Figure 11: diff size `d`,
+//!   number of joins `j`, selectivity `s`, fanout `f`. Used for the
+//!   Figure 12 sweeps and Tables 2/3.
+//! * [`bsma`] — a synthetic generator with the schema and relative
+//!   relation sizes of the Benchmark for Social Media Analytics
+//!   (Figure 9a), plus the eight analytics views of Figure 9b (Q7, Q10,
+//!   Q11, Q15, Q18, Q*1, Q*2, Q*3).
+//!
+//! The paper ran on BSMA's released data at 1M-user scale on PostgreSQL;
+//! we substitute a seeded synthetic generator with the same shape,
+//! scaled down by a configurable factor (see DESIGN.md — the speedups
+//! under study derive from join-chain length, selectivity, and fanout,
+//! which the generator preserves).
+
+pub mod bsma;
+pub mod running_example;
+
+pub use running_example::RunningExample;

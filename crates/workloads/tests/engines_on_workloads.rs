@@ -1,0 +1,250 @@
+//! Cross-engine integration: ID-based, tuple-based and both SDBT
+//! variants maintaining the paper's workloads, all checked against
+//! recomputation.
+
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_exec::{executor::sorted, recompute_rows};
+use idivm_sdbt::{Sdbt, SdbtVariant};
+use idivm_tuple::TupleIvm;
+use idivm_workloads::bsma::{Bsma, BsmaQuery};
+use idivm_workloads::RunningExample;
+
+fn tiny_example() -> RunningExample {
+    RunningExample {
+        n_parts: 120,
+        n_devices: 80,
+        fanout: 4,
+        selectivity_pct: 30,
+        joins: 2,
+        seed: 11,
+    }
+}
+
+#[test]
+fn all_engines_agree_on_spj_price_updates() {
+    let cfg = tiny_example();
+    let mut db_i = cfg.build().unwrap();
+    let mut db_t = cfg.build().unwrap();
+    let mut db_f = cfg.build().unwrap();
+    let plan_i = cfg.spj_plan(&db_i).unwrap();
+    let plan_t = cfg.spj_plan(&db_t).unwrap();
+    let plan_f = cfg.spj_plan(&db_f).unwrap();
+    let partial = cfg.sdbt_parts_partial(&db_f).unwrap();
+    let ivm = IdIvm::setup(&mut db_i, "V", plan_i, IvmOptions::default()).unwrap();
+    let tivm = TupleIvm::setup(&mut db_t, "V", plan_t).unwrap();
+    let sdbt = Sdbt::setup(
+        &mut db_f,
+        "V",
+        plan_f,
+        vec![partial],
+        SdbtVariant::Fixed("parts".into()),
+    )
+    .unwrap();
+    for round in 0..3u64 {
+        cfg.price_update_batch(&mut db_i, 25, round).unwrap();
+        cfg.price_update_batch(&mut db_t, 25, round).unwrap();
+        cfg.price_update_batch(&mut db_f, 25, round).unwrap();
+        ivm.maintain(&mut db_i).unwrap();
+        tivm.maintain(&mut db_t).unwrap();
+        sdbt.maintain(&mut db_f).unwrap();
+        let oracle = sorted(recompute_rows(&db_i, ivm.plan()).unwrap());
+        assert_eq!(
+            sorted(db_i.table("V").unwrap().rows_uncounted()),
+            oracle,
+            "id engine round {round}"
+        );
+        assert_eq!(
+            sorted(db_t.table("V").unwrap().rows_uncounted()),
+            oracle,
+            "tuple engine round {round}"
+        );
+        assert_eq!(
+            sorted(sdbt.visible_rows(&db_f).unwrap()),
+            oracle,
+            "sdbt-fixed round {round}"
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_on_aggregate_view() {
+    let cfg = tiny_example();
+    let mut db_i = cfg.build().unwrap();
+    let mut db_t = cfg.build().unwrap();
+    let mut db_f = cfg.build().unwrap();
+    let mut db_s = cfg.build().unwrap();
+    let plan_i = cfg.agg_plan(&db_i).unwrap();
+    let plan_t = cfg.agg_plan(&db_t).unwrap();
+    let plan_f = cfg.agg_plan(&db_f).unwrap();
+    let plan_s = cfg.agg_plan(&db_s).unwrap();
+    let fixed_partial = cfg.sdbt_parts_partial(&db_f).unwrap();
+    let stream_partials = cfg.sdbt_all_partials(&db_s).unwrap();
+    let ivm = IdIvm::setup(&mut db_i, "V", plan_i, IvmOptions::default()).unwrap();
+    let tivm = TupleIvm::setup(&mut db_t, "V", plan_t).unwrap();
+    let fixed = Sdbt::setup(
+        &mut db_f,
+        "V",
+        plan_f,
+        vec![fixed_partial],
+        SdbtVariant::Fixed("parts".into()),
+    )
+    .unwrap();
+    let streams = Sdbt::setup(&mut db_s, "V", plan_s, stream_partials, SdbtVariant::Streams)
+        .unwrap();
+    for round in 0..3u64 {
+        for db in [&mut db_i, &mut db_t, &mut db_f, &mut db_s] {
+            cfg.price_update_batch(db, 20, round).unwrap();
+        }
+        let ri = ivm.maintain(&mut db_i).unwrap();
+        let rt = tivm.maintain(&mut db_t).unwrap();
+        let rf = fixed.maintain(&mut db_f).unwrap();
+        let rs = streams.maintain(&mut db_s).unwrap();
+        let oracle = sorted(recompute_rows(&db_i, ivm.plan()).unwrap());
+        assert_eq!(sorted(db_i.table("V").unwrap().rows_uncounted()), oracle);
+        assert_eq!(sorted(db_t.table("V").unwrap().rows_uncounted()), oracle);
+        assert_eq!(sorted(fixed.visible_rows(&db_f).unwrap()), oracle);
+        assert_eq!(sorted(streams.visible_rows(&db_s).unwrap()), oracle);
+        // Cost shape (Figure 12): ID beats tuple; SDBT-fixed beats or
+        // ties ID (no cache maintenance, one-probe triggers);
+        // SDBT-streams pays the map maintenance.
+        assert!(
+            ri.total_accesses() < rt.total_accesses(),
+            "round {round}: id {} vs tuple {}",
+            ri.total_accesses(),
+            rt.total_accesses()
+        );
+        assert!(
+            rs.total_accesses() > rf.total_accesses(),
+            "round {round}: streams {} vs fixed {}",
+            rs.total_accesses(),
+            rf.total_accesses()
+        );
+    }
+}
+
+#[test]
+fn id_engine_maintains_every_bsma_query() {
+    let cfg = Bsma {
+        scale: 0.03,
+        seed: 5,
+    };
+    for q in BsmaQuery::ALL {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, q).unwrap();
+        let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default())
+            .unwrap_or_else(|e| panic!("{} setup: {e}", q.label()));
+        for round in 0..2u64 {
+            cfg.user_update_batch(&mut db, 15, round).unwrap();
+            ivm.maintain(&mut db)
+                .unwrap_or_else(|e| panic!("{} maintain: {e}", q.label()));
+            let oracle = sorted(recompute_rows(&db, ivm.plan()).unwrap());
+            assert_eq!(
+                sorted(db.table("V").unwrap().rows_uncounted()),
+                oracle,
+                "{} diverged",
+                q.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn tuple_engine_maintains_every_bsma_query() {
+    let cfg = Bsma {
+        scale: 0.03,
+        seed: 6,
+    };
+    for q in BsmaQuery::ALL {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, q).unwrap();
+        let tivm = TupleIvm::setup(&mut db, "V", plan)
+            .unwrap_or_else(|e| panic!("{} setup: {e}", q.label()));
+        for round in 0..2u64 {
+            cfg.user_update_batch(&mut db, 15, round).unwrap();
+            tivm.maintain(&mut db)
+                .unwrap_or_else(|e| panic!("{} maintain: {e}", q.label()));
+            let oracle = sorted(recompute_rows(&db, tivm.plan()).unwrap());
+            assert_eq!(
+                sorted(db.table("V").unwrap().rows_uncounted()),
+                oracle,
+                "{} diverged",
+                q.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn id_engine_beats_tuple_on_every_bsma_query() {
+    let cfg = Bsma {
+        scale: 0.05,
+        seed: 7,
+    };
+    for q in BsmaQuery::ALL {
+        let mut db_i = cfg.build().unwrap();
+        let mut db_t = cfg.build().unwrap();
+        let plan_i = cfg.plan(&db_i, q).unwrap();
+        let plan_t = cfg.plan(&db_t, q).unwrap();
+        let ivm = IdIvm::setup(&mut db_i, "V", plan_i, IvmOptions::default()).unwrap();
+        let tivm = TupleIvm::setup(&mut db_t, "V", plan_t).unwrap();
+        cfg.user_update_batch(&mut db_i, 25, 0).unwrap();
+        cfg.user_update_batch(&mut db_t, 25, 0).unwrap();
+        let ri = ivm.maintain(&mut db_i).unwrap();
+        let rt = tivm.maintain(&mut db_t).unwrap();
+        assert!(
+            ri.total_accesses() <= rt.total_accesses(),
+            "{}: id {} vs tuple {}",
+            q.label(),
+            ri.total_accesses(),
+            rt.total_accesses()
+        );
+    }
+}
+
+/// Section 6.1's prediction for insert-heavy workloads: base diffs that
+/// translate to view inserts make the two approaches perform (nearly)
+/// identically — i-diffs cannot avoid the joins needed to build the new
+/// view tuples. The speedup must collapse toward 1 (within 2×), in
+/// contrast to the >3× gap on update workloads at the same scale.
+#[test]
+fn insert_heavy_workload_converges_to_parity() {
+    let cfg = tiny_example();
+
+    // Insert workload.
+    let mut db_i = cfg.build().unwrap();
+    let mut db_t = cfg.build().unwrap();
+    let plan_i = cfg.spj_plan(&db_i).unwrap();
+    let plan_t = cfg.spj_plan(&db_t).unwrap();
+    let ivm = IdIvm::setup(&mut db_i, "V", plan_i, IvmOptions::default()).unwrap();
+    let tivm = TupleIvm::setup(&mut db_t, "V", plan_t).unwrap();
+    cfg.link_insert_batch(&mut db_i, 40, 3).unwrap();
+    cfg.link_insert_batch(&mut db_t, 40, 3).unwrap();
+    let ri = ivm.maintain(&mut db_i).unwrap();
+    let rt = tivm.maintain(&mut db_t).unwrap();
+    let oracle = sorted(recompute_rows(&db_i, ivm.plan()).unwrap());
+    assert_eq!(sorted(db_i.table("V").unwrap().rows_uncounted()), oracle);
+    assert_eq!(sorted(db_t.table("V").unwrap().rows_uncounted()), oracle);
+    let insert_speedup = rt.total_accesses() as f64 / ri.total_accesses().max(1) as f64;
+
+    // Update workload at the same scale, for contrast.
+    let mut db_i2 = cfg.build().unwrap();
+    let mut db_t2 = cfg.build().unwrap();
+    let plan_i2 = cfg.spj_plan(&db_i2).unwrap();
+    let plan_t2 = cfg.spj_plan(&db_t2).unwrap();
+    let ivm2 = IdIvm::setup(&mut db_i2, "V", plan_i2, IvmOptions::default()).unwrap();
+    let tivm2 = TupleIvm::setup(&mut db_t2, "V", plan_t2).unwrap();
+    cfg.price_update_batch(&mut db_i2, 40, 3).unwrap();
+    cfg.price_update_batch(&mut db_t2, 40, 3).unwrap();
+    let ri2 = ivm2.maintain(&mut db_i2).unwrap();
+    let rt2 = tivm2.maintain(&mut db_t2).unwrap();
+    let update_speedup = rt2.total_accesses() as f64 / ri2.total_accesses().max(1) as f64;
+
+    assert!(
+        insert_speedup < 2.0,
+        "insert workloads should be near parity, got {insert_speedup:.2}x"
+    );
+    assert!(
+        update_speedup > insert_speedup,
+        "updates ({update_speedup:.2}x) must beat inserts ({insert_speedup:.2}x)"
+    );
+}

@@ -1,0 +1,76 @@
+//! Social-media analytics: the paper's primary IVM use case
+//! (Section 7.1).
+//!
+//! Generates a BSMA-style social network (users, friendships, tweets,
+//! retweets, mentions, events), registers three analytics views under
+//! ID-based maintenance, then streams batches of profile updates
+//! through them — the "rapid, frequent updates" + "analytic views that
+//! monitor metrics and trends" scenario the paper motivates.
+//!
+//! Run with: `cargo run --release --example social_analytics`
+
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_workloads::bsma::{Bsma, BsmaQuery};
+
+fn main() -> idivm_types::Result<()> {
+    let cfg = Bsma {
+        scale: 0.25,
+        seed: 7,
+    };
+    println!("generating social graph (scale {}):", cfg.scale);
+    let mut db = cfg.build()?;
+    for t in db.table_names() {
+        println!("  {:<22} {:>7} rows", t, db.table(t)?.len());
+    }
+
+    // Three dashboards: trending mentions, retweet influence, topics.
+    let queries = [BsmaQuery::Q7, BsmaQuery::QStar2, BsmaQuery::QStar3];
+    let mut engines = Vec::new();
+    for q in queries {
+        let plan = cfg.plan(&db, q)?;
+        let name = format!("dash_{}", q.label().replace('*', "s"));
+        let ivm = IdIvm::setup(&mut db, &name, plan, IvmOptions::default())?;
+        println!(
+            "\nregistered view {:<10} ({}) — {} rows, {} cache(s)",
+            name,
+            q.description(),
+            db.table(&name)?.len(),
+            ivm.caches().len()
+        );
+        engines.push(ivm);
+    }
+
+    // Stream five batches of user-profile updates through the system.
+    println!("\nstreaming update batches (100 user-profile updates each):");
+    for round in 1..=5u64 {
+        cfg.user_update_batch(&mut db, 100, round)?;
+        db.stats().reset();
+        let mut total_accesses = 0;
+        let mut total_ms = 0.0;
+        // All views share one modification log; fold it once.
+        let net = db.fold_log();
+        db.clear_log();
+        for ivm in &engines {
+            let report = ivm.maintain_with_changes(&mut db, &net)?;
+            total_accesses += report.total_accesses();
+            total_ms += report.wall.as_secs_f64() * 1e3;
+        }
+        println!(
+            "  round {round}: {} accesses, {:.2} ms across {} views",
+            total_accesses,
+            total_ms,
+            engines.len()
+        );
+    }
+
+    println!("\nfinal dashboard sizes:");
+    for (q, ivm) in queries.iter().zip(&engines) {
+        println!(
+            "  {:<10} {:>7} rows",
+            q.label(),
+            db.table(ivm.view_name())?.len()
+        );
+    }
+    Ok(())
+}
+

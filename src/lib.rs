@@ -1,0 +1,16 @@
+//! Umbrella crate for the idIVM reproduction workspace.
+//!
+//! This crate exists to host workspace-spanning integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the member crates; the most commonly used items are
+//! re-exported here for convenience.
+
+pub use idivm_algebra as algebra;
+pub use idivm_core as core;
+pub use idivm_cost as cost;
+pub use idivm_exec as exec;
+pub use idivm_reldb as reldb;
+pub use idivm_sdbt as sdbt;
+pub use idivm_tuple as tuple;
+pub use idivm_types as types;
+pub use idivm_workloads as workloads;
