@@ -74,8 +74,8 @@ proptest! {
     }
 }
 
-/// Random projection subsets over a 3-column scan: ensure_ids always
-/// restores inferability, and never changes the columns already there.
+// Random projection subsets over a 3-column scan: ensure_ids always
+// restores inferability, and never changes the columns already there.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

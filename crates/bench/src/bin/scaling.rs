@@ -1,0 +1,175 @@
+//! Scaling sweep — partitioned parallel maintenance on BSMA Q10,
+//! thread counts P ∈ {1, 2, 4, 8}, for both the ID-based and the
+//! tuple-based engine.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idivm-bench --bin scaling [-- --scale N --diffs D --rounds R]
+//! ```
+//!
+//! Reports wall time and total accesses per P and writes
+//! `BENCH_scaling.json` into the current directory. Two invariants the
+//! sweep checks (and the JSON records):
+//!
+//! * **Access counts are bit-identical across all P** — sharding only
+//!   regroups the per-row/per-group work, it never changes which probes
+//!   run (the determinism contract of `ParallelConfig`).
+//! * Speedup is reported relative to P = 1; on a single-core host
+//!   (`available_parallelism` = 1, recorded in the JSON) thread scaling
+//!   cannot show wall-clock gains, so the counts invariant is the
+//!   meaningful signal there.
+
+use idivm_core::{IdIvm, IvmOptions};
+use idivm_exec::ParallelConfig;
+use idivm_tuple::TupleIvm;
+use idivm_workloads::bsma::{Bsma, BsmaQuery};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Point {
+    threads: usize,
+    accesses: u64,
+    wall_ms_best: f64,
+    wall_ms_total: f64,
+}
+
+fn sweep_id(cfg: &Bsma, diffs: usize, rounds: u64) -> Vec<Point> {
+    THREADS
+        .iter()
+        .map(|&p| {
+            let mut db = cfg.build().expect("generator failed");
+            let plan = cfg.plan(&db, BsmaQuery::Q10).expect("plan failed");
+            let opts = IvmOptions {
+                parallel: ParallelConfig::with_threads(p),
+                ..IvmOptions::default()
+            };
+            let ivm = IdIvm::setup(&mut db, "V", plan, opts).expect("setup failed");
+            run_rounds(p, diffs, rounds, cfg, &mut db, |db| {
+                ivm.maintain(db).expect("maintain failed").total_accesses()
+            })
+        })
+        .collect()
+}
+
+fn sweep_tuple(cfg: &Bsma, diffs: usize, rounds: u64) -> Vec<Point> {
+    THREADS
+        .iter()
+        .map(|&p| {
+            let mut db = cfg.build().expect("generator failed");
+            let plan = cfg.plan(&db, BsmaQuery::Q10).expect("plan failed");
+            let mut ivm = TupleIvm::setup(&mut db, "V", plan).expect("setup failed");
+            ivm.set_parallel(ParallelConfig::with_threads(p));
+            run_rounds(p, diffs, rounds, cfg, &mut db, |db| {
+                ivm.maintain(db).expect("maintain failed").total_accesses()
+            })
+        })
+        .collect()
+}
+
+fn run_rounds(
+    threads: usize,
+    diffs: usize,
+    rounds: u64,
+    cfg: &Bsma,
+    db: &mut idivm_reldb::Database,
+    mut maintain: impl FnMut(&mut idivm_reldb::Database) -> u64,
+) -> Point {
+    // Warm round: populate caches so every P measures steady state.
+    cfg.user_update_batch(db, diffs, 0).expect("batch failed");
+    let _ = maintain(db);
+    let mut accesses = 0u64;
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for r in 1..=rounds {
+        cfg.user_update_batch(db, diffs, r).expect("batch failed");
+        db.stats().reset();
+        let started = std::time::Instant::now();
+        accesses += maintain(db);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        total += ms;
+    }
+    Point {
+        threads,
+        accesses,
+        wall_ms_best: best,
+        wall_ms_total: total,
+    }
+}
+
+fn emit(out: &mut String, label: &str, points: &[Point]) {
+    let base = points[0].wall_ms_best;
+    println!("\n{label} (BSMA Q10):");
+    println!("{:>8}  {:>12}  {:>10}  {:>9}", "threads", "accesses", "best ms", "speedup");
+    out.push_str(&format!("  \"{label}\": [\n"));
+    for (i, pt) in points.iter().enumerate() {
+        println!(
+            "{:>8}  {:>12}  {:>10.2}  {:>8.2}x",
+            pt.threads,
+            pt.accesses,
+            pt.wall_ms_best,
+            base / pt.wall_ms_best
+        );
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"accesses\": {}, \"wall_ms_best\": {:.3}, \"wall_ms_total\": {:.3}, \"speedup_vs_p1\": {:.3}}}{}\n",
+            pt.threads,
+            pt.accesses,
+            pt.wall_ms_best,
+            pt.wall_ms_total,
+            base / pt.wall_ms_best,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    let p1 = points[0].accesses;
+    for pt in points {
+        assert_eq!(
+            pt.accesses, p1,
+            "{label}: access counts diverged at P={} ({} vs {} at P=1)",
+            pt.threads, pt.accesses, p1
+        );
+    }
+    println!("  access counts identical across all P ✓");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get("--scale", 0.2);
+    let diffs = get("--diffs", 200.0) as usize;
+    // At least one measured round, else best-of would be infinite and
+    // the emitted JSON invalid.
+    let rounds = (get("--rounds", 3.0) as u64).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let cfg = Bsma { scale, seed: 2015 };
+    println!(
+        "Scaling sweep — BSMA Q10, scale {scale}, {diffs} update diffs × {rounds} rounds, host cores: {cores}"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"workload\": \"bsma_q10\",\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"diffs\": {diffs},\n"));
+    json.push_str(&format!("  \"rounds\": {rounds},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+
+    let id_points = sweep_id(&cfg, diffs, rounds);
+    emit(&mut json, "id_ivm", &id_points);
+    json.push_str(",\n");
+    let tuple_points = sweep_tuple(&cfg, diffs, rounds);
+    emit(&mut json, "tuple_ivm", &tuple_points);
+    json.push_str("\n}\n");
+
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("\nwrote BENCH_scaling.json");
+    if cores == 1 {
+        println!("note: single-core host — thread scaling cannot improve wall time here;");
+        println!("the bit-identical access counts across P are the verified invariant.");
+    }
+}

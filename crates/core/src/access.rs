@@ -94,7 +94,7 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         } => {
             let l = scan(ctx, left, &child(path, 0), state)?;
             let r = scan(ctx, right, &child(path, 1), state)?;
-            Ok(semi_or_anti(&l, &r, on, residual.as_ref(), true))
+            Ok(semi_or_anti(l, &r, on, residual.as_ref(), true))
         }
         Plan::AntiJoin {
             left,
@@ -104,7 +104,7 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         } => {
             let l = scan(ctx, left, &child(path, 0), state)?;
             let r = scan(ctx, right, &child(path, 1), state)?;
-            Ok(semi_or_anti(&l, &r, on, residual.as_ref(), false))
+            Ok(semi_or_anti(l, &r, on, residual.as_ref(), false))
         }
         Plan::UnionAll { left, right } => {
             let mut out = Vec::new();

@@ -29,7 +29,7 @@ use crate::report::MaintenanceReport;
 use crate::rules::{propagate, IncomingDiff, RuleCtx};
 use crate::schema_gen::{generate, populate, BaseDiffSchemas};
 use idivm_algebra::{ensure_ids, Plan};
-use idivm_exec::{materialize_view, view_schema};
+use idivm_exec::{materialize_view, view_schema, ParallelConfig};
 use idivm_reldb::{Database, TableChanges};
 use idivm_types::{Result, Schema};
 use std::collections::HashMap;
@@ -44,6 +44,12 @@ pub struct IvmOptions {
     /// Materialize intermediate caches under aggregate operators
     /// (Section 4 / Example 4.6). On by default.
     pub use_input_caches: bool,
+    /// Partitioned delta propagation: diff batches are hash-sharded by
+    /// diff key and propagated on worker threads, with shard outputs
+    /// merged deterministically before the (serial) Apply step. Serial
+    /// by default; access counts are bit-identical for any thread
+    /// count.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for IvmOptions {
@@ -51,6 +57,7 @@ impl Default for IvmOptions {
         IvmOptions {
             minimize: true,
             use_input_caches: true,
+            parallel: ParallelConfig::serial(),
         }
     }
 }
@@ -232,6 +239,7 @@ impl IdIvm {
             let ctx = RuleCtx {
                 access: &access,
                 minimize: self.options.minimize,
+                parallel: self.options.parallel,
             };
             propagate(&ctx, node, path, incoming)?
         };

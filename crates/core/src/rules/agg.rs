@@ -28,6 +28,7 @@ use crate::rules::common::{child_path, delete_rows, insert_rows, untouched, upda
 use crate::rules::{IncomingDiff, RuleCtx};
 use idivm_algebra::aggregate::aggregate_rows;
 use idivm_algebra::{AggFunc, AggSpec, Plan};
+use idivm_exec::partition::{run_sharded, shard_by, stable_hash_key};
 use idivm_types::{Error, Key, Result, Row, Value};
 use std::collections::{BTreeSet, HashMap};
 
@@ -220,7 +221,9 @@ fn incremental(
             }
         }
     }
-    // γ_{Ḡ,sum(x∆)}: aggregate the deltas per group.
+    // γ_{Ḡ,sum(x∆)}: aggregate the deltas per group. Delta folding is
+    // cross-row and stays serial; the per-group emission below is the
+    // parallelizable part.
     let mut groups: HashMap<Key, GroupDelta> = HashMap::new();
     for d in deltas {
         let g = groups.entry(d.group).or_insert_with(|| GroupDelta {
@@ -234,8 +237,13 @@ fn incremental(
             g.had_delete = true;
         }
     }
+    let mut entries: Vec<(Key, GroupDelta)> = groups.into_iter().collect();
+    // Sort for deterministic emission order: `HashMap` iteration order
+    // varies per process, and the sharded runner needs a canonical
+    // serial order to be compared against.
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
 
-    emit_group_diffs(ctx, node, input, keys, aggs, path, groups)
+    emit_group_diffs(ctx, node, input, keys, aggs, path, entries)
 }
 
 /// Net delta of one group across all contributions.
@@ -350,27 +358,40 @@ fn general(
         }
     }
     // Recompute each affected group from Input_post (γ(∆ ⋉_Ḡ Input_post)).
-    let mut groups: HashMap<Key, Recomputed> = HashMap::new();
+    // Groups are independent (one member probe + in-memory aggregation
+    // each), so the recompute loop fans out over hash-sharded group
+    // keys. `affected` iterates in sorted order, and sharding is by
+    // stable hash, so the merged order is canonical for any `P`.
     let in_key_cols: Vec<usize> = keys.to_vec();
-    for gk in affected {
-        let members = access::lookup(
-            ctx.access,
-            input,
-            &ipath,
-            State::Post,
-            &in_key_cols,
-            &gk,
-        )?;
-        groups.insert(
-            gk,
-            Recomputed {
-                values: if members.is_empty() {
-                    None
-                } else {
-                    Some(aggs.iter().map(|a| aggregate_rows(a, &members)).collect())
+    let affected: Vec<Key> = affected.into_iter().collect();
+    let shards_n = ctx.parallel.effective_shards(affected.len());
+    let shards = shard_by(affected, shards_n, stable_hash_key);
+    let mut groups: Vec<(Key, Recomputed)> = Vec::new();
+    for shard_out in run_sharded(shards, |_, keys_shard: Vec<Key>| {
+        let mut out = Vec::with_capacity(keys_shard.len());
+        for gk in keys_shard {
+            let members = access::lookup(
+                ctx.access,
+                input,
+                &ipath,
+                State::Post,
+                &in_key_cols,
+                &gk,
+            )?;
+            out.push((
+                gk,
+                Recomputed {
+                    values: if members.is_empty() {
+                        None
+                    } else {
+                        Some(aggs.iter().map(|a| aggregate_rows(a, &members)).collect())
+                    },
                 },
-            },
-        );
+            ));
+        }
+        Ok::<_, idivm_types::Error>(out)
+    }) {
+        groups.extend(shard_out?);
     }
     emit_recomputed(ctx, node, keys, aggs, path, groups)
 }
@@ -386,50 +407,66 @@ fn emit_recomputed(
     keys: &[usize],
     aggs: &[AggSpec],
     path: &PathId,
-    groups: HashMap<Key, Recomputed>,
+    groups: Vec<(Key, Recomputed)>,
 ) -> Result<Vec<DiffInstance>> {
     let out_arity = keys.len() + aggs.len();
     let out_ids: Vec<usize> = (0..keys.len()).collect();
     let out_key_cols: Vec<usize> = (0..keys.len()).collect();
     let agg_cols: Vec<usize> = (keys.len()..out_arity).collect();
+    // Per-group emission (one `Output` probe each) fans out over
+    // hash-sharded groups; shard outputs merge in shard order.
+    let shards_n = ctx.parallel.effective_shards(groups.len());
+    let shards = shard_by(groups, shards_n, |(gk, _)| stable_hash_key(gk));
     let mut upd_rows = Vec::new();
     let mut ins_rows = Vec::new();
     let mut del_rows = Vec::new();
-    for (gk, rec) in groups {
-        // `Output` is always provided in pre-state (Section 4); the
-        // node's materialization has not been touched this round, so its
-        // physical content *is* the pre-state.
-        let out_pre = access::lookup(
-            ctx.access,
-            node,
-            path,
-            State::Post,
-            &out_key_cols,
-            &gk,
-        )?;
-        match (rec.values, out_pre.first()) {
-            (None, Some(_)) => del_rows.push(gk.into_row()),
-            (None, None) => {}
-            (Some(vals), None) => {
-                let mut r = gk.into_row();
-                r.0.extend(vals);
-                ins_rows.push(r);
-            }
-            (Some(vals), Some(old)) => {
-                // σ_isupd: skip groups whose aggregates did not change.
-                let changed = vals
-                    .iter()
-                    .enumerate()
-                    .any(|(i, v)| *v != old[keys.len() + i]);
-                if changed {
+    for shard_out in run_sharded(shards, |_, entries: Vec<(Key, Recomputed)>| {
+        let mut del = Vec::new();
+        let mut upd = Vec::new();
+        let mut ins = Vec::new();
+        for (gk, rec) in entries {
+            // `Output` is always provided in pre-state (Section 4); the
+            // node's materialization has not been touched this round, so
+            // its physical content *is* the pre-state.
+            let out_pre = access::lookup(
+                ctx.access,
+                node,
+                path,
+                State::Post,
+                &out_key_cols,
+                &gk,
+            )?;
+            match (rec.values, out_pre.first()) {
+                (None, Some(_)) => del.push(gk.into_row()),
+                (None, None) => {}
+                (Some(vals), None) => {
                     let mut r = gk.into_row();
-                    // pre values then post values.
-                    r.0.extend(old.0[keys.len()..].iter().cloned());
                     r.0.extend(vals);
-                    upd_rows.push(r);
+                    ins.push(r);
+                }
+                (Some(vals), Some(old)) => {
+                    // σ_isupd: skip groups whose aggregates did not
+                    // change.
+                    let changed = vals
+                        .iter()
+                        .enumerate()
+                        .any(|(i, v)| *v != old[keys.len() + i]);
+                    if changed {
+                        let mut r = gk.into_row();
+                        // pre values then post values.
+                        r.0.extend(old.0[keys.len()..].iter().cloned());
+                        r.0.extend(vals);
+                        upd.push(r);
+                    }
                 }
             }
         }
+        Ok::<_, idivm_types::Error>((del, upd, ins))
+    }) {
+        let (del, upd, ins) = shard_out?;
+        del_rows.extend(del);
+        upd_rows.extend(upd);
+        ins_rows.extend(ins);
     }
     let mut out = Vec::new();
     if !del_rows.is_empty() {
@@ -461,64 +498,80 @@ fn emit_group_diffs(
     keys: &[usize],
     aggs: &[AggSpec],
     path: &PathId,
-    groups: HashMap<Key, GroupDelta>,
+    groups: Vec<(Key, GroupDelta)>,
 ) -> Result<Vec<DiffInstance>> {
     let ipath = child_path(path, 0);
     let out_arity = keys.len() + aggs.len();
     let out_ids: Vec<usize> = (0..keys.len()).collect();
     let out_key_cols: Vec<usize> = (0..keys.len()).collect();
     let agg_cols: Vec<usize> = (keys.len()..out_arity).collect();
+    // Per-group conversion (one or two probes each, no cross-group
+    // state) fans out over hash-sharded groups; shard outputs merge in
+    // shard order.
+    let shards_n = ctx.parallel.effective_shards(groups.len());
+    let shards = shard_by(groups, shards_n, |(gk, _)| stable_hash_key(gk));
     let mut upd_rows = Vec::new();
     let mut ins_rows = Vec::new();
     let mut del_rows = Vec::new();
-    for (gk, gd) in groups {
-        let deltas_row = &gd.per_agg;
-        let out_pre = access::lookup(
-            ctx.access,
-            node,
-            path,
-            State::Post,
-            &out_key_cols,
-            &gk,
-        )?;
-        match out_pre.first() {
-            Some(old) => {
-                if gd.had_delete {
-                    // The group may have emptied: probe Input_post.
-                    let still = access::lookup(
-                        ctx.access,
-                        input,
-                        &ipath,
-                        State::Post,
-                        keys,
-                        &gk,
-                    )?;
-                    if still.is_empty() {
-                        del_rows.push(gk.into_row());
-                        continue;
+    for shard_out in run_sharded(shards, |_, entries: Vec<(Key, GroupDelta)>| {
+        let mut del = Vec::new();
+        let mut upd = Vec::new();
+        let mut ins = Vec::new();
+        for (gk, gd) in entries {
+            let deltas_row = &gd.per_agg;
+            let out_pre = access::lookup(
+                ctx.access,
+                node,
+                path,
+                State::Post,
+                &out_key_cols,
+                &gk,
+            )?;
+            match out_pre.first() {
+                Some(old) => {
+                    if gd.had_delete {
+                        // The group may have emptied: probe Input_post.
+                        let still = access::lookup(
+                            ctx.access,
+                            input,
+                            &ipath,
+                            State::Post,
+                            keys,
+                            &gk,
+                        )?;
+                        if still.is_empty() {
+                            del.push(gk.into_row());
+                            continue;
+                        }
                     }
+                    if deltas_row.iter().all(is_zero) {
+                        continue; // σ_isupd
+                    }
+                    // c_post = c_pre + c∆ per aggregate.
+                    let vals: Vec<Value> = deltas_row
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| old[keys.len() + i].add(d))
+                        .collect();
+                    let mut r = gk.into_row();
+                    r.0.extend(old.0[keys.len()..].iter().cloned());
+                    r.0.extend(vals);
+                    upd.push(r);
                 }
-                if deltas_row.iter().all(is_zero) {
-                    continue; // σ_isupd
+                None => {
+                    // Group creation: the deltas start from empty.
+                    let mut r = gk.into_row();
+                    r.0.extend(deltas_row.iter().cloned());
+                    ins.push(r);
                 }
-                // c_post = c_pre + c∆ per aggregate.
-                let vals: Vec<Value> = deltas_row
-                    .iter()
-                    .enumerate()
-                    .map(|(i, d)| old[keys.len() + i].add(d))
-                    .collect();
-                let mut r = gk.into_row();
-                r.0.extend(old.0[keys.len()..].iter().cloned());
-                r.0.extend(vals);
-                upd_rows.push(r);
-            }
-            None => {
-                // Group creation: the deltas start from empty.
-                let mut r = gk.into_row();
-                r.0.extend(deltas_row.iter().cloned());
-                ins_rows.push(r);
             }
         }
+        Ok::<_, idivm_types::Error>((del, upd, ins))
+    }) {
+        let (del, upd, ins) = shard_out?;
+        del_rows.extend(del);
+        upd_rows.extend(upd);
+        ins_rows.extend(ins);
     }
     let mut out = Vec::new();
     if !del_rows.is_empty() {

@@ -25,6 +25,7 @@ pub mod union;
 use crate::access::{AccessCtx, PathId};
 use crate::diff::DiffInstance;
 use idivm_algebra::Plan;
+use idivm_exec::partition::{run_sharded, shard_by, stable_hash_row, ParallelConfig};
 use idivm_types::{Error, Result};
 
 /// Context handed to every rule invocation.
@@ -33,6 +34,48 @@ pub struct RuleCtx<'a> {
     pub access: &'a AccessCtx<'a>,
     /// Pass-4 semantic minimization on/off.
     pub minimize: bool,
+    /// Partitioned propagation configuration (serial by default).
+    pub parallel: ParallelConfig,
+}
+
+/// Hash-partition one diff instance by its ID key and run `rule` over
+/// each shard on a scoped worker thread, concatenating shard outputs in
+/// shard order.
+///
+/// Sound exactly for the **per-row** rules (select, project, join,
+/// semijoin-left): they map every diff row to output rows and probes
+/// independently, with no cross-row state, so any row partition
+/// executes the same probes and emits the same rows — only grouped into
+/// per-shard diff instances. The cross-row rules (semijoin right-side
+/// dedup, union tagging, aggregate delta folding) stay serial at this
+/// level.
+fn fan_out<F>(ctx: &RuleCtx<'_>, diff: DiffInstance, rule: F) -> Result<Vec<DiffInstance>>
+where
+    F: Fn(DiffInstance) -> Result<Vec<DiffInstance>> + Sync,
+{
+    let shards_n = ctx.parallel.effective_shards(diff.len());
+    if shards_n <= 1 {
+        return rule(diff);
+    }
+    // Diff rows are laid out `[ids…, pre…, post…]`: the ID key occupies
+    // the leading slots.
+    let id_slots: Vec<usize> = (0..diff.schema.id_cols.len()).collect();
+    let schema = diff.schema;
+    let shards: Vec<DiffInstance> = shard_by(diff.rows, shards_n, |r| {
+        stable_hash_row(r, &id_slots)
+    })
+    .into_iter()
+    .filter(|rows| !rows.is_empty())
+    .map(|rows| DiffInstance {
+        schema: schema.clone(),
+        rows,
+    })
+    .collect();
+    let mut out = Vec::new();
+    for shard_out in run_sharded(shards, |_, d| rule(d)) {
+        out.extend(shard_out?);
+    }
+    Ok(out)
 }
 
 /// A diff arriving at an operator, tagged with the child it came from
@@ -69,14 +112,18 @@ pub fn propagate(
         Plan::Select { input, pred } => {
             let mut out = Vec::new();
             for inc in incoming {
-                out.extend(select::propagate(ctx, pred, input, path, inc.diff)?);
+                out.extend(fan_out(ctx, inc.diff, |d| {
+                    select::propagate(ctx, pred, input, path, d)
+                })?);
             }
             Ok(out)
         }
         Plan::Project { input, cols } => {
             let mut out = Vec::new();
             for inc in incoming {
-                out.extend(project::propagate(ctx, cols, input, path, inc.diff)?);
+                out.extend(fan_out(ctx, inc.diff, |d| {
+                    project::propagate(ctx, cols, input, path, d)
+                })?);
             }
             Ok(out)
         }
@@ -88,16 +135,19 @@ pub fn propagate(
         } => {
             let mut out = Vec::new();
             for inc in incoming {
-                out.extend(join::propagate(
-                    ctx,
-                    left,
-                    right,
-                    on,
-                    residual.as_ref(),
-                    path,
-                    inc.side,
-                    inc.diff,
-                )?);
+                let side = inc.side;
+                out.extend(fan_out(ctx, inc.diff, |d| {
+                    join::propagate(
+                        ctx,
+                        left,
+                        right,
+                        on,
+                        residual.as_ref(),
+                        path,
+                        side,
+                        d,
+                    )
+                })?);
             }
             Ok(out)
         }
@@ -109,17 +159,28 @@ pub fn propagate(
         } => {
             let mut out = Vec::new();
             for inc in incoming {
-                out.extend(semi::propagate(
-                    ctx,
-                    left,
-                    right,
-                    on,
-                    residual.as_ref(),
-                    path,
-                    inc.side,
-                    inc.diff,
-                    semi::Kind::Semi,
-                )?);
+                let side = inc.side;
+                let rule = |d| {
+                    semi::propagate(
+                        ctx,
+                        left,
+                        right,
+                        on,
+                        residual.as_ref(),
+                        path,
+                        side,
+                        d,
+                        semi::Kind::Semi,
+                    )
+                };
+                if side == 0 {
+                    out.extend(fan_out(ctx, inc.diff, rule)?);
+                } else {
+                    // Right-side diffs dedupe affected left rows across
+                    // the whole diff (`matching_left`): cross-row state,
+                    // so this path stays serial.
+                    out.extend(rule(inc.diff)?);
+                }
             }
             Ok(out)
         }
@@ -131,17 +192,25 @@ pub fn propagate(
         } => {
             let mut out = Vec::new();
             for inc in incoming {
-                out.extend(semi::propagate(
-                    ctx,
-                    left,
-                    right,
-                    on,
-                    residual.as_ref(),
-                    path,
-                    inc.side,
-                    inc.diff,
-                    semi::Kind::Anti,
-                )?);
+                let side = inc.side;
+                let rule = |d| {
+                    semi::propagate(
+                        ctx,
+                        left,
+                        right,
+                        on,
+                        residual.as_ref(),
+                        path,
+                        side,
+                        d,
+                        semi::Kind::Anti,
+                    )
+                };
+                if side == 0 {
+                    out.extend(fan_out(ctx, inc.diff, rule)?);
+                } else {
+                    out.extend(rule(inc.diff)?);
+                }
             }
             Ok(out)
         }

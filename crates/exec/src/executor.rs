@@ -51,7 +51,7 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         } => {
             let lrows = execute(db, left)?;
             let rrows = execute(db, right)?;
-            Ok(semi_or_anti(&lrows, &rrows, on, residual.as_ref(), true))
+            Ok(semi_or_anti(lrows, &rrows, on, residual.as_ref(), true))
         }
         Plan::AntiJoin {
             left,
@@ -61,7 +61,7 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         } => {
             let lrows = execute(db, left)?;
             let rrows = execute(db, right)?;
-            Ok(semi_or_anti(&lrows, &rrows, on, residual.as_ref(), false))
+            Ok(semi_or_anti(lrows, &rrows, on, residual.as_ref(), false))
         }
         Plan::UnionAll { left, right } => {
             let mut out = Vec::new();
@@ -133,9 +133,12 @@ pub fn hash_join(
     out
 }
 
-/// Semi (`keep_matched = true`) or anti (`false`) join.
+/// Semi (`keep_matched = true`) or anti (`false`) join. Consumes the
+/// left rows: the output is a subset of them, so surviving rows move
+/// straight through instead of being re-materialized with per-row
+/// clones.
 pub fn semi_or_anti(
-    left: &[Row],
+    left: Vec<Row>,
     right: &[Row],
     on: &[(usize, usize)],
     residual: Option<&Expr>,
@@ -151,7 +154,7 @@ pub fn semi_or_anti(
         }
         table.entry(k).or_default().push(r);
     }
-    left.iter()
+    left.into_iter()
         .filter(|l| {
             let matched = if on.is_empty() {
                 // θ-only (anti)semijoin: nested loop over right.
@@ -172,7 +175,6 @@ pub fn semi_or_anti(
             };
             matched == keep_matched
         })
-        .cloned()
         .collect()
 }
 

@@ -17,8 +17,10 @@
 
 pub mod catalog;
 pub mod executor;
+pub mod partition;
 pub mod recompute;
 
 pub use catalog::DbCatalog;
 pub use executor::execute;
+pub use partition::ParallelConfig;
 pub use recompute::{materialize_view, recompute_rows, refresh_view, view_schema};

@@ -1,0 +1,234 @@
+//! Diff-batch partitioning for the parallel maintenance executor.
+//!
+//! The propagation phase of a maintenance round is read-only over the
+//! database: every rule consumes diff rows and *probes* base tables and
+//! caches, mutating nothing until the serial Apply step. That makes it
+//! safe to hash-partition the effective i-diff batch by diff key into
+//! `P` shards, run the unchanged per-row rule logic on `P` scoped
+//! worker threads, and concatenate the shard outputs **in shard order**
+//! before applying.
+//!
+//! Two properties carry the engine's determinism guarantee across the
+//! fan-out:
+//!
+//! 1. **Stable sharding** — [`stable_hash_key`] is a fixed FNV-1a over
+//!    a canonical byte encoding of the key (independent of process,
+//!    thread count, and `HashMap` seeding), so the same diff row lands
+//!    in the same shard on every run.
+//! 2. **Deterministic merge** — [`run_sharded`] returns outputs indexed
+//!    by shard, and callers concatenate shard 0..P in order. Within a
+//!    shard, rows keep their original batch order.
+//!
+//! Access counts are preserved *bit-identically* for any `P`: each diff
+//! row triggers exactly the probes it would trigger serially, and
+//! [`AccessStats`](idivm_reldb::AccessStats) sums per-thread sharded
+//! counters exactly.
+
+use idivm_types::{Key, Row, Value};
+
+/// Configuration for partitioned (multi-threaded) delta propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads to fan diff batches out to. `0` or `1` means
+    /// serial execution (no threads spawned).
+    pub threads: usize,
+    /// Batches smaller than this stay serial: spawning threads for a
+    /// handful of diff rows costs more than it saves.
+    pub min_shard_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::serial()
+    }
+}
+
+impl ParallelConfig {
+    /// Serial execution (the engine's historical behavior).
+    pub fn serial() -> Self {
+        ParallelConfig {
+            threads: 1,
+            min_shard_rows: 16,
+        }
+    }
+
+    /// Fan out to `threads` workers (per-batch threshold at the
+    /// default `min_shard_rows`).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            min_shard_rows: 16,
+        }
+    }
+
+    /// Number of shards to split a batch of `rows` diff rows into:
+    /// `1` (serial) when parallelism is off or the batch is too small,
+    /// otherwise `threads`.
+    pub fn effective_shards(&self, rows: usize) -> usize {
+        if self.threads <= 1 || rows < self.min_shard_rows.max(2) {
+            1
+        } else {
+            self.threads
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[inline]
+fn fnv1a_value(h: u64, v: &Value) -> u64 {
+    // Canonical encoding mirroring `Value`'s Hash impl: Int and Float
+    // encode through the same f64 bit pattern so cross-type-equal
+    // values shard together, exactly as they hash and compare equal.
+    match v {
+        Value::Null => fnv1a(h, &[0]),
+        Value::Bool(b) => fnv1a(fnv1a(h, &[1]), &[u8::from(*b)]),
+        Value::Int(i) => fnv1a(fnv1a(h, &[2]), &(*i as f64).to_bits().to_le_bytes()),
+        Value::Float(f) => fnv1a(fnv1a(h, &[2]), &f.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv1a(fnv1a(h, &[3]), s.as_bytes()),
+    }
+}
+
+/// Process-independent stable hash of a key (FNV-1a over a canonical
+/// byte encoding). The shard a diff row maps to depends only on the
+/// key's value, never on hasher seeding or thread scheduling.
+pub fn stable_hash_key(key: &Key) -> u64 {
+    key.0.iter().fold(FNV_OFFSET, fnv1a_value)
+}
+
+/// [`stable_hash_key`] of `row`'s projection onto `cols`, without
+/// materializing the intermediate `Key`.
+pub fn stable_hash_row(row: &Row, cols: &[usize]) -> u64 {
+    cols.iter()
+        .fold(FNV_OFFSET, |h, &c| fnv1a_value(h, &row[c]))
+}
+
+/// Split `items` into `shards` buckets by `hash(item) % shards`,
+/// preserving each item's relative order within its bucket. With
+/// `shards == 1` this is a single bucket holding the batch verbatim.
+pub fn shard_by<T>(items: Vec<T>, shards: usize, hash: impl Fn(&T) -> u64) -> Vec<Vec<T>> {
+    if shards <= 1 {
+        return vec![items];
+    }
+    let mut out: Vec<Vec<T>> = (0..shards).map(|_| Vec::new()).collect();
+    for item in items {
+        let s = (hash(&item) % shards as u64) as usize;
+        out[s].push(item);
+    }
+    out
+}
+
+/// Run `f` over each shard, returning outputs **in shard order**.
+///
+/// One shard runs inline on the caller's thread (no spawn). With more,
+/// every shard gets a scoped worker thread; the scope joins them all
+/// before returning, so callers observe a fully quiesced world — in
+/// particular, [`AccessStats`](idivm_reldb::AccessStats) snapshots
+/// taken after this call are exact.
+pub fn run_sharded<I, O, F>(shards: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    if shards.len() <= 1 {
+        return shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| f(i, shard))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let f = &f;
+                scope.spawn(move || f(i, shard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::row;
+
+    #[test]
+    fn key_hash_is_stable_and_value_dependent() {
+        let k1 = Key(vec![Value::Int(7), Value::str("a")]);
+        let k2 = Key(vec![Value::Int(7), Value::str("a")]);
+        let k3 = Key(vec![Value::Int(8), Value::str("a")]);
+        assert_eq!(stable_hash_key(&k1), stable_hash_key(&k2));
+        assert_ne!(stable_hash_key(&k1), stable_hash_key(&k3));
+    }
+
+    #[test]
+    fn cross_type_equal_values_shard_together() {
+        let i = Key(vec![Value::Int(42)]);
+        let f = Key(vec![Value::Float(42.0)]);
+        assert_eq!(stable_hash_key(&i), stable_hash_key(&f));
+    }
+
+    #[test]
+    fn row_hash_matches_key_hash_of_projection() {
+        let r = row![1, "x", 2.5];
+        let cols = [0usize, 2];
+        assert_eq!(stable_hash_row(&r, &cols), stable_hash_key(&r.key(&cols)));
+    }
+
+    #[test]
+    fn shard_by_partitions_and_preserves_order() {
+        let items: Vec<i64> = (0..100).collect();
+        let shards = shard_by(items.clone(), 4, |&v| v as u64);
+        assert_eq!(shards.len(), 4);
+        let mut merged: Vec<i64> = shards.iter().flatten().copied().collect();
+        merged.sort_unstable();
+        assert_eq!(merged, items);
+        for (s, bucket) in shards.iter().enumerate() {
+            // Same-shard items keep their relative order.
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]));
+            assert!(bucket.iter().all(|&v| (v as u64 % 4) as usize == s));
+        }
+    }
+
+    #[test]
+    fn single_shard_passes_through() {
+        let shards = shard_by(vec![3, 1, 2], 1, |&v: &i64| v as u64);
+        assert_eq!(shards, vec![vec![3, 1, 2]]);
+    }
+
+    #[test]
+    fn run_sharded_outputs_in_shard_order() {
+        let shards: Vec<Vec<i64>> = vec![vec![1, 2], vec![3], vec![], vec![4, 5]];
+        let sums = run_sharded(shards, |i, shard: Vec<i64>| {
+            (i, shard.iter().sum::<i64>())
+        });
+        assert_eq!(sums, vec![(0, 3), (1, 3), (2, 0), (3, 9)]);
+    }
+
+    #[test]
+    fn effective_shards_gates_on_threads_and_size() {
+        let serial = ParallelConfig::serial();
+        assert_eq!(serial.effective_shards(1_000), 1);
+        let p4 = ParallelConfig::with_threads(4);
+        assert_eq!(p4.effective_shards(1_000), 4);
+        assert_eq!(p4.effective_shards(3), 1); // below min_shard_rows
+        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+    }
+}

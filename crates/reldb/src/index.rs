@@ -34,21 +34,29 @@ impl SecondaryIndex {
         &self.cols
     }
 
-    /// Register `row` (with primary key `pk`) in the index.
-    pub fn insert(&mut self, pk: &Key, row: &Row) {
+    /// Register `row` (with primary key `pk`) in the index. Takes the
+    /// key by value: the postings list stores an owned copy anyway, so
+    /// callers that own a spare `Key` hand it over instead of paying a
+    /// forced clone inside the index.
+    pub fn insert(&mut self, pk: Key, row: &Row) {
         let k = row.key(&self.cols);
-        self.map.entry(k).or_default().push(pk.clone());
+        self.map.entry(k).or_default().push(pk);
     }
 
-    /// Remove `row` (with primary key `pk`) from the index.
+    /// Remove `row` (with primary key `pk`) from the index. A single
+    /// hash via the entry API: the postings `Vec` is dropped in place
+    /// when it empties instead of being re-found and removed by a
+    /// second probe.
     pub fn remove(&mut self, pk: &Key, row: &Row) {
-        let k = row.key(&self.cols);
-        if let Some(v) = self.map.get_mut(&k) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) =
+            self.map.entry(row.key(&self.cols))
+        {
+            let v = e.get_mut();
             if let Some(pos) = v.iter().position(|p| p == pk) {
                 v.swap_remove(pos);
             }
             if v.is_empty() {
-                self.map.remove(&k);
+                e.remove();
             }
         }
     }
@@ -79,9 +87,9 @@ mod tests {
         let r1 = row![1, "phone"];
         let r2 = row![2, "phone"];
         let r3 = row![3, "tablet"];
-        ix.insert(&pk(1), &r1);
-        ix.insert(&pk(2), &r2);
-        ix.insert(&pk(3), &r3);
+        ix.insert(pk(1), &r1);
+        ix.insert(pk(2), &r2);
+        ix.insert(pk(3), &r3);
 
         let probe = Key(vec![idivm_types::Value::str("phone")]);
         let mut hits: Vec<_> = ix.get(&probe).to_vec();
@@ -106,7 +114,7 @@ mod tests {
     fn multi_column_index() {
         let mut ix = SecondaryIndex::new(vec![0, 1]);
         let r = row![1, "a", 10];
-        ix.insert(&pk(7), &r);
+        ix.insert(pk(7), &r);
         let probe = Key(vec![idivm_types::Value::Int(1), idivm_types::Value::str("a")]);
         assert_eq!(ix.get(&probe), &[pk(7)]);
     }

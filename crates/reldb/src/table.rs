@@ -85,7 +85,7 @@ impl Table {
         }
         let mut ix = SecondaryIndex::new(positions);
         for (pk, row) in &self.rows {
-            ix.insert(pk, row);
+            ix.insert(pk.clone(), row);
         }
         self.indexes.push(ix);
     }
@@ -225,7 +225,7 @@ impl Table {
         }
         self.stats.tuples(1);
         for ix in &mut self.indexes {
-            ix.insert(&pk, &row);
+            ix.insert(pk.clone(), &row);
         }
         self.rows.insert(pk, row);
         Ok(())
@@ -245,7 +245,7 @@ impl Table {
             )));
         }
         for ix in &mut self.indexes {
-            ix.insert(&pk, &row);
+            ix.insert(pk.clone(), &row);
         }
         self.rows.insert(pk, row);
         Ok(())
@@ -285,10 +285,10 @@ impl Table {
         })?;
         self.stats.tuples(1);
         let pre = std::mem::replace(slot, post);
-        let post_ref = self.rows[key].clone();
+        let post_ref = &self.rows[key];
         for ix in &mut self.indexes {
             ix.remove(key, &pre);
-            ix.insert(key, &post_ref);
+            ix.insert(key.clone(), post_ref);
         }
         Ok(pre)
     }
@@ -333,17 +333,17 @@ impl Table {
     pub fn patch(&mut self, pk: &Key, assignments: &[(usize, Value)]) -> Option<Row> {
         let slot = self.rows.get_mut(pk)?;
         self.stats.tuples(1);
-        let pre = slot.clone();
-        let mut post = pre.clone();
+        let mut post = slot.clone();
         for (col, v) in assignments {
             if !self.schema.is_key_col(*col) {
                 post.0[*col] = v.clone();
             }
         }
-        *slot = post.clone();
+        let pre = std::mem::replace(slot, post);
+        let post_ref = &self.rows[pk];
         for ix in &mut self.indexes {
             ix.remove(pk, &pre);
-            ix.insert(pk, &post);
+            ix.insert(pk.clone(), post_ref);
         }
         Some(pre)
     }
@@ -372,7 +372,7 @@ impl Table {
             None => {
                 self.stats.tuples(1);
                 for ix in &mut self.indexes {
-                    ix.insert(&pk, &row);
+                    ix.insert(pk.clone(), &row);
                 }
                 self.rows.insert(pk, row);
                 Ok(true)

@@ -6,7 +6,7 @@ use idivm_algebra::{ensure_ids, Plan};
 use idivm_core::access::{AccessCtx, PathId};
 use idivm_core::engine::ensure_probe_indexes;
 use idivm_core::MaintenanceReport;
-use idivm_exec::materialize_view;
+use idivm_exec::{materialize_view, ParallelConfig};
 use idivm_reldb::Database;
 use idivm_types::Result;
 use std::collections::HashMap;
@@ -22,6 +22,7 @@ use std::time::Instant;
 pub struct TupleIvm {
     view_name: String,
     plan: Plan,
+    parallel: ParallelConfig,
 }
 
 impl TupleIvm {
@@ -37,7 +38,14 @@ impl TupleIvm {
         Ok(TupleIvm {
             view_name: view_name.to_string(),
             plan,
+            parallel: ParallelConfig::serial(),
         })
+    }
+
+    /// Set the partitioned-propagation configuration (serial by
+    /// default). Access counts are bit-identical for any thread count.
+    pub fn set_parallel(&mut self, parallel: ParallelConfig) {
+        self.parallel = parallel;
     }
 
     /// The maintained view's name.
@@ -97,6 +105,7 @@ impl TupleIvm {
             let ctx = TupleCtx {
                 access: &access,
                 view_name: &self.view_name,
+                parallel: self.parallel,
             };
             walk(&ctx, &self.plan, &PathId::new(), &base_diffs)?
         };

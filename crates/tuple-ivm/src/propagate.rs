@@ -12,6 +12,7 @@ use idivm_algebra::{AggFunc, Expr, Plan};
 use idivm_core::access::{self, AccessCtx, PathId};
 use idivm_core::diff::State;
 use idivm_exec::executor::project_row;
+use idivm_exec::partition::{run_sharded, shard_by, stable_hash_key, stable_hash_row, ParallelConfig};
 use idivm_types::{Key, Result, Row, Value};
 use std::collections::{BTreeSet, HashMap};
 
@@ -24,6 +25,36 @@ pub struct TupleCtx<'a> {
     /// Name of the materialized view (old aggregate values are read
     /// from it when the *root* operator is an incremental aggregate).
     pub view_name: &'a str,
+    /// Partitioned propagation configuration — mirrors the ID-based
+    /// engine's sharding so parallel i-diff/t-diff access-ratio
+    /// comparisons stay apples-to-apples.
+    pub parallel: ParallelConfig,
+}
+
+/// Hash-partition t-diffs by the diff side's ID projection. Rows with
+/// the same ID land in the same shard (IDs are immutable, so update
+/// pairs shard by their pre row); shard outputs are merged in shard
+/// order by the callers.
+fn shard_tdiffs(d: TDiffs, shards_n: usize, id_cols: &[usize]) -> Vec<TDiffs> {
+    if shards_n <= 1 {
+        return vec![d];
+    }
+    let n = shards_n as u64;
+    let mut out: Vec<TDiffs> = (0..shards_n).map(|_| TDiffs::default()).collect();
+    for r in d.inserts {
+        let s = (stable_hash_row(&r, id_cols) % n) as usize;
+        out[s].inserts.push(r);
+    }
+    for r in d.deletes {
+        let s = (stable_hash_row(&r, id_cols) % n) as usize;
+        out[s].deletes.push(r);
+    }
+    for (p, q) in d.updates {
+        let s = (stable_hash_row(&p, id_cols) % n) as usize;
+        out[s].updates.push((p, q));
+    }
+    out.retain(|t| !t.is_empty());
+    out
 }
 
 /// Propagate the per-side child t-diffs through `node`.
@@ -200,79 +231,96 @@ fn join_side(
             }
         }
     }
-    let mut out = TDiffs::default();
-    for r in &d.inserts {
-        for m in probe(r, State::Post)? {
-            if let Some(j) = combine(r, &m) {
-                out.inserts.push(j);
-            }
-        }
-    }
-    for r in &d.deletes {
-        // Reconstruct the vanished view tuples against the other side's
-        // *pre-state* (they were built from it).
-        for m in probe(r, State::Pre)? {
-            if let Some(j) = combine(r, &m) {
-                out.deletes.push(j);
-            }
-        }
-    }
-    for (pre, post) in &d.updates {
-        let touched = cond.iter().any(|&c| pre[c] != post[c]);
-        if touched {
-            for m in probe(pre, State::Pre)? {
-                if let Some(j) = combine(pre, &m) {
-                    out.deletes.push(j);
-                }
-            }
-            for m in probe(post, State::Post)? {
-                if let Some(j) = combine(post, &m) {
+    let oc = other_changed(ctx, other);
+    // Every diff row probes and emits independently (the cross-row
+    // pairing in the `other_changed` branch only compares matches of a
+    // *single* update pair), so the batch shards cleanly by this side's
+    // ID projection.
+    let process = |chunk: &TDiffs| -> Result<TDiffs> {
+        let mut out = TDiffs::default();
+        for r in &chunk.inserts {
+            for m in probe(r, State::Post)? {
+                if let Some(j) = combine(r, &m) {
                     out.inserts.push(j);
                 }
             }
-        } else if other_changed(ctx, other) {
-            // The opposite side changed in the same round: its pre- and
-            // post-match sets can differ, so pair matches by the other
-            // side's IDs and emit precise insert/delete/update splits.
-            let other_ids = idivm_algebra::infer_ids(other)?;
-            let pre_matches = probe(pre, State::Pre)?;
-            let post_matches = probe(post, State::Post)?;
-            for m in &post_matches {
-                let mk = m.key(&other_ids);
-                let was = pre_matches.iter().find(|p| p.key(&other_ids) == mk);
-                match was {
-                    Some(mp) => {
-                        let (jp, jq) = pair(side, pre, mp, post, m);
-                        if residual.is_none_or(|e| e.eval_pred(&jq)) {
-                            out.updates.push((jp, jq));
-                        }
-                    }
-                    None => {
-                        if let Some(j) = combine(post, m) {
-                            out.inserts.push(j);
-                        }
-                    }
-                }
-            }
-            for mp in &pre_matches {
-                let mk = mp.key(&other_ids);
-                if !post_matches.iter().any(|m| m.key(&other_ids) == mk) {
-                    if let Some(j) = combine(pre, mp) {
-                        out.deletes.push(j);
-                    }
-                }
-            }
-        } else {
-            // Opposite side untouched: one probe reconstructs both
-            // states (the paper's single diff-driven loop, `a` accesses
-            // per diff tuple).
-            for m in probe(post, State::Post)? {
-                let (jp, jq) = pair(side, pre, &m, post, &m);
-                if residual.is_none_or(|e| e.eval_pred(&jq)) {
-                    out.updates.push((jp, jq));
+        }
+        for r in &chunk.deletes {
+            // Reconstruct the vanished view tuples against the other
+            // side's *pre-state* (they were built from it).
+            for m in probe(r, State::Pre)? {
+                if let Some(j) = combine(r, &m) {
+                    out.deletes.push(j);
                 }
             }
         }
+        for (pre, post) in &chunk.updates {
+            let touched = cond.iter().any(|&c| pre[c] != post[c]);
+            if touched {
+                for m in probe(pre, State::Pre)? {
+                    if let Some(j) = combine(pre, &m) {
+                        out.deletes.push(j);
+                    }
+                }
+                for m in probe(post, State::Post)? {
+                    if let Some(j) = combine(post, &m) {
+                        out.inserts.push(j);
+                    }
+                }
+            } else if oc {
+                // The opposite side changed in the same round: its pre-
+                // and post-match sets can differ, so pair matches by the
+                // other side's IDs and emit precise insert/delete/update
+                // splits.
+                let other_ids = idivm_algebra::infer_ids(other)?;
+                let pre_matches = probe(pre, State::Pre)?;
+                let post_matches = probe(post, State::Post)?;
+                for m in &post_matches {
+                    let mk = m.key(&other_ids);
+                    let was = pre_matches.iter().find(|p| p.key(&other_ids) == mk);
+                    match was {
+                        Some(mp) => {
+                            let (jp, jq) = pair(side, pre, mp, post, m);
+                            if residual.is_none_or(|e| e.eval_pred(&jq)) {
+                                out.updates.push((jp, jq));
+                            }
+                        }
+                        None => {
+                            if let Some(j) = combine(post, m) {
+                                out.inserts.push(j);
+                            }
+                        }
+                    }
+                }
+                for mp in &pre_matches {
+                    let mk = mp.key(&other_ids);
+                    if !post_matches.iter().any(|m| m.key(&other_ids) == mk) {
+                        if let Some(j) = combine(pre, mp) {
+                            out.deletes.push(j);
+                        }
+                    }
+                }
+            } else {
+                // Opposite side untouched: one probe reconstructs both
+                // states (the paper's single diff-driven loop, `a`
+                // accesses per diff tuple).
+                for m in probe(post, State::Post)? {
+                    let (jp, jq) = pair(side, pre, &m, post, &m);
+                    if residual.is_none_or(|e| e.eval_pred(&jq)) {
+                        out.updates.push((jp, jq));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    };
+    let shards_n = ctx.parallel.effective_shards(d.len());
+    let this_ids = idivm_algebra::infer_ids(if side == 0 { left } else { right })?;
+    let mut out = TDiffs::default();
+    for r in run_sharded(shard_tdiffs(d, shards_n, &this_ids), |_, chunk| {
+        process(&chunk)
+    }) {
+        out.absorb(r?);
     }
     Ok(out)
 }
@@ -323,24 +371,35 @@ fn semi_side(
         Ok(matched == keep_matched)
     };
     let mut out = TDiffs::default();
-    // Left diffs: membership decides survival.
-    for r in &dl.inserts {
-        if member(r, State::Post)? {
-            out.inserts.push(r.clone());
+    // Left diffs: membership decides survival — one membership probe
+    // per diff row, no cross-row state, so the batch shards by the left
+    // side's ID projection. (Right diffs below dedupe affected left
+    // rows across the whole diff and stay serial.)
+    let shards_n = ctx.parallel.effective_shards(dl.len());
+    let left_ids = idivm_algebra::infer_ids(left)?;
+    for r in run_sharded(shard_tdiffs(dl, shards_n, &left_ids), |_, chunk| {
+        let mut o = TDiffs::default();
+        for r in &chunk.inserts {
+            if member(r, State::Post)? {
+                o.inserts.push(r.clone());
+            }
         }
-    }
-    for r in &dl.deletes {
-        if member(r, State::Pre)? {
-            out.deletes.push(r.clone());
+        for r in &chunk.deletes {
+            if member(r, State::Pre)? {
+                o.deletes.push(r.clone());
+            }
         }
-    }
-    for (pre, post) in &dl.updates {
-        match (member(pre, State::Pre)?, member(post, State::Post)?) {
-            (true, true) => out.updates.push((pre.clone(), post.clone())),
-            (true, false) => out.deletes.push(pre.clone()),
-            (false, true) => out.inserts.push(post.clone()),
-            (false, false) => {}
+        for (pre, post) in &chunk.updates {
+            match (member(pre, State::Pre)?, member(post, State::Post)?) {
+                (true, true) => o.updates.push((pre.clone(), post.clone())),
+                (true, false) => o.deletes.push(pre.clone()),
+                (false, true) => o.inserts.push(post.clone()),
+                (false, false) => {}
+            }
         }
+        Ok::<_, idivm_types::Error>(o)
+    }) {
+        out.absorb(r?);
     }
     // Right diffs: membership of matching left rows may flip.
     let mut affected: Vec<Row> = Vec::new();
@@ -416,29 +475,43 @@ fn group_by(
         affected.insert(p.key(keys));
         affected.insert(q.key(keys));
     }
+    // Each affected group recomputes independently (two member lookups,
+    // one aggregate fold): shard the sorted group list by group key and
+    // merge shard outputs in shard order.
+    let affected: Vec<Key> = affected.into_iter().collect();
+    let shards_n = ctx.parallel.effective_shards(affected.len());
     let mut out = TDiffs::default();
-    for gk in affected {
-        let pre_members =
-            access::lookup(ctx.access, input, &ipath, State::Pre, keys, &gk)?;
-        let post_members =
-            access::lookup(ctx.access, input, &ipath, State::Post, keys, &gk)?;
-        let mk = |members: &[Row]| -> Row {
-            let mut r = gk.clone().into_row();
-            r.0.extend(aggs.iter().map(|a| aggregate_rows(a, members)));
-            r
-        };
-        match (pre_members.is_empty(), post_members.is_empty()) {
-            (true, true) => {}
-            (true, false) => out.inserts.push(mk(&post_members)),
-            (false, true) => out.deletes.push(mk(&pre_members)),
-            (false, false) => {
-                let pre = mk(&pre_members);
-                let post = mk(&post_members);
-                if pre != post {
-                    out.updates.push((pre, post));
+    for r in run_sharded(
+        shard_by(affected, shards_n, stable_hash_key),
+        |_, chunk: Vec<Key>| {
+            let mut o = TDiffs::default();
+            for gk in chunk {
+                let pre_members =
+                    access::lookup(ctx.access, input, &ipath, State::Pre, keys, &gk)?;
+                let post_members =
+                    access::lookup(ctx.access, input, &ipath, State::Post, keys, &gk)?;
+                let mk = |members: &[Row]| -> Row {
+                    let mut r = gk.clone().into_row();
+                    r.0.extend(aggs.iter().map(|a| aggregate_rows(a, members)));
+                    r
+                };
+                match (pre_members.is_empty(), post_members.is_empty()) {
+                    (true, true) => {}
+                    (true, false) => o.inserts.push(mk(&post_members)),
+                    (false, true) => o.deletes.push(mk(&pre_members)),
+                    (false, false) => {
+                        let pre = mk(&pre_members);
+                        let post = mk(&post_members);
+                        if pre != post {
+                            o.updates.push((pre, post));
+                        }
+                    }
                 }
             }
-        }
+            Ok::<_, idivm_types::Error>(o)
+        },
+    ) {
+        out.absorb(r?);
     }
     let _ = node;
     Ok(out)
@@ -522,42 +595,58 @@ fn group_by_deltas(
         );
     }
     // Convert deltas to view diffs by consulting the view's old rows.
+    // Sort groups by key first: HashMap iteration order would otherwise
+    // vary per process, and the sorted list gives every thread count the
+    // same canonical emission order. Each group converts independently
+    // (one view lookup, at most one member probe), so the list shards.
     let view = ctx.access.db.table(ctx.view_name)?;
     let key_cols: Vec<usize> = (0..keys.len()).collect();
+    let mut entries: Vec<(Key, (Vec<Value>, bool))> = deltas.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let shards_n = ctx.parallel.effective_shards(entries.len());
     let mut out = TDiffs::default();
-    for (gk, (delta, had_delete)) in deltas {
-        let old = view.lookup(&key_cols, &gk);
-        match old.first() {
-            Some(old_row) => {
-                if had_delete {
-                    let members = access::lookup(
-                        ctx.access,
-                        input,
-                        ipath,
-                        State::Post,
-                        keys,
-                        &gk,
-                    )?;
-                    if members.is_empty() {
-                        out.deletes.push(old_row.clone());
-                        continue;
+    for r in run_sharded(
+        shard_by(entries, shards_n, |(gk, _)| stable_hash_key(gk)),
+        |_, chunk: Vec<(Key, (Vec<Value>, bool))>| {
+            let mut o = TDiffs::default();
+            for (gk, (delta, had_delete)) in chunk {
+                let old = view.lookup(&key_cols, &gk);
+                match old.first() {
+                    Some(old_row) => {
+                        if had_delete {
+                            let members = access::lookup(
+                                ctx.access,
+                                input,
+                                ipath,
+                                State::Post,
+                                keys,
+                                &gk,
+                            )?;
+                            if members.is_empty() {
+                                o.deletes.push(old_row.clone());
+                                continue;
+                            }
+                        }
+                        if delta.iter().all(is_zero) {
+                            continue;
+                        }
+                        let mut post = old_row.clone();
+                        for (i, dv) in delta.iter().enumerate() {
+                            post.0[keys.len() + i] = old_row[keys.len() + i].add(dv);
+                        }
+                        o.updates.push((old_row.clone(), post));
+                    }
+                    None => {
+                        let mut r = gk.into_row();
+                        r.0.extend(delta);
+                        o.inserts.push(r);
                     }
                 }
-                if delta.iter().all(is_zero) {
-                    continue;
-                }
-                let mut post = old_row.clone();
-                for (i, dv) in delta.iter().enumerate() {
-                    post.0[keys.len() + i] = old_row[keys.len() + i].add(dv);
-                }
-                out.updates.push((old_row.clone(), post));
             }
-            None => {
-                let mut r = gk.into_row();
-                r.0.extend(delta);
-                out.inserts.push(r);
-            }
-        }
+            Ok::<_, idivm_types::Error>(o)
+        },
+    ) {
+        out.absorb(r?);
     }
     Ok(out)
 }

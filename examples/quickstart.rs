@@ -112,8 +112,13 @@ fn main() -> idivm_types::Result<()> {
     )?;
 
     db.stats().reset();
-    let report_v = ivm_v.maintain(&mut db)?;
-    let report_vagg = ivm_vagg.maintain(&mut db)?;
+    // Both views share one deferred round: fold the log once and hand
+    // the same change set to each engine (`maintain` would consume the
+    // log on the first call, leaving nothing for the second view).
+    let net = db.fold_log();
+    db.clear_log();
+    let report_v = ivm_v.maintain_with_changes(&mut db, &net)?;
+    let report_vagg = ivm_vagg.maintain_with_changes(&mut db, &net)?;
 
     print_view(&db, "V")?;
     print_view(&db, "Vagg")?;

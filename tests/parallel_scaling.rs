@@ -1,0 +1,350 @@
+//! Determinism and correctness of the partitioned parallel executor.
+//!
+//! The contract of [`ParallelConfig`]: sharding the effective diff
+//! batch across worker threads regroups the per-row/per-group work but
+//! never changes *which* probes run — so access counts (the paper's
+//! cost unit) are bit-identical for any thread count, and the
+//! maintained view equals the full-recomputation oracle.
+//!
+//! Three layers of evidence:
+//!
+//! * a property test over random mixed modification batches
+//!   (inserts/deletes/updates across all three running-example tables)
+//!   comparing P = 1 against P = 4 snapshot-for-snapshot;
+//! * the Figure 10 workload (BSMA Q10) at small scale, both engines;
+//! * the Figure 12 workload (running-example SPJ + aggregate sweeps).
+
+use idivm_repro::core::{IdIvm, IvmOptions};
+use idivm_repro::exec::{executor::sorted, recompute_rows, ParallelConfig};
+use idivm_repro::reldb::{Database, StatsSnapshot};
+use idivm_repro::tuple::TupleIvm;
+use idivm_repro::types::{row, ColumnType, Key, Schema, Value};
+use idivm_repro::workloads::bsma::{Bsma, BsmaQuery};
+use idivm_repro::workloads::RunningExample;
+use proptest::prelude::*;
+
+/// Four workers, sharding even tiny batches (the default
+/// `min_shard_rows` gate would keep property-test-sized diffs serial).
+fn four_threads() -> ParallelConfig {
+    ParallelConfig {
+        threads: 4,
+        min_shard_rows: 2,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property test: P=1 vs P=4 on mixed batches, snapshot for snapshot.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Mutation {
+    InsertPart { pid: u8, price: i64 },
+    DeletePart { pid: u8 },
+    UpdatePrice { pid: u8, price: i64 },
+    InsertLink { did: u8, pid: u8 },
+    DeleteLink { did: u8, pid: u8 },
+    FlipCategory { did: u8 },
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0u8..12, 1i64..50).prop_map(|(pid, price)| Mutation::InsertPart { pid, price }),
+        (0u8..12).prop_map(|pid| Mutation::DeletePart { pid }),
+        (0u8..12, 1i64..50).prop_map(|(pid, price)| Mutation::UpdatePrice { pid, price }),
+        (0u8..6, 0u8..12).prop_map(|(did, pid)| Mutation::InsertLink { did, pid }),
+        (0u8..6, 0u8..12).prop_map(|(did, pid)| Mutation::DeleteLink { did, pid }),
+        (0u8..6).prop_map(|did| Mutation::FlipCategory { did }),
+    ]
+}
+
+fn pid(n: u8) -> String {
+    format!("P{n}")
+}
+
+fn did(n: u8) -> String {
+    format!("D{n}")
+}
+
+fn apply_mutation(db: &mut Database, m: &Mutation) {
+    match m {
+        Mutation::InsertPart { pid: p, price } => {
+            let _ = db.insert("parts", row![pid(*p).as_str(), *price]);
+        }
+        Mutation::DeletePart { pid: p } => {
+            let _ = db.delete("parts", &Key(vec![Value::str(pid(*p))]));
+        }
+        Mutation::UpdatePrice { pid: p, price } => {
+            let _ = db.update_named(
+                "parts",
+                &Key(vec![Value::str(pid(*p))]),
+                &[("price", Value::Int(*price))],
+            );
+        }
+        Mutation::InsertLink { did: d, pid: p } => {
+            let _ = db.insert("devices_parts", row![did(*d).as_str(), pid(*p).as_str()]);
+        }
+        Mutation::DeleteLink { did: d, pid: p } => {
+            let _ = db.delete(
+                "devices_parts",
+                &Key(vec![Value::str(did(*d)), Value::str(pid(*p))]),
+            );
+        }
+        Mutation::FlipCategory { did: d } => {
+            let key = Key(vec![Value::str(did(*d))]);
+            let current = db
+                .table("devices")
+                .unwrap()
+                .get_uncounted(&key)
+                .map(|r| r[1].clone());
+            if let Some(Value::Str(s)) = current {
+                let new = if &*s == "phone" { "tablet" } else { "phone" };
+                let _ = db.update_named("devices", &key, &[("category", Value::str(new))]);
+            }
+        }
+    }
+}
+
+fn setup_db() -> Database {
+    let mut db = Database::new();
+    db.set_logging(false);
+    db.create_table(
+        "parts",
+        Schema::from_pairs(
+            &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+            &["pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "devices",
+        Schema::from_pairs(
+            &[("did", ColumnType::Str), ("category", ColumnType::Str)],
+            &["did"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "devices_parts",
+        Schema::from_pairs(
+            &[("did", ColumnType::Str), ("pid", ColumnType::Str)],
+            &["did", "pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for p in 0..8u8 {
+        db.insert("parts", row![pid(p).as_str(), (p as i64 + 1) * 10])
+            .unwrap();
+    }
+    for d in 0..6u8 {
+        let cat = if d % 2 == 0 { "phone" } else { "tablet" };
+        db.insert("devices", row![did(d).as_str(), cat]).unwrap();
+    }
+    for d in 0..6u8 {
+        for p in 0..4u8 {
+            let _ = db.insert(
+                "devices_parts",
+                row![did(d).as_str(), pid((d + p) % 8).as_str()],
+            );
+        }
+    }
+    db.set_logging(true);
+    db
+}
+
+fn agg_view(db: &Database) -> idivm_repro::algebra::Plan {
+    use idivm_repro::algebra::{AggFunc, PlanBuilder};
+    use idivm_repro::exec::DbCatalog;
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "parts")
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&cat, "devices_parts").unwrap(),
+            &[("parts.pid", "devices_parts.pid")],
+        )
+        .unwrap()
+        .join(
+            PlanBuilder::scan(&cat, "devices").unwrap(),
+            &[("devices_parts.did", "devices.did")],
+        )
+        .unwrap()
+        .select_eq("devices.category", "phone")
+        .unwrap()
+        .group_by(
+            &["devices_parts.did"],
+            &[
+                (AggFunc::Sum, "parts.price", "cost"),
+                (AggFunc::Count, "parts.pid", "n_parts"),
+            ],
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// Run the batches at a thread count; return per-round (diff, apply)
+/// snapshots and the final sorted view.
+fn run_id_ivm(
+    parallel: ParallelConfig,
+    batches: &[Vec<Mutation>],
+) -> (Vec<(StatsSnapshot, StatsSnapshot)>, Vec<idivm_repro::types::Row>) {
+    let mut db = setup_db();
+    let plan = agg_view(&db);
+    let opts = IvmOptions {
+        parallel,
+        ..IvmOptions::default()
+    };
+    let ivm = IdIvm::setup(&mut db, "V", plan, opts).unwrap();
+    let mut snaps = Vec::new();
+    for batch in batches {
+        for m in batch {
+            apply_mutation(&mut db, m);
+        }
+        let report = ivm.maintain(&mut db).unwrap();
+        snaps.push((report.diff_compute, report.view_update));
+    }
+    (snaps, sorted(db.table("V").unwrap().rows_uncounted()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// AccessStats are identical for P=1 vs P=4 on mixed batches, and
+    /// the maintained views agree.
+    #[test]
+    fn access_stats_identical_p1_vs_p4(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(mutation_strategy(), 1..10), 1..4),
+    ) {
+        let (serial, view_serial) = run_id_ivm(ParallelConfig::serial(), &batches);
+        let (sharded, view_sharded) = run_id_ivm(four_threads(), &batches);
+        prop_assert_eq!(&serial, &sharded,
+            "access snapshots diverged between P=1 and P=4");
+        prop_assert_eq!(&view_serial, &view_sharded);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 workload (BSMA) — counts identical, view matches oracle.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig10_bsma_parallel_counts_and_oracle() {
+    let cfg = Bsma {
+        scale: 0.05,
+        seed: 2015,
+    };
+    for q in BsmaQuery::ALL {
+        let mut per_thread: Vec<(Vec<StatsSnapshot>, Vec<idivm_repro::types::Row>)> = Vec::new();
+        for parallel in [ParallelConfig::serial(), four_threads()] {
+            let mut db = cfg.build().unwrap();
+            let plan = cfg.plan(&db, q).unwrap();
+            let opts = IvmOptions {
+                parallel,
+                ..IvmOptions::default()
+            };
+            let ivm = IdIvm::setup(&mut db, "V", plan, opts).unwrap();
+            let mut snaps = Vec::new();
+            for round in 0..2u64 {
+                cfg.user_update_batch(&mut db, 40, round).unwrap();
+                let report = ivm.maintain(&mut db).unwrap();
+                snaps.push(report.diff_compute);
+                snaps.push(report.cache_update);
+                snaps.push(report.view_update);
+            }
+            // Differential: parallel maintenance == full recomputation.
+            let expected = sorted(recompute_rows(&db, ivm.plan()).unwrap());
+            let actual = sorted(db.table("V").unwrap().rows_uncounted());
+            assert_eq!(actual, expected, "{q:?} at {parallel:?} diverged from oracle");
+            per_thread.push((snaps, actual));
+        }
+        assert_eq!(
+            per_thread[0].0, per_thread[1].0,
+            "{q:?}: access snapshots differ between P=1 and P=4"
+        );
+        assert_eq!(per_thread[0].1, per_thread[1].1);
+    }
+}
+
+#[test]
+fn fig10_bsma_tuple_engine_parallel_counts_and_oracle() {
+    let cfg = Bsma {
+        scale: 0.05,
+        seed: 2015,
+    };
+    let mut per_thread: Vec<(Vec<StatsSnapshot>, Vec<idivm_repro::types::Row>)> = Vec::new();
+    for parallel in [ParallelConfig::serial(), four_threads()] {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, BsmaQuery::Q10).unwrap();
+        let mut ivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+        ivm.set_parallel(parallel);
+        let mut snaps = Vec::new();
+        for round in 0..2u64 {
+            cfg.user_update_batch(&mut db, 40, round).unwrap();
+            let report = ivm.maintain(&mut db).unwrap();
+            snaps.push(report.diff_compute);
+            snaps.push(report.view_update);
+        }
+        let expected = sorted(recompute_rows(&db, ivm.plan()).unwrap());
+        let actual = sorted(db.table("V").unwrap().rows_uncounted());
+        assert_eq!(actual, expected, "tuple engine at {parallel:?} diverged from oracle");
+        per_thread.push((snaps, actual));
+    }
+    assert_eq!(
+        per_thread[0].0, per_thread[1].0,
+        "tuple engine: access snapshots differ between P=1 and P=4"
+    );
+    assert_eq!(per_thread[0].1, per_thread[1].1);
+}
+
+// ---------------------------------------------------------------------
+// Figure 12 workload (running example) — counts identical, oracle.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig12_running_example_parallel_counts_and_oracle() {
+    let cfg = RunningExample {
+        n_parts: 120,
+        n_devices: 90,
+        fanout: 3,
+        selectivity_pct: 30,
+        joins: 2,
+        seed: 7,
+    };
+    for aggregate in [false, true] {
+        let mut per_thread: Vec<(Vec<u64>, Vec<idivm_repro::types::Row>)> = Vec::new();
+        for parallel in [ParallelConfig::serial(), four_threads()] {
+            let mut db = cfg.build().unwrap();
+            let plan = if aggregate {
+                cfg.agg_plan(&db).unwrap()
+            } else {
+                cfg.spj_plan(&db).unwrap()
+            };
+            let opts = IvmOptions {
+                parallel,
+                ..IvmOptions::default()
+            };
+            let ivm = IdIvm::setup(&mut db, "V", plan, opts).unwrap();
+            let mut costs = Vec::new();
+            // Mixed rounds: updates then inserts (the fig12 sweeps).
+            cfg.price_update_batch(&mut db, 30, 0).unwrap();
+            costs.push(ivm.maintain(&mut db).unwrap().total_accesses());
+            cfg.link_insert_batch(&mut db, 30, 1).unwrap();
+            costs.push(ivm.maintain(&mut db).unwrap().total_accesses());
+            let expected = sorted(recompute_rows(&db, ivm.plan()).unwrap());
+            let actual = sorted(db.table("V").unwrap().rows_uncounted());
+            assert_eq!(
+                actual, expected,
+                "aggregate={aggregate} at {parallel:?} diverged from oracle"
+            );
+            per_thread.push((costs, actual));
+        }
+        assert_eq!(
+            per_thread[0].0, per_thread[1].0,
+            "aggregate={aggregate}: access counts differ between P=1 and P=4"
+        );
+        assert_eq!(per_thread[0].1, per_thread[1].1);
+    }
+}
