@@ -9,7 +9,7 @@
 //! planner whether the specialized delta rules apply.
 
 use crate::expr::Expr;
-use idivm_types::{Row, Value};
+use idivm_types::{Result, Row, Value};
 
 /// Aggregate function kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,12 +147,15 @@ impl Accumulator {
 
 /// Evaluate `spec` over a full group of input rows (non-streaming
 /// convenience used by group recomputation rules).
-pub fn aggregate_rows(spec: &AggSpec, rows: &[Row]) -> Value {
+///
+/// # Errors
+/// Argument-expression evaluation failures ([`idivm_types::Error::Type`]).
+pub fn aggregate_rows(spec: &AggSpec, rows: &[Row]) -> Result<Value> {
     let mut acc = Accumulator::new(spec.func);
     for r in rows {
-        acc.update(&spec.arg.eval(r));
+        acc.update(&spec.arg.eval(r)?);
     }
-    acc.finish()
+    Ok(acc.finish())
 }
 
 #[cfg(test)]
@@ -167,16 +170,31 @@ mod tests {
     #[test]
     fn sum_count_avg() {
         let rows = vec![row![10], row![20], row![30]];
-        assert_eq!(aggregate_rows(&spec(AggFunc::Sum), &rows), Value::Int(60));
-        assert_eq!(aggregate_rows(&spec(AggFunc::Count), &rows), Value::Int(3));
-        assert_eq!(aggregate_rows(&spec(AggFunc::Avg), &rows), Value::Int(20));
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Sum), &rows).unwrap(),
+            Value::Int(60)
+        );
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Count), &rows).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Avg), &rows).unwrap(),
+            Value::Int(20)
+        );
     }
 
     #[test]
     fn min_max() {
         let rows = vec![row![7], row![2], row![5]];
-        assert_eq!(aggregate_rows(&spec(AggFunc::Min), &rows), Value::Int(2));
-        assert_eq!(aggregate_rows(&spec(AggFunc::Max), &rows), Value::Int(7));
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Min), &rows).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Max), &rows).unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]
@@ -186,24 +204,36 @@ mod tests {
             row![4],
             idivm_types::Row::new(vec![Value::Null]),
         ];
-        assert_eq!(aggregate_rows(&spec(AggFunc::Sum), &rows), Value::Int(4));
-        assert_eq!(aggregate_rows(&spec(AggFunc::Count), &rows), Value::Int(1));
-        assert_eq!(aggregate_rows(&spec(AggFunc::Avg), &rows), Value::Int(4));
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Sum), &rows).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Count), &rows).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Avg), &rows).unwrap(),
+            Value::Int(4)
+        );
     }
 
     #[test]
     fn empty_group_semantics() {
-        assert!(aggregate_rows(&spec(AggFunc::Sum), &[]).is_null());
-        assert_eq!(aggregate_rows(&spec(AggFunc::Count), &[]), Value::Int(0));
-        assert!(aggregate_rows(&spec(AggFunc::Avg), &[]).is_null());
-        assert!(aggregate_rows(&spec(AggFunc::Min), &[]).is_null());
+        assert!(aggregate_rows(&spec(AggFunc::Sum), &[]).unwrap().is_null());
+        assert_eq!(
+            aggregate_rows(&spec(AggFunc::Count), &[]).unwrap(),
+            Value::Int(0)
+        );
+        assert!(aggregate_rows(&spec(AggFunc::Avg), &[]).unwrap().is_null());
+        assert!(aggregate_rows(&spec(AggFunc::Min), &[]).unwrap().is_null());
     }
 
     #[test]
     fn avg_divides_floats() {
         let rows = vec![row![1.0], row![2.0]];
         assert_eq!(
-            aggregate_rows(&spec(AggFunc::Avg), &rows),
+            aggregate_rows(&spec(AggFunc::Avg), &rows).unwrap(),
             Value::Float(1.5)
         );
     }

@@ -9,7 +9,7 @@
 //! on [`Expr::remap`] to re-express a condition over a diff table's
 //! schema (the `φ(X̄_pre)` / `φ(X̄_post)` rewrites of Tables 6 and 10).
 
-use idivm_types::Value;
+use idivm_types::{Error, Result, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -236,13 +236,23 @@ impl Expr {
     }
 
     /// Evaluate over a row (positional access).
-    pub fn eval(&self, row: &idivm_types::Row) -> Value {
-        match self {
+    ///
+    /// Three-valued NULL logic is preserved: NULL operands yield NULL
+    /// (unknown), never an error. A genuinely non-boolean operand under
+    /// AND/OR/NOT is type confusion and returns [`Error::Type`] instead
+    /// of panicking, so a malformed predicate surfaces as `Err` from
+    /// `maintain()` with the view untouched rather than aborting
+    /// mid-round.
+    ///
+    /// # Errors
+    /// [`Error::Type`] on non-boolean operands of AND/OR/NOT.
+    pub fn eval(&self, row: &idivm_types::Row) -> Result<Value> {
+        Ok(match self {
             Expr::Col(i) => row[*i].clone(),
             Expr::Lit(v) => v.clone(),
             Expr::Bin { op, left, right } => {
-                let l = left.eval(row);
-                let r = right.eval(row);
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
                 match op {
                     BinOp::Add => l.add(&r),
                     BinOp::Sub => l.sub(&r),
@@ -251,8 +261,8 @@ impl Expr {
                 }
             }
             Expr::Cmp { op, left, right } => {
-                let l = left.eval(row);
-                let r = right.eval(row);
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
                 match l.sql_cmp(&r) {
                     None => Value::Null,
                     Some(ord) => Value::Bool(match op {
@@ -268,11 +278,13 @@ impl Expr {
             Expr::And(es) => {
                 let mut saw_null = false;
                 for e in es {
-                    match e.eval(row) {
-                        Value::Bool(false) => return Value::Bool(false),
+                    match e.eval(row)? {
+                        Value::Bool(false) => return Ok(Value::Bool(false)),
                         Value::Null => saw_null = true,
                         Value::Bool(true) => {}
-                        other => panic!("non-boolean in AND: {other:?}"),
+                        other => {
+                            return Err(Error::Type(format!("non-boolean in AND: {other:?}")))
+                        }
                     }
                 }
                 if saw_null {
@@ -284,11 +296,13 @@ impl Expr {
             Expr::Or(es) => {
                 let mut saw_null = false;
                 for e in es {
-                    match e.eval(row) {
-                        Value::Bool(true) => return Value::Bool(true),
+                    match e.eval(row)? {
+                        Value::Bool(true) => return Ok(Value::Bool(true)),
                         Value::Null => saw_null = true,
                         Value::Bool(false) => {}
-                        other => panic!("non-boolean in OR: {other:?}"),
+                        other => {
+                            return Err(Error::Type(format!("non-boolean in OR: {other:?}")))
+                        }
                     }
                 }
                 if saw_null {
@@ -297,23 +311,27 @@ impl Expr {
                     Value::Bool(false)
                 }
             }
-            Expr::Not(e) => match e.eval(row) {
+            Expr::Not(e) => match e.eval(row)? {
                 Value::Bool(b) => Value::Bool(!b),
                 Value::Null => Value::Null,
-                other => panic!("non-boolean in NOT: {other:?}"),
+                other => return Err(Error::Type(format!("non-boolean in NOT: {other:?}"))),
             },
-            Expr::IsNull(e) => Value::Bool(e.eval(row).is_null()),
+            Expr::IsNull(e) => Value::Bool(e.eval(row)?.is_null()),
             Expr::Func { f, args } => {
-                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval(row)).collect::<Result<_>>()?;
                 eval_fn(*f, &vals)
             }
-        }
+        })
     }
 
     /// Evaluate as a predicate: TRUE passes, FALSE and UNKNOWN (NULL)
     /// filter out, per SQL WHERE semantics.
-    pub fn eval_pred(&self, row: &idivm_types::Row) -> bool {
-        matches!(self.eval(row), Value::Bool(true))
+    ///
+    /// # Errors
+    /// [`Error::Type`] on non-boolean operands of AND/OR/NOT.
+    pub fn eval_pred(&self, row: &idivm_types::Row) -> Result<bool> {
+        Ok(matches!(self.eval(row)?, Value::Bool(true)))
     }
 
     /// All input column positions referenced by this expression.
@@ -378,6 +396,18 @@ impl Expr {
                 args: args.iter().map(|e| e.map_cols(f)).collect(),
             },
         }
+    }
+}
+
+/// Evaluate an optional predicate (e.g. a join residual): `None` means
+/// TRUE, `Some(pred)` follows [`Expr::eval_pred`] WHERE semantics.
+///
+/// # Errors
+/// [`Error::Type`] on non-boolean operands of AND/OR/NOT.
+pub fn opt_pred(pred: Option<&Expr>, row: &idivm_types::Row) -> Result<bool> {
+    match pred {
+        None => Ok(true),
+        Some(e) => e.eval_pred(row),
     }
 }
 
@@ -478,21 +508,21 @@ mod tests {
     fn arithmetic_and_comparison() {
         let r = row![3, 4];
         let e = Expr::col(0).add(Expr::col(1)); // 3 + 4
-        assert_eq!(e.eval(&r), Value::Int(7));
+        assert_eq!(e.eval(&r).unwrap(), Value::Int(7));
         let p = Expr::col(0).lt(Expr::col(1));
-        assert!(p.eval_pred(&r));
+        assert!(p.eval_pred(&r).unwrap());
         let p = Expr::col(0).ge(Expr::col(1));
-        assert!(!p.eval_pred(&r));
+        assert!(!p.eval_pred(&r).unwrap());
     }
 
     #[test]
     fn null_is_filtered_by_predicates() {
         let r = idivm_types::Row::new(vec![Value::Null, Value::Int(1)]);
         let p = Expr::col(0).eq(Expr::col(1));
-        assert!(!p.eval_pred(&r)); // unknown ⇒ filtered
-        assert_eq!(p.eval(&r), Value::Null);
+        assert!(!p.eval_pred(&r).unwrap()); // unknown ⇒ filtered
+        assert_eq!(p.eval(&r).unwrap(), Value::Null);
         let isnull = Expr::IsNull(Box::new(Expr::col(0)));
-        assert!(isnull.eval_pred(&r));
+        assert!(isnull.eval_pred(&r).unwrap());
     }
 
     #[test]
@@ -501,13 +531,35 @@ mod tests {
         let null_cmp = Expr::col(0).eq(Expr::lit(1));
         // NULL AND FALSE = FALSE
         let e = null_cmp.clone().and(Expr::lit(1).eq(Expr::lit(2)));
-        assert_eq!(e.eval(&r), Value::Bool(false));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(false));
         // NULL OR TRUE = TRUE
         let e = null_cmp.clone().or(Expr::lit(1).eq(Expr::lit(1)));
-        assert_eq!(e.eval(&r), Value::Bool(true));
+        assert_eq!(e.eval(&r).unwrap(), Value::Bool(true));
         // NULL AND TRUE = NULL
         let e = null_cmp.and(Expr::lit(1).eq(Expr::lit(1)));
-        assert_eq!(e.eval(&r), Value::Null);
+        assert_eq!(e.eval(&r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn type_confusion_is_a_typed_error_not_a_panic() {
+        let r = row![3];
+        // Integer column directly under AND/OR/NOT: type confusion.
+        let and = Expr::And(vec![Expr::col(0)]);
+        assert!(matches!(and.eval(&r), Err(Error::Type(_))));
+        let or = Expr::Or(vec![Expr::col(0)]);
+        assert!(matches!(or.eval(&r), Err(Error::Type(_))));
+        let not = Expr::Not(Box::new(Expr::col(0)));
+        assert!(matches!(not.eval(&r), Err(Error::Type(_))));
+        // eval_pred propagates the error instead of panicking.
+        assert!(and.eval_pred(&r).is_err());
+    }
+
+    #[test]
+    fn opt_pred_defaults_to_true() {
+        let r = row![1];
+        assert!(opt_pred(None, &r).unwrap());
+        let p = Expr::col(0).eq(Expr::lit(2));
+        assert!(!opt_pred(Some(&p), &r).unwrap());
     }
 
     #[test]
@@ -515,7 +567,7 @@ mod tests {
         let p = Expr::col(0).lt(Expr::lit(5)).negate();
         assert_eq!(p, Expr::col(0).ge(Expr::lit(5)));
         let r = row![7];
-        assert!(p.eval_pred(&r));
+        assert!(p.eval_pred(&r).unwrap());
         // double negation cancels
         let q = p.clone().negate().negate();
         assert_eq!(q, p);
@@ -546,7 +598,8 @@ mod tests {
                 f: ScalarFn::Abs,
                 args: vec![Expr::col(0)]
             }
-            .eval(&r),
+            .eval(&r)
+            .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
@@ -554,7 +607,8 @@ mod tests {
                 f: ScalarFn::Mod,
                 args: vec![Expr::lit(7), Expr::col(1)]
             }
-            .eval(&r),
+            .eval(&r)
+            .unwrap(),
             Value::Int(1)
         );
         assert_eq!(
@@ -562,7 +616,8 @@ mod tests {
                 f: ScalarFn::Concat,
                 args: vec![Expr::col(2), Expr::lit("!")]
             }
-            .eval(&r),
+            .eval(&r)
+            .unwrap(),
             Value::str("ab!")
         );
         assert_eq!(
@@ -570,7 +625,8 @@ mod tests {
                 f: ScalarFn::Least,
                 args: vec![Expr::lit(4), Expr::lit(9)]
             }
-            .eval(&r),
+            .eval(&r)
+            .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
@@ -578,7 +634,8 @@ mod tests {
                 f: ScalarFn::Greatest,
                 args: vec![Expr::lit(4), Expr::lit(9)]
             }
-            .eval(&r),
+            .eval(&r)
+            .unwrap(),
             Value::Int(9)
         );
     }

@@ -36,10 +36,10 @@ proptest! {
     #[test]
     fn remap_identity_and_composition(e in expr_strategy(), r in row4()) {
         let id = e.remap(&|c| c);
-        prop_assert_eq!(id.eval(&r), e.eval(&r));
+        prop_assert_eq!(id.eval(&r).unwrap(), e.eval(&r).unwrap());
         // Shift by 2 then unshift: needs an 6-wide row for the middle.
         let shifted = e.remap(&|c| c + 2).remap(&|c| c - 2);
-        prop_assert_eq!(shifted.eval(&r), e.eval(&r));
+        prop_assert_eq!(shifted.eval(&r).unwrap(), e.eval(&r).unwrap());
     }
 
     /// Every referenced column is within bounds, and evaluating on a
@@ -55,7 +55,7 @@ proptest! {
                 scrambled.0[c] = Value::Int(noise);
             }
         }
-        prop_assert_eq!(e.eval(&scrambled), e.eval(&r));
+        prop_assert_eq!(e.eval(&scrambled).unwrap(), e.eval(&r).unwrap());
     }
 
     /// Comparison negation is logical complement on non-NULL data.
@@ -69,7 +69,7 @@ proptest! {
             };
             let r = Row(vec![Value::Int(a), Value::Int(b)]);
             let neg = e.clone().negate();
-            prop_assert_eq!(e.eval_pred(&r), !neg.eval_pred(&r));
+            prop_assert_eq!(e.eval_pred(&r).unwrap(), !neg.eval_pred(&r).unwrap());
         }
     }
 }

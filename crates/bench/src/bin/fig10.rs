@@ -4,25 +4,29 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p idivm-bench --bin fig10 [-- --scale N --diffs D]
+//! cargo run --release -p idivm-bench --bin fig10 [-- --scale N --diffs D --smoke]
 //! ```
 //!
 //! Default scale 0.1 keeps the tuple-based baseline's Q*1 run (its
 //! worst case — exactly the paper's point) under two minutes; raise
 //! `--scale` toward 1.0 (= 1/1000 of the paper's data) when patient.
+//! `--smoke` shrinks the data for CI. A final instrumented Q10 round
+//! writes per-operator traces to `BENCH_fig10_trace.json` (schema in
+//! `EXPERIMENTS.md`).
 //!
 //! Paper reference speedups: Q7 29x, Q10 54x, Q11 26x, Q15 4x, Q18 14x,
 //! Q*1 26x, Q*2 7x, Q*3 9x. Absolute values depend on data scale; the
 //! *shape* to check: all > 1, Q10/Q*1 (long chains / late selectivity)
 //! among the highest, Q15 (huge view) the lowest.
 
-use idivm_bench::fmt_row;
-use idivm_core::{IdIvm, IvmOptions};
+use idivm_bench::{fmt_row, traces_to_json, Measured};
+use idivm_core::{IdIvm, IvmOptions, TraceConfig};
 use idivm_tuple::TupleIvm;
 use idivm_workloads::bsma::{Bsma, BsmaQuery};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let get = |flag: &str, default: f64| -> f64 {
         args.iter()
             .position(|a| a == flag)
@@ -30,8 +34,8 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
-    let scale = get("--scale", 0.1);
-    let diffs = get("--diffs", 100.0) as usize;
+    let scale = get("--scale", if smoke { 0.02 } else { 0.1 });
+    let diffs = get("--diffs", if smoke { 20.0 } else { 100.0 }) as usize;
     let cfg = Bsma {
         scale,
         seed: 2015,
@@ -105,4 +109,44 @@ fn main() {
         );
     }
     println!("\npaper (PostgreSQL, full scale): Q7 29x  Q10 54x  Q11 26x  Q15 4x  Q18 14x  Q*1 26x  Q*2 7x  Q*3 9x");
+
+    // Instrumented Q10 round: per-operator trace for both engines.
+    let q = BsmaQuery::Q10;
+    let mut measured = Vec::new();
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, q).unwrap();
+        let opts = IvmOptions {
+            trace: TraceConfig::enabled(),
+            ..IvmOptions::default()
+        };
+        let ivm = IdIvm::setup(&mut db, "V", plan, opts).unwrap();
+        cfg.user_update_batch(&mut db, diffs, 0).unwrap();
+        let _ = ivm.maintain(&mut db).unwrap();
+        cfg.user_update_batch(&mut db, diffs, 1).unwrap();
+        db.stats().reset();
+        let report = ivm.maintain(&mut db).unwrap();
+        measured.push(Measured {
+            label: "ID-based IVM",
+            report,
+        });
+    }
+    {
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.plan(&db, q).unwrap();
+        let mut ivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+        ivm.set_trace(TraceConfig::enabled());
+        cfg.user_update_batch(&mut db, diffs, 0).unwrap();
+        let _ = ivm.maintain(&mut db).unwrap();
+        cfg.user_update_batch(&mut db, diffs, 1).unwrap();
+        db.stats().reset();
+        let report = ivm.maintain(&mut db).unwrap();
+        measured.push(Measured {
+            label: "Tuple-based IVM",
+            report,
+        });
+    }
+    let json = traces_to_json("fig10_q10", &measured);
+    std::fs::write("BENCH_fig10_trace.json", &json).expect("write BENCH_fig10_trace.json");
+    println!("wrote BENCH_fig10_trace.json");
 }

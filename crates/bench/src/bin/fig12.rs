@@ -4,15 +4,22 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p idivm-bench --bin fig12 [-- diff-size|joins|selectivity|fanout|all] [--scale N]
+//! cargo run --release -p idivm-bench --bin fig12 [-- diff-size|joins|selectivity|fanout|all] [--scale N] [--smoke]
 //! ```
 //!
 //! Output: one block per sweep. For each parameter value the cost (in
 //! the paper's access unit) of the four systems, the per-phase
 //! breakdown of A and B (the stacked bars of Figure 12), and the
-//! speedup of ID-based over tuple-based IVM.
+//! speedup of ID-based over tuple-based IVM. A final instrumented round
+//! at the default configuration writes a per-operator trace for all
+//! four systems to `BENCH_fig12_trace.json` (schema in
+//! `EXPERIMENTS.md`). `--smoke` shrinks the data for CI.
 
-use idivm_bench::{fmt_row, run_running_example_round, speedup, Measured};
+use idivm_bench::{
+    fmt_row, run_running_example_round, run_running_example_round_traced, speedup, traces_to_json,
+    Measured,
+};
+use idivm_core::TraceConfig;
 use idivm_workloads::RunningExample;
 
 fn main() {
@@ -22,12 +29,13 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale: f64 = args
         .iter()
         .position(|a| a == "--scale")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+        .unwrap_or(if smoke { 0.02 } else { 1.0 });
 
     let base = RunningExample {
         n_parts: (5_000.0 * scale) as usize,
@@ -91,6 +99,29 @@ fn main() {
         }
         println!();
     }
+
+    // Instrumented round at the default configuration: per-operator
+    // trace (diff cardinalities, dummy diffs, access attribution,
+    // phase timings) for all four systems.
+    let d = if smoke { 20 } else { 200 };
+    let traced = run_running_example_round_traced(&base, true, d, TraceConfig::enabled())
+        .expect("traced round failed");
+    for m in &traced {
+        if let Some(t) = &m.report.trace {
+            let ratio = t
+                .overestimation_ratio()
+                .map_or("n/a".to_string(), |r| format!("{r:.4}"));
+            println!(
+                "trace {:<16} operators {:>2}  dummy diffs {:>4}  overestimation {ratio}",
+                m.label,
+                t.operators.len(),
+                t.dummy_diffs()
+            );
+        }
+    }
+    let json = traces_to_json("fig12", &traced);
+    std::fs::write("BENCH_fig12_trace.json", &json).expect("write BENCH_fig12_trace.json");
+    println!("wrote BENCH_fig12_trace.json");
 }
 
 fn run(cfg: &RunningExample, d: usize) -> Vec<Measured> {

@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p idivm-bench --bin scaling [-- --scale N --diffs D --rounds R]
+//! cargo run --release -p idivm-bench --bin scaling [-- --scale N --diffs D --rounds R --smoke]
 //! ```
 //!
 //! Reports wall time and total accesses per P and writes
@@ -19,7 +19,7 @@
 //!   cannot show wall-clock gains, so the counts invariant is the
 //!   meaningful signal there.
 
-use idivm_core::{IdIvm, IvmOptions};
+use idivm_core::{IdIvm, IvmOptions, RoundTrace, TraceConfig};
 use idivm_exec::ParallelConfig;
 use idivm_tuple::TupleIvm;
 use idivm_workloads::bsma::{Bsma, BsmaQuery};
@@ -132,6 +132,23 @@ fn emit(out: &mut String, label: &str, points: &[Point]) {
     println!("  access counts identical across all P ✓");
 }
 
+fn traced_round(cfg: &Bsma, diffs: usize, threads: usize) -> RoundTrace {
+    let mut db = cfg.build().expect("generator failed");
+    let plan = cfg.plan(&db, BsmaQuery::Q10).expect("plan failed");
+    let opts = IvmOptions {
+        parallel: ParallelConfig::with_threads(threads),
+        trace: TraceConfig::enabled(),
+        ..IvmOptions::default()
+    };
+    let ivm = IdIvm::setup(&mut db, "V", plan, opts).expect("setup failed");
+    cfg.user_update_batch(&mut db, diffs, 0).expect("batch failed");
+    let _ = ivm.maintain(&mut db).expect("maintain failed");
+    cfg.user_update_batch(&mut db, diffs, 1).expect("batch failed");
+    db.stats().reset();
+    let report = ivm.maintain(&mut db).expect("maintain failed");
+    report.trace.expect("trace enabled but absent")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str, default: f64| -> f64 {
@@ -141,11 +158,12 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
-    let scale = get("--scale", 0.2);
-    let diffs = get("--diffs", 200.0) as usize;
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = get("--scale", if smoke { 0.02 } else { 0.2 });
+    let diffs = get("--diffs", if smoke { 20.0 } else { 200.0 }) as usize;
     // At least one measured round, else best-of would be infinite and
     // the emitted JSON invalid.
-    let rounds = (get("--rounds", 3.0) as u64).max(1);
+    let rounds = (get("--rounds", if smoke { 1.0 } else { 3.0 }) as u64).max(1);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let cfg = Bsma { scale, seed: 2015 };
     println!(
@@ -164,6 +182,20 @@ fn main() {
     json.push_str(",\n");
     let tuple_points = sweep_tuple(&cfg, diffs, rounds);
     emit(&mut json, "tuple_ivm", &tuple_points);
+
+    // One instrumented round at P=1 and P=4: the per-operator traces
+    // (cardinalities and access attribution) must come out identical —
+    // the trace layer rides the serial plan walk, so thread count
+    // cannot shift attribution.
+    let t1 = traced_round(&cfg, diffs, 1);
+    let t4 = traced_round(&cfg, diffs, 4);
+    assert_eq!(
+        t1.operators, t4.operators,
+        "per-operator traces diverged between P=1 and P=4"
+    );
+    println!("  per-operator traces identical for P=1 and P=4 ✓");
+    json.push_str(",\n  \"trace_p4\": ");
+    json.push_str(&t4.to_json());
     json.push_str("\n}\n");
 
     std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");

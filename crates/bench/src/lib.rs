@@ -15,7 +15,7 @@
 //! lookups) and wall time; access counts are deterministic and
 //! machine-independent, wall time is indicative.
 
-use idivm_core::{IdIvm, IvmOptions, MaintenanceReport};
+use idivm_core::{IdIvm, IvmOptions, MaintenanceReport, RoundTrace, TraceConfig};
 use idivm_reldb::Database;
 use idivm_sdbt::{Sdbt, SdbtVariant};
 use idivm_tuple::TupleIvm;
@@ -52,6 +52,21 @@ pub fn run_running_example_round(
     aggregate: bool,
     diff_size: usize,
 ) -> Result<Vec<Measured>> {
+    run_running_example_round_traced(cfg, aggregate, diff_size, TraceConfig::disabled())
+}
+
+/// [`run_running_example_round`] with per-operator trace recording.
+/// Each returned report carries a [`RoundTrace`] when `trace` is
+/// enabled.
+///
+/// # Errors
+/// Any engine failure (a bug).
+pub fn run_running_example_round_traced(
+    cfg: &RunningExample,
+    aggregate: bool,
+    diff_size: usize,
+    trace: TraceConfig,
+) -> Result<Vec<Measured>> {
     let mut out = Vec::new();
 
     // idIVM.
@@ -62,7 +77,11 @@ pub fn run_running_example_round(
         } else {
             cfg.spj_plan(&db)?
         };
-        let ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default())?;
+        let options = IvmOptions {
+            trace,
+            ..IvmOptions::default()
+        };
+        let ivm = IdIvm::setup(&mut db, "V", plan, options)?;
         warmup(&mut db, cfg, diff_size)?;
         let _ = ivm.maintain(&mut db)?;
         cfg.price_update_batch(&mut db, diff_size, 1)?;
@@ -81,7 +100,8 @@ pub fn run_running_example_round(
         } else {
             cfg.spj_plan(&db)?
         };
-        let ivm = TupleIvm::setup(&mut db, "V", plan)?;
+        let mut ivm = TupleIvm::setup(&mut db, "V", plan)?;
+        ivm.set_trace(trace);
         warmup(&mut db, cfg, diff_size)?;
         let _ = ivm.maintain(&mut db)?;
         cfg.price_update_batch(&mut db, diff_size, 1)?;
@@ -101,13 +121,14 @@ pub fn run_running_example_round(
             cfg.spj_plan(&db)?
         };
         let partial = cfg.sdbt_parts_partial(&db)?;
-        let sdbt = Sdbt::setup(
+        let mut sdbt = Sdbt::setup(
             &mut db,
             "V",
             plan,
             vec![partial],
             SdbtVariant::Fixed("parts".to_string()),
         )?;
+        sdbt.set_trace(trace);
         warmup(&mut db, cfg, diff_size)?;
         let _ = sdbt.maintain(&mut db)?;
         cfg.price_update_batch(&mut db, diff_size, 1)?;
@@ -127,7 +148,8 @@ pub fn run_running_example_round(
             cfg.spj_plan(&db)?
         };
         let partials = cfg.sdbt_all_partials(&db)?;
-        let sdbt = Sdbt::setup(&mut db, "V", plan, partials, SdbtVariant::Streams)?;
+        let mut sdbt = Sdbt::setup(&mut db, "V", plan, partials, SdbtVariant::Streams)?;
+        sdbt.set_trace(trace);
         warmup(&mut db, cfg, diff_size)?;
         let _ = sdbt.maintain(&mut db)?;
         cfg.price_update_batch(&mut db, diff_size, 1)?;
@@ -143,6 +165,30 @@ pub fn run_running_example_round(
 
 fn warmup(db: &mut Database, cfg: &RunningExample, diff_size: usize) -> Result<()> {
     cfg.price_update_batch(db, diff_size, 0)
+}
+
+/// Bundle the traces of several measured systems into one JSON
+/// document (`{"bench": ..., "systems": [{"label", "total_accesses",
+/// "trace"}]}`); systems measured without a trace are skipped. See
+/// `EXPERIMENTS.md` for the schema.
+pub fn traces_to_json(bench: &str, measured: &[Measured]) -> String {
+    let systems: Vec<String> = measured
+        .iter()
+        .filter_map(|m| {
+            m.report.trace.as_ref().map(|t: &RoundTrace| {
+                format!(
+                    "    {{\"label\": \"{}\", \"total_accesses\": {}, \"trace\": {}}}",
+                    m.label,
+                    m.report.total_accesses(),
+                    t.to_json()
+                )
+            })
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"systems\": [\n{}\n  ]\n}}\n",
+        systems.join(",\n")
+    )
 }
 
 /// Render a speedup row: `baseline cost / subject cost`.

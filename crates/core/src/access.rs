@@ -70,11 +70,17 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         }
         Plan::Select { input, pred } => {
             let rows = scan(ctx, input, &child(path, 0), state)?;
-            Ok(rows.into_iter().filter(|r| pred.eval_pred(r)).collect())
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                if pred.eval_pred(&r)? {
+                    out.push(r);
+                }
+            }
+            Ok(out)
         }
         Plan::Project { input, cols } => {
             let rows = scan(ctx, input, &child(path, 0), state)?;
-            Ok(rows.iter().map(|r| project_row(r, cols)).collect())
+            rows.iter().map(|r| project_row(r, cols)).collect()
         }
         Plan::Join {
             left,
@@ -84,7 +90,7 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         } => {
             let l = scan(ctx, left, &child(path, 0), state)?;
             let r = scan(ctx, right, &child(path, 1), state)?;
-            Ok(hash_join(&l, &r, on, residual.as_ref()))
+            hash_join(&l, &r, on, residual.as_ref())
         }
         Plan::SemiJoin {
             left,
@@ -94,7 +100,7 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         } => {
             let l = scan(ctx, left, &child(path, 0), state)?;
             let r = scan(ctx, right, &child(path, 1), state)?;
-            Ok(semi_or_anti(l, &r, on, residual.as_ref(), true))
+            semi_or_anti(l, &r, on, residual.as_ref(), true)
         }
         Plan::AntiJoin {
             left,
@@ -104,7 +110,7 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         } => {
             let l = scan(ctx, left, &child(path, 0), state)?;
             let r = scan(ctx, right, &child(path, 1), state)?;
-            Ok(semi_or_anti(l, &r, on, residual.as_ref(), false))
+            semi_or_anti(l, &r, on, residual.as_ref(), false)
         }
         Plan::UnionAll { left, right } => {
             let mut out = Vec::new();
@@ -118,7 +124,7 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
         }
         Plan::GroupBy { input, keys, aggs } => {
             let rows = scan(ctx, input, &child(path, 0), state)?;
-            Ok(hash_aggregate(&rows, keys, aggs))
+            hash_aggregate(&rows, keys, aggs)
         }
     }
 }
@@ -162,7 +168,13 @@ pub fn lookup(
         }
         Plan::Select { input, pred } => {
             let rows = lookup(ctx, input, &child(path, 0), state, cols, probe)?;
-            Ok(rows.into_iter().filter(|r| pred.eval_pred(r)).collect())
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                if pred.eval_pred(&r)? {
+                    out.push(r);
+                }
+            }
+            Ok(out)
         }
         Plan::Project { input, cols: pcols } => {
             // Map probe columns through direct copies.
@@ -178,7 +190,7 @@ pub fn lookup(
                 }
             }
             let rows = lookup(ctx, input, &child(path, 0), state, &mapped, probe)?;
-            Ok(rows.iter().map(|r| project_row(r, pcols)).collect())
+            rows.iter().map(|r| project_row(r, pcols)).collect()
         }
         Plan::Join {
             left,
@@ -220,7 +232,7 @@ pub fn lookup(
                     let rrows = lookup(ctx, right, rp, state, &dcols, &Key(dvals))?;
                     for r in rrows {
                         let joined = l.concat(&r);
-                        if residual.as_ref().is_none_or(|e| e.eval_pred(&joined)) {
+                        if idivm_algebra::opt_pred(residual.as_ref(), &joined)? {
                             out.push(joined);
                         }
                     }
@@ -244,7 +256,7 @@ pub fn lookup(
                     let lrows = lookup(ctx, left, lp, state, &lcols, &Key(vals))?;
                     for l in lrows {
                         let joined = l.concat(&r);
-                        if residual.as_ref().is_none_or(|e| e.eval_pred(&joined)) {
+                        if idivm_algebra::opt_pred(residual.as_ref(), &joined)? {
                             out.push(joined);
                         }
                     }
@@ -299,7 +311,7 @@ pub fn lookup(
                 let in_cols: Vec<usize> = cols.iter().map(|&c| keys[c]).collect();
                 let members =
                     lookup(ctx, input, &child(path, 0), state, &in_cols, probe)?;
-                Ok(hash_aggregate(&members, keys, aggs))
+                hash_aggregate(&members, keys, aggs)
             } else {
                 // Probe touches an aggregate output: no push-down.
                 let rows = scan(ctx, plan, path, state)?;
@@ -350,9 +362,14 @@ fn probe_semi(
             false
         } else {
             let rrows = lookup(ctx, right, rp, state, &rcols, &Key(vals))?;
-            rrows.iter().any(|r| {
-                residual.as_ref().is_none_or(|e| e.eval_pred(&l.concat(r)))
-            })
+            let mut hit = false;
+            for r in &rrows {
+                if idivm_algebra::opt_pred(residual.as_ref(), &l.concat(r))? {
+                    hit = true;
+                    break;
+                }
+            }
+            hit
         };
         if matched == keep_matched {
             out.push(l);

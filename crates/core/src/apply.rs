@@ -101,24 +101,26 @@ fn apply_update(
             out.dummies += 1;
             continue;
         }
-        let assignments: Vec<(usize, Value)> = diff
-            .schema
-            .post_cols
-            .iter()
-            .map(|&c| {
-                (
-                    c,
+        let mut assignments: Vec<(usize, Value)> = Vec::with_capacity(diff.schema.post_cols.len());
+        for &c in &diff.schema.post_cols {
+            let v = diff.schema.post_value(d, c).ok_or_else(|| {
+                Error::Internal(format!(
+                    "update i-diff carries no post value for column #{c} \
+                     (schema {:?})",
                     diff.schema
-                        .post_value(d, c)
-                        .expect("post_cols always derivable"),
-                )
-            })
-            .collect();
+                ))
+            })?;
+            assignments.push((c, v));
+        }
         for pk in pks {
             if let Some(pre) = table.patch(&pk, &assignments) {
                 let post = table
                     .get_uncounted(&pk)
-                    .expect("row just patched")
+                    .ok_or_else(|| {
+                        Error::Internal(format!(
+                            "row {pk:?} vanished immediately after patch"
+                        ))
+                    })?
                     .clone();
                 if pre != post {
                     record_update(changes, pre.key(&pk_cols), pre, post);
@@ -126,6 +128,12 @@ fn apply_update(
                 } else {
                     out.dummies += 1;
                 }
+            } else {
+                // The indexed pk points at a row that is no longer there
+                // (e.g. a delete applied earlier in the batch). The diff
+                // tuple had nothing to update: count it as a dummy
+                // rather than aborting a half-applied round.
+                out.dummies += 1;
             }
         }
     }
@@ -383,6 +391,32 @@ mod tests {
         assert_eq!(out.inserted, 1);
         assert_eq!(out.deleted, 1);
         assert_eq!(v.len(), 3);
+    }
+
+    /// Regression: a delete and an update landing on the same key in one
+    /// batch (a folded delete racing a stale update diff) must not panic
+    /// — the update finds nothing and is counted as a dummy.
+    #[test]
+    fn delete_then_update_same_key_is_dummy_not_panic() {
+        let mut v = view();
+        let mut ch = HashMap::new();
+        let diffs = vec![
+            DiffInstance::new(
+                DiffSchema::update(&[1], &[2], &[2]),
+                vec![row!["P2", 20, 25]],
+            ),
+            DiffInstance::new(
+                DiffSchema::delete(&[1], &[]),
+                vec![Row(vec![Value::str("P2")])],
+            ),
+        ];
+        // apply_all orders deletes first, so the update probes a key
+        // whose rows are gone.
+        let out = apply_all(&mut v, &diffs, &mut ch).unwrap();
+        assert_eq!(out.deleted, 1);
+        assert_eq!(out.updated, 0);
+        assert_eq!(out.dummies, 1);
+        assert_eq!(v.len(), 2);
     }
 
     #[test]

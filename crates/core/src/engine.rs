@@ -28,6 +28,7 @@ use crate::diff::DiffInstance;
 use crate::report::MaintenanceReport;
 use crate::rules::{propagate, IncomingDiff, RuleCtx};
 use crate::schema_gen::{generate, populate, BaseDiffSchemas};
+use crate::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_algebra::{ensure_ids, Plan};
 use idivm_exec::{materialize_view, view_schema, ParallelConfig};
 use idivm_reldb::{Database, TableChanges};
@@ -50,6 +51,9 @@ pub struct IvmOptions {
     /// by default; access counts are bit-identical for any thread
     /// count.
     pub parallel: ParallelConfig,
+    /// Per-operator trace recording (off by default; zero cost when
+    /// off). See [`crate::trace`].
+    pub trace: TraceConfig,
 }
 
 impl Default for IvmOptions {
@@ -58,6 +62,7 @@ impl Default for IvmOptions {
             minimize: true,
             use_input_caches: true,
             parallel: ParallelConfig::serial(),
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -147,9 +152,15 @@ impl IdIvm {
     /// bug — the paper's algorithm never fails on valid input).
     pub fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
         // i-diff instance generation: fold the log (effective diffs).
+        let fold_started = Instant::now();
         let net = db.fold_log();
         db.clear_log();
-        self.maintain_with_changes(db, &net)
+        let fold = fold_started.elapsed();
+        let mut report = self.maintain_with_changes(db, &net)?;
+        if let Some(trace) = report.trace.as_mut() {
+            trace.timings.fold = fold;
+        }
+        Ok(report)
     }
 
     /// Like [`IdIvm::maintain`], but over an externally folded change
@@ -165,6 +176,9 @@ impl IdIvm {
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
         let mut report = MaintenanceReport::default();
+        if self.options.trace.enabled {
+            report.trace = Some(RoundTrace::default());
+        }
         let net = net.clone();
         let mut base_diffs: HashMap<String, Vec<DiffInstance>> = HashMap::new();
         for (table, changes) in &net {
@@ -174,7 +188,11 @@ impl IdIvm {
                 base_diffs.insert(table.clone(), diffs);
             }
         }
+        let populate_done = started.elapsed();
         if base_diffs.is_empty() {
+            if let Some(trace) = report.trace.as_mut() {
+                trace.timings.populate = populate_done;
+            }
             report.wall = started.elapsed();
             return Ok(report);
         }
@@ -184,14 +202,31 @@ impl IdIvm {
             cache_changes: HashMap::new(),
             report: &mut report,
         };
+        let propagate_started = Instant::now();
         let root_diffs = self.walk(db, &mut state, &self.plan, &PathId::new())?;
+        let propagate_done = propagate_started.elapsed();
         // Apply the final i-diffs to the view.
         report.view_diff_tuples = root_diffs.iter().map(DiffInstance::len).sum();
+        let apply_started = Instant::now();
         let before = db.stats().snapshot();
         let mut view_changes = TableChanges::new();
         let outcome = apply_all(db.table_mut(&self.view_name)?, &root_diffs, &mut view_changes)?;
         report.view_update = db.stats().snapshot().since(&before);
         report.view_outcome = outcome;
+        if let Some(trace) = report.trace.as_mut() {
+            trace.operators.push(OpTrace {
+                path: PathId::new(),
+                op: op_label(&self.plan).to_string(),
+                phase: TracePhase::ViewApply,
+                diffs_in: report.view_diff_tuples as u64,
+                diffs_out: 0,
+                dummies: outcome.dummies,
+                accesses: report.view_update,
+            });
+            trace.timings.populate = populate_done;
+            trace.timings.propagate = propagate_done;
+            trace.timings.apply = apply_started.elapsed();
+        }
         report.wall = started.elapsed();
         Ok(report)
     }
@@ -227,6 +262,7 @@ impl IdIvm {
         if incoming.is_empty() {
             return Ok(Vec::new());
         }
+        let diffs_in: u64 = incoming.iter().map(|i| i.diff.len() as u64).sum();
         // Rule application (counted as diff-computation cost).
         let before = db.stats().snapshot();
         let out = {
@@ -243,10 +279,19 @@ impl IdIvm {
             };
             propagate(&ctx, node, path, incoming)?
         };
-        state.report.diff_compute = state
-            .report
-            .diff_compute
-            .merge(db.stats().snapshot().since(&before));
+        let spent = db.stats().snapshot().since(&before);
+        state.report.diff_compute = state.report.diff_compute.merge(spent);
+        if let Some(trace) = state.report.trace.as_mut() {
+            trace.operators.push(OpTrace {
+                path: path.clone(),
+                op: op_label(node).to_string(),
+                phase: TracePhase::Propagate,
+                diffs_in,
+                diffs_out: out.iter().map(|d| d.len() as u64).sum(),
+                dummies: 0,
+                accesses: spent,
+            });
+        }
         // Cache boundary: apply the diffs so operators above see the
         // cache in post-state (pre-state through the overlay).
         if let Some(cache_name) = self.cache_map.get(path) {
@@ -258,11 +303,20 @@ impl IdIvm {
                     .unwrap_or_default();
                 let outcome = apply_all(db.table_mut(cache_name)?, &out, &mut changes)?;
                 state.cache_changes.insert(cache_name.clone(), changes);
-                state.report.cache_update = state
-                    .report
-                    .cache_update
-                    .merge(db.stats().snapshot().since(&before));
+                let spent = db.stats().snapshot().since(&before);
+                state.report.cache_update = state.report.cache_update.merge(spent);
                 state.report.cache_outcome = merge_outcomes(state.report.cache_outcome, outcome);
+                if let Some(trace) = state.report.trace.as_mut() {
+                    trace.operators.push(OpTrace {
+                        path: path.clone(),
+                        op: op_label(node).to_string(),
+                        phase: TracePhase::CacheApply,
+                        diffs_in: out.iter().map(|d| d.len() as u64).sum(),
+                        diffs_out: 0,
+                        dummies: outcome.dummies,
+                        accesses: spent,
+                    });
+                }
             }
         }
         Ok(out)

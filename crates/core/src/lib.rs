@@ -46,7 +46,9 @@ pub mod report;
 pub mod rules;
 pub mod schema_gen;
 pub mod script;
+pub mod trace;
 
 pub use diff::{DiffInstance, DiffKind, DiffSchema};
 pub use engine::{IdIvm, IvmOptions};
 pub use report::MaintenanceReport;
+pub use trace::{OpTrace, PhaseTimings, RoundTrace, TraceConfig, TracePhase};

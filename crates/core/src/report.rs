@@ -2,6 +2,7 @@
 //! Figure 12 stacks: diff computation, cache update, and view update.
 
 use crate::apply::ApplyOutcome;
+use crate::trace::RoundTrace;
 use idivm_reldb::StatsSnapshot;
 use std::fmt;
 use std::time::Duration;
@@ -25,6 +26,9 @@ pub struct MaintenanceReport {
     pub view_diff_tuples: usize,
     /// Wall-clock time of the round.
     pub wall: Duration,
+    /// Per-operator trace (recorded only when
+    /// [`TraceConfig::enabled`](crate::trace::TraceConfig) is set).
+    pub trace: Option<RoundTrace>,
 }
 
 impl MaintenanceReport {

@@ -112,7 +112,7 @@ fn incremental(
                                 per_agg: aggs
                                     .iter()
                                     .map(|a| delta_update(a, pre, post))
-                                    .collect(),
+                                    .collect::<Result<_>>()?,
                                 membership: 0,
                             });
                         } else {
@@ -123,7 +123,7 @@ fn incremental(
                                 per_agg: aggs
                                     .iter()
                                     .map(|a| delta_delete(a, pre))
-                                    .collect(),
+                                    .collect::<Result<_>>()?,
                                 membership: -1,
                             });
                             deltas.push(Delta {
@@ -131,19 +131,25 @@ fn incremental(
                                 per_agg: aggs
                                     .iter()
                                     .map(|a| delta_insert(a, post))
-                                    .collect(),
+                                    .collect::<Result<_>>()?,
                                 membership: 1,
                             });
                         }
                     }
                     idivm_reldb::NetChange::Deleted { pre } => deltas.push(Delta {
                         group: pre.key(keys),
-                        per_agg: aggs.iter().map(|a| delta_delete(a, pre)).collect(),
+                        per_agg: aggs
+                            .iter()
+                            .map(|a| delta_delete(a, pre))
+                            .collect::<Result<_>>()?,
                         membership: -1,
                     }),
                     idivm_reldb::NetChange::Inserted { post } => deltas.push(Delta {
                         group: post.key(keys),
-                        per_agg: aggs.iter().map(|a| delta_insert(a, post)).collect(),
+                        per_agg: aggs
+                            .iter()
+                            .map(|a| delta_insert(a, post))
+                            .collect::<Result<_>>()?,
                         membership: 1,
                     }),
                 }
@@ -172,7 +178,7 @@ fn incremental(
                             per_agg: aggs
                                 .iter()
                                 .map(|a| delta_update(a, &p.pre, &p.post))
-                                .collect(),
+                                .collect::<Result<_>>()?,
                             membership: 0,
                         });
                     }
@@ -186,7 +192,10 @@ fn incremental(
                         }
                         deltas.push(Delta {
                             group: pre.key(keys),
-                            per_agg: aggs.iter().map(|a| delta_delete(a, &pre)).collect(),
+                            per_agg: aggs
+                                .iter()
+                                .map(|a| delta_delete(a, &pre))
+                                .collect::<Result<_>>()?,
                             membership: -1,
                         });
                     }
@@ -213,7 +222,10 @@ fn incremental(
                         }
                         deltas.push(Delta {
                             group: post.key(keys),
-                            per_agg: aggs.iter().map(|a| delta_insert(a, &post)).collect(),
+                            per_agg: aggs
+                                .iter()
+                                .map(|a| delta_insert(a, &post))
+                                .collect::<Result<_>>()?,
                             membership: 1,
                         });
                     }
@@ -252,36 +264,36 @@ struct GroupDelta {
     had_delete: bool,
 }
 
-fn delta_update(a: &AggSpec, pre: &Row, post: &Row) -> Value {
-    match a.func {
+fn delta_update(a: &AggSpec, pre: &Row, post: &Row) -> Result<Value> {
+    Ok(match a.func {
         AggFunc::Sum => {
-            let xp = nz(a.arg.eval(post));
-            let xq = nz(a.arg.eval(pre));
+            let xp = nz(a.arg.eval(post)?);
+            let xq = nz(a.arg.eval(pre)?);
             xp.sub(&xq)
         }
         AggFunc::Count => {
-            let p = i64::from(!a.arg.eval(post).is_null());
-            let q = i64::from(!a.arg.eval(pre).is_null());
+            let p = i64::from(!a.arg.eval(post)?.is_null());
+            let q = i64::from(!a.arg.eval(pre)?.is_null());
             Value::Int(p - q)
         }
         _ => Value::Int(0),
-    }
+    })
 }
 
-fn delta_delete(a: &AggSpec, pre: &Row) -> Value {
-    match a.func {
-        AggFunc::Sum => Value::Int(0).sub(&nz(a.arg.eval(pre))),
-        AggFunc::Count => Value::Int(-i64::from(!a.arg.eval(pre).is_null())),
+fn delta_delete(a: &AggSpec, pre: &Row) -> Result<Value> {
+    Ok(match a.func {
+        AggFunc::Sum => Value::Int(0).sub(&nz(a.arg.eval(pre)?)),
+        AggFunc::Count => Value::Int(-i64::from(!a.arg.eval(pre)?.is_null())),
         _ => Value::Int(0),
-    }
+    })
 }
 
-fn delta_insert(a: &AggSpec, post: &Row) -> Value {
-    match a.func {
-        AggFunc::Sum => nz(a.arg.eval(post)),
-        AggFunc::Count => Value::Int(i64::from(!a.arg.eval(post).is_null())),
+fn delta_insert(a: &AggSpec, post: &Row) -> Result<Value> {
+    Ok(match a.func {
+        AggFunc::Sum => nz(a.arg.eval(post)?),
+        AggFunc::Count => Value::Int(i64::from(!a.arg.eval(post)?.is_null())),
         _ => Value::Int(0),
-    }
+    })
 }
 
 /// SUM treats NULL contributions as 0 in delta space.
@@ -384,7 +396,11 @@ fn general(
                     values: if members.is_empty() {
                         None
                     } else {
-                        Some(aggs.iter().map(|a| aggregate_rows(a, &members)).collect())
+                        Some(
+                            aggs.iter()
+                                .map(|a| aggregate_rows(a, &members))
+                                .collect::<Result<_>>()?,
+                        )
                     },
                 },
             ));

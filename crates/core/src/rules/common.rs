@@ -24,7 +24,16 @@ pub fn evaluable(schema: &DiffSchema, expr: &Expr, state: State) -> bool {
 
 /// Evaluate `expr` over a diff row in the given state. Caller must have
 /// checked [`evaluable`] first; missing columns evaluate as NULL.
-pub fn eval_diff(schema: &DiffSchema, row: &Row, expr: &Expr, state: State, arity: usize) -> Value {
+///
+/// # Errors
+/// Expression evaluation failures ([`idivm_types::Error::Type`]).
+pub fn eval_diff(
+    schema: &DiffSchema,
+    row: &Row,
+    expr: &Expr,
+    state: State,
+    arity: usize,
+) -> Result<Value> {
     expr.eval(&schema.scratch_row(row, arity, state))
 }
 

@@ -232,7 +232,7 @@ fn join_rows(
             } else {
                 m.concat(row)
             };
-            if residual.is_none_or(|e| e.eval_pred(&joined)) {
+            if idivm_algebra::opt_pred(residual, &joined)? {
                 out.push(joined);
             }
         }

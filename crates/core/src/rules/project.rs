@@ -61,7 +61,11 @@ pub fn propagate(
                     .ok_or_else(|| {
                         Error::Internal("insert diff lacks full coverage".into())
                     })?;
-                rows.push(Row(cols.iter().map(|(_, e)| e.eval(&full)).collect()));
+                let vals: Vec<Value> = cols
+                    .iter()
+                    .map(|(_, e)| e.eval(&full))
+                    .collect::<Result<_>>()?;
+                rows.push(Row(vals));
             }
             Ok(vec![DiffInstance::insert_from_rows(
                 &node_ids, out_arity, &rows,
@@ -76,22 +80,19 @@ pub fn propagate(
                 })
                 .collect();
             let schema = DiffSchema::delete(&out_ids, &pre_outs);
-            let rows = diff
-                .rows
-                .iter()
-                .map(|d| {
-                    let mut v: Vec<Value> = diff
-                        .schema
-                        .id_cols
-                        .iter()
-                        .map(|&c| diff.schema.pre_value(d, c).expect("id always present"))
-                        .collect();
-                    v.extend(pre_outs.iter().map(|&o| {
-                        eval_diff(&diff.schema, d, &cols[o].1, State::Pre, in_arity)
-                    }));
-                    Row(v)
-                })
-                .collect();
+            let mut rows = Vec::with_capacity(diff.rows.len());
+            for d in &diff.rows {
+                let mut v: Vec<Value> = diff
+                    .schema
+                    .id_cols
+                    .iter()
+                    .map(|&c| diff.schema.pre_value(d, c).expect("id always present"))
+                    .collect();
+                for &o in &pre_outs {
+                    v.push(eval_diff(&diff.schema, d, &cols[o].1, State::Pre, in_arity)?);
+                }
+                rows.push(Row(v));
+            }
             Ok(vec![DiffInstance::new(schema, rows)])
         }
         DiffKind::Update => {
@@ -131,7 +132,7 @@ pub fn propagate(
                         &pre_outs,
                         &touched,
                         in_arity,
-                    ));
+                    )?);
                 }
             } else {
                 // General form: probe Input_post (and Input_pre for the
@@ -159,7 +160,9 @@ pub fn propagate(
                         &probe,
                     )? {
                         let projected = Row(
-                            cols.iter().map(|(_, e)| e.eval(&post)).collect::<Vec<_>>(),
+                            cols.iter()
+                                .map(|(_, e)| e.eval(&post))
+                                .collect::<Result<Vec<_>>>()?,
                         );
                         let mut v: Vec<Value> = fine
                             .id_cols
@@ -195,21 +198,17 @@ fn build_update_row(
     pre_outs: &[usize],
     touched: &[usize],
     in_arity: usize,
-) -> Row {
+) -> Result<Row> {
     let mut v: Vec<Value> = in_schema
         .id_cols
         .iter()
         .map(|&c| in_schema.pre_value(d, c).expect("id always present"))
         .collect();
-    v.extend(
-        pre_outs
-            .iter()
-            .map(|&o| eval_diff(in_schema, d, &cols[o].1, State::Pre, in_arity)),
-    );
-    v.extend(
-        touched
-            .iter()
-            .map(|&o| eval_diff(in_schema, d, &cols[o].1, State::Post, in_arity)),
-    );
-    Row(v)
+    for &o in pre_outs {
+        v.push(eval_diff(in_schema, d, &cols[o].1, State::Pre, in_arity)?);
+    }
+    for &o in touched {
+        v.push(eval_diff(in_schema, d, &cols[o].1, State::Post, in_arity)?);
+    }
+    Ok(Row(v))
 }

@@ -35,27 +35,27 @@ pub fn propagate(
         DiffKind::Insert => {
             // σφ(X̄post)∆⁺ — always evaluable.
             let schema = diff.schema.clone();
-            let rows: Vec<Row> = diff
-                .rows
-                .into_iter()
-                .filter(|r| {
-                    eval_diff(&schema, r, pred, State::Post, arity)
-                        == idivm_types::Value::Bool(true)
-                })
-                .collect();
+            let mut rows: Vec<Row> = Vec::with_capacity(diff.rows.len());
+            for r in diff.rows {
+                if eval_diff(&schema, &r, pred, State::Post, arity)?
+                    == idivm_types::Value::Bool(true)
+                {
+                    rows.push(r);
+                }
+            }
             Ok(vec![DiffInstance::new(schema, rows)])
         }
         DiffKind::Delete => {
             if ctx.minimize && evaluable(&diff.schema, pred, State::Pre) {
                 let schema = diff.schema.clone();
-                let rows: Vec<Row> = diff
-                    .rows
-                    .into_iter()
-                    .filter(|r| {
-                        eval_diff(&schema, r, pred, State::Pre, arity)
-                            == idivm_types::Value::Bool(true)
-                    })
-                    .collect();
+                let mut rows: Vec<Row> = Vec::with_capacity(diff.rows.len());
+                for r in diff.rows {
+                    if eval_diff(&schema, &r, pred, State::Pre, arity)?
+                        == idivm_types::Value::Bool(true)
+                    {
+                        rows.push(r);
+                    }
+                }
                 Ok(vec![DiffInstance::new(schema, rows)])
             } else {
                 // Pass through unmodified (Example 4.8's overestimating
@@ -71,14 +71,14 @@ pub fn propagate(
                     && evaluable(&diff.schema, pred, State::Pre)
                 {
                     let schema = diff.schema.clone();
-                    let rows: Vec<Row> = diff
-                        .rows
-                        .into_iter()
-                        .filter(|r| {
-                            eval_diff(&schema, r, pred, State::Pre, arity)
-                                == idivm_types::Value::Bool(true)
-                        })
-                        .collect();
+                    let mut rows: Vec<Row> = Vec::with_capacity(diff.rows.len());
+                    for r in diff.rows {
+                        if eval_diff(&schema, &r, pred, State::Pre, arity)?
+                            == idivm_types::Value::Bool(true)
+                        {
+                            rows.push(r);
+                        }
+                    }
                     return Ok(vec![DiffInstance::new(schema, rows)]);
                 }
                 return Ok(vec![diff]);
@@ -96,8 +96,8 @@ pub fn propagate(
             let mut leaving = Vec::new();
             let mut staying = Vec::new();
             for p in pairs {
-                let pre_ok = pred.eval_pred(&p.pre);
-                let post_ok = pred.eval_pred(&p.post);
+                let pre_ok = pred.eval_pred(&p.pre)?;
+                let post_ok = pred.eval_pred(&p.post)?;
                 match (pre_ok, post_ok) {
                     (false, true) => entering.push(p.post),
                     (true, false) => leaving.push(p.pre),
@@ -106,6 +106,32 @@ pub fn propagate(
                 }
             }
             let ids = input_ids(input)?;
+            // Entering tuples become view *inserts*, and unlike dummy
+            // updates/deletes an insert of a non-member row is not a
+            // harmless overestimate: when the diff carried full
+            // coverage, `update_row_pairs` never probed the input, so a
+            // row the input doesn't produce (e.g. a part with no
+            // semijoin partner) would be fabricated into the view.
+            // Confirm membership against the input's post-state; base
+            // scans are exempt (their diffs describe real rows).
+            if !entering.is_empty() && !matches!(input, Plan::Scan { .. }) {
+                let mut confirmed = Vec::with_capacity(entering.len());
+                for r in entering {
+                    let probe = r.key(&ids);
+                    let present = crate::access::lookup(
+                        ctx.access,
+                        input,
+                        &child_path(path, 0),
+                        State::Post,
+                        &ids,
+                        &probe,
+                    )?;
+                    if !present.is_empty() {
+                        confirmed.push(r);
+                    }
+                }
+                entering = confirmed;
+            }
             let mut out = Vec::new();
             if !entering.is_empty() {
                 out.push(DiffInstance::insert_from_rows(&ids, arity, &entering));

@@ -228,9 +228,12 @@ fn matches(
         return Ok(false);
     }
     let rrows = access::lookup(ctx.access, right, rpath, state, &rcols, &Key(vals))?;
-    Ok(rrows
-        .iter()
-        .any(|r| residual.is_none_or(|e| e.eval_pred(&row.concat(r)))))
+    for r in &rrows {
+        if idivm_algebra::opt_pred(residual, &row.concat(r))? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// Left rows (post-state) matching any of the given right rows.
@@ -259,7 +262,7 @@ fn matching_left(
             &lcols,
             &Key(vals),
         )? {
-            if residual.is_none_or(|e| e.eval_pred(&l.concat(r))) && seen.insert(l.clone()) {
+            if idivm_algebra::opt_pred(residual, &l.concat(r))? && seen.insert(l.clone()) {
                 out.push(l);
             }
         }

@@ -6,7 +6,7 @@
 //! oracle, not to compete with the IVM paths it validates.
 
 use idivm_algebra::aggregate::Accumulator;
-use idivm_algebra::{Expr, Plan};
+use idivm_algebra::{opt_pred, Expr, Plan};
 use idivm_reldb::Database;
 use idivm_types::{Error, Key, Result, Row, Value};
 use std::collections::HashMap;
@@ -24,14 +24,17 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         Plan::Scan { table, .. } => Ok(db.table(table)?.scan()),
         Plan::Select { input, pred } => {
             let rows = execute(db, input)?;
-            Ok(rows.into_iter().filter(|r| pred.eval_pred(r)).collect())
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                if pred.eval_pred(&r)? {
+                    out.push(r);
+                }
+            }
+            Ok(out)
         }
         Plan::Project { input, cols } => {
             let rows = execute(db, input)?;
-            Ok(rows
-                .into_iter()
-                .map(|r| project_row(&r, cols))
-                .collect())
+            rows.iter().map(|r| project_row(r, cols)).collect()
         }
         Plan::Join {
             left,
@@ -41,7 +44,7 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         } => {
             let lrows = execute(db, left)?;
             let rrows = execute(db, right)?;
-            Ok(hash_join(&lrows, &rrows, on, residual.as_ref()))
+            hash_join(&lrows, &rrows, on, residual.as_ref())
         }
         Plan::SemiJoin {
             left,
@@ -51,7 +54,7 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         } => {
             let lrows = execute(db, left)?;
             let rrows = execute(db, right)?;
-            Ok(semi_or_anti(lrows, &rrows, on, residual.as_ref(), true))
+            semi_or_anti(lrows, &rrows, on, residual.as_ref(), true)
         }
         Plan::AntiJoin {
             left,
@@ -61,7 +64,7 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         } => {
             let lrows = execute(db, left)?;
             let rrows = execute(db, right)?;
-            Ok(semi_or_anti(lrows, &rrows, on, residual.as_ref(), false))
+            semi_or_anti(lrows, &rrows, on, residual.as_ref(), false)
         }
         Plan::UnionAll { left, right } => {
             let mut out = Vec::new();
@@ -75,36 +78,46 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
         }
         Plan::GroupBy { input, keys, aggs } => {
             let rows = execute(db, input)?;
-            Ok(hash_aggregate(&rows, keys, aggs))
+            hash_aggregate(&rows, keys, aggs)
         }
     }
 }
 
 /// Apply a generalized projection to one row.
-pub fn project_row(row: &Row, cols: &[(String, Expr)]) -> Row {
-    Row(cols.iter().map(|(_, e)| e.eval(row)).collect())
+///
+/// # Errors
+/// Expression evaluation failures.
+pub fn project_row(row: &Row, cols: &[(String, Expr)]) -> Result<Row> {
+    let vals: Vec<Value> = cols
+        .iter()
+        .map(|(_, e)| e.eval(row))
+        .collect::<Result<_>>()?;
+    Ok(Row(vals))
 }
 
 /// Hash equi-join with optional residual θ filter. Rows whose join key
 /// contains NULL never match (SQL semantics).
+///
+/// # Errors
+/// Residual-predicate evaluation failures.
 pub fn hash_join(
     left: &[Row],
     right: &[Row],
     on: &[(usize, usize)],
     residual: Option<&Expr>,
-) -> Vec<Row> {
+) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     if on.is_empty() {
         // Cross product (θ handled by residual).
         for l in left {
             for r in right {
                 let joined = l.concat(r);
-                if residual.is_none_or(|e| e.eval_pred(&joined)) {
+                if opt_pred(residual, &joined)? {
                     out.push(joined);
                 }
             }
         }
-        return out;
+        return Ok(out);
     }
     let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
     let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
@@ -124,26 +137,29 @@ pub fn hash_join(
         if let Some(matches) = table.get(&k) {
             for r in matches {
                 let joined = l.concat(r);
-                if residual.is_none_or(|e| e.eval_pred(&joined)) {
+                if opt_pred(residual, &joined)? {
                     out.push(joined);
                 }
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Semi (`keep_matched = true`) or anti (`false`) join. Consumes the
 /// left rows: the output is a subset of them, so surviving rows move
 /// straight through instead of being re-materialized with per-row
 /// clones.
+///
+/// # Errors
+/// Residual-predicate evaluation failures.
 pub fn semi_or_anti(
     left: Vec<Row>,
     right: &[Row],
     on: &[(usize, usize)],
     residual: Option<&Expr>,
     keep_matched: bool,
-) -> Vec<Row> {
+) -> Result<Vec<Row>> {
     let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
     let mut table: HashMap<Key, Vec<&Row>> = HashMap::new();
@@ -154,36 +170,51 @@ pub fn semi_or_anti(
         }
         table.entry(k).or_default().push(r);
     }
-    left.into_iter()
-        .filter(|l| {
-            let matched = if on.is_empty() {
-                // θ-only (anti)semijoin: nested loop over right.
-                right
-                    .iter()
-                    .any(|r| residual.is_none_or(|e| e.eval_pred(&l.concat(r))))
-            } else {
-                let k = l.key(&lkeys);
-                if k.0.iter().any(Value::is_null) {
-                    false
-                } else {
-                    table.get(&k).is_some_and(|ms| {
-                        ms.iter().any(|r| {
-                            residual.is_none_or(|e| e.eval_pred(&l.concat(r)))
-                        })
-                    })
+    let mut out = Vec::new();
+    for l in left {
+        let matched = if on.is_empty() {
+            // θ-only (anti)semijoin: nested loop over right.
+            let mut hit = false;
+            for r in right {
+                if opt_pred(residual, &l.concat(r))? {
+                    hit = true;
+                    break;
                 }
-            };
-            matched == keep_matched
-        })
-        .collect()
+            }
+            hit
+        } else {
+            let k = l.key(&lkeys);
+            if k.0.iter().any(Value::is_null) {
+                false
+            } else if let Some(ms) = table.get(&k) {
+                let mut hit = false;
+                for r in ms {
+                    if opt_pred(residual, &l.concat(r))? {
+                        hit = true;
+                        break;
+                    }
+                }
+                hit
+            } else {
+                false
+            }
+        };
+        if matched == keep_matched {
+            out.push(l);
+        }
+    }
+    Ok(out)
 }
 
 /// Hash aggregation.
+///
+/// # Errors
+/// Aggregate-argument evaluation failures.
 pub fn hash_aggregate(
     rows: &[Row],
     keys: &[usize],
     aggs: &[idivm_algebra::AggSpec],
-) -> Vec<Row> {
+) -> Result<Vec<Row>> {
     let mut groups: HashMap<Key, Vec<Accumulator>> = HashMap::new();
     for r in rows {
         let k = r.key(keys);
@@ -191,17 +222,17 @@ pub fn hash_aggregate(
             aggs.iter().map(|a| Accumulator::new(a.func)).collect()
         });
         for (acc, spec) in accs.iter_mut().zip(aggs) {
-            acc.update(&spec.arg.eval(r));
+            acc.update(&spec.arg.eval(r)?);
         }
     }
-    groups
+    Ok(groups
         .into_iter()
         .map(|(k, accs)| {
             let mut row = k.into_row();
             row.0.extend(accs.iter().map(Accumulator::finish));
             row
         })
-        .collect()
+        .collect())
 }
 
 /// Sort rows for deterministic comparisons (tests, diffing).

@@ -134,7 +134,12 @@ pub fn shard_by<T>(items: Vec<T>, shards: usize, hash: impl Fn(&T) -> u64) -> Ve
 /// every shard gets a scoped worker thread; the scope joins them all
 /// before returning, so callers observe a fully quiesced world — in
 /// particular, [`AccessStats`](idivm_reldb::AccessStats) snapshots
-/// taken after this call are exact.
+/// taken after this call are exact. The per-operator trace layer
+/// (`idivm_core::trace`) leans on exactly this join: the engine's plan
+/// walk stays serial and takes a snapshot before and after each node's
+/// rule, so the delta it attributes to that node already includes every
+/// worker's probes, and traces come out bit-identical for any
+/// [`ParallelConfig::threads`] setting.
 pub fn run_sharded<I, O, F>(shards: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,

@@ -180,6 +180,16 @@ fn apply_update(changes: &mut TableChanges, key: Key, pre: Row, post: Row) {
 /// * delete → insert ⇒ update (or nothing if contents identical)
 /// * update with pre == post ⇒ nothing
 ///
+/// **Degenerate sequences** — entry pairs the storage layer cannot
+/// produce (it rejects duplicate-key inserts and modifications of
+/// missing rows) but that a hand-built or corrupted log could contain —
+/// are defined as explicit **no-ops** rather than errors, so folding is
+/// total and a maintenance round never aborts on a log anomaly:
+///
+/// * delete → delete ⇒ the first delete stands (second ignored)
+/// * delete → update ⇒ the delete stands (update ignored)
+/// * insert/update → insert ⇒ the earlier change stands (insert ignored)
+///
 /// The result is *effective* in the paper's sense: for each tuple it
 /// reflects the final value, so diff application order is immaterial.
 /// `key_of` extracts the primary key of an inserted row.
@@ -360,6 +370,115 @@ mod tests {
             },
         ];
         assert!(fold_keyed(&entries, key_of).is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // The full 9-cell state-transition matrix: accumulated net state
+    // (Inserted / Updated / Deleted) × incoming entry (insert / delete /
+    // update). The four degenerate cells are pinned as documented
+    // no-ops — folding must stay total on anomalous logs.
+    // ------------------------------------------------------------------
+
+    fn ins(v: i64) -> LogEntry {
+        LogEntry::Insert {
+            table: "p".into(),
+            row: row![1, v],
+        }
+    }
+
+    fn del(pre: i64) -> LogEntry {
+        LogEntry::Delete {
+            table: "p".into(),
+            key: k(1),
+            pre: row![1, pre],
+        }
+    }
+
+    fn upd(pre: i64, post: i64) -> LogEntry {
+        LogEntry::Update {
+            table: "p".into(),
+            key: k(1),
+            pre: row![1, pre],
+            post: row![1, post],
+        }
+    }
+
+    /// Cell (Inserted, insert): duplicate insert is ignored — the first
+    /// insert stands.
+    #[test]
+    fn insert_then_insert_keeps_first() {
+        let folded = fold_keyed(&[ins(10), ins(99)], key_of);
+        assert_eq!(folded["p"][&k(1)], NetChange::Inserted { post: row![1, 10] });
+    }
+
+    /// Cell (Updated, insert): insert over a net-updated live tuple is
+    /// ignored — the update stands.
+    #[test]
+    fn update_then_insert_keeps_update() {
+        let folded = fold_keyed(&[upd(10, 11), ins(99)], key_of);
+        assert_eq!(
+            folded["p"][&k(1)],
+            NetChange::Updated {
+                pre: row![1, 10],
+                post: row![1, 11]
+            }
+        );
+    }
+
+    /// Cell (Deleted, delete): double delete keeps the first delete's
+    /// pre-image.
+    #[test]
+    fn delete_then_delete_keeps_first_pre() {
+        let folded = fold_keyed(&[del(10), del(99)], key_of);
+        assert_eq!(folded["p"][&k(1)], NetChange::Deleted { pre: row![1, 10] });
+    }
+
+    /// Cell (Deleted, update): update after delete is ignored — the
+    /// delete stands with its original pre-image.
+    #[test]
+    fn delete_then_update_keeps_delete() {
+        let folded = fold_keyed(&[del(10), upd(10, 99)], key_of);
+        assert_eq!(folded["p"][&k(1)], NetChange::Deleted { pre: row![1, 10] });
+    }
+
+    /// All 9 cells in one sweep, asserting the net outcome of each
+    /// (prior state × incoming entry) combination.
+    #[test]
+    fn nine_cell_transition_matrix() {
+        let cells: Vec<(Vec<LogEntry>, Option<NetChange>)> = vec![
+            // Prior Inserted:
+            (vec![ins(10), ins(99)], Some(NetChange::Inserted { post: row![1, 10] })),
+            (vec![ins(10), del(10)], None),
+            (vec![ins(10), upd(10, 11)], Some(NetChange::Inserted { post: row![1, 11] })),
+            // Prior Updated:
+            (
+                vec![upd(10, 11), ins(99)],
+                Some(NetChange::Updated { pre: row![1, 10], post: row![1, 11] }),
+            ),
+            (vec![upd(10, 11), del(11)], Some(NetChange::Deleted { pre: row![1, 10] })),
+            (
+                vec![upd(10, 11), upd(11, 12)],
+                Some(NetChange::Updated { pre: row![1, 10], post: row![1, 12] }),
+            ),
+            // Prior Deleted:
+            (
+                vec![del(10), ins(20)],
+                Some(NetChange::Updated { pre: row![1, 10], post: row![1, 20] }),
+            ),
+            (vec![del(10), del(99)], Some(NetChange::Deleted { pre: row![1, 10] })),
+            (vec![del(10), upd(10, 99)], Some(NetChange::Deleted { pre: row![1, 10] })),
+        ];
+        for (i, (entries, expect)) in cells.iter().enumerate() {
+            let folded = fold_keyed(entries, key_of);
+            match expect {
+                Some(net) => assert_eq!(
+                    folded["p"][&k(1)],
+                    *net,
+                    "cell {i}: wrong net change"
+                ),
+                None => assert!(folded.is_empty(), "cell {i}: expected no net change"),
+            }
+        }
     }
 
     #[test]

@@ -47,8 +47,11 @@ impl Partial {
     }
 
     /// Does the composed row pass the residual filter?
-    pub fn passes(&self, composed: &Row) -> bool {
-        self.filter.as_ref().is_none_or(|f| f.eval_pred(composed))
+    ///
+    /// # Errors
+    /// Expression evaluation failures ([`idivm_types::Error::Type`]).
+    pub fn passes(&self, composed: &Row) -> idivm_types::Result<bool> {
+        idivm_algebra::opt_pred(self.filter.as_ref(), composed)
     }
 
     /// Base-table columns read by the first probe step and the filter —
@@ -91,9 +94,9 @@ mod tests {
         let acc = row!["P1", 10, "D1"];
         let c = p.compose_row(&acc);
         assert_eq!(c, row!["P1", "D1", 10]);
-        assert!(p.passes(&c));
+        assert!(p.passes(&c).unwrap());
         let acc = row!["P1", -5, "D1"];
-        assert!(!p.passes(&p.compose_row(&acc)));
+        assert!(!p.passes(&p.compose_row(&acc)).unwrap());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::tdiff::{apply, TApplyOutcome, TDiffs};
 use idivm_algebra::{ensure_ids, Plan};
 use idivm_core::access::{AccessCtx, PathId};
 use idivm_core::engine::ensure_probe_indexes;
+use idivm_core::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_core::MaintenanceReport;
 use idivm_exec::{materialize_view, ParallelConfig};
 use idivm_reldb::Database;
@@ -23,6 +24,7 @@ pub struct TupleIvm {
     view_name: String,
     plan: Plan,
     parallel: ParallelConfig,
+    trace: TraceConfig,
 }
 
 impl TupleIvm {
@@ -39,6 +41,7 @@ impl TupleIvm {
             view_name: view_name.to_string(),
             plan,
             parallel: ParallelConfig::serial(),
+            trace: TraceConfig::disabled(),
         })
     }
 
@@ -46,6 +49,11 @@ impl TupleIvm {
     /// default). Access counts are bit-identical for any thread count.
     pub fn set_parallel(&mut self, parallel: ParallelConfig) {
         self.parallel = parallel;
+    }
+
+    /// Enable or disable per-operator trace recording (off by default).
+    pub fn set_trace(&mut self, trace: TraceConfig) {
+        self.trace = trace;
     }
 
     /// The maintained view's name.
@@ -81,20 +89,27 @@ impl TupleIvm {
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
         let mut report = MaintenanceReport::default();
+        if self.trace.enabled {
+            report.trace = Some(RoundTrace::default());
+        }
         if net.is_empty() {
             report.wall = started.elapsed();
             return Ok(report);
         }
+        let populate_started = Instant::now();
         let base_diffs: HashMap<String, TDiffs> = net
             .iter()
             .map(|(t, ch)| (t.clone(), TDiffs::from_changes(ch)))
             .collect();
         report.base_diff_tuples = base_diffs.values().map(TDiffs::len).sum();
+        let populate_done = populate_started.elapsed();
 
         // Compute the view-level t-diffs (counted as diff computation).
+        let propagate_started = Instant::now();
         let before = db.stats().snapshot();
         let empty_caches: HashMap<PathId, String> = HashMap::new();
         let empty_changes: HashMap<String, idivm_reldb::TableChanges> = HashMap::new();
+        let mut op_traces = self.trace.enabled.then(Vec::new);
         let view_diffs = {
             let access = AccessCtx {
                 db,
@@ -107,16 +122,33 @@ impl TupleIvm {
                 view_name: &self.view_name,
                 parallel: self.parallel,
             };
-            walk(&ctx, &self.plan, &PathId::new(), &base_diffs)?
+            walk(&ctx, &self.plan, &PathId::new(), &base_diffs, &mut op_traces)?
         };
         report.diff_compute = db.stats().snapshot().since(&before);
         report.view_diff_tuples = view_diffs.len();
+        let propagate_done = propagate_started.elapsed();
 
         // Apply them.
+        let apply_started = Instant::now();
         let before = db.stats().snapshot();
         let outcome = apply(db.table_mut(&self.view_name)?, &view_diffs)?;
         report.view_update = db.stats().snapshot().since(&before);
         report.view_outcome = to_outcome(outcome);
+        if let Some(trace) = report.trace.as_mut() {
+            trace.operators = op_traces.unwrap_or_default();
+            trace.operators.push(OpTrace {
+                path: PathId::new(),
+                op: op_label(&self.plan).to_string(),
+                phase: TracePhase::ViewApply,
+                diffs_in: report.view_diff_tuples as u64,
+                diffs_out: 0,
+                dummies: outcome.dummies,
+                accesses: report.view_update,
+            });
+            trace.timings.populate = populate_done;
+            trace.timings.propagate = propagate_done;
+            trace.timings.apply = apply_started.elapsed();
+        }
         report.wall = started.elapsed();
         Ok(report)
     }
@@ -127,6 +159,7 @@ fn walk(
     node: &Plan,
     path: &PathId,
     base: &HashMap<String, TDiffs>,
+    traces: &mut Option<Vec<OpTrace>>,
 ) -> Result<TDiffs> {
     if let Plan::Scan { table, .. } = node {
         return Ok(base.get(table).cloned().unwrap_or_default());
@@ -135,9 +168,25 @@ fn walk(
     for (i, c) in node.children().into_iter().enumerate() {
         let mut p = path.clone();
         p.push(i);
-        sides.push(walk(ctx, c, &p, base)?);
+        sides.push(walk(ctx, c, &p, base, traces)?);
     }
-    propagate(ctx, node, path, sides)
+    let diffs_in: u64 = sides.iter().map(|s| s.len() as u64).sum();
+    let before = traces
+        .is_some()
+        .then(|| ctx.access.db.stats().snapshot());
+    let out = propagate(ctx, node, path, sides)?;
+    if let (Some(ts), Some(before)) = (traces.as_mut(), before) {
+        ts.push(OpTrace {
+            path: path.clone(),
+            op: op_label(node).to_string(),
+            phase: TracePhase::Propagate,
+            diffs_in,
+            diffs_out: out.len() as u64,
+            dummies: 0,
+            accesses: ctx.access.db.stats().snapshot().since(&before),
+        });
+    }
+    Ok(out)
 }
 
 fn to_outcome(o: TApplyOutcome) -> idivm_core::apply::ApplyOutcome {

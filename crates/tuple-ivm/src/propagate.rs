@@ -71,21 +71,19 @@ pub fn propagate(
         Plan::Scan { .. } => Ok(sides.into_iter().next().unwrap_or_default()),
         Plan::Select { pred, .. } => {
             let d = one(sides);
-            let mut out = TDiffs {
-                inserts: d
-                    .inserts
-                    .into_iter()
-                    .filter(|r| pred.eval_pred(r))
-                    .collect(),
-                deletes: d
-                    .deletes
-                    .into_iter()
-                    .filter(|r| pred.eval_pred(r))
-                    .collect(),
-                updates: Vec::new(),
-            };
+            let mut out = TDiffs::default();
+            for r in d.inserts {
+                if pred.eval_pred(&r)? {
+                    out.inserts.push(r);
+                }
+            }
+            for r in d.deletes {
+                if pred.eval_pred(&r)? {
+                    out.deletes.push(r);
+                }
+            }
             for (pre, post) in d.updates {
-                match (pred.eval_pred(&pre), pred.eval_pred(&post)) {
+                match (pred.eval_pred(&pre)?, pred.eval_pred(&post)?) {
                     (true, true) => out.updates.push((pre, post)),
                     (true, false) => out.deletes.push(pre),
                     (false, true) => out.inserts.push(post),
@@ -97,13 +95,21 @@ pub fn propagate(
         Plan::Project { cols, .. } => {
             let d = one(sides);
             let mut out = TDiffs {
-                inserts: d.inserts.iter().map(|r| project_row(r, cols)).collect(),
-                deletes: d.deletes.iter().map(|r| project_row(r, cols)).collect(),
+                inserts: d
+                    .inserts
+                    .iter()
+                    .map(|r| project_row(r, cols))
+                    .collect::<Result<_>>()?,
+                deletes: d
+                    .deletes
+                    .iter()
+                    .map(|r| project_row(r, cols))
+                    .collect::<Result<_>>()?,
                 updates: Vec::new(),
             };
             for (pre, post) in &d.updates {
-                let p = project_row(pre, cols);
-                let q = project_row(post, cols);
+                let p = project_row(pre, cols)?;
+                let q = project_row(post, cols)?;
                 if p != q {
                     out.updates.push((p, q));
                 }
@@ -206,15 +212,13 @@ fn join_side(
         }
         access::lookup(ctx.access, other, &other_path, state, &other_keys, &Key(vals))
     };
-    let combine = |this: &Row, m: &Row| -> Option<Row> {
+    let combine = |this: &Row, m: &Row| -> Result<Option<Row>> {
         let joined = if side == 0 {
             this.concat(m)
         } else {
             m.concat(this)
         };
-        residual
-            .is_none_or(|e| e.eval_pred(&joined))
-            .then_some(joined)
+        Ok(idivm_algebra::opt_pred(residual, &joined)?.then_some(joined))
     };
     // Condition columns on this side decide whether updates stay
     // updates.
@@ -240,7 +244,7 @@ fn join_side(
         let mut out = TDiffs::default();
         for r in &chunk.inserts {
             for m in probe(r, State::Post)? {
-                if let Some(j) = combine(r, &m) {
+                if let Some(j) = combine(r, &m)? {
                     out.inserts.push(j);
                 }
             }
@@ -249,7 +253,7 @@ fn join_side(
             // Reconstruct the vanished view tuples against the other
             // side's *pre-state* (they were built from it).
             for m in probe(r, State::Pre)? {
-                if let Some(j) = combine(r, &m) {
+                if let Some(j) = combine(r, &m)? {
                     out.deletes.push(j);
                 }
             }
@@ -258,12 +262,12 @@ fn join_side(
             let touched = cond.iter().any(|&c| pre[c] != post[c]);
             if touched {
                 for m in probe(pre, State::Pre)? {
-                    if let Some(j) = combine(pre, &m) {
+                    if let Some(j) = combine(pre, &m)? {
                         out.deletes.push(j);
                     }
                 }
                 for m in probe(post, State::Post)? {
-                    if let Some(j) = combine(post, &m) {
+                    if let Some(j) = combine(post, &m)? {
                         out.inserts.push(j);
                     }
                 }
@@ -281,12 +285,12 @@ fn join_side(
                     match was {
                         Some(mp) => {
                             let (jp, jq) = pair(side, pre, mp, post, m);
-                            if residual.is_none_or(|e| e.eval_pred(&jq)) {
+                            if idivm_algebra::opt_pred(residual, &jq)? {
                                 out.updates.push((jp, jq));
                             }
                         }
                         None => {
-                            if let Some(j) = combine(post, m) {
+                            if let Some(j) = combine(post, m)? {
                                 out.inserts.push(j);
                             }
                         }
@@ -295,7 +299,7 @@ fn join_side(
                 for mp in &pre_matches {
                     let mk = mp.key(&other_ids);
                     if !post_matches.iter().any(|m| m.key(&other_ids) == mk) {
-                        if let Some(j) = combine(pre, mp) {
+                        if let Some(j) = combine(pre, mp)? {
                             out.deletes.push(j);
                         }
                     }
@@ -306,7 +310,7 @@ fn join_side(
                 // accesses per diff tuple).
                 for m in probe(post, State::Post)? {
                     let (jp, jq) = pair(side, pre, &m, post, &m);
-                    if residual.is_none_or(|e| e.eval_pred(&jq)) {
+                    if idivm_algebra::opt_pred(residual, &jq)? {
                         out.updates.push((jp, jq));
                     }
                 }
@@ -365,9 +369,13 @@ fn semi_side(
             return Ok(!keep_matched);
         }
         let hits = access::lookup(ctx.access, right, &rpath, state, &rcols, &Key(vals))?;
-        let matched = hits
-            .iter()
-            .any(|m| residual.is_none_or(|e| e.eval_pred(&row.concat(m))));
+        let mut matched = false;
+        for m in &hits {
+            if idivm_algebra::opt_pred(residual, &row.concat(m))? {
+                matched = true;
+                break;
+            }
+        }
         Ok(matched == keep_matched)
     };
     let mut out = TDiffs::default();
@@ -490,18 +498,20 @@ fn group_by(
                     access::lookup(ctx.access, input, &ipath, State::Pre, keys, &gk)?;
                 let post_members =
                     access::lookup(ctx.access, input, &ipath, State::Post, keys, &gk)?;
-                let mk = |members: &[Row]| -> Row {
+                let mk = |members: &[Row]| -> Result<Row> {
                     let mut r = gk.clone().into_row();
-                    r.0.extend(aggs.iter().map(|a| aggregate_rows(a, members)));
-                    r
+                    for a in aggs {
+                        r.0.push(aggregate_rows(a, members)?);
+                    }
+                    Ok(r)
                 };
                 match (pre_members.is_empty(), post_members.is_empty()) {
                     (true, true) => {}
-                    (true, false) => o.inserts.push(mk(&post_members)),
-                    (false, true) => o.deletes.push(mk(&pre_members)),
+                    (true, false) => o.inserts.push(mk(&post_members)?),
+                    (false, true) => o.deletes.push(mk(&pre_members)?),
                     (false, false) => {
-                        let pre = mk(&pre_members);
-                        let post = mk(&post_members);
+                        let pre = mk(&pre_members)?;
+                        let post = mk(&post_members)?;
                         if pre != post {
                             o.updates.push((pre, post));
                         }
@@ -563,9 +573,9 @@ fn group_by_deltas(
         }
         e.1 |= is_delete;
     };
-    let eval = |a: &idivm_algebra::AggSpec, r: &Row| -> Value {
-        let v = a.arg.eval(r);
-        match a.func {
+    let eval = |a: &idivm_algebra::AggSpec, r: &Row| -> Result<Value> {
+        let v = a.arg.eval(r)?;
+        Ok(match a.func {
             AggFunc::Sum => {
                 if v.is_null() {
                     Value::Int(0)
@@ -575,22 +585,30 @@ fn group_by_deltas(
             }
             AggFunc::Count => Value::Int(i64::from(!v.is_null())),
             _ => Value::Int(0),
-        }
+        })
     };
     for r in &d.inserts {
-        add(r.key(keys), aggs.iter().map(|a| eval(a, r)).collect(), false);
+        add(
+            r.key(keys),
+            aggs.iter().map(|a| eval(a, r)).collect::<Result<_>>()?,
+            false,
+        );
     }
     for r in &d.deletes {
         add(
             r.key(keys),
-            aggs.iter().map(|a| eval(a, r).neg()).collect(),
+            aggs.iter()
+                .map(|a| Ok(eval(a, r)?.neg()))
+                .collect::<Result<_>>()?,
             true,
         );
     }
     for (p, q) in &d.updates {
         add(
             p.key(keys),
-            aggs.iter().map(|a| eval(a, q).sub(&eval(a, p))).collect(),
+            aggs.iter()
+                .map(|a| Ok(eval(a, q)?.sub(&eval(a, p)?)))
+                .collect::<Result<_>>()?,
             false,
         );
     }

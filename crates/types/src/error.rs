@@ -18,6 +18,10 @@ pub enum Error {
     Plan(String),
     /// A view definition outside the supported QSPJADU language.
     Unsupported(String),
+    /// Type confusion during expression evaluation (e.g. a non-boolean
+    /// operand under AND/OR/NOT). Surfaced as `Err` from `maintain()`
+    /// instead of aborting a half-applied round.
+    Type(String),
     /// Internal invariant violation (a bug, surfaced instead of UB).
     Internal(String),
 }
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
             Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
             Error::Plan(m) => write!(f, "plan error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -43,12 +43,19 @@ impl Value {
     }
 
     /// Interpret the value as a boolean for predicate evaluation.
-    /// NULL maps to `None` (unknown).
-    pub fn as_bool(&self) -> Option<bool> {
+    /// NULL maps to `Ok(None)` (unknown, three-valued logic); any
+    /// non-boolean variant is a typed error instead of a panic so a
+    /// malformed predicate surfaces as `Err` from `maintain()`.
+    ///
+    /// # Errors
+    /// [`crate::Error::Type`] on non-boolean, non-NULL values.
+    pub fn as_bool(&self) -> crate::Result<Option<bool>> {
         match self {
-            Value::Bool(b) => Some(*b),
-            Value::Null => None,
-            other => panic!("as_bool on non-boolean value {other:?}"),
+            Value::Bool(b) => Ok(Some(*b)),
+            Value::Null => Ok(None),
+            other => Err(crate::Error::Type(format!(
+                "as_bool on non-boolean value {other:?}"
+            ))),
         }
     }
 

@@ -1,0 +1,204 @@
+//! Three-valued NULL semantics through maintenance — differential
+//! against the full-recomputation oracle.
+//!
+//! NULLs are fed through the two places they bend operator behavior:
+//!
+//! * **filter columns** — `σ(price < 50)` over rows whose `price` is
+//!   NULL: the comparison is UNKNOWN and the row is filtered out
+//!   (SQL WHERE semantics, `Expr::eval_pred`);
+//! * **join columns** — links whose `pid` is NULL, flowing through an
+//!   equi-join and a semijoin.
+//!
+//! Every scripted round mutates the base tables (introducing, updating
+//! away, and deleting NULLs), runs one idIVM maintenance round, and
+//! compares the maintained view to [`recompute_rows`] — under the
+//! serial executor and under P=4, whose access snapshots must also be
+//! bit-identical to serial.
+
+use idivm_repro::algebra::{Expr, Plan, PlanBuilder};
+use idivm_repro::core::{IdIvm, IvmOptions};
+use idivm_repro::exec::{executor::sorted, recompute_rows, DbCatalog, ParallelConfig};
+use idivm_repro::reldb::{Database, StatsSnapshot};
+use idivm_repro::types::{row, ColumnType, Key, Row, Schema, Value};
+
+fn four_threads() -> ParallelConfig {
+    ParallelConfig {
+        threads: 4,
+        min_shard_rows: 2,
+    }
+}
+
+fn setup_db() -> Database {
+    let mut db = Database::new();
+    db.set_logging(false);
+    db.create_table(
+        "parts",
+        Schema::from_pairs(
+            &[("pid", ColumnType::Str), ("price", ColumnType::Int)],
+            &["pid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "links",
+        Schema::from_pairs(
+            &[
+                ("lid", ColumnType::Str),
+                ("pid", ColumnType::Str),
+                ("qty", ColumnType::Int),
+            ],
+            &["lid"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    // A NULL price and a NULL join column exist from the start.
+    db.insert("parts", row!["P0", 5]).unwrap();
+    db.insert("parts", row!["P1", 40]).unwrap();
+    db.insert("parts", Row(vec![Value::str("P2"), Value::Null]))
+        .unwrap();
+    db.insert("parts", row!["P3", 90]).unwrap();
+    db.insert("links", row!["L0", "P0", 2]).unwrap();
+    db.insert("links", row!["L1", "P1", 1]).unwrap();
+    db.insert(
+        "links",
+        Row(vec![Value::str("L2"), Value::Null, Value::Int(3)]),
+    )
+    .unwrap();
+    db.set_logging(true);
+    db
+}
+
+fn select_plan(db: &Database) -> Plan {
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "parts")
+        .unwrap()
+        .select(Expr::col(1).lt(Expr::Lit(Value::Int(50))))
+        .build()
+        .unwrap()
+}
+
+fn join_plan(db: &Database) -> Plan {
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "parts")
+        .unwrap()
+        .select(Expr::col(1).lt(Expr::Lit(Value::Int(50))))
+        .join(
+            PlanBuilder::scan(&cat, "links").unwrap(),
+            &[("parts.pid", "links.pid")],
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn semi_plan(db: &Database) -> Plan {
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "parts")
+        .unwrap()
+        .semi_join(
+            PlanBuilder::scan(&cat, "links").unwrap(),
+            &[("parts.pid", "links.pid")],
+        )
+        .unwrap()
+        .select(Expr::col(1).lt(Expr::Lit(Value::Int(50))))
+        .build()
+        .unwrap()
+}
+
+type Mutation = Box<dyn Fn(&mut Database)>;
+
+/// Scripted mutation rounds: each round pushes NULLs into (or out of)
+/// the filter column and the join column.
+fn rounds() -> Vec<Vec<Mutation>> {
+    fn upd(table: &'static str, key: &'static str, col: &'static str, v: Value) -> Mutation {
+        Box::new(move |db| {
+            db.update_named(table, &Key(vec![Value::str(key)]), &[(col, v.clone())])
+                .unwrap();
+        })
+    }
+    vec![
+        // NULL the filter column of an in-view part; give the NULL-pid
+        // link a real target.
+        vec![
+            upd("parts", "P1", "price", Value::Null),
+            upd("links", "L2", "pid", Value::str("P3")),
+        ],
+        // Insert a fresh NULL-price part and a fresh NULL-pid link;
+        // un-NULL P1.
+        vec![
+            Box::new(|db| {
+                db.insert("parts", Row(vec![Value::str("P4"), Value::Null]))
+                    .unwrap();
+                db.insert(
+                    "links",
+                    Row(vec![Value::str("L3"), Value::Null, Value::Int(7)]),
+                )
+                .unwrap();
+            }),
+            upd("parts", "P1", "price", Value::Int(30)),
+        ],
+        // Resolve a NULL price into view range; NULL a previously
+        // real join column; delete the original NULL-price part.
+        vec![
+            upd("parts", "P4", "price", Value::Int(10)),
+            upd("links", "L0", "pid", Value::Null),
+            Box::new(|db| {
+                db.delete("parts", &Key(vec![Value::str("P2")])).unwrap();
+            }),
+        ],
+    ]
+}
+
+/// Run the scripted rounds on `plan` under `parallel`; return the
+/// per-round phase snapshots and the final sorted view.
+fn run(plan_of: fn(&Database) -> Plan, parallel: ParallelConfig) -> (Vec<StatsSnapshot>, Vec<Row>) {
+    let mut db = setup_db();
+    let plan = plan_of(&db);
+    let opts = IvmOptions {
+        parallel,
+        ..IvmOptions::default()
+    };
+    let ivm = IdIvm::setup(&mut db, "V", plan, opts).unwrap();
+    let mut snaps = Vec::new();
+    for round in rounds() {
+        for m in &round {
+            m(&mut db);
+        }
+        let report = ivm.maintain(&mut db).unwrap();
+        snaps.push(report.diff_compute);
+        snaps.push(report.cache_update);
+        snaps.push(report.view_update);
+        // Differential check after every round, not only at the end.
+        let expected = sorted(recompute_rows(&db, ivm.plan()).unwrap());
+        let actual = sorted(db.table("V").unwrap().rows_uncounted());
+        assert_eq!(actual, expected, "maintained view diverged from oracle");
+    }
+    (snaps, sorted(db.table("V").unwrap().rows_uncounted()))
+}
+
+fn check(plan_of: fn(&Database) -> Plan) {
+    let (serial_snaps, serial_view) = run(plan_of, ParallelConfig::serial());
+    let (sharded_snaps, sharded_view) = run(plan_of, four_threads());
+    assert_eq!(
+        serial_snaps, sharded_snaps,
+        "access snapshots diverged between P=1 and P=4"
+    );
+    assert_eq!(serial_view, sharded_view);
+}
+
+#[test]
+fn nulls_in_filter_column_select() {
+    check(select_plan);
+}
+
+#[test]
+fn nulls_in_filter_and_join_columns_join() {
+    check(join_plan);
+}
+
+#[test]
+fn nulls_in_filter_and_join_columns_semijoin() {
+    check(semi_plan);
+}
