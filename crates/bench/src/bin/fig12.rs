@@ -16,8 +16,8 @@
 //! `EXPERIMENTS.md`). `--smoke` shrinks the data for CI.
 
 use idivm_bench::{
-    fmt_row, run_running_example_round, run_running_example_round_traced, speedup, traces_to_json,
-    Measured,
+    fmt_row, rollback_overhead, run_running_example_round, run_running_example_round_traced,
+    speedup, traces_and_overhead_to_json, Measured,
 };
 use idivm_core::TraceConfig;
 use idivm_workloads::RunningExample;
@@ -119,7 +119,28 @@ fn main() {
             );
         }
     }
-    let json = traces_to_json("fig12", &traced);
+    // Rollback-machinery guard: a no-fault round with undo journaling
+    // armed must cost (in the paper's access unit) within 10% of the
+    // same round with it disarmed. Journaling is off the counted access
+    // paths by design, so the expected overhead is exactly 0%.
+    println!("\nrollback-machinery overhead (no-fault round, undo on vs off):");
+    let overheads = rollback_overhead(&base, true, d).expect("overhead round failed");
+    for o in &overheads {
+        println!(
+            "  {:<16} with {:>9}  without {:>9}  overhead {:.2}%",
+            o.label,
+            o.with_undo,
+            o.without_undo,
+            o.pct()
+        );
+        assert!(
+            o.pct() < 10.0,
+            "{}: rollback machinery overhead {:.2}% exceeds the 10% guard",
+            o.label,
+            o.pct()
+        );
+    }
+    let json = traces_and_overhead_to_json("fig12", &traced, &overheads);
     std::fs::write("BENCH_fig12_trace.json", &json).expect("write BENCH_fig12_trace.json");
     println!("wrote BENCH_fig12_trace.json");
 }

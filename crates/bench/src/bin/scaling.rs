@@ -58,7 +58,8 @@ fn sweep_tuple(cfg: &Bsma, diffs: usize, rounds: u64) -> Vec<Point> {
             let mut db = cfg.build().expect("generator failed");
             let plan = cfg.plan(&db, BsmaQuery::Q10).expect("plan failed");
             let mut ivm = TupleIvm::setup(&mut db, "V", plan).expect("setup failed");
-            ivm.set_parallel(ParallelConfig::with_threads(p));
+            ivm.set_parallel(ParallelConfig::with_threads(p))
+                .expect("invalid parallel config");
             run_rounds(p, diffs, rounds, cfg, &mut db, |db| {
                 ivm.maintain(db).expect("maintain failed").total_accesses()
             })

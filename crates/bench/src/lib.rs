@@ -67,11 +67,29 @@ pub fn run_running_example_round_traced(
     diff_size: usize,
     trace: TraceConfig,
 ) -> Result<Vec<Measured>> {
+    run_running_example_round_configured(cfg, aggregate, diff_size, trace, true)
+}
+
+/// [`run_running_example_round_traced`] with the round's rollback
+/// machinery (undo journaling, [`Database::set_round_undo`]) switchable
+/// — `round_undo = false` gives the pre-atomicity baseline the
+/// `rollback_overhead` guard compares against.
+///
+/// # Errors
+/// Any engine failure (a bug).
+pub fn run_running_example_round_configured(
+    cfg: &RunningExample,
+    aggregate: bool,
+    diff_size: usize,
+    trace: TraceConfig,
+    round_undo: bool,
+) -> Result<Vec<Measured>> {
     let mut out = Vec::new();
 
     // idIVM.
     {
         let mut db = cfg.build()?;
+        db.set_round_undo(round_undo);
         let plan = if aggregate {
             cfg.agg_plan(&db)?
         } else {
@@ -95,6 +113,7 @@ pub fn run_running_example_round_traced(
     // Tuple-based.
     {
         let mut db = cfg.build()?;
+        db.set_round_undo(round_undo);
         let plan = if aggregate {
             cfg.agg_plan(&db)?
         } else {
@@ -115,6 +134,7 @@ pub fn run_running_example_round_traced(
     // SDBT-fixed.
     {
         let mut db = cfg.build()?;
+        db.set_round_undo(round_undo);
         let plan = if aggregate {
             cfg.agg_plan(&db)?
         } else {
@@ -142,6 +162,7 @@ pub fn run_running_example_round_traced(
     // SDBT-streams.
     {
         let mut db = cfg.build()?;
+        db.set_round_undo(round_undo);
         let plan = if aggregate {
             cfg.agg_plan(&db)?
         } else {
@@ -189,6 +210,94 @@ pub fn traces_to_json(bench: &str, measured: &[Measured]) -> String {
         "{{\n  \"bench\": \"{bench}\",\n  \"systems\": [\n{}\n  ]\n}}\n",
         systems.join(",\n")
     )
+}
+
+/// Access-count cost of one system's no-fault round with the rollback
+/// machinery armed (`with_undo`, the default) vs disarmed
+/// (`without_undo`, `Database::set_round_undo(false)`).
+#[derive(Debug, Clone)]
+pub struct RollbackOverhead {
+    pub label: &'static str,
+    pub with_undo: u64,
+    pub without_undo: u64,
+}
+
+impl RollbackOverhead {
+    /// Relative overhead in percent (0 when the baseline is 0).
+    pub fn pct(&self) -> f64 {
+        if self.without_undo == 0 {
+            return 0.0;
+        }
+        (self.with_undo as f64 / self.without_undo as f64 - 1.0) * 100.0
+    }
+}
+
+/// Measure the rollback-machinery overhead of a clean round for all
+/// four systems: the same round is run with undo journaling armed and
+/// disarmed, and the access totals compared. Journaling is designed to
+/// stay off the counted access paths, so the expected overhead is 0%;
+/// the fig12 binary guards it under 10%.
+///
+/// # Errors
+/// Any engine failure (a bug).
+pub fn rollback_overhead(
+    cfg: &RunningExample,
+    aggregate: bool,
+    diff_size: usize,
+) -> Result<Vec<RollbackOverhead>> {
+    let on = run_running_example_round_configured(
+        cfg,
+        aggregate,
+        diff_size,
+        TraceConfig::disabled(),
+        true,
+    )?;
+    let off = run_running_example_round_configured(
+        cfg,
+        aggregate,
+        diff_size,
+        TraceConfig::disabled(),
+        false,
+    )?;
+    Ok(on
+        .iter()
+        .zip(&off)
+        .map(|(a, b)| RollbackOverhead {
+            label: a.label,
+            with_undo: a.cost(),
+            without_undo: b.cost(),
+        })
+        .collect())
+}
+
+/// Like [`traces_to_json`], with a `"rollback_overhead"` section
+/// appended (the fig12 guard's machine-readable record).
+pub fn traces_and_overhead_to_json(
+    bench: &str,
+    measured: &[Measured],
+    overheads: &[RollbackOverhead],
+) -> String {
+    let mut json = traces_to_json(bench, measured);
+    let rows: Vec<String> = overheads
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"label\": \"{}\", \"with_undo\": {}, \"without_undo\": {}, \
+                 \"overhead_pct\": {:.4}}}",
+                o.label,
+                o.with_undo,
+                o.without_undo,
+                o.pct()
+            )
+        })
+        .collect();
+    let section = format!(",\n  \"rollback_overhead\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    // Reopen the document: drop the closing `}` (and the whitespace
+    // around it) left by `traces_to_json`.
+    json.truncate(json.trim_end().len() - 1);
+    json.truncate(json.trim_end().len());
+    json.push_str(&section);
+    json
 }
 
 /// Render a speedup row: `baseline cost / subject cost`.

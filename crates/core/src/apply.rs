@@ -11,10 +11,23 @@
 //! view tuple. Diff tuples that match nothing (“dummy” tuples produced
 //! by overestimating rules) cost only their index lookup — the effect
 //! the paper's compression factor `p` measures.
+//!
+//! **Atomicity.** Each public entry point ([`apply`], [`apply_all`])
+//! is all-or-nothing: mutations journal their inverses into the
+//! table's shared [`UndoLog`](idivm_reldb::UndoLog) and an `Err`
+//! mid-batch rolls back both the table (rows and indexes) and the
+//! caller's `changes` overlay map before returning — no half-applied
+//! APPLY escapes. The session composes with an enclosing maintenance
+//! round (`Database::begin_round`): on success the journaled suffix is
+//! handed to the round's owner, on failure only this APPLY's suffix is
+//! replayed, and the round's own abort restores the rest.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::diff::{DiffInstance, DiffKind, State};
-use idivm_reldb::{NetChange, Table, TableChanges};
-use idivm_types::{Error, Result, Row, Value};
+use idivm_reldb::{NetChange, Table, TableChanges, UndoLog};
+use idivm_types::{Error, Key, Result, Row, Value};
+use std::collections::HashMap;
 
 /// Outcome counters of one APPLY.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,9 +51,81 @@ impl ApplyOutcome {
     }
 }
 
+/// First-touch pre-images of the caller's `changes` overlay map, so a
+/// failed APPLY can restore it alongside the table. Keys the APPLY
+/// never touched are never cloned.
+#[derive(Debug, Default)]
+struct ChangesJournal {
+    saved: HashMap<Key, Option<NetChange>>,
+}
+
+impl ChangesJournal {
+    /// Remember `key`'s current overlay entry the first time the APPLY
+    /// touches it.
+    fn save(&mut self, changes: &TableChanges, key: &Key) {
+        if !self.saved.contains_key(key) {
+            self.saved.insert(key.clone(), changes.get(key).cloned());
+        }
+    }
+
+    /// Put every touched key back to its saved pre-image.
+    fn restore(self, changes: &mut TableChanges) {
+        for (k, pre) in self.saved {
+            match pre {
+                Some(net) => {
+                    changes.insert(k, net);
+                }
+                None => {
+                    changes.remove(&k);
+                }
+            }
+        }
+    }
+}
+
+/// One all-or-nothing APPLY scope over a table's shared undo journal.
+struct ApplySession {
+    undo: UndoLog,
+    mark: usize,
+    journal: ChangesJournal,
+}
+
+impl ApplySession {
+    fn begin(table: &Table) -> Self {
+        let undo = table.undo_log().clone();
+        let mark = undo.arm();
+        ApplySession {
+            undo,
+            mark,
+            journal: ChangesJournal::default(),
+        }
+    }
+
+    /// Keep the mutations. Inside a maintenance round the journaled
+    /// suffix stays for the round's owner; standalone (no other
+    /// interest), the journal is drained so it cannot grow unboundedly.
+    fn commit(self) {
+        self.undo.disarm();
+        if !self.undo.is_armed() {
+            self.undo.clear();
+        }
+    }
+
+    /// Replay this session's suffix in reverse (rows and indexes,
+    /// uncounted) and restore the touched `changes` entries.
+    fn rollback(self, table: &mut Table, changes: &mut TableChanges) {
+        self.undo.disarm();
+        for op in self.undo.split_off(self.mark).into_iter().rev() {
+            table.apply_undo(op);
+        }
+        self.journal.restore(changes);
+    }
+}
+
 /// Apply `diff` to `table` (a materialized view or cache), recording the
 /// induced net changes into `changes` so later rules can read the
-/// relation's pre-state through an overlay.
+/// relation's pre-state through an overlay. All-or-nothing: on `Err`,
+/// `table` and `changes` are exactly as before the call.
 ///
 /// # Errors
 /// Conflicting inserts (an ineffective diff — upstream bug) or arity
@@ -50,11 +135,30 @@ pub fn apply(
     diff: &DiffInstance,
     changes: &mut TableChanges,
 ) -> Result<ApplyOutcome> {
+    let mut session = ApplySession::begin(table);
+    match apply_one(table, diff, changes, &mut session.journal) {
+        Ok(out) => {
+            session.commit();
+            Ok(out)
+        }
+        Err(e) => {
+            session.rollback(table, changes);
+            Err(e)
+        }
+    }
+}
+
+fn apply_one(
+    table: &mut Table,
+    diff: &DiffInstance,
+    changes: &mut TableChanges,
+    journal: &mut ChangesJournal,
+) -> Result<ApplyOutcome> {
     let mut out = ApplyOutcome::default();
     match diff.schema.kind {
-        DiffKind::Update => out.absorb(apply_update(table, diff, changes)?),
-        DiffKind::Insert => out.absorb(apply_insert(table, diff, changes)?),
-        DiffKind::Delete => out.absorb(apply_delete(table, diff, changes)?),
+        DiffKind::Update => out.absorb(apply_update(table, diff, changes, journal)?),
+        DiffKind::Insert => out.absorb(apply_insert(table, diff, changes, journal)?),
+        DiffKind::Delete => out.absorb(apply_delete(table, diff, changes, journal)?),
     }
     Ok(out)
 }
@@ -62,7 +166,8 @@ pub fn apply(
 /// Apply a whole batch of diffs in any order (they are effective, so
 /// order is immaterial — paper Section 2); inserts are deferred last so
 /// an insert+update pair targeting the same fresh tuple cannot trip the
-/// duplicate-insert guard.
+/// duplicate-insert guard. All-or-nothing across the whole batch: on
+/// `Err`, `table` and `changes` are exactly as before the call.
 ///
 /// # Errors
 /// Same conditions as [`apply`].
@@ -71,15 +176,34 @@ pub fn apply_all(
     diffs: &[DiffInstance],
     changes: &mut TableChanges,
 ) -> Result<ApplyOutcome> {
+    let mut session = ApplySession::begin(table);
+    match apply_all_inner(table, diffs, changes, &mut session.journal) {
+        Ok(out) => {
+            session.commit();
+            Ok(out)
+        }
+        Err(e) => {
+            session.rollback(table, changes);
+            Err(e)
+        }
+    }
+}
+
+fn apply_all_inner(
+    table: &mut Table,
+    diffs: &[DiffInstance],
+    changes: &mut TableChanges,
+    journal: &mut ChangesJournal,
+) -> Result<ApplyOutcome> {
     let mut out = ApplyOutcome::default();
     for d in diffs.iter().filter(|d| d.schema.kind == DiffKind::Delete) {
-        out.absorb(apply(table, d, changes)?);
+        out.absorb(apply_one(table, d, changes, journal)?);
     }
     for d in diffs.iter().filter(|d| d.schema.kind == DiffKind::Update) {
-        out.absorb(apply(table, d, changes)?);
+        out.absorb(apply_one(table, d, changes, journal)?);
     }
     for d in diffs.iter().filter(|d| d.schema.kind == DiffKind::Insert) {
-        out.absorb(apply(table, d, changes)?);
+        out.absorb(apply_one(table, d, changes, journal)?);
     }
     Ok(out)
 }
@@ -88,6 +212,7 @@ fn apply_update(
     table: &mut Table,
     diff: &DiffInstance,
     changes: &mut TableChanges,
+    journal: &mut ChangesJournal,
 ) -> Result<ApplyOutcome> {
     let mut out = ApplyOutcome::default();
     // The paper assumes a view index on the view IDs; ensure one exists
@@ -123,7 +248,9 @@ fn apply_update(
                     })?
                     .clone();
                 if pre != post {
-                    record_update(changes, pre.key(&pk_cols), pre, post);
+                    let key = pre.key(&pk_cols);
+                    journal.save(changes, &key);
+                    record_update(changes, key, pre, post);
                     out.updated += 1;
                 } else {
                     out.dummies += 1;
@@ -144,6 +271,7 @@ fn apply_insert(
     table: &mut Table,
     diff: &DiffInstance,
     changes: &mut TableChanges,
+    journal: &mut ChangesJournal,
 ) -> Result<ApplyOutcome> {
     let mut out = ApplyOutcome::default();
     let arity = table.schema().arity();
@@ -161,6 +289,7 @@ fn apply_insert(
             })?;
         let key = row.key(&pk_cols);
         if table.insert_if_absent(row.clone())? {
+            journal.save(changes, &key);
             record_insert(changes, key, row);
             out.inserted += 1;
         } else {
@@ -174,6 +303,7 @@ fn apply_delete(
     table: &mut Table,
     diff: &DiffInstance,
     changes: &mut TableChanges,
+    journal: &mut ChangesJournal,
 ) -> Result<ApplyOutcome> {
     let mut out = ApplyOutcome::default();
     table.create_index_positions(diff.schema.id_cols.clone());
@@ -187,7 +317,9 @@ fn apply_delete(
         }
         for pk in pks {
             if let Some(pre) = table.delete_located(&pk) {
-                record_delete(changes, pre.key(&pk_cols), pre);
+                let key = pre.key(&pk_cols);
+                journal.save(changes, &key);
+                record_delete(changes, key, pre);
                 out.deleted += 1;
             }
         }
@@ -263,11 +395,11 @@ fn record_delete(changes: &mut TableChanges, key: idivm_types::Key, pre: Row) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::diff::DiffSchema;
     use idivm_reldb::AccessStats;
-    use idivm_types::{row, ColumnType, Key, Schema};
-    use std::collections::HashMap;
+    use idivm_types::{row, ColumnType, Schema};
 
     /// The running-example view V(did, pid, price) of Figure 2.
     fn view() -> Table {
@@ -371,6 +503,84 @@ mod tests {
             vec![row!["D1", "P1", 999]], // same key, different price
         );
         assert!(apply(&mut v, &d, &mut HashMap::new()).is_err());
+    }
+
+    /// Regression (partial-effect APPLY): a conflicting insert in the
+    /// middle of a batch used to return `Err` with the earlier rows of
+    /// the same diff already inserted. The APPLY session must roll the
+    /// whole diff back: table, indexes, and the `changes` overlay.
+    #[test]
+    fn failed_insert_batch_is_all_or_nothing() {
+        let mut v = view();
+        v.create_index(&["pid"]).unwrap();
+        let before = v.signature();
+        let d = DiffInstance::new(
+            DiffSchema::insert(&[0, 1], 3),
+            vec![
+                row!["D7", "P7", 70],   // fresh — would insert
+                row!["D1", "P1", 999],  // conflicts with existing D1/P1
+                row!["D8", "P8", 80],   // never reached
+            ],
+        );
+        let mut ch = HashMap::new();
+        assert!(apply(&mut v, &d, &mut ch).is_err());
+        assert_eq!(v.signature(), before, "table must be untouched");
+        assert!(ch.is_empty(), "changes overlay must be untouched");
+        assert!(
+            v.undo_log().is_empty() && !v.undo_log().is_armed(),
+            "standalone session must leave the journal drained"
+        );
+    }
+
+    /// Same property across a batch of several diffs: a failure in a
+    /// later diff rolls back earlier diffs of the same `apply_all`.
+    #[test]
+    fn failed_apply_all_rolls_back_earlier_diffs() {
+        let mut v = view();
+        let before = v.signature();
+        let diffs = vec![
+            DiffInstance::new(
+                DiffSchema::delete(&[1], &[]),
+                vec![Row(vec![Value::str("P2")])], // applies first, succeeds
+            ),
+            DiffInstance::new(
+                DiffSchema::insert(&[0, 1], 3),
+                vec![row!["D2", "P1", 999]], // conflicting insert
+            ),
+        ];
+        let mut ch = HashMap::new();
+        assert!(apply_all(&mut v, &diffs, &mut ch).is_err());
+        assert_eq!(v.signature(), before);
+        assert!(ch.is_empty());
+    }
+
+    /// Pre-existing overlay entries touched by a failing APPLY must be
+    /// restored to their exact prior value, not dropped.
+    #[test]
+    fn rollback_restores_preexisting_changes_entries() {
+        let mut v = view();
+        let key = Key(vec![Value::str("D1"), Value::str("P2")]);
+        let mut ch = HashMap::new();
+        ch.insert(
+            key.clone(),
+            NetChange::Updated {
+                pre: row!["D1", "P2", 19],
+                post: row!["D1", "P2", 20],
+            },
+        );
+        let prior = ch.clone();
+        let diffs = vec![
+            DiffInstance::new(
+                DiffSchema::delete(&[1], &[]),
+                vec![Row(vec![Value::str("P2")])], // touches the journaled key
+            ),
+            DiffInstance::new(
+                DiffSchema::insert(&[0, 1], 3),
+                vec![row!["D2", "P1", 999]], // then fails
+            ),
+        ];
+        assert!(apply_all(&mut v, &diffs, &mut ch).is_err());
+        assert_eq!(ch, prior, "overlay entry must be restored verbatim");
     }
 
     #[test]

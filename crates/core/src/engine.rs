@@ -25,16 +25,33 @@ use crate::access::{AccessCtx, PathId};
 use crate::apply::{apply_all, ApplyOutcome};
 use crate::cache::{plan_caches, CacheDef};
 use crate::diff::DiffInstance;
+use crate::faults::{FaultPlan, FaultState};
 use crate::report::MaintenanceReport;
 use crate::rules::{propagate, IncomingDiff, RuleCtx};
 use crate::schema_gen::{generate, populate, BaseDiffSchemas};
 use crate::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_algebra::{ensure_ids, Plan};
-use idivm_exec::{materialize_view, view_schema, ParallelConfig};
-use idivm_reldb::{Database, TableChanges};
-use idivm_types::{Result, Schema};
+use idivm_exec::{materialize_view, refresh_view, view_schema, ParallelConfig};
+use idivm_reldb::{Database, StatsSnapshot, TableChanges};
+use idivm_types::{Error, Result, Schema};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// What a maintenance round does after an error forced a rollback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Propagate the error (default). The rollback has already restored
+    /// every view, cache, and index to its pre-round state, and the
+    /// modification log is preserved, so the round can be retried.
+    #[default]
+    Abort,
+    /// After rollback, repair the view and its caches by full recompute
+    /// ([`idivm_exec::refresh_view`]) and return a successful report
+    /// with [`recovered`](MaintenanceReport::recovered) set and the
+    /// repair's access cost in
+    /// [`recovery`](MaintenanceReport::recovery).
+    RecomputeOnError,
+}
 
 /// Tuning knobs of the engine.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +71,11 @@ pub struct IvmOptions {
     /// Per-operator trace recording (off by default; zero cost when
     /// off). See [`crate::trace`].
     pub trace: TraceConfig,
+    /// Deterministic fault injection (disabled by default; zero cost
+    /// when off). See [`crate::faults`].
+    pub faults: FaultPlan,
+    /// What to do after a mid-round error forced a rollback.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for IvmOptions {
@@ -63,6 +85,8 @@ impl Default for IvmOptions {
             use_input_caches: true,
             parallel: ParallelConfig::serial(),
             trace: TraceConfig::disabled(),
+            faults: FaultPlan::disabled(),
+            recovery: RecoveryPolicy::Abort,
         }
     }
 }
@@ -89,6 +113,7 @@ impl IdIvm {
         plan: Plan,
         options: IvmOptions,
     ) -> Result<Self> {
+        options.parallel.validate()?;
         // Pass 1: make every subview carry its IDs.
         let plan = ensure_ids(plan)?;
         plan.validate()?;
@@ -144,19 +169,40 @@ impl IdIvm {
         self.options
     }
 
+    /// Set the deterministic fault-injection plan (disabled by default;
+    /// zero cost when off). See [`crate::faults`].
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.options.faults = faults;
+    }
+
+    /// Set what a round does after an error forced a rollback.
+    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        self.options.recovery = recovery;
+    }
+
     /// Run one deferred maintenance round: consume the modification
     /// log, bring caches and the view up to date, and report costs.
     ///
+    /// The round is **atomic**: on any `Err` every view, cache, and
+    /// secondary index is rolled back to its exact pre-round state and
+    /// the modification log is preserved, so a clean retry (or a
+    /// recompute) starts from consistent state. With
+    /// [`RecoveryPolicy::RecomputeOnError`] the error is repaired
+    /// in-place and reported instead of returned.
+    ///
     /// # Errors
     /// Propagation or application failures (each indicates an engine
-    /// bug — the paper's algorithm never fails on valid input).
+    /// bug — the paper's algorithm never fails on valid input) or an
+    /// injected fault.
     pub fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
         // i-diff instance generation: fold the log (effective diffs).
+        // The log is cleared only after the round commits (or recovery
+        // repairs), keeping failed rounds retryable.
         let fold_started = Instant::now();
         let net = db.fold_log();
-        db.clear_log();
         let fold = fold_started.elapsed();
         let mut report = self.maintain_with_changes(db, &net)?;
+        db.clear_log();
         if let Some(trace) = report.trace.as_mut() {
             trace.timings.fold = fold;
         }
@@ -165,16 +211,85 @@ impl IdIvm {
 
     /// Like [`IdIvm::maintain`], but over an externally folded change
     /// set — several views maintained from one shared modification log
-    /// fold it once and pass it to each engine.
+    /// fold it once and pass it to each engine. The modification log is
+    /// untouched (the caller owns it); atomicity is as in
+    /// [`IdIvm::maintain`].
     ///
     /// # Errors
-    /// Propagation or application failures.
+    /// Propagation or application failures, or an injected fault.
     pub fn maintain_with_changes(
         &self,
         db: &mut Database,
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
+        let owner = db.begin_round();
+        match self.round_body(db, net) {
+            Ok(report) => {
+                if owner {
+                    db.commit_round();
+                } else {
+                    db.end_nested_round();
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                if owner {
+                    db.abort_round();
+                    if self.options.recovery == RecoveryPolicy::RecomputeOnError {
+                        return self.recover(db, &e);
+                    }
+                } else {
+                    // Nested under someone else's round: the owner's
+                    // abort (and recovery policy) handles the outcome.
+                    db.end_nested_round();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Repair the view and caches by full recompute after a rollback.
+    fn recover(&self, db: &mut Database, cause: &Error) -> Result<MaintenanceReport> {
         let started = Instant::now();
+        let before = db.stats().snapshot();
+        refresh_view(db, &self.view_name, &self.plan)?;
+        for def in &self.cache_defs {
+            let sub = crate::access::node_at(&self.plan, &def.path)?.clone();
+            refresh_view(db, &def.name, &sub)?;
+        }
+        let recovery = db.stats().snapshot().since(&before);
+        let mut report = MaintenanceReport {
+            recovered: true,
+            recovery,
+            recovery_cause: Some(cause.to_string()),
+            ..MaintenanceReport::default()
+        };
+        if self.options.trace.enabled {
+            let mut trace = RoundTrace::default();
+            trace.operators.push(OpTrace {
+                path: PathId::new(),
+                op: format!("recompute `{}`", self.view_name),
+                phase: TracePhase::Recovery,
+                diffs_in: 0,
+                diffs_out: 0,
+                dummies: 0,
+                accesses: recovery,
+            });
+            report.trace = Some(trace);
+        }
+        report.wall = started.elapsed();
+        Ok(report)
+    }
+
+    /// The incremental round itself (no commit/abort handling).
+    fn round_body(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        let started = Instant::now();
+        let faults = FaultState::new(self.options.faults);
+        let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
         if self.options.trace.enabled {
             report.trace = Some(RoundTrace::default());
@@ -201,18 +316,24 @@ impl IdIvm {
             base_diffs,
             cache_changes: HashMap::new(),
             report: &mut report,
+            faults: &faults,
+            round0,
         };
         let propagate_started = Instant::now();
         let root_diffs = self.walk(db, &mut state, &self.plan, &PathId::new())?;
         let propagate_done = propagate_started.elapsed();
         // Apply the final i-diffs to the view.
         report.view_diff_tuples = root_diffs.iter().map(DiffInstance::len).sum();
+        faults.on_apply(&self.view_name)?;
         let apply_started = Instant::now();
         let before = db.stats().snapshot();
         let mut view_changes = TableChanges::new();
         let outcome = apply_all(db.table_mut(&self.view_name)?, &root_diffs, &mut view_changes)?;
         report.view_update = db.stats().snapshot().since(&before);
         report.view_outcome = outcome;
+        if faults.wants_access() {
+            faults.on_access(db.stats().snapshot().since(&round0).total())?;
+        }
         if let Some(trace) = report.trace.as_mut() {
             trace.operators.push(OpTrace {
                 path: PathId::new(),
@@ -262,6 +383,7 @@ impl IdIvm {
         if incoming.is_empty() {
             return Ok(Vec::new());
         }
+        state.faults.on_operator(op_label(node))?;
         let diffs_in: u64 = incoming.iter().map(|i| i.diff.len() as u64).sum();
         // Rule application (counted as diff-computation cost).
         let before = db.stats().snapshot();
@@ -292,10 +414,16 @@ impl IdIvm {
                 accesses: spent,
             });
         }
+        if state.faults.wants_access() {
+            state
+                .faults
+                .on_access(db.stats().snapshot().since(&state.round0).total())?;
+        }
         // Cache boundary: apply the diffs so operators above see the
         // cache in post-state (pre-state through the overlay).
         if let Some(cache_name) = self.cache_map.get(path) {
             if !path.is_empty() {
+                state.faults.on_apply(cache_name)?;
                 let before = db.stats().snapshot();
                 let mut changes = state
                     .cache_changes
@@ -328,6 +456,8 @@ struct RoundState<'r> {
     base_diffs: HashMap<String, Vec<DiffInstance>>,
     cache_changes: HashMap<String, TableChanges>,
     report: &'r mut MaintenanceReport,
+    faults: &'r FaultState,
+    round0: StatsSnapshot,
 }
 
 fn merge_outcomes(a: ApplyOutcome, b: ApplyOutcome) -> ApplyOutcome {

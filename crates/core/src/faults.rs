@@ -1,0 +1,271 @@
+//! Deterministic fault injection for maintenance rounds.
+//!
+//! A [`FaultPlan`] arms exactly one *failpoint*: fire a typed
+//! [`Error::Injected`] at the k-th operator entry, the k-th APPLY call,
+//! or the first serial checkpoint where the round's cumulative access
+//! count reaches k. The engines consult the plan at fixed points on
+//! their **serial** walk (operator entries, APPLY boundaries — the same
+//! places the trace layer attributes accesses), so a given plan fires
+//! at the same logical point for any `ParallelConfig` thread count:
+//! access counts are bit-identical across thread counts, and the
+//! operator/apply orders are properties of the plan walk, not of
+//! scheduling.
+//!
+//! Like [`TraceConfig`](crate::trace::TraceConfig), a disabled plan
+//! (the default) costs nothing per tuple: every hook starts with a
+//! `Copy` field comparison and returns immediately.
+//!
+//! This is test/chaos machinery. [`Error::Injected`] is never produced
+//! organically; the fault-sweep suite uses it to prove that *any*
+//! mid-round error triggers a bit-identical rollback (see
+//! `Database::begin_round`/`abort_round` in `idivm-reldb`).
+
+use idivm_types::{Error, Result};
+use std::cell::Cell;
+
+/// Where in the round a [`FaultPlan`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// At the first serial checkpoint where the round's cumulative
+    /// access count (tuple accesses + index lookups since round start)
+    /// is ≥ `at`. Checkpoints sit at operator and APPLY boundaries, so
+    /// several `at` values can resolve to the same firing point — the
+    /// point itself is deterministic and thread-stable.
+    Access,
+    /// On entry to the `at`-th (0-based) operator of the serial plan
+    /// walk — before its rule evaluates or its phase runs.
+    Operator,
+    /// On the `at`-th (0-based) APPLY call (cache or view), before any
+    /// diff lands.
+    Apply,
+}
+
+impl FaultSite {
+    /// Stable lowercase label (error messages, JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::Access => "access",
+            FaultSite::Operator => "operator",
+            FaultSite::Apply => "apply",
+        }
+    }
+}
+
+/// A deterministic fault to inject into maintenance rounds. `Copy`, so
+/// it rides on [`IvmOptions`](crate::IvmOptions) like the other knobs.
+/// Disabled by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Armed failpoint; `None` disables injection entirely.
+    pub site: Option<FaultSite>,
+    /// The failpoint index k (see [`FaultSite`] for each site's unit).
+    pub at: u64,
+    /// Sweep-identification seed, echoed in the injected error message
+    /// so a failing differential run names the exact scenario.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// No injection (the default) — zero per-tuple cost.
+    pub fn disabled() -> Self {
+        FaultPlan {
+            site: None,
+            at: 0,
+            seed: 0,
+        }
+    }
+
+    /// Fire on the `k`-th operator entry.
+    pub fn at_operator(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Operator),
+            at: k,
+            seed,
+        }
+    }
+
+    /// Fire on the `k`-th APPLY call.
+    pub fn at_apply(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Apply),
+            at: k,
+            seed,
+        }
+    }
+
+    /// Fire once the round has spent `k` accesses (at the next serial
+    /// checkpoint).
+    pub fn at_access(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Access),
+            at: k,
+            seed,
+        }
+    }
+
+    /// True iff some failpoint is armed.
+    pub fn enabled(&self) -> bool {
+        self.site.is_some()
+    }
+}
+
+/// Per-round firing state: the plan plus serial counters. Engines
+/// create one at round start and call the hooks from the serial walk.
+/// (`Cell`, not atomics: every hook site is on the single-threaded
+/// spine of the round, by construction.)
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    operators: Cell<u64>,
+    applies: Cell<u64>,
+    fired: Cell<bool>,
+}
+
+impl FaultState {
+    /// Fresh counters for one round under `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            operators: Cell::new(0),
+            applies: Cell::new(0),
+            fired: Cell::new(false),
+        }
+    }
+
+    /// True iff some failpoint is armed (engines may skip checkpoint
+    /// bookkeeping entirely when not).
+    pub fn enabled(&self) -> bool {
+        self.plan.enabled()
+    }
+
+    /// True iff the plan needs cumulative access counts — lets engines
+    /// skip the stats snapshot at checkpoints otherwise.
+    pub fn wants_access(&self) -> bool {
+        self.plan.site == Some(FaultSite::Access)
+    }
+
+    fn fire(&self, what: &str) -> Error {
+        self.fired.set(true);
+        let site = self.plan.site.map_or("?", FaultSite::label);
+        Error::Injected(format!(
+            "fault[site={site}, at={}, seed={}] fired at {what}",
+            self.plan.at, self.plan.seed
+        ))
+    }
+
+    /// Hook: entry to an operator on the serial walk.
+    ///
+    /// # Errors
+    /// [`Error::Injected`] when this is the armed operator entry.
+    pub fn on_operator(&self, label: &str) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Operator) || self.fired.get() {
+            return Ok(());
+        }
+        let n = self.operators.get();
+        self.operators.set(n + 1);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("operator entry {n} (`{label}`)")));
+        }
+        Ok(())
+    }
+
+    /// Hook: an APPLY call (cache or view), before any diff lands.
+    ///
+    /// # Errors
+    /// [`Error::Injected`] when this is the armed APPLY call.
+    pub fn on_apply(&self, target: &str) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Apply) || self.fired.get() {
+            return Ok(());
+        }
+        let n = self.applies.get();
+        self.applies.set(n + 1);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("apply call {n} (target `{target}`)")));
+        }
+        Ok(())
+    }
+
+    /// Hook: serial checkpoint carrying the round's cumulative access
+    /// count. Callers gate the (mildly costly) snapshot on
+    /// [`FaultState::wants_access`].
+    ///
+    /// # Errors
+    /// [`Error::Injected`] at the first checkpoint where `cumulative`
+    /// reaches the armed threshold.
+    pub fn on_access(&self, cumulative: u64) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Access) || self.fired.get() {
+            return Ok(());
+        }
+        if cumulative >= self.plan.at {
+            return Err(self.fire(&format!("access checkpoint (cumulative {cumulative})")));
+        }
+        Ok(())
+    }
+
+    /// Number of operator entries seen so far (sweep sizing).
+    pub fn operators_seen(&self) -> u64 {
+        self.operators.get()
+    }
+
+    /// Number of APPLY calls seen so far (sweep sizing).
+    pub fn applies_seen(&self) -> u64 {
+        self.applies.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let s = FaultState::new(FaultPlan::disabled());
+        assert!(!s.enabled());
+        for i in 0..100 {
+            s.on_operator("x").unwrap();
+            s.on_apply("v").unwrap();
+            s.on_access(i).unwrap();
+        }
+    }
+
+    #[test]
+    fn operator_site_fires_exactly_at_k() {
+        let s = FaultState::new(FaultPlan::at_operator(2, 42));
+        s.on_operator("a").unwrap();
+        s.on_apply("v").unwrap(); // other sites untouched
+        s.on_operator("b").unwrap();
+        let err = s.on_operator("c").unwrap_err();
+        match err {
+            Error::Injected(m) => {
+                assert!(m.contains("seed=42"), "{m}");
+                assert!(m.contains("operator entry 2"), "{m}");
+            }
+            other => panic!("expected Injected, got {other:?}"),
+        }
+        // Fired once; later hooks are inert.
+        s.on_operator("d").unwrap();
+    }
+
+    #[test]
+    fn apply_site_counts_applies_only() {
+        let s = FaultState::new(FaultPlan::at_apply(0, 7));
+        s.on_operator("a").unwrap();
+        assert!(matches!(s.on_apply("V"), Err(Error::Injected(_))));
+    }
+
+    #[test]
+    fn access_site_fires_at_first_checkpoint_reaching_k() {
+        let s = FaultState::new(FaultPlan::at_access(10, 1));
+        assert!(s.wants_access());
+        s.on_access(3).unwrap();
+        s.on_access(9).unwrap();
+        assert!(matches!(s.on_access(14), Err(Error::Injected(_))));
+        s.on_access(20).unwrap(); // single-shot
+    }
+}

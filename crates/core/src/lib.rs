@@ -41,6 +41,7 @@ pub mod apply;
 pub mod cache;
 pub mod diff;
 pub mod engine;
+pub mod faults;
 pub mod minimize;
 pub mod report;
 pub mod rules;
@@ -49,6 +50,7 @@ pub mod script;
 pub mod trace;
 
 pub use diff::{DiffInstance, DiffKind, DiffSchema};
-pub use engine::{IdIvm, IvmOptions};
+pub use engine::{IdIvm, IvmOptions, RecoveryPolicy};
+pub use faults::{FaultPlan, FaultSite, FaultState};
 pub use report::MaintenanceReport;
 pub use trace::{OpTrace, PhaseTimings, RoundTrace, TraceConfig, TracePhase};

@@ -29,6 +29,18 @@ pub struct MaintenanceReport {
     /// Per-operator trace (recorded only when
     /// [`TraceConfig::enabled`](crate::trace::TraceConfig) is set).
     pub trace: Option<RoundTrace>,
+    /// True iff the incremental round failed, was rolled back, and the
+    /// view was repaired by full recompute
+    /// ([`RecoveryPolicy::RecomputeOnError`](crate::engine::RecoveryPolicy)).
+    /// The phase counters above then describe the (empty) recovered
+    /// round, not the aborted incremental attempt.
+    pub recovered: bool,
+    /// Accesses spent on the recompute repair (separate from the
+    /// incremental phase counters; zero unless `recovered`).
+    pub recovery: StatsSnapshot,
+    /// Display form of the error the recovery repaired (`None` unless
+    /// `recovered`).
+    pub recovery_cause: Option<String>,
 }
 
 impl MaintenanceReport {
@@ -69,6 +81,14 @@ impl fmt::Display for MaintenanceReport {
             self.view_outcome.updated,
             self.view_outcome.dummies
         )?;
+        if self.recovered {
+            writeln!(
+                f,
+                "  recovered by recompute ({}) after: {}",
+                self.recovery,
+                self.recovery_cause.as_deref().unwrap_or("unknown error")
+            )?;
+        }
         write!(f, "  total accesses: {}", self.total_accesses())
     }
 }

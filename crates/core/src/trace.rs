@@ -56,6 +56,10 @@ pub enum TracePhase {
     /// Diff application to the view (reconciles against
     /// `MaintenanceReport::view_update`).
     ViewApply,
+    /// Recompute repair after a rolled-back round (reconciles against
+    /// `MaintenanceReport::recovery`; entries carry `diffs_in = 0` —
+    /// a recompute consumes no diffs).
+    Recovery,
 }
 
 impl TracePhase {
@@ -65,6 +69,7 @@ impl TracePhase {
             TracePhase::Propagate => "propagate",
             TracePhase::CacheApply => "cache_apply",
             TracePhase::ViewApply => "view_apply",
+            TracePhase::Recovery => "recovery",
         }
     }
 }

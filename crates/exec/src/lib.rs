@@ -22,5 +22,5 @@ pub mod recompute;
 
 pub use catalog::DbCatalog;
 pub use executor::execute;
-pub use partition::ParallelConfig;
+pub use partition::{ParallelConfig, MAX_THREADS};
 pub use recompute::{materialize_view, recompute_rows, refresh_view, view_schema};

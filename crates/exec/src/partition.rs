@@ -24,13 +24,20 @@
 //! [`AccessStats`](idivm_reldb::AccessStats) sums per-thread sharded
 //! counters exactly.
 
-use idivm_types::{Key, Row, Value};
+use idivm_types::{Error, Key, Result, Row, Value};
+
+/// Upper bound on [`ParallelConfig::threads`]: beyond this a config is
+/// a typo or an attack, not a machine — `std::thread::scope` would try
+/// to spawn them all and die on resource exhaustion.
+pub const MAX_THREADS: usize = 4096;
 
 /// Configuration for partitioned (multi-threaded) delta propagation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
-    /// Worker threads to fan diff batches out to. `0` or `1` means
-    /// serial execution (no threads spawned).
+    /// Worker threads to fan diff batches out to. `1` means serial
+    /// execution (no threads spawned). Must be in `1..=MAX_THREADS` —
+    /// engines reject other values with [`Error::Config`] at
+    /// construction time (see [`ParallelConfig::validate`]).
     pub threads: usize,
     /// Batches smaller than this stay serial: spawning threads for a
     /// handful of diff rows costs more than it saves.
@@ -53,12 +60,36 @@ impl ParallelConfig {
     }
 
     /// Fan out to `threads` workers (per-batch threshold at the
-    /// default `min_shard_rows`).
+    /// default `min_shard_rows`). The value is taken verbatim;
+    /// engines validate it at construction ([`ParallelConfig::validate`]).
     pub fn with_threads(threads: usize) -> Self {
         ParallelConfig {
-            threads: threads.max(1),
+            threads,
             min_shard_rows: 16,
         }
+    }
+
+    /// Reject nonsensical configurations with a typed error instead of
+    /// silently coercing (`threads == 0`) or letting
+    /// `std::thread::scope` blow up (`threads > MAX_THREADS`).
+    ///
+    /// # Errors
+    /// [`Error::Config`] unless `1 <= threads <= MAX_THREADS`.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(Error::Config(
+                "ParallelConfig.threads must be >= 1 (0 would mean no workers at all; \
+                 use threads = 1 for serial execution)"
+                    .into(),
+            ));
+        }
+        if self.threads > MAX_THREADS {
+            return Err(Error::Config(format!(
+                "ParallelConfig.threads = {} exceeds the maximum of {MAX_THREADS}",
+                self.threads
+            )));
+        }
+        Ok(())
     }
 
     /// Number of shards to split a batch of `rows` diff rows into:
@@ -234,6 +265,20 @@ mod tests {
         let p4 = ParallelConfig::with_threads(4);
         assert_eq!(p4.effective_shards(1_000), 4);
         assert_eq!(p4.effective_shards(3), 1); // below min_shard_rows
-        assert_eq!(ParallelConfig::with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_absurd_thread_counts() {
+        assert!(matches!(
+            ParallelConfig::with_threads(0).validate(),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ParallelConfig::with_threads(MAX_THREADS + 1).validate(),
+            Err(Error::Config(_))
+        ));
+        assert!(ParallelConfig::with_threads(1).validate().is_ok());
+        assert!(ParallelConfig::with_threads(MAX_THREADS).validate().is_ok());
+        assert!(ParallelConfig::serial().validate().is_ok());
     }
 }

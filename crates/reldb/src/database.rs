@@ -8,7 +8,7 @@
 //! [`Database::create_table`] and mutated through unlogged access
 //! ([`Database::table_mut`]) by the ∆-script executor.
 
-use crate::log::{LogEntry, ModificationLog, TableChanges};
+use crate::log::{LogEntry, ModificationLog, TableChanges, UndoLog};
 use crate::overlay::PreState;
 use crate::stats::AccessStats;
 use crate::table::Table;
@@ -16,22 +16,49 @@ use idivm_types::{Error, Key, Result, Row, Schema, Value};
 use std::collections::HashMap;
 
 /// An in-memory database instance.
-#[derive(Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
     stats: AccessStats,
     log: ModificationLog,
     logging: bool,
+    /// Shared per-round undo journal; every table created through
+    /// [`Database::create_table`] records into this one sink.
+    undo: UndoLog,
+    /// 0 = no maintenance round open; 1 = a round owns the journal.
+    /// (Nested maintenance — SDBT Streams driving inner per-map
+    /// engines — observes the open round and defers to its owner.)
+    round_depth: usize,
+    /// Bench escape hatch: `false` runs rounds with the journal
+    /// disarmed, reproducing the pre-undo engine for overhead
+    /// baselines. A failed round then strands partial state.
+    round_undo: bool,
+    /// Whether the currently open round armed the journal (sampled
+    /// from `round_undo` at `begin_round`, so a mid-round toggle
+    /// cannot unbalance the arm/disarm pairing).
+    round_armed: bool,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            tables: HashMap::new(),
+            stats: AccessStats::default(),
+            log: ModificationLog::default(),
+            logging: false,
+            undo: UndoLog::new(),
+            round_depth: 0,
+            round_undo: true,
+            round_armed: false,
+        }
+    }
 }
 
 impl Database {
     /// Empty database with modification logging enabled.
     pub fn new() -> Self {
         Database {
-            tables: HashMap::new(),
-            stats: AccessStats::new(),
-            log: ModificationLog::new(),
             logging: true,
+            ..Database::default()
         }
     }
 
@@ -53,8 +80,10 @@ impl Database {
         if self.tables.contains_key(name) {
             return Err(Error::Schema(format!("table `{name}` already exists")));
         }
-        self.tables
-            .insert(name.to_string(), Table::new(name, schema, self.stats.clone()));
+        self.tables.insert(
+            name.to_string(),
+            Table::with_undo(name, schema, self.stats.clone(), self.undo.clone()),
+        );
         Ok(())
     }
 
@@ -198,6 +227,103 @@ impl Database {
         self.log.clear();
     }
 
+    // ------------------------------------------------------------------
+    // Atomic maintenance rounds
+    // ------------------------------------------------------------------
+
+    /// Open an atomic maintenance round: every table mutation from here
+    /// on journals its inverse. Returns `true` iff this call opened the
+    /// round — the owner must later call exactly one of
+    /// [`Database::commit_round`] / [`Database::abort_round`]. Nested
+    /// maintenance (SDBT Streams driving inner per-map engines) gets
+    /// `false`: a round is already open and its owner handles the
+    /// outcome; the nested caller must do neither.
+    pub fn begin_round(&mut self) -> bool {
+        if self.round_depth > 0 {
+            self.round_depth += 1;
+            return false;
+        }
+        self.round_depth = 1;
+        self.round_armed = self.round_undo;
+        if self.round_armed {
+            self.undo.arm();
+        }
+        true
+    }
+
+    /// Commit the open round: keep every mutation, discard the journal.
+    /// No-op when no round is open.
+    pub fn commit_round(&mut self) {
+        if self.round_depth == 0 {
+            return;
+        }
+        self.round_depth = 0;
+        if self.round_armed {
+            self.round_armed = false;
+            self.undo.clear();
+            self.undo.disarm();
+        }
+    }
+
+    /// Abort the open round: replay the journal in reverse, restoring
+    /// every table — rows and secondary indexes — to its exact
+    /// pre-round state. Uncounted (rollback is failure machinery, not
+    /// a measured IVM path). No-op when no round is open; with
+    /// [`Database::set_round_undo`] off the journal is empty and the
+    /// partial round-state stands (bench baseline only).
+    pub fn abort_round(&mut self) {
+        if self.round_depth == 0 {
+            return;
+        }
+        self.round_depth = 0;
+        if !self.round_armed {
+            return;
+        }
+        self.round_armed = false;
+        self.undo.disarm();
+        for op in self.undo.split_off(0).into_iter().rev() {
+            if let Some(t) = self.tables.get_mut(op.table()) {
+                t.apply_undo(op);
+            }
+        }
+    }
+
+    /// True iff a maintenance round is currently open.
+    pub fn round_open(&self) -> bool {
+        self.round_depth > 0
+    }
+
+    /// Leave a nested round scope (a `begin_round` that returned
+    /// `false`). The journal is untouched — the owning round's
+    /// commit/abort decides the fate of every journaled mutation.
+    pub fn end_nested_round(&mut self) {
+        if self.round_depth > 1 {
+            self.round_depth -= 1;
+        }
+    }
+
+    /// Toggle per-round undo journaling (default on). `false` is the
+    /// bench baseline: rounds run with the journal disarmed, exactly
+    /// reproducing the pre-undo write paths — and forfeiting rollback.
+    pub fn set_round_undo(&mut self, on: bool) {
+        self.round_undo = on;
+    }
+
+    /// The shared undo journal (tests and APPLY-session plumbing).
+    pub fn undo_log(&self) -> &UndoLog {
+        &self.undo
+    }
+
+    /// Structural fingerprints of every table, keyed by name — the
+    /// whole-database state signature the fault-injection suite
+    /// compares across rollback. Uncounted.
+    pub fn signature(&self) -> HashMap<String, crate::table::TableSignature> {
+        self.tables
+            .iter()
+            .map(|(n, t)| (n.clone(), t.signature()))
+            .collect()
+    }
+
     /// Pre-state view of `table` given the folded `changes` map for the
     /// whole database.
     ///
@@ -308,6 +434,51 @@ mod tests {
             .unwrap();
         assert_eq!(pre, row!["P1", 10]);
         assert_eq!(post, row!["P1", 42]);
+    }
+
+    #[test]
+    fn abort_round_restores_db_and_preserves_log() {
+        let mut d = db();
+        d.set_logging(false);
+        d.insert("parts", row!["P1", 10]).unwrap();
+        d.insert("parts", row!["P2", 20]).unwrap();
+        d.set_logging(true);
+        // A pending base-table change, as at the start of a round.
+        d.update("parts", &k("P1"), &[(1, Value::Int(11))]).unwrap();
+        let before = d.signature();
+        let log_len = d.log().len();
+
+        assert!(d.begin_round());
+        assert!(!d.begin_round(), "nested open must not own the round");
+        d.end_nested_round();
+        d.table_mut("parts").unwrap().insert(row!["P9", 90]).unwrap();
+        d.table_mut("parts").unwrap().delete(&k("P2")).unwrap();
+        d.abort_round();
+
+        assert_eq!(d.signature(), before, "abort must restore exactly");
+        assert_eq!(d.log().len(), log_len, "abort must keep the mod log");
+        assert!(!d.round_open());
+        assert!(d.undo_log().is_empty());
+
+        // Commit path: mutations stick, journal drains.
+        assert!(d.begin_round());
+        d.table_mut("parts").unwrap().insert(row!["P9", 90]).unwrap();
+        d.commit_round();
+        assert_ne!(d.signature(), before);
+        assert!(d.undo_log().is_empty());
+        assert!(!d.undo_log().is_armed());
+    }
+
+    #[test]
+    fn round_undo_off_skips_journaling() {
+        let mut d = db();
+        d.set_round_undo(false);
+        assert!(d.begin_round());
+        d.table_mut("parts").unwrap().insert(row!["P1", 1]).unwrap();
+        assert!(d.undo_log().is_empty(), "baseline mode must not journal");
+        d.abort_round();
+        // No journal ⇒ the partial state stands (documented baseline).
+        assert_eq!(d.table("parts").unwrap().len(), 1);
     }
 
     #[test]

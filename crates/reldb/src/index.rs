@@ -70,6 +70,24 @@ impl SecondaryIndex {
     pub fn distinct_values(&self) -> usize {
         self.map.len()
     }
+
+    /// Deterministic (fully sorted) snapshot of the index contents, for
+    /// bit-identity assertions. Postings lists are sorted because their
+    /// in-memory order is an implementation detail (`swap_remove`);
+    /// semantically they are sets.
+    pub fn entries_sorted(&self) -> Vec<(Key, Vec<Key>)> {
+        let mut out: Vec<(Key, Vec<Key>)> = self
+            .map
+            .iter()
+            .map(|(k, v)| {
+                let mut v = v.clone();
+                v.sort();
+                (k.clone(), v)
+            })
+            .collect();
+        out.sort();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! The modification logger and net-change folding.
+//! The modification logger, net-change folding, and the per-round
+//! **undo log**.
 //!
 //! Section 5 of the paper: base-table modifications are recorded by a
 //! *modification logger* at data-modification time; at view-maintenance
@@ -6,9 +7,23 @@
 //! to the same tuple to a single modification, so as to generate effective
 //! diffs". [`ModificationLog::fold`] implements exactly that combination,
 //! producing one [`NetChange`] per (table, primary key).
+//!
+//! The [`UndoLog`] is the inverse-operation journal that makes a
+//! maintenance round *atomic*: while a round is open
+//! ([`Database::begin_round`](crate::Database::begin_round)), every
+//! view/cache mutation records the [`UndoOp`] that reverses it, so an
+//! `Err` escaping mid-round can restore every table — rows **and**
+//! secondary indexes — to its exact pre-round state
+//! ([`Database::abort_round`](crate::Database::abort_round)). When no
+//! round is open the journal is disarmed and each write path pays one
+//! relaxed atomic load, nothing more.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use idivm_types::{Key, Row};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One logged base-table modification, with pre-images where applicable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,8 +237,147 @@ pub fn fold_keyed(
     out
 }
 
+// ----------------------------------------------------------------------
+// Undo log: inverse operations for atomic maintenance rounds
+// ----------------------------------------------------------------------
+
+/// One recorded inverse operation. Replaying an [`UndoOp`] exactly
+/// reverses the table mutation that recorded it — including secondary
+/// index maintenance — without touching the access counters (rollback
+/// is failure machinery, not a measured IVM path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoOp {
+    /// A row was inserted; undo by removing `pk`.
+    Insert { table: String, pk: Key },
+    /// A row was deleted; undo by re-inserting `row`.
+    Delete { table: String, row: Row },
+    /// A row was overwritten; undo by restoring the pre-image.
+    Update { table: String, pk: Key, pre: Row },
+    /// A secondary index was created mid-round; undo by dropping it so
+    /// a rolled-back first round leaves the table bit-identical.
+    CreateIndex { table: String, cols: Vec<usize> },
+}
+
+impl UndoOp {
+    /// The table this inverse operation targets.
+    pub fn table(&self) -> &str {
+        match self {
+            UndoOp::Insert { table, .. }
+            | UndoOp::Delete { table, .. }
+            | UndoOp::Update { table, .. }
+            | UndoOp::CreateIndex { table, .. } => table,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct UndoInner {
+    /// Number of open interests (round + nested APPLY sessions).
+    /// Recording happens iff this is non-zero; when zero, every write
+    /// path pays exactly one relaxed atomic load.
+    interest: AtomicUsize,
+    /// The journal itself. Mutations (APPLY) only happen on the serial
+    /// part of a round, so this mutex is uncontended — it exists so the
+    /// sink can be shared (`Database` is `Sync` for the parallel
+    /// propagation phase, which never writes).
+    buf: Mutex<Vec<UndoOp>>,
+}
+
+/// A shared, interest-counted journal of [`UndoOp`]s.
+///
+/// Cloning is cheap (an `Arc` bump); [`Database`](crate::Database)
+/// clones one `UndoLog` into every [`Table`](crate::Table) the same way
+/// it shares [`AccessStats`](crate::AccessStats). Sessions nest:
+/// [`UndoLog::arm`] takes an interest and returns the current journal
+/// length as a *mark*; an inner session that fails rolls back only its
+/// own suffix ([`UndoLog::split_off`]) while the outer round keeps its
+/// prefix.
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    inner: Arc<UndoInner>,
+}
+
+impl UndoLog {
+    /// A fresh, disarmed journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff the two handles share one journal.
+    pub fn same_sink(&self, other: &UndoLog) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Open an interest (begin a session) and return the mark — the
+    /// journal length at session start. Entries recorded after the mark
+    /// belong to this session (and any sessions nested inside it).
+    pub fn arm(&self) -> usize {
+        self.inner.interest.fetch_add(1, Ordering::Relaxed);
+        self.len()
+    }
+
+    /// Close an interest without touching the entries (the caller
+    /// decides whether to keep or roll back its suffix).
+    pub fn disarm(&self) {
+        self.inner.interest.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// True iff at least one session is open. Write paths gate on this
+    /// before building an [`UndoOp`], so the disarmed cost is one
+    /// relaxed load.
+    pub fn is_armed(&self) -> bool {
+        self.inner.interest.load(Ordering::Relaxed) > 0
+    }
+
+    /// Append an inverse operation. No-op when disarmed.
+    pub fn record(&self, op: UndoOp) {
+        if !self.is_armed() {
+            return;
+        }
+        self.lock_buf().push(op);
+    }
+
+    /// Current journal length (a mark for later [`UndoLog::split_off`]).
+    pub fn len(&self) -> usize {
+        self.lock_buf().len()
+    }
+
+    /// True iff no entries are journaled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return every entry recorded at or after `mark`, in
+    /// recording order. The caller replays them **in reverse** to roll
+    /// back. Entries before the mark stay journaled for the enclosing
+    /// session.
+    pub fn split_off(&self, mark: usize) -> Vec<UndoOp> {
+        let mut buf = self.lock_buf();
+        if mark >= buf.len() {
+            return Vec::new();
+        }
+        buf.split_off(mark)
+    }
+
+    /// Drop every entry (a committed outermost round discards its
+    /// journal wholesale).
+    pub fn clear(&self) {
+        self.lock_buf().clear();
+    }
+
+    fn lock_buf(&self) -> std::sync::MutexGuard<'_, Vec<UndoOp>> {
+        // A poisoned mutex means a panic elsewhere; the journal data is
+        // plain `Vec` pushes, still structurally sound — recover it.
+        match self.inner.buf.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use idivm_types::row;
 
@@ -509,5 +663,70 @@ mod tests {
         let taken = log.take();
         assert_eq!(taken.len(), 1);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn undo_log_records_only_while_armed() {
+        let u = UndoLog::new();
+        u.record(UndoOp::Insert {
+            table: "v".into(),
+            pk: k(1),
+        });
+        assert!(u.is_empty(), "disarmed journal must drop records");
+        let mark = u.arm();
+        assert_eq!(mark, 0);
+        u.record(UndoOp::Insert {
+            table: "v".into(),
+            pk: k(1),
+        });
+        assert_eq!(u.len(), 1);
+        u.disarm();
+        assert!(!u.is_armed());
+    }
+
+    #[test]
+    fn undo_log_sessions_nest_via_marks() {
+        let u = UndoLog::new();
+        let outer = u.arm();
+        u.record(UndoOp::Insert {
+            table: "v".into(),
+            pk: k(1),
+        });
+        let inner = u.arm();
+        u.record(UndoOp::Delete {
+            table: "v".into(),
+            row: row![2, 20],
+        });
+        u.record(UndoOp::Update {
+            table: "v".into(),
+            pk: k(3),
+            pre: row![3, 30],
+        });
+        // Inner session fails: only its suffix comes back.
+        let suffix = u.split_off(inner);
+        u.disarm();
+        assert_eq!(suffix.len(), 2);
+        assert!(matches!(suffix[0], UndoOp::Delete { .. }));
+        assert_eq!(u.len(), 1);
+        assert!(u.is_armed(), "outer interest still open");
+        // Outer session commits: journal discarded wholesale.
+        let _ = outer;
+        u.clear();
+        u.disarm();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn undo_log_handles_share_one_sink() {
+        let a = UndoLog::new();
+        let b = a.clone();
+        assert!(a.same_sink(&b));
+        a.arm();
+        b.record(UndoOp::CreateIndex {
+            table: "v".into(),
+            cols: vec![1],
+        });
+        assert_eq!(a.len(), 1);
+        a.disarm();
     }
 }

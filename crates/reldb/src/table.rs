@@ -9,9 +9,28 @@
 //! rows costs `1 + m`.
 
 use crate::index::SecondaryIndex;
+use crate::log::{UndoLog, UndoOp};
 use crate::stats::AccessStats;
 use idivm_types::{Error, Key, Result, Row, Schema, Value};
 use std::collections::HashMap;
+
+/// Order-insensitive structural fingerprint of a table: sorted rows
+/// plus sorted secondary-index contents. Two tables with equal
+/// signatures hold the same rows and answer every lookup identically
+/// (index postings lists are order-insensitive sets). Used by the
+/// fault-injection suite to assert that a rolled-back round restored
+/// the exact pre-round state, indexes included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSignature {
+    /// (primary key, row), sorted by key.
+    pub rows: Vec<(Key, Row)>,
+    /// (indexed columns, sorted postings), sorted by columns.
+    pub indexes: Vec<IndexSignature>,
+}
+
+/// One secondary index's structural fingerprint: the indexed column
+/// positions and the sorted `(index key -> posting keys)` entries.
+pub type IndexSignature = (Vec<usize>, Vec<(Key, Vec<Key>)>);
 
 /// A stored relation (base table, materialized view, or IVM cache).
 #[derive(Clone)]
@@ -21,17 +40,45 @@ pub struct Table {
     rows: HashMap<Key, Row>,
     indexes: Vec<SecondaryIndex>,
     stats: AccessStats,
+    undo: UndoLog,
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table with its own (disarmed) undo journal.
     pub fn new(name: impl Into<String>, schema: Schema, stats: AccessStats) -> Self {
+        Table::with_undo(name, schema, stats, UndoLog::new())
+    }
+
+    /// Create an empty table journaling into a shared [`UndoLog`] —
+    /// how [`Database`](crate::Database) wires every table into the
+    /// per-round undo machinery (the same sharing pattern as `stats`).
+    pub fn with_undo(
+        name: impl Into<String>,
+        schema: Schema,
+        stats: AccessStats,
+        undo: UndoLog,
+    ) -> Self {
         Table {
             name: name.into(),
             schema,
             rows: HashMap::new(),
             indexes: Vec::new(),
             stats,
+            undo,
+        }
+    }
+
+    /// The shared undo journal this table records into.
+    pub fn undo_log(&self) -> &UndoLog {
+        &self.undo
+    }
+
+    /// Record an inverse operation if a round/session is open. The
+    /// closure defers building the op (with its clones) until we know
+    /// the journal is armed, so the disarmed cost is one relaxed load.
+    fn journal(&self, op: impl FnOnce() -> UndoOp) {
+        if self.undo.is_armed() {
+            self.undo.record(op());
         }
     }
 
@@ -83,6 +130,10 @@ impl Table {
         if self.find_index(&positions).is_some() || positions == self.schema.key() {
             return;
         }
+        self.journal(|| UndoOp::CreateIndex {
+            table: self.name.clone(),
+            cols: positions.clone(),
+        });
         let mut ix = SecondaryIndex::new(positions);
         for (pk, row) in &self.rows {
             ix.insert(pk.clone(), row);
@@ -224,6 +275,10 @@ impl Table {
             )));
         }
         self.stats.tuples(1);
+        self.journal(|| UndoOp::Insert {
+            table: self.name.clone(),
+            pk: pk.clone(),
+        });
         for ix in &mut self.indexes {
             ix.insert(pk.clone(), &row);
         }
@@ -244,6 +299,10 @@ impl Table {
                 self.name, pk
             )));
         }
+        self.journal(|| UndoOp::Insert {
+            table: self.name.clone(),
+            pk: pk.clone(),
+        });
         for ix in &mut self.indexes {
             ix.insert(pk.clone(), &row);
         }
@@ -257,6 +316,10 @@ impl Table {
         self.stats.index_lookup();
         let row = self.rows.remove(key)?;
         self.stats.tuples(1);
+        self.journal(|| UndoOp::Delete {
+            table: self.name.clone(),
+            row: row.clone(),
+        });
         for ix in &mut self.indexes {
             ix.remove(key, &row);
         }
@@ -285,6 +348,11 @@ impl Table {
         })?;
         self.stats.tuples(1);
         let pre = std::mem::replace(slot, post);
+        self.journal(|| UndoOp::Update {
+            table: self.name.clone(),
+            pk: key.clone(),
+            pre: pre.clone(),
+        });
         let post_ref = &self.rows[key];
         for ix in &mut self.indexes {
             ix.remove(key, &pre);
@@ -340,6 +408,11 @@ impl Table {
             }
         }
         let pre = std::mem::replace(slot, post);
+        self.journal(|| UndoOp::Update {
+            table: self.name.clone(),
+            pk: pk.clone(),
+            pre: pre.clone(),
+        });
         let post_ref = &self.rows[pk];
         for ix in &mut self.indexes {
             ix.remove(pk, &pre);
@@ -371,6 +444,10 @@ impl Table {
             ))),
             None => {
                 self.stats.tuples(1);
+                self.journal(|| UndoOp::Insert {
+                    table: self.name.clone(),
+                    pk: pk.clone(),
+                });
                 for ix in &mut self.indexes {
                     ix.insert(pk.clone(), &row);
                 }
@@ -386,17 +463,98 @@ impl Table {
     pub fn delete_located(&mut self, pk: &Key) -> Option<Row> {
         let row = self.rows.remove(pk)?;
         self.stats.tuples(1);
+        self.journal(|| UndoOp::Delete {
+            table: self.name.clone(),
+            row: row.clone(),
+        });
         for ix in &mut self.indexes {
             ix.remove(pk, &row);
         }
         Some(row)
     }
 
-    /// Remove all rows (indexes are kept, emptied). Uncounted.
+    /// Remove all rows (indexes are kept, emptied). Uncounted. Only
+    /// used outside maintenance rounds (workload resets, recompute
+    /// repair after rollback), but journaled defensively: with a
+    /// session open, each removed row is recorded for restoration.
     pub fn clear(&mut self) {
+        if self.undo.is_armed() {
+            for row in self.rows.values() {
+                self.undo.record(UndoOp::Delete {
+                    table: self.name.clone(),
+                    row: row.clone(),
+                });
+            }
+        }
         self.rows.clear();
         let defs: Vec<Vec<usize>> = self.indexes.iter().map(|ix| ix.cols().to_vec()).collect();
         self.indexes = defs.into_iter().map(SecondaryIndex::new).collect();
+    }
+
+    // ------------------------------------------------------------------
+    // Rollback replay and state fingerprinting
+    // ------------------------------------------------------------------
+
+    /// Replay one inverse operation, exactly reversing the mutation
+    /// that journaled it. **Uncounted** — rollback is failure
+    /// machinery, not a measured IVM path — and never re-journaled
+    /// (the ops below bypass the recording mutators).
+    pub fn apply_undo(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::Insert { pk, .. } => {
+                if let Some(row) = self.rows.remove(&pk) {
+                    for ix in &mut self.indexes {
+                        ix.remove(&pk, &row);
+                    }
+                }
+            }
+            UndoOp::Delete { row, .. } => {
+                let pk = self.pk_of(&row);
+                for ix in &mut self.indexes {
+                    ix.insert(pk.clone(), &row);
+                }
+                self.rows.insert(pk, row);
+            }
+            UndoOp::Update { pk, pre, .. } => match self.rows.get_mut(&pk) {
+                Some(slot) => {
+                    let post = std::mem::replace(slot, pre);
+                    let pre_ref = &self.rows[&pk];
+                    for ix in &mut self.indexes {
+                        ix.remove(&pk, &post);
+                        ix.insert(pk.clone(), pre_ref);
+                    }
+                }
+                None => {
+                    // Reverse replay never hits this (the row the
+                    // update touched is restored before earlier ops),
+                    // but stay total: resurrect the pre-image.
+                    for ix in &mut self.indexes {
+                        ix.insert(pk.clone(), &pre);
+                    }
+                    self.rows.insert(pk, pre);
+                }
+            },
+            UndoOp::CreateIndex { cols, .. } => {
+                self.indexes.retain(|ix| ix.cols() != cols.as_slice());
+            }
+        }
+    }
+
+    /// Uncounted structural fingerprint — see [`TableSignature`].
+    pub fn signature(&self) -> TableSignature {
+        let mut rows: Vec<(Key, Row)> = self
+            .rows
+            .iter()
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect();
+        rows.sort();
+        let mut indexes: Vec<IndexSignature> = self
+            .indexes
+            .iter()
+            .map(|ix| (ix.cols().to_vec(), ix.entries_sorted()))
+            .collect();
+        indexes.sort();
+        TableSignature { rows, indexes }
     }
 
     fn check_arity(&self, row: &Row) -> Result<()> {
@@ -646,6 +804,54 @@ mod tests {
         let mut t = parts_table();
         t.load(row!["P1", 10]).unwrap();
         assert_eq!(t.stats().snapshot().total(), 0);
+    }
+
+    #[test]
+    fn undo_roundtrip_restores_rows_and_indexes() {
+        let schema = Schema::from_pairs(
+            &[("id", ColumnType::Int), ("grp", ColumnType::Int)],
+            &["id"],
+        )
+        .unwrap();
+        let mut t = Table::new("t", schema, AccessStats::new());
+        t.create_index(&["grp"]).unwrap();
+        for i in 0..6 {
+            t.load(row![i, i % 2]).unwrap();
+        }
+        let before = t.signature();
+
+        // Open a session, mutate every which way, then roll back.
+        let undo = t.undo_log().clone();
+        let mark = undo.arm();
+        t.insert(row![100, 0]).unwrap();
+        t.delete(&Key(vec![Value::Int(1)])).unwrap();
+        t.update(&Key(vec![Value::Int(2)]), row![2, 7]).unwrap();
+        t.patch(&Key(vec![Value::Int(3)]), &[(1, Value::Int(9))])
+            .unwrap();
+        t.insert_if_absent(row![101, 1]).unwrap();
+        t.delete_located(&Key(vec![Value::Int(4)])).unwrap();
+        t.create_index_positions(vec![0, 1]);
+        assert_ne!(t.signature(), before, "mutations must be visible");
+
+        let s0 = t.stats().snapshot();
+        for op in undo.split_off(mark).into_iter().rev() {
+            t.apply_undo(op);
+        }
+        undo.disarm();
+        assert_eq!(t.signature(), before, "rollback must be bit-identical");
+        assert_eq!(
+            t.stats().snapshot().since(&s0).total(),
+            0,
+            "rollback must be uncounted"
+        );
+    }
+
+    #[test]
+    fn disarmed_journal_records_nothing() {
+        let mut t = parts_table();
+        t.insert(row!["P1", 10]).unwrap();
+        t.delete(&key("P1"));
+        assert!(t.undo_log().is_empty());
     }
 
     #[test]

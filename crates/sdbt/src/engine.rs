@@ -3,10 +3,12 @@
 
 use crate::partial::Partial;
 use idivm_algebra::{ensure_ids, AggFunc, AggSpec, Plan};
-use idivm_core::engine::ensure_probe_indexes;
+use idivm_core::access::PathId;
+use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
+use idivm_core::faults::{FaultPlan, FaultState};
 use idivm_core::trace::{OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_core::MaintenanceReport;
-use idivm_exec::{execute, materialize_view, view_schema};
+use idivm_exec::{execute, materialize_view, refresh_view, view_schema};
 use idivm_reldb::{Database, NetChange, TableChanges};
 use idivm_tuple::TupleIvm;
 use idivm_types::{Column, ColumnType, Error, Key, Result, Row, Schema, Value};
@@ -40,6 +42,8 @@ pub struct Sdbt {
     variant: SdbtVariant,
     partials: Vec<PartialState>,
     trace: TraceConfig,
+    faults: FaultPlan,
+    recovery: RecoveryPolicy,
 }
 
 struct PartialState {
@@ -150,12 +154,26 @@ impl Sdbt {
             variant,
             partials: states,
             trace: TraceConfig::disabled(),
+            faults: FaultPlan::disabled(),
+            recovery: RecoveryPolicy::Abort,
         })
     }
 
     /// Enable or disable per-phase trace recording (off by default).
     pub fn set_trace(&mut self, trace: TraceConfig) {
         self.trace = trace;
+    }
+
+    /// Set the deterministic fault-injection plan (disabled by default;
+    /// zero cost when off). The plan drives this engine's own phase
+    /// boundaries — inner map maintainers are not separately injected.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Set what a round does after an error forced a rollback.
+    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        self.recovery = recovery;
     }
 
     /// The maintained view's name.
@@ -189,18 +207,135 @@ impl Sdbt {
 
     /// Run one maintenance round.
     ///
+    /// The round is **atomic**: on any `Err` the view, every map, and
+    /// all indexes are rolled back to their exact pre-round state
+    /// (including the nested map-maintenance rounds of the Streams
+    /// variant) and the modification log is preserved. With
+    /// [`RecoveryPolicy::RecomputeOnError`] the error is repaired
+    /// in-place and reported instead of returned.
+    ///
     /// # Errors
     /// `Unsupported` when a Fixed engine sees changes on other tables;
-    /// propagation failures otherwise.
+    /// propagation failures or injected faults otherwise.
     pub fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
+        let fold_started = Instant::now();
+        let net = db.fold_log();
+        let fold = fold_started.elapsed();
+        let mut report = self.maintain_with_changes(db, &net)?;
+        db.clear_log();
+        if let Some(trace) = report.trace.as_mut() {
+            trace.timings.fold = fold;
+        }
+        Ok(report)
+    }
+
+    /// Like [`Sdbt::maintain`], but over an externally folded change
+    /// set. The modification log is untouched (the caller owns it);
+    /// atomicity is as in [`Sdbt::maintain`].
+    ///
+    /// # Errors
+    /// As in [`Sdbt::maintain`].
+    pub fn maintain_with_changes(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        let owner = db.begin_round();
+        match self.round_body(db, net) {
+            Ok(report) => {
+                if owner {
+                    db.commit_round();
+                } else {
+                    db.end_nested_round();
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                if owner {
+                    db.abort_round();
+                    if self.recovery == RecoveryPolicy::RecomputeOnError {
+                        return self.recover(db, &e);
+                    }
+                } else {
+                    db.end_nested_round();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Repair the view and every maintained map by full recompute after
+    /// a rollback. The aggregate shape recomputes its hidden `__count`
+    /// multiplicity column alongside the visible attributes.
+    fn recover(&self, db: &mut Database, cause: &Error) -> Result<MaintenanceReport> {
         let started = Instant::now();
+        let before = db.stats().snapshot();
+        // Streams maps are maintained incrementally, so a failed round
+        // leaves them behind the base tables; refresh them from their
+        // plans. Fixed maps are static by construction — nothing to do.
+        for p in &self.partials {
+            for m in &p.maps {
+                if let Some(t) = &m.maintainer {
+                    refresh_view(db, &m.name, t.plan())?;
+                }
+            }
+        }
+        match &self.shape {
+            RootShape::Spj => refresh_view(db, &self.view_name, &self.view_plan)?,
+            RootShape::Aggregate { keys, .. } => {
+                // `refresh_view` recomputes the plan's schema, which
+                // lacks the hidden `__count` column — redo the setup
+                // loading path instead.
+                let rows = execute(db, &self.view_plan)?;
+                let counts = group_counts(db, &self.view_plan)?;
+                let key_positions: Vec<usize> = (0..keys.len()).collect();
+                let t = db.table_mut(&self.view_name)?;
+                t.clear();
+                for mut r in rows {
+                    let gk = r.key(&key_positions);
+                    let n = counts.get(&gk).copied().unwrap_or(0);
+                    r.0.push(Value::Int(n));
+                    t.load(r)?;
+                }
+            }
+        }
+        let recovery = db.stats().snapshot().since(&before);
+        let mut report = MaintenanceReport {
+            recovered: true,
+            recovery,
+            recovery_cause: Some(cause.to_string()),
+            ..MaintenanceReport::default()
+        };
+        if self.trace.enabled {
+            let mut trace = RoundTrace::default();
+            trace.operators.push(OpTrace {
+                path: PathId::new(),
+                op: format!("recompute `{}`", self.view_name),
+                phase: TracePhase::Recovery,
+                diffs_in: 0,
+                diffs_out: 0,
+                dummies: 0,
+                accesses: recovery,
+            });
+            report.trace = Some(trace);
+        }
+        report.wall = started.elapsed();
+        Ok(report)
+    }
+
+    /// The incremental round itself (no commit/abort handling).
+    fn round_body(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        let started = Instant::now();
+        let faults = FaultState::new(self.faults);
+        let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
         if self.trace.enabled {
             report.trace = Some(RoundTrace::default());
         }
-        let net = db.fold_log();
-        db.clear_log();
-        let fold_done = started.elapsed();
         if net.is_empty() {
             report.wall = started.elapsed();
             return Ok(report);
@@ -226,10 +361,14 @@ impl Sdbt {
             let Some(changes) = net.get(&p.def.table) else {
                 continue;
             };
+            faults.on_operator("compose")?;
             self.compose_table(db, p, changes, &mut composed)?;
         }
         report.diff_compute = db.stats().snapshot().since(&before);
         report.view_diff_tuples = composed.len();
+        if faults.wants_access() {
+            faults.on_access(db.stats().snapshot().since(&round0).total())?;
+        }
 
         // Phase 1 (Streams): maintain every map — the overhead that
         // makes SDBT-streams slow (Figure 12, column D).
@@ -237,14 +376,19 @@ impl Sdbt {
         for p in &self.partials {
             for m in &p.maps {
                 if let Some(t) = &m.maintainer {
-                    t.maintain_with_changes(db, &net)?;
+                    faults.on_operator("map_maintain")?;
+                    t.maintain_with_changes(db, net)?;
                 }
             }
         }
         report.cache_update = db.stats().snapshot().since(&before);
         let propagate_done = propagate_started.elapsed();
+        if faults.wants_access() {
+            faults.on_access(db.stats().snapshot().since(&round0).total())?;
+        }
 
         // Phase 3: apply to the view.
+        faults.on_apply(&self.view_name)?;
         let apply_started = Instant::now();
         let before = db.stats().snapshot();
         match &self.shape {
@@ -266,6 +410,9 @@ impl Sdbt {
             }
         }
         report.view_update = db.stats().snapshot().since(&before);
+        if faults.wants_access() {
+            faults.on_access(db.stats().snapshot().since(&round0).total())?;
+        }
         // SDBT has no operator tree to attribute to; emit one pseudo
         // entry per phase (delta composition, map maintenance, view
         // apply) so its rounds carry the same trace schema.
@@ -303,7 +450,6 @@ impl Sdbt {
                     dummies: view_dummies,
                     accesses: view_update,
                 });
-                trace.timings.fold = fold_done;
                 trace.timings.propagate = propagate_done;
                 trace.timings.apply = apply_started.elapsed();
             }

@@ -4,12 +4,13 @@ use crate::propagate::{propagate, TupleCtx};
 use crate::tdiff::{apply, TApplyOutcome, TDiffs};
 use idivm_algebra::{ensure_ids, Plan};
 use idivm_core::access::{AccessCtx, PathId};
-use idivm_core::engine::ensure_probe_indexes;
+use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
+use idivm_core::faults::{FaultPlan, FaultState};
 use idivm_core::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_core::MaintenanceReport;
-use idivm_exec::{materialize_view, ParallelConfig};
-use idivm_reldb::Database;
-use idivm_types::Result;
+use idivm_exec::{materialize_view, refresh_view, ParallelConfig};
+use idivm_reldb::{Database, StatsSnapshot};
+use idivm_types::{Error, Result};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -25,6 +26,8 @@ pub struct TupleIvm {
     plan: Plan,
     parallel: ParallelConfig,
     trace: TraceConfig,
+    faults: FaultPlan,
+    recovery: RecoveryPolicy,
 }
 
 impl TupleIvm {
@@ -42,18 +45,37 @@ impl TupleIvm {
             plan,
             parallel: ParallelConfig::serial(),
             trace: TraceConfig::disabled(),
+            faults: FaultPlan::disabled(),
+            recovery: RecoveryPolicy::Abort,
         })
     }
 
     /// Set the partitioned-propagation configuration (serial by
     /// default). Access counts are bit-identical for any thread count.
-    pub fn set_parallel(&mut self, parallel: ParallelConfig) {
+    ///
+    /// # Errors
+    /// [`Error::Config`] for an invalid thread count (see
+    /// [`ParallelConfig::validate`]).
+    pub fn set_parallel(&mut self, parallel: ParallelConfig) -> Result<()> {
+        parallel.validate()?;
         self.parallel = parallel;
+        Ok(())
     }
 
     /// Enable or disable per-operator trace recording (off by default).
     pub fn set_trace(&mut self, trace: TraceConfig) {
         self.trace = trace;
+    }
+
+    /// Set the deterministic fault-injection plan (disabled by default;
+    /// zero cost when off). See [`idivm_core::faults`].
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Set what a round does after an error forced a rollback.
+    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        self.recovery = recovery;
     }
 
     /// The maintained view's name.
@@ -68,26 +90,101 @@ impl TupleIvm {
 
     /// Run one deferred maintenance round with the D-script.
     ///
+    /// The round is **atomic**: on any `Err` the view and its indexes
+    /// are rolled back to their exact pre-round state and the
+    /// modification log is preserved, so a clean retry (or a recompute)
+    /// starts from consistent state. With
+    /// [`RecoveryPolicy::RecomputeOnError`] the error is repaired
+    /// in-place and reported instead of returned.
+    ///
     /// # Errors
-    /// Propagation or application failures.
+    /// Propagation or application failures, or an injected fault.
     pub fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
+        let fold_started = Instant::now();
         let net = db.fold_log();
+        let fold = fold_started.elapsed();
+        let mut report = self.maintain_with_changes(db, &net)?;
         db.clear_log();
-        self.maintain_with_changes(db, &net)
+        if let Some(trace) = report.trace.as_mut() {
+            trace.timings.fold = fold;
+        }
+        Ok(report)
     }
 
     /// Like [`TupleIvm::maintain`], but over an externally folded change
     /// set (several engines can share one round without consuming the
-    /// log twice).
+    /// log twice). The modification log is untouched (the caller owns
+    /// it); atomicity is as in [`TupleIvm::maintain`].
     ///
     /// # Errors
-    /// Propagation or application failures.
+    /// Propagation or application failures, or an injected fault.
     pub fn maintain_with_changes(
         &self,
         db: &mut Database,
         net: &HashMap<String, idivm_reldb::TableChanges>,
     ) -> Result<MaintenanceReport> {
+        let owner = db.begin_round();
+        match self.round_body(db, net) {
+            Ok(report) => {
+                if owner {
+                    db.commit_round();
+                } else {
+                    db.end_nested_round();
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                if owner {
+                    db.abort_round();
+                    if self.recovery == RecoveryPolicy::RecomputeOnError {
+                        return self.recover(db, &e);
+                    }
+                } else {
+                    db.end_nested_round();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Repair the view by full recompute after a rollback.
+    fn recover(&self, db: &mut Database, cause: &Error) -> Result<MaintenanceReport> {
         let started = Instant::now();
+        let before = db.stats().snapshot();
+        refresh_view(db, &self.view_name, &self.plan)?;
+        let recovery = db.stats().snapshot().since(&before);
+        let mut report = MaintenanceReport {
+            recovered: true,
+            recovery,
+            recovery_cause: Some(cause.to_string()),
+            ..MaintenanceReport::default()
+        };
+        if self.trace.enabled {
+            let mut trace = RoundTrace::default();
+            trace.operators.push(OpTrace {
+                path: PathId::new(),
+                op: format!("recompute `{}`", self.view_name),
+                phase: TracePhase::Recovery,
+                diffs_in: 0,
+                diffs_out: 0,
+                dummies: 0,
+                accesses: recovery,
+            });
+            report.trace = Some(trace);
+        }
+        report.wall = started.elapsed();
+        Ok(report)
+    }
+
+    /// The incremental round itself (no commit/abort handling).
+    fn round_body(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, idivm_reldb::TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        let started = Instant::now();
+        let faults = FaultState::new(self.faults);
+        let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
         if self.trace.enabled {
             report.trace = Some(RoundTrace::default());
@@ -122,18 +219,30 @@ impl TupleIvm {
                 view_name: &self.view_name,
                 parallel: self.parallel,
             };
-            walk(&ctx, &self.plan, &PathId::new(), &base_diffs, &mut op_traces)?
+            walk(
+                &ctx,
+                &self.plan,
+                &PathId::new(),
+                &base_diffs,
+                &mut op_traces,
+                &faults,
+                &round0,
+            )?
         };
         report.diff_compute = db.stats().snapshot().since(&before);
         report.view_diff_tuples = view_diffs.len();
         let propagate_done = propagate_started.elapsed();
 
         // Apply them.
+        faults.on_apply(&self.view_name)?;
         let apply_started = Instant::now();
         let before = db.stats().snapshot();
         let outcome = apply(db.table_mut(&self.view_name)?, &view_diffs)?;
         report.view_update = db.stats().snapshot().since(&before);
         report.view_outcome = to_outcome(outcome);
+        if faults.wants_access() {
+            faults.on_access(db.stats().snapshot().since(&round0).total())?;
+        }
         if let Some(trace) = report.trace.as_mut() {
             trace.operators = op_traces.unwrap_or_default();
             trace.operators.push(OpTrace {
@@ -154,12 +263,15 @@ impl TupleIvm {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk(
     ctx: &TupleCtx<'_>,
     node: &Plan,
     path: &PathId,
     base: &HashMap<String, TDiffs>,
     traces: &mut Option<Vec<OpTrace>>,
+    faults: &FaultState,
+    round0: &StatsSnapshot,
 ) -> Result<TDiffs> {
     if let Plan::Scan { table, .. } = node {
         return Ok(base.get(table).cloned().unwrap_or_default());
@@ -168,8 +280,9 @@ fn walk(
     for (i, c) in node.children().into_iter().enumerate() {
         let mut p = path.clone();
         p.push(i);
-        sides.push(walk(ctx, c, &p, base, traces)?);
+        sides.push(walk(ctx, c, &p, base, traces, faults, round0)?);
     }
+    faults.on_operator(op_label(node))?;
     let diffs_in: u64 = sides.iter().map(|s| s.len() as u64).sum();
     let before = traces
         .is_some()
@@ -185,6 +298,9 @@ fn walk(
             dummies: 0,
             accesses: ctx.access.db.stats().snapshot().since(&before),
         });
+    }
+    if faults.wants_access() {
+        faults.on_access(ctx.access.db.stats().snapshot().since(round0).total())?;
     }
     Ok(out)
 }

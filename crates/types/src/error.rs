@@ -22,6 +22,12 @@ pub enum Error {
     /// operand under AND/OR/NOT). Surfaced as `Err` from `maintain()`
     /// instead of aborting a half-applied round.
     Type(String),
+    /// Invalid engine configuration (e.g. a `ParallelConfig` with zero
+    /// or an absurd number of threads), rejected at construction time.
+    Config(String),
+    /// A deterministic fault fired by an armed
+    /// `FaultPlan` (test/chaos machinery, never produced organically).
+    Injected(String),
     /// Internal invariant violation (a bug, surfaced instead of UB).
     Internal(String),
 }
@@ -35,6 +41,8 @@ impl fmt::Display for Error {
             Error::Plan(m) => write!(f, "plan error: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Injected(m) => write!(f, "injected fault: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

@@ -1,0 +1,394 @@
+//! Exhaustive fault-sweep differential suite: atomic maintenance
+//! rounds under deterministic fault injection, on the Figure 12
+//! workload, for all three engines.
+//!
+//! The contract under test (atomicity of a maintenance round):
+//!
+//! * An injected fault at **any** failpoint — operator entry, APPLY
+//!   boundary, or access-count threshold — surfaces as
+//!   [`Error::Injected`] and leaves the database **bit-identical** to
+//!   its pre-round state: every view, cache, map, and secondary index
+//!   (verified through [`Database::signature`], which fingerprints rows
+//!   *and* index postings), with the modification log preserved so the
+//!   round stays retryable.
+//! * A clean re-run after any number of aborted attempts commits and
+//!   matches the full-recomputation oracle.
+//! * With [`RecoveryPolicy::RecomputeOnError`] the failed round is
+//!   repaired in place (view + caches/maps recomputed) and reported via
+//!   `recovered` / `recovery` / `recovery_cause`.
+//!
+//! Sweep strategy: operator and APPLY failpoints are enumerated
+//! exhaustively (`k = 1, 2, …` until a round commits because the fault
+//! index lies beyond the last failpoint — that committing run doubles
+//! as the clean-re-run check). Access thresholds are swept
+//! geometrically (`k = 1, 2, 4, …`): the access failpoints are the
+//! serial checkpoints between operators, and doubling visits multiple
+//! distinct checkpoints while keeping the sweep bounded; every fired
+//! threshold still verifies full rollback. Parallel propagation shares
+//! the serial walk spine, so the same failpoints fire at the same
+//! indexes for any thread count (access counts are bit-identical by the
+//! executor's contract) — the ID and tuple engines are swept serial and
+//! at P = 4.
+
+use idivm_repro::core::{FaultPlan, IdIvm, IvmOptions, MaintenanceReport, RecoveryPolicy};
+use idivm_repro::exec::{executor::sorted, recompute_rows, ParallelConfig};
+use idivm_repro::reldb::Database;
+use idivm_repro::sdbt::{Sdbt, SdbtVariant};
+use idivm_repro::tuple::TupleIvm;
+use idivm_repro::types::{Error, Result, Row};
+use idivm_repro::workloads::RunningExample;
+
+const DIFF: usize = 25;
+
+/// Fault seed, overridable via `IDIVM_FAULT_SEED` (the CI fault-sweep
+/// job runs a fixed seed matrix through this hook). The seed is carried
+/// into every injected error's message; the failpoint schedule itself
+/// is deterministic for any seed.
+fn fault_seed() -> u64 {
+    std::env::var("IDIVM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed_2015)
+}
+
+/// Small Figure 12 running-example instance (aggregate view V').
+fn example() -> RunningExample {
+    RunningExample {
+        n_parts: 120,
+        n_devices: 90,
+        fanout: 3,
+        selectivity_pct: 30,
+        joins: 2,
+        seed: 7,
+    }
+}
+
+/// Four workers, sharding even tiny batches.
+fn four_threads() -> ParallelConfig {
+    ParallelConfig {
+        threads: 4,
+        min_shard_rows: 2,
+    }
+}
+
+/// The engine surface the sweep needs: fault plan selection, one
+/// maintenance round, and the maintained rows to diff against the
+/// recompute oracle.
+trait EngineUnderTest {
+    fn set_faults(&mut self, plan: FaultPlan);
+    fn set_recovery(&mut self, recovery: RecoveryPolicy);
+    fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport>;
+    fn oracle(&self, db: &Database) -> Vec<Row>;
+    fn actual(&self, db: &Database) -> Vec<Row>;
+}
+
+impl EngineUnderTest for IdIvm {
+    fn set_faults(&mut self, plan: FaultPlan) {
+        IdIvm::set_faults(self, plan);
+    }
+    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        IdIvm::set_recovery(self, recovery);
+    }
+    fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
+        IdIvm::maintain(self, db)
+    }
+    fn oracle(&self, db: &Database) -> Vec<Row> {
+        recompute_rows(db, self.plan()).unwrap()
+    }
+    fn actual(&self, db: &Database) -> Vec<Row> {
+        db.table(self.view_name()).unwrap().rows_uncounted()
+    }
+}
+
+impl EngineUnderTest for TupleIvm {
+    fn set_faults(&mut self, plan: FaultPlan) {
+        TupleIvm::set_faults(self, plan);
+    }
+    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        TupleIvm::set_recovery(self, recovery);
+    }
+    fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
+        TupleIvm::maintain(self, db)
+    }
+    fn oracle(&self, db: &Database) -> Vec<Row> {
+        recompute_rows(db, self.plan()).unwrap()
+    }
+    fn actual(&self, db: &Database) -> Vec<Row> {
+        db.table(self.view_name()).unwrap().rows_uncounted()
+    }
+}
+
+impl EngineUnderTest for Sdbt {
+    fn set_faults(&mut self, plan: FaultPlan) {
+        Sdbt::set_faults(self, plan);
+    }
+    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        Sdbt::set_recovery(self, recovery);
+    }
+    fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
+        Sdbt::maintain(self, db)
+    }
+    fn oracle(&self, db: &Database) -> Vec<Row> {
+        recompute_rows(db, self.plan()).unwrap()
+    }
+    fn actual(&self, db: &Database) -> Vec<Row> {
+        self.visible_rows(db).unwrap()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Site {
+    Operator,
+    Apply,
+    Access,
+}
+
+impl Site {
+    fn plan(self, k: u64) -> FaultPlan {
+        match self {
+            Site::Operator => FaultPlan::at_operator(k, fault_seed()),
+            Site::Apply => FaultPlan::at_apply(k, fault_seed()),
+            Site::Access => FaultPlan::at_access(k, fault_seed()),
+        }
+    }
+
+    fn next_k(self, k: u64) -> u64 {
+        match self {
+            Site::Operator | Site::Apply => k + 1,
+            Site::Access => k * 2,
+        }
+    }
+}
+
+/// Run the full sweep for one engine over one database: for every site
+/// and every failpoint index, inject, assert bit-identical rollback and
+/// a preserved log; on the terminating clean run, assert the view
+/// equals the recompute oracle and the log was consumed.
+fn sweep(db: &mut Database, ivm: &mut dyn EngineUnderTest, label: &str) {
+    let cfg = example();
+    // Warmup: one clean round so caches/maps have seen maintenance.
+    cfg.price_update_batch(db, DIFF, 0).unwrap();
+    ivm.maintain(db).unwrap();
+
+    let mut faults_fired = 0u64;
+    for (round, site) in [(1u64, Site::Operator), (2, Site::Apply), (3, Site::Access)] {
+        cfg.price_update_batch(db, DIFF, round).unwrap();
+        let pre_sig = db.signature();
+        let pre_net = db.fold_log();
+        assert!(!pre_net.is_empty(), "{label}: batch produced no changes");
+        let mut k = 1u64;
+        loop {
+            ivm.set_faults(site.plan(k));
+            match ivm.maintain(db) {
+                Err(e) => {
+                    assert!(
+                        matches!(e, Error::Injected(_)),
+                        "{label} {site:?} k={k}: unexpected error kind: {e}"
+                    );
+                    faults_fired += 1;
+                    assert_eq!(
+                        db.signature(),
+                        pre_sig,
+                        "{label} {site:?} k={k}: rollback left the database \
+                         different from its pre-round state"
+                    );
+                    assert_eq!(
+                        db.fold_log(),
+                        pre_net,
+                        "{label} {site:?} k={k}: modification log not preserved"
+                    );
+                }
+                Ok(report) => {
+                    // Fault index beyond the last failpoint: the round
+                    // committed cleanly after all the aborted attempts.
+                    assert!(!report.recovered);
+                    break;
+                }
+            }
+            k = site.next_k(k);
+            assert!(k < 1 << 20, "{label} {site:?}: runaway sweep");
+        }
+        assert!(
+            db.fold_log().is_empty(),
+            "{label} {site:?}: committed round left the log unconsumed"
+        );
+        assert_eq!(
+            sorted(ivm.actual(db)),
+            sorted(ivm.oracle(db)),
+            "{label} {site:?}: clean re-run diverged from the recompute oracle"
+        );
+    }
+    assert!(
+        faults_fired >= 3,
+        "{label}: sweep fired only {faults_fired} faults — injection is not wired"
+    );
+}
+
+fn id_ivm(db: &mut Database, parallel: ParallelConfig) -> IdIvm {
+    let cfg = example();
+    let plan = cfg.agg_plan(db).unwrap();
+    let options = IvmOptions {
+        parallel,
+        ..IvmOptions::default()
+    };
+    IdIvm::setup(db, "V", plan, options).unwrap()
+}
+
+#[test]
+fn fault_sweep_id_ivm_serial() {
+    let mut db = example().build().unwrap();
+    let mut ivm = id_ivm(&mut db, ParallelConfig::serial());
+    sweep(&mut db, &mut ivm, "idIVM serial");
+}
+
+#[test]
+fn fault_sweep_id_ivm_parallel() {
+    let mut db = example().build().unwrap();
+    let mut ivm = id_ivm(&mut db, four_threads());
+    sweep(&mut db, &mut ivm, "idIVM P=4");
+}
+
+#[test]
+fn fault_sweep_tuple_ivm_serial_and_parallel() {
+    for (parallel, label) in [
+        (ParallelConfig::serial(), "tuple serial"),
+        (four_threads(), "tuple P=4"),
+    ] {
+        let cfg = example();
+        let mut db = cfg.build().unwrap();
+        let plan = cfg.agg_plan(&db).unwrap();
+        let mut ivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+        ivm.set_parallel(parallel).unwrap();
+        sweep(&mut db, &mut ivm, label);
+    }
+}
+
+#[test]
+fn fault_sweep_sdbt_fixed() {
+    let cfg = example();
+    let mut db = cfg.build().unwrap();
+    let plan = cfg.agg_plan(&db).unwrap();
+    let partial = cfg.sdbt_parts_partial(&db).unwrap();
+    let mut sdbt = Sdbt::setup(
+        &mut db,
+        "V",
+        plan,
+        vec![partial],
+        SdbtVariant::Fixed("parts".to_string()),
+    )
+    .unwrap();
+    sweep(&mut db, &mut sdbt, "SDBT-fixed");
+}
+
+#[test]
+fn fault_sweep_sdbt_streams() {
+    let cfg = example();
+    let mut db = cfg.build().unwrap();
+    let plan = cfg.agg_plan(&db).unwrap();
+    let partials = cfg.sdbt_all_partials(&db).unwrap();
+    let mut sdbt = Sdbt::setup(&mut db, "V", plan, partials, SdbtVariant::Streams).unwrap();
+    sweep(&mut db, &mut sdbt, "SDBT-streams");
+}
+
+/// `RecomputeOnError`: a faulted round rolls back, repairs by full
+/// recompute, and reports the repair — on every engine.
+#[test]
+fn recompute_on_error_repairs_and_reports() {
+    type EngineBuilder = Box<dyn Fn(&mut Database) -> Box<dyn EngineUnderTest>>;
+    let cfg = example();
+    let engines: Vec<(&str, EngineBuilder)> = vec![
+        (
+            "idIVM",
+            Box::new(|db| Box::new(id_ivm(db, ParallelConfig::serial()))),
+        ),
+        (
+            "tuple",
+            Box::new(|db| {
+                let plan = example().agg_plan(db).unwrap();
+                Box::new(TupleIvm::setup(db, "V", plan).unwrap())
+            }),
+        ),
+        (
+            "SDBT-streams",
+            Box::new(|db| {
+                let plan = example().agg_plan(db).unwrap();
+                let partials = example().sdbt_all_partials(db).unwrap();
+                Box::new(Sdbt::setup(db, "V", plan, partials, SdbtVariant::Streams).unwrap())
+            }),
+        ),
+    ];
+    for (label, build) in engines {
+        let mut db = cfg.build().unwrap();
+        let mut ivm = build(&mut db);
+        cfg.price_update_batch(&mut db, DIFF, 0).unwrap();
+        ivm.maintain(&mut db).unwrap();
+
+        cfg.price_update_batch(&mut db, DIFF, 1).unwrap();
+        ivm.set_faults(FaultPlan::at_operator(1, fault_seed()));
+        ivm.set_recovery(RecoveryPolicy::RecomputeOnError);
+        let report = ivm.maintain(&mut db).unwrap();
+        assert!(report.recovered, "{label}: round did not report recovery");
+        assert!(
+            report.recovery.total() > 0,
+            "{label}: recovery cost not accounted"
+        );
+        let cause = report.recovery_cause.as_deref().unwrap_or("");
+        assert!(
+            cause.contains("injected fault"),
+            "{label}: recovery_cause `{cause}` does not name the fault"
+        );
+        assert!(
+            db.fold_log().is_empty(),
+            "{label}: recovered round left the log unconsumed"
+        );
+        assert_eq!(
+            sorted(ivm.actual(&db)),
+            sorted(ivm.oracle(&db)),
+            "{label}: recompute repair diverged from the oracle"
+        );
+
+        // A later clean round works from the repaired state.
+        ivm.set_faults(FaultPlan::disabled());
+        ivm.set_recovery(RecoveryPolicy::Abort);
+        cfg.price_update_batch(&mut db, DIFF, 2).unwrap();
+        let report = ivm.maintain(&mut db).unwrap();
+        assert!(!report.recovered);
+        assert_eq!(
+            sorted(ivm.actual(&db)),
+            sorted(ivm.oracle(&db)),
+            "{label}: post-recovery round diverged from the oracle"
+        );
+    }
+}
+
+/// Satellite (b): invalid thread counts are rejected with a typed
+/// `Error::Config` at construction — at `IdIvm::setup` and at
+/// `TupleIvm::set_parallel`.
+#[test]
+fn parallel_config_validation_is_typed() {
+    let cfg = example();
+    let mut db = cfg.build().unwrap();
+    let plan = cfg.agg_plan(&db).unwrap();
+    let options = IvmOptions {
+        parallel: ParallelConfig {
+            threads: 0,
+            min_shard_rows: 2,
+        },
+        ..IvmOptions::default()
+    };
+    let Err(err) = IdIvm::setup(&mut db, "V", plan.clone(), options) else {
+        panic!("IdIvm::setup accepted threads = 0");
+    };
+    assert!(matches!(err, Error::Config(_)), "got: {err}");
+
+    let mut ivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
+    for threads in [0usize, 4097] {
+        let err = ivm
+            .set_parallel(ParallelConfig {
+                threads,
+                min_shard_rows: 2,
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "threads={threads}: {err}");
+    }
+}

@@ -279,7 +279,7 @@ fn fig10_bsma_tuple_engine_parallel_counts_and_oracle() {
         let mut db = cfg.build().unwrap();
         let plan = cfg.plan(&db, BsmaQuery::Q10).unwrap();
         let mut ivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
-        ivm.set_parallel(parallel);
+        ivm.set_parallel(parallel).unwrap();
         let mut snaps = Vec::new();
         for round in 0..2u64 {
             cfg.user_update_batch(&mut db, 40, round).unwrap();

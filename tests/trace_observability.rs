@@ -112,7 +112,7 @@ fn tuple_ivm_trace_reconciles_and_is_thread_invariant() {
         let mut db = cfg.build().unwrap();
         let plan = cfg.agg_plan(&db).unwrap();
         let mut ivm = TupleIvm::setup(&mut db, "V", plan).unwrap();
-        ivm.set_parallel(parallel);
+        ivm.set_parallel(parallel).unwrap();
         ivm.set_trace(TraceConfig::enabled());
         cfg.price_update_batch(&mut db, 30, 0).unwrap();
         let report = ivm.maintain(&mut db).unwrap();
