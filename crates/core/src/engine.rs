@@ -25,7 +25,7 @@ use crate::access::{AccessCtx, PathId};
 use crate::apply::{apply_all, ApplyOutcome};
 use crate::cache::{plan_caches, CacheDef};
 use crate::diff::DiffInstance;
-use crate::faults::{FaultPlan, FaultState};
+use crate::faults::{FaultPlan, FaultState, RoundBudget};
 use crate::report::MaintenanceReport;
 use crate::rules::{propagate, IncomingDiff, RuleCtx};
 use crate::schema_gen::{generate, populate, BaseDiffSchemas};
@@ -74,6 +74,10 @@ pub struct IvmOptions {
     /// Deterministic fault injection (disabled by default; zero cost
     /// when off). See [`crate::faults`].
     pub faults: FaultPlan,
+    /// Opt-in per-round access budget (unlimited by default; zero cost
+    /// when off). A round exceeding it aborts with the retryable
+    /// [`Error::Budget`](idivm_types::Error::Budget) and rolls back.
+    pub budget: RoundBudget,
     /// What to do after a mid-round error forced a rollback.
     pub recovery: RecoveryPolicy,
 }
@@ -86,6 +90,7 @@ impl Default for IvmOptions {
             parallel: ParallelConfig::serial(),
             trace: TraceConfig::disabled(),
             faults: FaultPlan::disabled(),
+            budget: RoundBudget::unlimited(),
             recovery: RecoveryPolicy::Abort,
         }
     }
@@ -178,6 +183,12 @@ impl IdIvm {
     /// Set what a round does after an error forced a rollback.
     pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
         self.options.recovery = recovery;
+    }
+
+    /// Set the per-round access budget (unlimited by default; zero
+    /// cost when off). See [`RoundBudget`].
+    pub fn set_budget(&mut self, budget: RoundBudget) {
+        self.options.budget = budget;
     }
 
     /// Run one deferred maintenance round: consume the modification
@@ -288,7 +299,10 @@ impl IdIvm {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
-        let faults = FaultState::new(self.options.faults);
+        let faults = FaultState::with_budget(self.options.faults, self.options.budget);
+        // Content-dependent failpoint: a poison key in the pending
+        // batch fails the round before any propagation.
+        faults.on_batch(net)?;
         let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
         if self.options.trace.enabled {
@@ -444,6 +458,14 @@ impl IdIvm {
                         dummies: outcome.dummies,
                         accesses: spent,
                     });
+                }
+                // Checkpoint after the cache-boundary apply, so access
+                // faults and round budgets observe cache-maintenance
+                // accesses too — not just the propagation spine.
+                if state.faults.wants_access() {
+                    state
+                        .faults
+                        .on_access(db.stats().snapshot().since(&state.round0).total())?;
                 }
             }
         }

@@ -1,27 +1,44 @@
 //! Deterministic fault injection for maintenance rounds.
 //!
-//! A [`FaultPlan`] arms exactly one *failpoint*: fire a typed
-//! [`Error::Injected`] at the k-th operator entry, the k-th APPLY call,
-//! or the first serial checkpoint where the round's cumulative access
-//! count reaches k. The engines consult the plan at fixed points on
-//! their **serial** walk (operator entries, APPLY boundaries — the same
-//! places the trace layer attributes accesses), so a given plan fires
-//! at the same logical point for any `ParallelConfig` thread count:
-//! access counts are bit-identical across thread counts, and the
-//! operator/apply orders are properties of the plan walk, not of
-//! scheduling.
+//! A [`FaultPlan`] arms exactly one *failpoint*: fire a typed error at
+//! the k-th operator entry, the k-th APPLY call, the first serial
+//! checkpoint where the round's cumulative access count reaches k, or
+//! (content-dependent) at round start when the pending diff batch
+//! contains a *poison key*. The engines consult the plan at fixed
+//! points on their **serial** walk (operator entries, APPLY boundaries
+//! — the same places the trace layer attributes accesses), so a given
+//! plan fires at the same logical point for any `ParallelConfig`
+//! thread count: access counts are bit-identical across thread counts,
+//! and the operator/apply orders are properties of the plan walk, not
+//! of scheduling.
+//!
+//! Faults carry a [`FaultKind`] classification: [`FaultKind::Transient`]
+//! fires [`Error::Injected`] (retryable; optionally healing after a
+//! fixed number of attempts via [`FaultPlan::heal_after`]) and
+//! [`FaultKind::Permanent`] fires [`Error::Poison`] (deterministic for
+//! a given input; a supervisor must bisect and quarantine instead of
+//! retrying — see `idivm_core::supervisor`).
+//!
+//! [`FaultState`] also enforces the opt-in per-round access budget
+//! ([`RoundBudget`]): at the same serial checkpoints, a round whose
+//! cumulative access count exceeds the budget is aborted with the
+//! retryable [`Error::Budget`], rolling back through the atomic-round
+//! undo path like any other mid-round error.
 //!
 //! Like [`TraceConfig`](crate::trace::TraceConfig), a disabled plan
-//! (the default) costs nothing per tuple: every hook starts with a
-//! `Copy` field comparison and returns immediately.
+//! with no budget (the default) costs nothing per tuple: every hook
+//! starts with a `Copy` field comparison and returns immediately.
 //!
-//! This is test/chaos machinery. [`Error::Injected`] is never produced
-//! organically; the fault-sweep suite uses it to prove that *any*
-//! mid-round error triggers a bit-identical rollback (see
-//! `Database::begin_round`/`abort_round` in `idivm-reldb`).
+//! This is test/chaos machinery. [`Error::Injected`] / [`Error::Poison`]
+//! are never produced organically; the fault-sweep suite uses them to
+//! prove that *any* mid-round error triggers a bit-identical rollback
+//! (see `Database::begin_round`/`abort_round` in `idivm-reldb`).
 
+use idivm_exec::partition::stable_hash_key;
+use idivm_reldb::TableChanges;
 use idivm_types::{Error, Result};
 use std::cell::Cell;
+use std::collections::HashMap;
 
 /// Where in the round a [`FaultPlan`] fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +55,14 @@ pub enum FaultSite {
     /// On the `at`-th (0-based) APPLY call (cache or view), before any
     /// diff lands.
     Apply,
+    /// Content-dependent: at round start, when the folded diff batch
+    /// contains at least one *poison key* — a key whose seeded stable
+    /// hash satisfies `(hash ^ seed) % at == 0` (`at` acts as the
+    /// poison modulus: roughly one key in `at` is poison). The firing
+    /// point is before any propagation, so the round rolls back
+    /// trivially; the same predicate lets a supervisor bisect down to
+    /// the exact poison set.
+    Diff,
 }
 
 impl FaultSite {
@@ -47,8 +72,22 @@ impl FaultSite {
             FaultSite::Access => "access",
             FaultSite::Operator => "operator",
             FaultSite::Apply => "apply",
+            FaultSite::Diff => "diff",
         }
     }
+}
+
+/// Transient-vs-permanent classification of an armed fault — decides
+/// which typed error the failpoint produces and therefore how a
+/// supervisor reacts (retry vs bisect-and-quarantine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// Fires [`Error::Injected`] (retryable). The default.
+    #[default]
+    Transient,
+    /// Fires [`Error::Poison`] (permanent: recurs on every retry of
+    /// the same input).
+    Permanent,
 }
 
 /// A deterministic fault to inject into maintenance rounds. `Copy`, so
@@ -61,8 +100,18 @@ pub struct FaultPlan {
     /// The failpoint index k (see [`FaultSite`] for each site's unit).
     pub at: u64,
     /// Sweep-identification seed, echoed in the injected error message
-    /// so a failing differential run names the exact scenario.
+    /// so a failing differential run names the exact scenario. Also
+    /// salts the [`FaultSite::Diff`] poison predicate.
     pub seed: u64,
+    /// Transient vs permanent classification (which error fires).
+    pub kind: FaultKind,
+    /// For transient faults: the number of attempts after which the
+    /// fault *heals* — [`FaultPlan::for_attempt`] returns a disabled
+    /// plan once `attempt >= heal_after`. `0` (the default) means the
+    /// fault never heals. Models transient conditions that clear with
+    /// time (the supervisor's backoff ladder maps attempts to virtual
+    /// time).
+    pub heal_after: u64,
 }
 
 impl Default for FaultPlan {
@@ -78,6 +127,8 @@ impl FaultPlan {
             site: None,
             at: 0,
             seed: 0,
+            kind: FaultKind::Transient,
+            heal_after: 0,
         }
     }
 
@@ -86,7 +137,7 @@ impl FaultPlan {
         FaultPlan {
             site: Some(FaultSite::Operator),
             at: k,
-            seed,
+            ..FaultPlan::disabled().with_seed(seed)
         }
     }
 
@@ -95,7 +146,7 @@ impl FaultPlan {
         FaultPlan {
             site: Some(FaultSite::Apply),
             at: k,
-            seed,
+            ..FaultPlan::disabled().with_seed(seed)
         }
     }
 
@@ -105,13 +156,96 @@ impl FaultPlan {
         FaultPlan {
             site: Some(FaultSite::Access),
             at: k,
-            seed,
+            ..FaultPlan::disabled().with_seed(seed)
         }
+    }
+
+    /// Fire at round start when the pending batch contains a poison
+    /// key (roughly one key in `modulus`, selected by seeded stable
+    /// hash — see [`FaultSite::Diff`]). `modulus` is clamped to ≥ 1.
+    pub fn at_diff(modulus: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Diff),
+            at: modulus.max(1),
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
+    fn with_seed(self, seed: u64) -> Self {
+        FaultPlan { seed, ..self }
+    }
+
+    /// This plan, reclassified permanent (fires [`Error::Poison`]).
+    pub fn permanent(self) -> Self {
+        FaultPlan {
+            kind: FaultKind::Permanent,
+            ..self
+        }
+    }
+
+    /// This plan, healing after `attempts` attempts (transient faults
+    /// only — see [`FaultPlan::heal_after`]).
+    pub fn healing_after(self, attempts: u64) -> Self {
+        FaultPlan {
+            heal_after: attempts,
+            ..self
+        }
+    }
+
+    /// The plan as seen by the 0-based `attempt`-th retry of the same
+    /// round: a transient plan with `heal_after > 0` is disabled once
+    /// `attempt >= heal_after`; everything else is unchanged.
+    pub fn for_attempt(self, attempt: u64) -> Self {
+        if self.kind == FaultKind::Transient && self.heal_after > 0 && attempt >= self.heal_after {
+            return FaultPlan::disabled();
+        }
+        self
     }
 
     /// True iff some failpoint is armed.
     pub fn enabled(&self) -> bool {
         self.site.is_some()
+    }
+
+    /// The [`FaultSite::Diff`] poison predicate: true iff `key` is
+    /// poison under this plan's modulus and seed. Deterministic and
+    /// thread-stable (FNV-1a over the canonical key encoding). Public
+    /// so supervisors and tests can predict the exact poison set.
+    pub fn is_poison_key(&self, key: &idivm_types::Key) -> bool {
+        self.site == Some(FaultSite::Diff)
+            && (stable_hash_key(key) ^ self.seed).is_multiple_of(self.at.max(1))
+    }
+}
+
+/// Opt-in per-round access-count budget, enforced on the same serial
+/// checkpoints as [`FaultSite::Access`]. `Copy`, disabled by default.
+/// A round whose cumulative access count (tuple accesses + index
+/// lookups since round start) *exceeds* `max_accesses` aborts with the
+/// retryable [`Error::Budget`] and rolls back through the atomic-round
+/// undo path — bounding the worst-case work any single round can do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundBudget {
+    /// Maximum accesses one round may spend; `None` disables the
+    /// budget entirely (zero checkpoint cost).
+    pub max_accesses: Option<u64>,
+}
+
+impl RoundBudget {
+    /// No budget (the default).
+    pub fn unlimited() -> Self {
+        RoundBudget { max_accesses: None }
+    }
+
+    /// Cap one round at `max` accesses.
+    pub fn capped(max: u64) -> Self {
+        RoundBudget {
+            max_accesses: Some(max),
+        }
+    }
+
+    /// True iff a cap is set.
+    pub fn enabled(&self) -> bool {
+        self.max_accesses.is_some()
     }
 }
 
@@ -122,47 +256,90 @@ impl FaultPlan {
 #[derive(Debug)]
 pub struct FaultState {
     plan: FaultPlan,
+    budget: RoundBudget,
     operators: Cell<u64>,
     applies: Cell<u64>,
     fired: Cell<bool>,
+    budget_fired: Cell<bool>,
 }
 
 impl FaultState {
-    /// Fresh counters for one round under `plan`.
+    /// Fresh counters for one round under `plan`, no budget.
     pub fn new(plan: FaultPlan) -> Self {
+        FaultState::with_budget(plan, RoundBudget::unlimited())
+    }
+
+    /// Fresh counters for one round under `plan` and `budget`.
+    pub fn with_budget(plan: FaultPlan, budget: RoundBudget) -> Self {
         FaultState {
             plan,
+            budget,
             operators: Cell::new(0),
             applies: Cell::new(0),
             fired: Cell::new(false),
+            budget_fired: Cell::new(false),
         }
     }
 
     /// True iff some failpoint is armed (engines may skip checkpoint
-    /// bookkeeping entirely when not).
+    /// bookkeeping entirely when not). A budget alone also counts:
+    /// its checkpoints ride the same spine.
     pub fn enabled(&self) -> bool {
-        self.plan.enabled()
+        self.plan.enabled() || self.budget.enabled()
     }
 
-    /// True iff the plan needs cumulative access counts — lets engines
-    /// skip the stats snapshot at checkpoints otherwise.
+    /// True iff the hooks need cumulative access counts — lets engines
+    /// skip the stats snapshot at checkpoints otherwise. True for an
+    /// armed [`FaultSite::Access`] plan and for any armed budget.
     pub fn wants_access(&self) -> bool {
-        self.plan.site == Some(FaultSite::Access)
+        self.plan.site == Some(FaultSite::Access) || self.budget.enabled()
     }
 
     fn fire(&self, what: &str) -> Error {
         self.fired.set(true);
         let site = self.plan.site.map_or("?", FaultSite::label);
-        Error::Injected(format!(
+        let msg = format!(
             "fault[site={site}, at={}, seed={}] fired at {what}",
             self.plan.at, self.plan.seed
-        ))
+        );
+        match self.plan.kind {
+            FaultKind::Transient => Error::Injected(msg),
+            FaultKind::Permanent => Error::Poison(msg),
+        }
+    }
+
+    /// Hook: round start, with the folded diff batch the round is
+    /// about to propagate. Fires the content-dependent
+    /// [`FaultSite::Diff`] failpoint when the batch contains a poison
+    /// key (tables and keys scanned in sorted order so the named key
+    /// is deterministic).
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when a poison key is
+    /// present.
+    pub fn on_batch(&self, net: &HashMap<String, TableChanges>) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Diff) || self.fired.get() {
+            return Ok(());
+        }
+        let mut tables: Vec<&String> = net.keys().collect();
+        tables.sort();
+        for t in tables {
+            let mut keys: Vec<_> = net[t].keys().collect();
+            keys.sort();
+            for k in keys {
+                if self.plan.is_poison_key(k) {
+                    return Err(self.fire(&format!("diff batch (poison key {k:?} in `{t}`)")));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Hook: entry to an operator on the serial walk.
     ///
     /// # Errors
-    /// [`Error::Injected`] when this is the armed operator entry.
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// operator entry.
     pub fn on_operator(&self, label: &str) -> Result<()> {
         if self.plan.site != Some(FaultSite::Operator) || self.fired.get() {
             return Ok(());
@@ -178,7 +355,8 @@ impl FaultState {
     /// Hook: an APPLY call (cache or view), before any diff lands.
     ///
     /// # Errors
-    /// [`Error::Injected`] when this is the armed APPLY call.
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// APPLY call.
     pub fn on_apply(&self, target: &str) -> Result<()> {
         if self.plan.site != Some(FaultSite::Apply) || self.fired.get() {
             return Ok(());
@@ -193,17 +371,26 @@ impl FaultState {
 
     /// Hook: serial checkpoint carrying the round's cumulative access
     /// count. Callers gate the (mildly costly) snapshot on
-    /// [`FaultState::wants_access`].
+    /// [`FaultState::wants_access`]. Checks the armed access fault
+    /// first, then the budget.
     ///
     /// # Errors
-    /// [`Error::Injected`] at the first checkpoint where `cumulative`
-    /// reaches the armed threshold.
+    /// [`Error::Injected`] / [`Error::Poison`] at the first checkpoint
+    /// where `cumulative` reaches the armed threshold;
+    /// [`Error::Budget`] at the first checkpoint where `cumulative`
+    /// exceeds the budget.
     pub fn on_access(&self, cumulative: u64) -> Result<()> {
-        if self.plan.site != Some(FaultSite::Access) || self.fired.get() {
-            return Ok(());
-        }
-        if cumulative >= self.plan.at {
+        if self.plan.site == Some(FaultSite::Access) && !self.fired.get() && cumulative >= self.plan.at
+        {
             return Err(self.fire(&format!("access checkpoint (cumulative {cumulative})")));
+        }
+        if let Some(max) = self.budget.max_accesses {
+            if cumulative > max && !self.budget_fired.get() {
+                self.budget_fired.set(true);
+                return Err(Error::Budget(format!(
+                    "round spent {cumulative} accesses of a {max}-access budget"
+                )));
+            }
         }
         Ok(())
     }
@@ -222,16 +409,20 @@ impl FaultState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idivm_reldb::NetChange;
+    use idivm_types::{Key, Row, Value};
 
     #[test]
     fn disabled_plan_never_fires() {
         let s = FaultState::new(FaultPlan::disabled());
         assert!(!s.enabled());
+        assert!(!s.wants_access());
         for i in 0..100 {
             s.on_operator("x").unwrap();
             s.on_apply("v").unwrap();
             s.on_access(i).unwrap();
         }
+        s.on_batch(&HashMap::new()).unwrap();
     }
 
     #[test]
@@ -267,5 +458,87 @@ mod tests {
         s.on_access(9).unwrap();
         assert!(matches!(s.on_access(14), Err(Error::Injected(_))));
         s.on_access(20).unwrap(); // single-shot
+    }
+
+    #[test]
+    fn permanent_kind_fires_poison() {
+        let s = FaultState::new(FaultPlan::at_operator(0, 9).permanent());
+        assert!(matches!(s.on_operator("a"), Err(Error::Poison(_))));
+    }
+
+    #[test]
+    fn healing_plan_disables_after_attempts() {
+        let p = FaultPlan::at_operator(0, 9).healing_after(2);
+        assert!(p.for_attempt(0).enabled());
+        assert!(p.for_attempt(1).enabled());
+        assert!(!p.for_attempt(2).enabled());
+        // Permanent plans never heal.
+        let p = FaultPlan::at_operator(0, 9).permanent().healing_after(2);
+        assert!(p.for_attempt(5).enabled());
+        // heal_after = 0 means never heals.
+        let p = FaultPlan::at_operator(0, 9);
+        assert!(p.for_attempt(u64::MAX).enabled());
+    }
+
+    fn batch_of(keys: &[i64]) -> HashMap<String, TableChanges> {
+        let mut tc = TableChanges::new();
+        for &k in keys {
+            tc.insert(
+                Key(vec![Value::Int(k)]),
+                NetChange::Inserted {
+                    post: Row::new(vec![Value::Int(k)]),
+                },
+            );
+        }
+        let mut net = HashMap::new();
+        net.insert("parts".to_string(), tc);
+        net
+    }
+
+    #[test]
+    fn diff_site_fires_only_on_poison_keys() {
+        let plan = FaultPlan::at_diff(3, 2015);
+        // Find one poison and one healthy key under this plan.
+        let poison: Vec<i64> = (0..100)
+            .filter(|&k| plan.is_poison_key(&Key(vec![Value::Int(k)])))
+            .collect();
+        let healthy: Vec<i64> = (0..100)
+            .filter(|&k| !plan.is_poison_key(&Key(vec![Value::Int(k)])))
+            .collect();
+        assert!(!poison.is_empty() && !healthy.is_empty());
+
+        let s = FaultState::new(plan);
+        s.on_batch(&batch_of(&healthy)).unwrap();
+        let err = FaultState::new(plan).on_batch(&batch_of(&poison)).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{err}");
+        let err = FaultState::new(plan.permanent())
+            .on_batch(&batch_of(&poison))
+            .unwrap_err();
+        assert!(matches!(err, Error::Poison(_)), "{err}");
+        // Mixed batches fire too (any poison key taints the round).
+        let mut mixed: Vec<i64> = healthy[..2].to_vec();
+        mixed.push(poison[0]);
+        assert!(FaultState::new(plan).on_batch(&batch_of(&mixed)).is_err());
+    }
+
+    #[test]
+    fn budget_fires_when_exceeded_and_is_retryable() {
+        let s = FaultState::with_budget(FaultPlan::disabled(), RoundBudget::capped(10));
+        assert!(s.enabled());
+        assert!(s.wants_access());
+        s.on_access(3).unwrap();
+        s.on_access(10).unwrap(); // exactly at budget: fine
+        let err = s.on_access(11).unwrap_err();
+        assert!(matches!(err, Error::Budget(_)), "{err}");
+        assert!(err.retryable());
+        s.on_access(99).unwrap(); // single-shot
+    }
+
+    #[test]
+    fn budget_composes_with_access_fault() {
+        // Fault threshold first, then the budget on a later checkpoint.
+        let s = FaultState::with_budget(FaultPlan::at_access(5, 1), RoundBudget::capped(8));
+        assert!(matches!(s.on_access(6), Err(Error::Injected(_))));
+        assert!(matches!(s.on_access(9), Err(Error::Budget(_))));
     }
 }

@@ -35,6 +35,11 @@
 //!   report.
 //! * [`script`] — a human-readable rendering of the generated ∆-script
 //!   (paper Figure 7).
+//! * [`supervisor`] — the self-healing maintenance supervisor: drives
+//!   rounds to convergence with retry/backoff, poison-diff bisection
+//!   and quarantine, recompute escalation, and round budgets.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod access;
 pub mod apply;
@@ -47,10 +52,15 @@ pub mod report;
 pub mod rules;
 pub mod schema_gen;
 pub mod script;
+pub mod supervisor;
 pub mod trace;
 
 pub use diff::{DiffInstance, DiffKind, DiffSchema};
 pub use engine::{IdIvm, IvmOptions, RecoveryPolicy};
-pub use faults::{FaultPlan, FaultSite, FaultState};
+pub use faults::{FaultKind, FaultPlan, FaultSite, FaultState, RoundBudget};
 pub use report::MaintenanceReport;
+pub use supervisor::{
+    BackoffPolicy, BisectNode, BisectOutcome, MaintenanceSupervisor, QuarantineEntry,
+    QuarantineLog, SupervisedEngine, SupervisorConfig, SupervisorReport, SupervisorVerdict,
+};
 pub use trace::{OpTrace, PhaseTimings, RoundTrace, TraceConfig, TracePhase};

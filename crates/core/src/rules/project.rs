@@ -86,8 +86,12 @@ pub fn propagate(
                     .schema
                     .id_cols
                     .iter()
-                    .map(|&c| diff.schema.pre_value(d, c).expect("id always present"))
-                    .collect();
+                    .map(|&c| {
+                        diff.schema.pre_value(d, c).ok_or_else(|| {
+                            Error::Internal(format!("delete diff lacks id column {c}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
                 for &o in &pre_outs {
                     v.push(eval_diff(&diff.schema, d, &cols[o].1, State::Pre, in_arity)?);
                 }
@@ -202,8 +206,12 @@ fn build_update_row(
     let mut v: Vec<Value> = in_schema
         .id_cols
         .iter()
-        .map(|&c| in_schema.pre_value(d, c).expect("id always present"))
-        .collect();
+        .map(|&c| {
+            in_schema
+                .pre_value(d, c)
+                .ok_or_else(|| Error::Internal(format!("update diff lacks id column {c}")))
+        })
+        .collect::<Result<_>>()?;
     for &o in pre_outs {
         v.push(eval_diff(in_schema, d, &cols[o].1, State::Pre, in_arity)?);
     }

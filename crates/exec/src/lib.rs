@@ -15,6 +15,8 @@
 //! nested loops) lives in `idivm-core`, which reuses the counted access
 //! paths of `idivm-reldb` directly.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod executor;
 pub mod partition;

@@ -195,7 +195,9 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
+            // A worker panic is not an `Err` we can type: re-raise it
+            // on the coordinating thread instead of unwrapping.
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     })
 }

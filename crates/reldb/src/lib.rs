@@ -15,6 +15,8 @@
 //! * a [`PreState`] overlay that serves the *pre-state* of a table during
 //!   deferred view maintenance, reconstructed from the net changes.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod database;
 pub mod index;
 pub mod log;

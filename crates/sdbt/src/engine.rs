@@ -5,7 +5,7 @@ use crate::partial::Partial;
 use idivm_algebra::{ensure_ids, AggFunc, AggSpec, Plan};
 use idivm_core::access::PathId;
 use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
-use idivm_core::faults::{FaultPlan, FaultState};
+use idivm_core::faults::{FaultPlan, FaultState, RoundBudget};
 use idivm_core::trace::{OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_core::MaintenanceReport;
 use idivm_exec::{execute, materialize_view, refresh_view, view_schema};
@@ -43,6 +43,7 @@ pub struct Sdbt {
     partials: Vec<PartialState>,
     trace: TraceConfig,
     faults: FaultPlan,
+    budget: RoundBudget,
     recovery: RecoveryPolicy,
 }
 
@@ -155,6 +156,7 @@ impl Sdbt {
             partials: states,
             trace: TraceConfig::disabled(),
             faults: FaultPlan::disabled(),
+            budget: RoundBudget::unlimited(),
             recovery: RecoveryPolicy::Abort,
         })
     }
@@ -174,6 +176,27 @@ impl Sdbt {
     /// Set what a round does after an error forced a rollback.
     pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
         self.recovery = recovery;
+    }
+
+    /// Set the per-round access budget (unlimited by default; zero
+    /// cost when off). See [`RoundBudget`].
+    pub fn set_budget(&mut self, budget: RoundBudget) {
+        self.budget = budget;
+    }
+
+    /// The armed fault-injection plan.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// The current recovery policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The current per-round access budget.
+    pub fn budget(&self) -> RoundBudget {
+        self.budget
     }
 
     /// The maintained view's name.
@@ -330,7 +353,10 @@ impl Sdbt {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
-        let faults = FaultState::new(self.faults);
+        let faults = FaultState::with_budget(self.faults, self.budget);
+        // Content-dependent failpoint: a poison key in the pending
+        // batch fails the round before any propagation.
+        faults.on_batch(net)?;
         let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
         if self.trace.enabled {
@@ -378,6 +404,13 @@ impl Sdbt {
                 if let Some(t) = &m.maintainer {
                     faults.on_operator("map_maintain")?;
                     t.maintain_with_changes(db, net)?;
+                    // Checkpoint after each map's maintenance, so access
+                    // faults and round budgets observe map-maintenance
+                    // accesses as they accrue — not just at the phase
+                    // boundary.
+                    if faults.wants_access() {
+                        faults.on_access(db.stats().snapshot().since(&round0).total())?;
+                    }
                 }
             }
         }
@@ -674,6 +707,44 @@ impl Sdbt {
             }
         }
         Ok(())
+    }
+}
+
+impl idivm_core::SupervisedEngine for Sdbt {
+    fn label(&self) -> &'static str {
+        "sdbt"
+    }
+
+    fn maintain_with_changes(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        Sdbt::maintain_with_changes(self, db, net)
+    }
+
+    fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    fn set_faults(&mut self, faults: FaultPlan) {
+        Sdbt::set_faults(self, faults);
+    }
+
+    fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        Sdbt::set_recovery(self, recovery);
+    }
+
+    fn budget(&self) -> RoundBudget {
+        self.budget
+    }
+
+    fn set_budget(&mut self, budget: RoundBudget) {
+        Sdbt::set_budget(self, budget);
     }
 }
 

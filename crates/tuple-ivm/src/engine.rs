@@ -5,7 +5,7 @@ use crate::tdiff::{apply, TApplyOutcome, TDiffs};
 use idivm_algebra::{ensure_ids, Plan};
 use idivm_core::access::{AccessCtx, PathId};
 use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
-use idivm_core::faults::{FaultPlan, FaultState};
+use idivm_core::faults::{FaultPlan, FaultState, RoundBudget};
 use idivm_core::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_core::MaintenanceReport;
 use idivm_exec::{materialize_view, refresh_view, ParallelConfig};
@@ -27,6 +27,7 @@ pub struct TupleIvm {
     parallel: ParallelConfig,
     trace: TraceConfig,
     faults: FaultPlan,
+    budget: RoundBudget,
     recovery: RecoveryPolicy,
 }
 
@@ -46,6 +47,7 @@ impl TupleIvm {
             parallel: ParallelConfig::serial(),
             trace: TraceConfig::disabled(),
             faults: FaultPlan::disabled(),
+            budget: RoundBudget::unlimited(),
             recovery: RecoveryPolicy::Abort,
         })
     }
@@ -76,6 +78,27 @@ impl TupleIvm {
     /// Set what a round does after an error forced a rollback.
     pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
         self.recovery = recovery;
+    }
+
+    /// Set the per-round access budget (unlimited by default; zero
+    /// cost when off). See [`RoundBudget`].
+    pub fn set_budget(&mut self, budget: RoundBudget) {
+        self.budget = budget;
+    }
+
+    /// The armed fault-injection plan.
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// The current recovery policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// The current per-round access budget.
+    pub fn budget(&self) -> RoundBudget {
+        self.budget
     }
 
     /// The maintained view's name.
@@ -183,7 +206,10 @@ impl TupleIvm {
         net: &HashMap<String, idivm_reldb::TableChanges>,
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
-        let faults = FaultState::new(self.faults);
+        let faults = FaultState::with_budget(self.faults, self.budget);
+        // Content-dependent failpoint: a poison key in the pending
+        // batch fails the round before any propagation.
+        faults.on_batch(net)?;
         let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
         if self.trace.enabled {
@@ -260,6 +286,44 @@ impl TupleIvm {
         }
         report.wall = started.elapsed();
         Ok(report)
+    }
+}
+
+impl idivm_core::SupervisedEngine for TupleIvm {
+    fn label(&self) -> &'static str {
+        "tuple-ivm"
+    }
+
+    fn maintain_with_changes(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, idivm_reldb::TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        TupleIvm::maintain_with_changes(self, db, net)
+    }
+
+    fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    fn set_faults(&mut self, faults: FaultPlan) {
+        TupleIvm::set_faults(self, faults);
+    }
+
+    fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
+        TupleIvm::set_recovery(self, recovery);
+    }
+
+    fn budget(&self) -> RoundBudget {
+        self.budget
+    }
+
+    fn set_budget(&mut self, budget: RoundBudget) {
+        TupleIvm::set_budget(self, budget);
     }
 }
 

@@ -27,9 +27,36 @@ pub enum Error {
     Config(String),
     /// A deterministic fault fired by an armed
     /// `FaultPlan` (test/chaos machinery, never produced organically).
+    /// Classified *transient*: retrying the round may succeed (the
+    /// plan may heal between attempts).
     Injected(String),
+    /// A deterministic **permanent** fault fired by an armed
+    /// `FaultPlan` with permanent classification (test/chaos
+    /// machinery). Retrying the same input cannot clear it; a
+    /// supervisor should bisect and quarantine the offending diffs.
+    Poison(String),
+    /// A maintenance round exceeded its opt-in access-count budget
+    /// (`RoundBudget`) and was aborted at a serial checkpoint.
+    /// Classified *transient*: the caller may retry with a smaller
+    /// batch or a larger budget.
+    Budget(String),
     /// Internal invariant violation (a bug, surfaced instead of UB).
     Internal(String),
+}
+
+impl Error {
+    /// Transient-vs-permanent classification for supervision layers.
+    ///
+    /// `true` means a retry of the *same* round may succeed without
+    /// changing the input: injected transient faults ([`Error::Injected`])
+    /// can heal between attempts, and budget overruns
+    /// ([`Error::Budget`]) clear when the batch shrinks or the budget
+    /// grows. Everything else — schema/plan/type errors, poison diffs,
+    /// internal invariant violations — is deterministic for a given
+    /// input and will recur on every retry.
+    pub fn retryable(&self) -> bool {
+        matches!(self, Error::Injected(_) | Error::Budget(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -43,6 +70,8 @@ impl fmt::Display for Error {
             Error::Type(m) => write!(f, "type error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
             Error::Injected(m) => write!(f, "injected fault: {m}"),
+            Error::Poison(m) => write!(f, "poison fault: {m}"),
+            Error::Budget(m) => write!(f, "budget exceeded: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -60,5 +89,28 @@ mod tests {
         assert_eq!(e.to_string(), "not found: table `parts`");
         let e = Error::DuplicateKey("(1)".into());
         assert!(e.to_string().contains("duplicate key"));
+        let e = Error::Budget("round spent 10 of 5".into());
+        assert!(e.to_string().contains("budget exceeded"));
+        let e = Error::Poison("diff (3)".into());
+        assert!(e.to_string().contains("poison fault"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::Injected("x".into()).retryable());
+        assert!(Error::Budget("x".into()).retryable());
+        for e in [
+            Error::Schema("x".into()),
+            Error::NotFound("x".into()),
+            Error::DuplicateKey("x".into()),
+            Error::Plan("x".into()),
+            Error::Unsupported("x".into()),
+            Error::Type("x".into()),
+            Error::Config("x".into()),
+            Error::Poison("x".into()),
+            Error::Internal("x".into()),
+        ] {
+            assert!(!e.retryable(), "{e} must be permanent");
+        }
     }
 }

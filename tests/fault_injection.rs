@@ -30,7 +30,9 @@
 //! executor's contract) — the ID and tuple engines are swept serial and
 //! at P = 4.
 
-use idivm_repro::core::{FaultPlan, IdIvm, IvmOptions, MaintenanceReport, RecoveryPolicy};
+use idivm_repro::core::{
+    FaultPlan, IdIvm, IvmOptions, MaintenanceReport, RecoveryPolicy, TraceConfig, TracePhase,
+};
 use idivm_repro::exec::{executor::sorted, recompute_rows, ParallelConfig};
 use idivm_repro::reldb::Database;
 use idivm_repro::sdbt::{Sdbt, SdbtVariant};
@@ -359,6 +361,184 @@ fn recompute_on_error_repairs_and_reports() {
             "{label}: post-recovery round diverged from the oracle"
         );
     }
+}
+
+/// Double-fault retry: two *consecutive* injected failures at
+/// different failpoints, on the same preserved modification log, each
+/// leave `Database::signature` unchanged, and the third (clean)
+/// attempt still converges to the recompute oracle — on every engine,
+/// serial and at P = 4.
+#[test]
+fn double_fault_retry_preserves_log_and_converges_third_attempt() {
+    type EngineBuilder = Box<dyn Fn(&mut Database) -> Box<dyn EngineUnderTest>>;
+    let cfg = example();
+    let engines: Vec<(&str, EngineBuilder)> = vec![
+        (
+            "idIVM serial",
+            Box::new(|db| Box::new(id_ivm(db, ParallelConfig::serial()))),
+        ),
+        (
+            "idIVM P=4",
+            Box::new(|db| Box::new(id_ivm(db, four_threads()))),
+        ),
+        (
+            "tuple serial",
+            Box::new(|db| {
+                let plan = example().agg_plan(db).unwrap();
+                Box::new(TupleIvm::setup(db, "V", plan).unwrap())
+            }),
+        ),
+        (
+            "tuple P=4",
+            Box::new(|db| {
+                let plan = example().agg_plan(db).unwrap();
+                let mut ivm = TupleIvm::setup(db, "V", plan).unwrap();
+                ivm.set_parallel(four_threads()).unwrap();
+                Box::new(ivm)
+            }),
+        ),
+        (
+            "SDBT-fixed",
+            Box::new(|db| {
+                let plan = example().agg_plan(db).unwrap();
+                let partial = example().sdbt_parts_partial(db).unwrap();
+                Box::new(
+                    Sdbt::setup(
+                        db,
+                        "V",
+                        plan,
+                        vec![partial],
+                        SdbtVariant::Fixed("parts".to_string()),
+                    )
+                    .unwrap(),
+                )
+            }),
+        ),
+        (
+            "SDBT-streams",
+            Box::new(|db| {
+                let plan = example().agg_plan(db).unwrap();
+                let partials = example().sdbt_all_partials(db).unwrap();
+                Box::new(Sdbt::setup(db, "V", plan, partials, SdbtVariant::Streams).unwrap())
+            }),
+        ),
+    ];
+    for (label, build) in engines {
+        let mut db = cfg.build().unwrap();
+        let mut ivm = build(&mut db);
+        cfg.price_update_batch(&mut db, DIFF, 0).unwrap();
+        ivm.maintain(&mut db).unwrap();
+
+        cfg.price_update_batch(&mut db, DIFF, 1).unwrap();
+        let pre_sig = db.signature();
+        let pre_net = db.fold_log();
+        assert!(!pre_net.is_empty(), "{label}: batch produced no changes");
+
+        // Attempt 1: operator failpoint.
+        ivm.set_faults(FaultPlan::at_operator(0, fault_seed()));
+        let err = ivm.maintain(&mut db).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{label}: {err}");
+        assert_eq!(db.signature(), pre_sig, "{label}: first rollback");
+        assert_eq!(
+            db.fold_log(),
+            pre_net,
+            "{label}: log not preserved after the first failure"
+        );
+
+        // Attempt 2: a *different* failpoint, same preserved log.
+        ivm.set_faults(FaultPlan::at_apply(0, fault_seed()));
+        let err = ivm.maintain(&mut db).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{label}: {err}");
+        assert_eq!(db.signature(), pre_sig, "{label}: second rollback");
+        assert_eq!(
+            db.fold_log(),
+            pre_net,
+            "{label}: log not preserved after the second failure"
+        );
+
+        // Attempt 3: clean — converges to the recompute oracle.
+        ivm.set_faults(FaultPlan::disabled());
+        let report = ivm.maintain(&mut db).unwrap();
+        assert!(!report.recovered, "{label}");
+        assert!(db.fold_log().is_empty(), "{label}: log not consumed");
+        assert_eq!(
+            sorted(ivm.actual(&db)),
+            sorted(ivm.oracle(&db)),
+            "{label}: third attempt diverged from the oracle"
+        );
+    }
+}
+
+/// Regression pin for the access-checkpoint placement: the serial
+/// checkpoints sit after every trace entry (propagate, *cache apply*,
+/// view apply), so an access threshold armed inside a cache-apply
+/// window must fire at that cache-apply checkpoint — with a cumulative
+/// count that includes the cache-maintenance accesses — not at the
+/// next propagate checkpoint.
+#[test]
+fn access_fault_observes_cache_apply_accesses() {
+    let cfg = example();
+    // Traced twin: same workload, trace on, no faults. The cumulative
+    // access count at the checkpoint following trace entry i is the
+    // prefix sum of entry accesses through i (populate and trace
+    // bookkeeping touch no tables).
+    let mut db_t = cfg.build().unwrap();
+    let plan = cfg.agg_plan(&db_t).unwrap();
+    let options = IvmOptions {
+        trace: TraceConfig::enabled(),
+        ..IvmOptions::default()
+    };
+    let ivm_t = IdIvm::setup(&mut db_t, "V", plan, options).unwrap();
+    cfg.price_update_batch(&mut db_t, DIFF, 0).unwrap();
+    ivm_t.maintain(&mut db_t).unwrap();
+    cfg.price_update_batch(&mut db_t, DIFF, 1).unwrap();
+    let trace = ivm_t
+        .maintain(&mut db_t)
+        .unwrap()
+        .trace
+        .expect("trace enabled but absent");
+
+    let mut cum = 0u64;
+    let mut target = None; // (armed threshold, cumulative at the cache-apply checkpoint)
+    let mut next_checkpoint = None; // first later checkpoint with a higher cumulative
+    for op in &trace.operators {
+        let before = cum;
+        cum += op.accesses.total();
+        if target.is_none() {
+            if op.phase == TracePhase::CacheApply && op.accesses.total() > 0 {
+                target = Some((before + 1, cum));
+            }
+        } else if next_checkpoint.is_none() && op.accesses.total() > 0 {
+            next_checkpoint = Some(cum);
+        }
+    }
+    let (at, expected) = target.expect(
+        "workload exercised no counted cache-apply step; the regression needs a warm cache",
+    );
+    let after = next_checkpoint.expect("no checkpoint after the cache apply");
+    assert!(after > expected, "checkpoints must be distinguishable");
+
+    // Fresh twin with the fault armed inside the cache-apply window.
+    let mut db = cfg.build().unwrap();
+    let plan = cfg.agg_plan(&db).unwrap();
+    let mut ivm = IdIvm::setup(&mut db, "V", plan, IvmOptions::default()).unwrap();
+    cfg.price_update_batch(&mut db, DIFF, 0).unwrap();
+    ivm.maintain(&mut db).unwrap();
+    cfg.price_update_batch(&mut db, DIFF, 1).unwrap();
+    ivm.set_faults(FaultPlan::at_access(at, fault_seed()));
+    let err = ivm.maintain(&mut db).unwrap_err();
+    let msg = err.to_string();
+    let fired: u64 = msg
+        .rsplit("cumulative ")
+        .next()
+        .and_then(|s| s.trim_end_matches(')').parse().ok())
+        .unwrap_or_else(|| panic!("unparseable fault message: {msg}"));
+    assert_eq!(
+        fired, expected,
+        "access fault fired at cumulative {fired}, expected the cache-apply \
+         checkpoint at {expected} (next checkpoint would be {after}): \
+         cache-maintenance accesses are not observed"
+    );
 }
 
 /// Satellite (b): invalid thread counts are rejected with a typed
