@@ -26,9 +26,9 @@
 
 use idivm_bench::fmt_row;
 use idivm_core::{
-    FaultKind, FaultPlan, FaultSite, IdIvm, IvmOptions, MaintenanceReport, MaintenanceSupervisor,
-    RoundBudget, SupervisedEngine, SupervisorConfig, SupervisorReport, SupervisorVerdict,
-    TraceConfig,
+    EngineConfig, EngineKnobs, FaultKind, FaultPlan, FaultSite, IdIvm, IvmOptions,
+    MaintenanceReport, MaintenanceSupervisor, RoundBudget, SupervisedEngine, SupervisorConfig,
+    SupervisorReport, SupervisorVerdict, TraceConfig,
 };
 use idivm_exec::{executor::sorted, recompute_rows, ParallelConfig};
 use idivm_reldb::{Database, TableChanges};
@@ -72,6 +72,15 @@ impl ChaosEngine for Sdbt {
     }
 }
 
+impl EngineConfig for Box<dyn ChaosEngine> {
+    fn knobs(&self) -> &EngineKnobs {
+        (**self).knobs()
+    }
+    fn knobs_mut(&mut self) -> &mut EngineKnobs {
+        (**self).knobs_mut()
+    }
+}
+
 impl SupervisedEngine for Box<dyn ChaosEngine> {
     fn label(&self) -> &'static str {
         (**self).label()
@@ -82,24 +91,6 @@ impl SupervisedEngine for Box<dyn ChaosEngine> {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         (**self).maintain_with_changes(db, net)
-    }
-    fn faults(&self) -> FaultPlan {
-        (**self).faults()
-    }
-    fn set_faults(&mut self, faults: FaultPlan) {
-        (**self).set_faults(faults);
-    }
-    fn recovery(&self) -> idivm_core::RecoveryPolicy {
-        (**self).recovery()
-    }
-    fn set_recovery(&mut self, recovery: idivm_core::RecoveryPolicy) {
-        (**self).set_recovery(recovery);
-    }
-    fn budget(&self) -> RoundBudget {
-        (**self).budget()
-    }
-    fn set_budget(&mut self, budget: RoundBudget) {
-        (**self).set_budget(budget);
     }
 }
 

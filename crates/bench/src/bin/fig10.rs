@@ -20,7 +20,7 @@
 //! among the highest, Q15 (huge view) the lowest.
 
 use idivm_bench::{fmt_row, traces_to_json, Measured};
-use idivm_core::{IdIvm, IvmOptions, TraceConfig};
+use idivm_core::{EngineConfig, IdIvm, IvmOptions, TraceConfig};
 use idivm_tuple::TupleIvm;
 use idivm_workloads::bsma::{Bsma, BsmaQuery};
 

@@ -1,0 +1,309 @@
+//! Multi-view catalog benchmark — shared-prefix maintenance vs
+//! independent per-view maintenance on the overlapping Q7-family BSMA
+//! suite, driven by the tweet stream.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idivm-bench --bin multiview [-- --scale N --rounds R --diffs D --smoke]
+//! ```
+//!
+//! Four standing views share the σ_ts(mentions ⋈ microblog) operator
+//! subtree (one of them — `mention_topic_counts` — is a deliberate
+//! negative control whose diff schemas forbid sharing; see
+//! `idivm_workloads::multiview`). The benchmark runs the identical
+//! deterministic tweet stream through the [`MaintenanceScheduler`]
+//! twice — shared prefixes on vs off — and reports per-view and total
+//! counted accesses, per-prefix sharing outcomes, and the access
+//! ratio, which is **asserted ≥ 1.3×**. It also asserts the per-view
+//! results (table signatures) are bit-identical across:
+//!
+//! * shared vs independent maintenance,
+//! * `ParallelConfig` serial vs 4 threads (including the per-view
+//!   *access attribution*, not just the rows),
+//! * all-Eager vs a mixed Eager/Deferred/OnRead policy run, once
+//!   drained.
+//!
+//! Writes `BENCH_multiview.json` (schema in `EXPERIMENTS.md`).
+
+use idivm_bench::fmt_row;
+use idivm_core::IvmOptions;
+use idivm_exec::ParallelConfig;
+use idivm_reldb::TableSignature;
+use idivm_sched::{MaintenanceScheduler, RefreshPolicy, SchedulerConfig};
+use idivm_workloads::bsma::Bsma;
+use idivm_workloads::multiview::VIEW_NAMES;
+use idivm_workloads::MultiView;
+use std::collections::BTreeMap;
+
+/// Minimum shared/independent access ratio the run must demonstrate.
+const MIN_RATIO: f64 = 1.3;
+
+/// Cumulative per-prefix sharing outcome across all rounds.
+#[derive(Debug, Clone, Default)]
+struct PrefixTotals {
+    computes: u64,
+    compute_accesses: u64,
+    diff_tuples: u64,
+    hits: u64,
+    saved_accesses: u64,
+}
+
+/// One full run of the tweet stream through the scheduler.
+#[derive(Debug)]
+struct Outcome {
+    per_view_accesses: BTreeMap<String, u64>,
+    total_accesses: u64,
+    shared_hits: u64,
+    shared_saved_accesses: u64,
+    prefixes: BTreeMap<String, PrefixTotals>,
+    signatures: BTreeMap<String, TableSignature>,
+}
+
+fn run(
+    cfg: &MultiView,
+    rounds: u64,
+    diffs: usize,
+    share_prefixes: bool,
+    parallel: ParallelConfig,
+    policy: impl Fn(&str) -> RefreshPolicy,
+) -> Outcome {
+    let db = cfg.build().expect("generator failed");
+    let mut sched = MaintenanceScheduler::new(
+        db,
+        SchedulerConfig {
+            share_prefixes,
+            ..SchedulerConfig::default()
+        },
+    );
+    for name in VIEW_NAMES {
+        let plan = cfg.plan(sched.db(), name).expect("plan");
+        sched
+            .register(name, plan, policy(name), IvmOptions::default())
+            .expect("register");
+    }
+    sched.set_parallel_all(parallel).expect("parallel config");
+
+    let mut shared_hits = 0;
+    let mut shared_saved = 0;
+    let mut prefixes: BTreeMap<String, PrefixTotals> = BTreeMap::new();
+    let mut absorb = |summary: &idivm_sched::RoundSummary| {
+        shared_hits += summary.shared_hits;
+        shared_saved += summary.shared_saved_accesses;
+        for stat in &summary.prefix_stats {
+            let entry = prefixes.entry(stat.label.clone()).or_default();
+            entry.computes += 1;
+            entry.compute_accesses += stat.compute_accesses.total();
+            entry.diff_tuples += stat.diff_tuples as u64;
+            entry.hits += stat.hits;
+            entry.saved_accesses += stat.saved_accesses();
+        }
+    };
+    for round in 1..=rounds {
+        cfg.tweet_batch(sched.db_mut(), diffs, round)
+            .expect("tweet batch");
+        let summary = sched.tick().expect("tick");
+        absorb(&summary);
+        // Exercise the OnRead barrier mid-stream: any view can be read
+        // at any time, draining just that view.
+        if round == rounds / 2 {
+            for name in VIEW_NAMES {
+                if sched.policy(name).expect("policy") == RefreshPolicy::OnRead {
+                    let rows = sched.read_view(name).expect("read_view");
+                    assert!(!rows.is_empty(), "{name}: read barrier returned no rows");
+                }
+            }
+        }
+    }
+    // Drain whatever Deferred/OnRead left pending so every policy mix
+    // converges to the same final state.
+    let summary = sched.drain().expect("drain");
+    absorb(&summary);
+
+    let mut per_view = BTreeMap::new();
+    let mut signatures = BTreeMap::new();
+    for name in VIEW_NAMES {
+        per_view.insert(
+            name.to_string(),
+            sched.stats(name).expect("stats").accesses.total(),
+        );
+        signatures.insert(
+            name.to_string(),
+            sched.catalog().signature(name).expect("signature"),
+        );
+    }
+    Outcome {
+        total_accesses: per_view.values().sum(),
+        per_view_accesses: per_view,
+        shared_hits,
+        shared_saved_accesses: shared_saved,
+        prefixes,
+        signatures,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get = |flag: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get("--scale", if smoke { 0.02 } else { 0.05 });
+    let rounds = get("--rounds", if smoke { 4.0 } else { 6.0 }) as u64;
+    let diffs = get("--diffs", if smoke { 24.0 } else { 64.0 }) as usize;
+    let cfg = MultiView {
+        bsma: Bsma {
+            scale,
+            seed: 2015,
+        },
+    };
+    println!("Multi-view catalog — Q7 family, {rounds} tweet-stream rounds x {diffs} tweets, scale {scale}");
+    println!("views: {}\n", VIEW_NAMES.join(", "));
+
+    let eager = |_: &str| RefreshPolicy::Eager;
+    let four_threads = ParallelConfig {
+        threads: 4,
+        min_shard_rows: 1,
+    };
+    let shared = run(&cfg, rounds, diffs, true, ParallelConfig::serial(), eager);
+    let independent = run(&cfg, rounds, diffs, false, ParallelConfig::serial(), eager);
+    let shared_p4 = run(&cfg, rounds, diffs, true, four_threads, eager);
+    let mixed = run(&cfg, rounds, diffs, true, ParallelConfig::serial(), |name| {
+        match name {
+            "mention_favor" => RefreshPolicy::Eager,
+            "mention_timeline" => RefreshPolicy::Deferred {
+                max_staleness_rounds: 2,
+            },
+            "mention_topic_counts" => RefreshPolicy::OnRead,
+            _ => RefreshPolicy::Deferred {
+                max_staleness_rounds: 3,
+            },
+        }
+    });
+
+    let widths = &[22usize, 14, 14, 9];
+    println!(
+        "{}",
+        fmt_row(
+            &[
+                "view".into(),
+                "shared acc.".into(),
+                "indep. acc.".into(),
+                "ratio".into(),
+            ],
+            widths
+        )
+    );
+    for name in VIEW_NAMES {
+        let s = shared.per_view_accesses[name];
+        let i = independent.per_view_accesses[name];
+        let r = if s == 0 { f64::INFINITY } else { i as f64 / s as f64 };
+        println!(
+            "{}",
+            fmt_row(
+                &[
+                    name.into(),
+                    s.to_string(),
+                    i.to_string(),
+                    format!("{r:.2}x"),
+                ],
+                widths
+            )
+        );
+    }
+    let ratio = independent.total_accesses as f64 / shared.total_accesses as f64;
+    println!(
+        "{}",
+        fmt_row(
+            &[
+                "TOTAL".into(),
+                shared.total_accesses.to_string(),
+                independent.total_accesses.to_string(),
+                format!("{ratio:.2}x"),
+            ],
+            widths
+        )
+    );
+    println!(
+        "\nshared-prefix reuse: {} hits, {} accesses avoided",
+        shared.shared_hits, shared.shared_saved_accesses
+    );
+    for (label, p) in &shared.prefixes {
+        println!(
+            "  {label:<40} {:>3} computes ({} acc., {} diff tuples)  {:>3} hits  {:>8} saved",
+            p.computes, p.compute_accesses, p.diff_tuples, p.hits, p.saved_accesses
+        );
+    }
+
+    // --- Correctness gates ---------------------------------------------
+    let sig_independent = shared.signatures == independent.signatures;
+    let sig_p4 =
+        shared.signatures == shared_p4.signatures && shared.per_view_accesses == shared_p4.per_view_accesses;
+    let sig_mixed = shared.signatures == mixed.signatures;
+    assert!(
+        sig_independent,
+        "shared-prefix maintenance changed view contents vs independent"
+    );
+    assert!(
+        sig_p4,
+        "P=4 diverged from serial (contents or access attribution)"
+    );
+    assert!(
+        sig_mixed,
+        "mixed Eager/Deferred/OnRead run did not converge to the Eager state"
+    );
+    println!("\nsignatures: independent ok, P=4 ok (incl. attribution), policy mix ok");
+    assert!(
+        shared.shared_hits > 0,
+        "shared run produced no prefix reuse hits"
+    );
+    assert!(
+        ratio >= MIN_RATIO,
+        "catalog maintenance must save >= {MIN_RATIO}x accesses, got {ratio:.3}x \
+         (shared {} vs independent {})",
+        shared.total_accesses,
+        independent.total_accesses
+    );
+    println!("access-ratio guard: {ratio:.2}x >= {MIN_RATIO}x  OK");
+
+    // --- Machine-readable record ---------------------------------------
+    let views_json: Vec<String> = VIEW_NAMES
+        .iter()
+        .map(|name| {
+            format!(
+                "    {{\"name\": \"{name}\", \"shared_accesses\": {}, \"independent_accesses\": {}}}",
+                shared.per_view_accesses[*name], independent.per_view_accesses[*name]
+            )
+        })
+        .collect();
+    let prefixes_json: Vec<String> = shared
+        .prefixes
+        .iter()
+        .map(|(label, p)| {
+            format!(
+                "    {{\"label\": \"{label}\", \"computes\": {}, \"compute_accesses\": {}, \
+                 \"diff_tuples\": {}, \"hits\": {}, \"saved_accesses\": {}}}",
+                p.computes, p.compute_accesses, p.diff_tuples, p.hits, p.saved_accesses
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"multiview\",\n  \"scale\": {scale},\n  \"rounds\": {rounds},\n  \
+         \"diffs\": {diffs},\n  \"views\": [\n{}\n  ],\n  \"prefixes\": [\n{}\n  ],\n  \
+         \"shared_total_accesses\": {},\n  \"independent_total_accesses\": {},\n  \
+         \"shared_hits\": {},\n  \"shared_saved_accesses\": {},\n  \"ratio\": {ratio:.4},\n  \
+         \"guard_min_ratio\": {MIN_RATIO},\n  \"signatures_match\": {{\"independent\": {sig_independent}, \
+         \"parallel_p4\": {sig_p4}, \"policy_mix\": {sig_mixed}}}\n}}\n",
+        views_json.join(",\n"),
+        prefixes_json.join(",\n"),
+        shared.total_accesses,
+        independent.total_accesses,
+        shared.shared_hits,
+        shared.shared_saved_accesses,
+    );
+    std::fs::write("BENCH_multiview.json", &json).expect("write BENCH_multiview.json");
+    println!("wrote BENCH_multiview.json");
+}

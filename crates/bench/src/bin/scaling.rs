@@ -19,7 +19,7 @@
 //!   cannot show wall-clock gains, so the counts invariant is the
 //!   meaningful signal there.
 
-use idivm_core::{IdIvm, IvmOptions, RoundTrace, TraceConfig};
+use idivm_core::{EngineConfig, IdIvm, IvmOptions, RoundTrace, TraceConfig};
 use idivm_exec::ParallelConfig;
 use idivm_tuple::TupleIvm;
 use idivm_workloads::bsma::{Bsma, BsmaQuery};

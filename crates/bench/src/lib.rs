@@ -15,7 +15,7 @@
 //! lookups) and wall time; access counts are deterministic and
 //! machine-independent, wall time is indicative.
 
-use idivm_core::{IdIvm, IvmOptions, MaintenanceReport, RoundTrace, TraceConfig};
+use idivm_core::{EngineConfig, IdIvm, IvmOptions, MaintenanceReport, RoundTrace, TraceConfig};
 use idivm_reldb::Database;
 use idivm_sdbt::{Sdbt, SdbtVariant};
 use idivm_tuple::TupleIvm;

@@ -24,11 +24,13 @@
 use crate::access::{AccessCtx, PathId};
 use crate::apply::{apply_all, ApplyOutcome};
 use crate::cache::{plan_caches, CacheDef};
+use crate::config::{EngineConfig, EngineKnobs};
 use crate::diff::DiffInstance;
 use crate::faults::{FaultPlan, FaultState, RoundBudget};
 use crate::report::MaintenanceReport;
 use crate::rules::{propagate, IncomingDiff, RuleCtx};
 use crate::schema_gen::{generate, populate, BaseDiffSchemas};
+use crate::shared::{SharedDiffCache, SharedPrefixes};
 use crate::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
 use idivm_algebra::{ensure_ids, Plan};
 use idivm_exec::{materialize_view, refresh_view, view_schema, ParallelConfig};
@@ -100,10 +102,21 @@ impl Default for IvmOptions {
 pub struct IdIvm {
     view_name: String,
     plan: Plan,
-    options: IvmOptions,
+    minimize: bool,
+    use_input_caches: bool,
+    knobs: EngineKnobs,
     schemas: BaseDiffSchemas,
     cache_defs: Vec<CacheDef>,
     cache_map: HashMap<PathId, String>,
+}
+
+impl EngineConfig for IdIvm {
+    fn knobs(&self) -> &EngineKnobs {
+        &self.knobs
+    }
+    fn knobs_mut(&mut self) -> &mut EngineKnobs {
+        &mut self.knobs
+    }
 }
 
 impl IdIvm {
@@ -142,7 +155,15 @@ impl IdIvm {
         Ok(IdIvm {
             view_name: view_name.to_string(),
             plan,
-            options,
+            minimize: options.minimize,
+            use_input_caches: options.use_input_caches,
+            knobs: EngineKnobs {
+                parallel: options.parallel,
+                trace: options.trace,
+                faults: options.faults,
+                budget: options.budget,
+                recovery: options.recovery,
+            },
             schemas,
             cache_defs,
             cache_map,
@@ -169,26 +190,24 @@ impl IdIvm {
         &self.cache_defs
     }
 
-    /// Engine options.
+    /// Cache boundaries: plan path → materialized table name (the root
+    /// path `[]` maps to the view itself).
+    pub fn cache_map(&self) -> &HashMap<PathId, String> {
+        &self.cache_map
+    }
+
+    /// Engine options, reconstructed from the setup-time flags and the
+    /// current [`EngineKnobs`] (see [`EngineConfig`]).
     pub fn options(&self) -> IvmOptions {
-        self.options
-    }
-
-    /// Set the deterministic fault-injection plan (disabled by default;
-    /// zero cost when off). See [`crate::faults`].
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.options.faults = faults;
-    }
-
-    /// Set what a round does after an error forced a rollback.
-    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        self.options.recovery = recovery;
-    }
-
-    /// Set the per-round access budget (unlimited by default; zero
-    /// cost when off). See [`RoundBudget`].
-    pub fn set_budget(&mut self, budget: RoundBudget) {
-        self.options.budget = budget;
+        IvmOptions {
+            minimize: self.minimize,
+            use_input_caches: self.use_input_caches,
+            parallel: self.knobs.parallel,
+            trace: self.knobs.trace,
+            faults: self.knobs.faults,
+            budget: self.knobs.budget,
+            recovery: self.knobs.recovery,
+        }
     }
 
     /// Run one deferred maintenance round: consume the modification
@@ -233,8 +252,40 @@ impl IdIvm {
         db: &mut Database,
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
+        self.maintain_inner(db, net, None)
+    }
+
+    /// Like [`IdIvm::maintain_with_changes`], with cross-view
+    /// **shared-prefix i-diff reuse**: at each plan path designated in
+    /// `prefixes`, the walk first consults the round-scoped `cache` —
+    /// on a hit the whole subtree walk is skipped and the published
+    /// i-diffs are fanned in at zero counted accesses; on a miss the
+    /// subtree is computed normally and its boundary diffs published.
+    /// Results are bit-identical to the unshared walk (see
+    /// [`crate::shared`] for the soundness invariants); `cache` must be
+    /// fresh for the round and shared only between views maintained
+    /// against the same pending net.
+    ///
+    /// # Errors
+    /// Same conditions as [`IdIvm::maintain_with_changes`].
+    pub fn maintain_with_changes_shared(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+        prefixes: &SharedPrefixes,
+        cache: &mut SharedDiffCache,
+    ) -> Result<MaintenanceReport> {
+        self.maintain_inner(db, net, Some((prefixes, cache)))
+    }
+
+    fn maintain_inner(
+        &self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+        shared: Option<(&SharedPrefixes, &mut SharedDiffCache)>,
+    ) -> Result<MaintenanceReport> {
         let owner = db.begin_round();
-        match self.round_body(db, net) {
+        match self.round_body(db, net, shared) {
             Ok(report) => {
                 if owner {
                     db.commit_round();
@@ -246,7 +297,7 @@ impl IdIvm {
             Err(e) => {
                 if owner {
                     db.abort_round();
-                    if self.options.recovery == RecoveryPolicy::RecomputeOnError {
+                    if self.knobs.recovery == RecoveryPolicy::RecomputeOnError {
                         return self.recover(db, &e);
                     }
                 } else {
@@ -275,7 +326,7 @@ impl IdIvm {
             recovery_cause: Some(cause.to_string()),
             ..MaintenanceReport::default()
         };
-        if self.options.trace.enabled {
+        if self.knobs.trace.enabled {
             let mut trace = RoundTrace::default();
             trace.operators.push(OpTrace {
                 path: PathId::new(),
@@ -297,17 +348,33 @@ impl IdIvm {
         &self,
         db: &mut Database,
         net: &HashMap<String, TableChanges>,
+        shared: Option<(&SharedPrefixes, &mut SharedDiffCache)>,
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
-        let faults = FaultState::with_budget(self.options.faults, self.options.budget);
+        let faults = FaultState::with_budget(self.knobs.faults, self.knobs.budget);
         // Content-dependent failpoint: a poison key in the pending
         // batch fails the round before any propagation.
         faults.on_batch(net)?;
         let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
-        if self.options.trace.enabled {
+        if self.knobs.trace.enabled {
             report.trace = Some(RoundTrace::default());
         }
+        // Round keys bind each designated prefix to this round's
+        // pending net; the net is constant for the whole round, so
+        // they are computed once up front.
+        let shared = shared.map(|(prefixes, cache)| {
+            let round_keys = prefixes
+                .map
+                .keys()
+                .filter_map(|p| prefixes.round_key(p, net).map(|k| (p.clone(), k)))
+                .collect();
+            SharedCtx {
+                prefixes,
+                cache,
+                round_keys,
+            }
+        });
         let net = net.clone();
         let mut base_diffs: HashMap<String, Vec<DiffInstance>> = HashMap::new();
         for (table, changes) in &net {
@@ -332,6 +399,7 @@ impl IdIvm {
             report: &mut report,
             faults: &faults,
             round0,
+            shared,
         };
         let propagate_started = Instant::now();
         let root_diffs = self.walk(db, &mut state, &self.plan, &PathId::new())?;
@@ -382,57 +450,101 @@ impl IdIvm {
                 .cloned()
                 .unwrap_or_default());
         }
-        // Children first.
-        let mut incoming = Vec::new();
-        for (i, c) in node.children().into_iter().enumerate() {
-            let child_path = {
-                let mut p = path.clone();
-                p.push(i);
-                p
-            };
-            for diff in self.walk(db, state, c, &child_path)? {
-                incoming.push(IncomingDiff { side: i, diff });
+        // Shared-prefix boundary: another view maintained against the
+        // same pending net may already have published this subtree's
+        // i-diffs into the round cache — serve the reuse at zero
+        // counted accesses and skip the whole subtree walk. On a miss,
+        // remember the key so the computed diffs get published below.
+        let mut publish_key: Option<String> = None;
+        let mut reused: Option<Vec<DiffInstance>> = None;
+        if let Some(shared) = state.shared.as_mut() {
+            if let Some(key) = shared.round_keys.get(path) {
+                match shared.cache.reuse(key) {
+                    Some(diffs) => reused = Some(diffs),
+                    None => publish_key = Some(key.clone()),
+                }
             }
         }
-        if incoming.is_empty() {
-            return Ok(Vec::new());
-        }
-        state.faults.on_operator(op_label(node))?;
-        let diffs_in: u64 = incoming.iter().map(|i| i.diff.len() as u64).sum();
-        // Rule application (counted as diff-computation cost).
-        let before = db.stats().snapshot();
-        let out = {
-            let access = AccessCtx {
-                db,
-                base_changes: &state.net,
-                caches: &self.cache_map,
-                cache_changes: &state.cache_changes,
+        let out = if let Some(out) = reused {
+            if let Some(trace) = state.report.trace.as_mut() {
+                trace.operators.push(OpTrace {
+                    path: path.clone(),
+                    op: format!("{} (shared-prefix reuse)", op_label(node)),
+                    phase: TracePhase::Propagate,
+                    diffs_in: 0,
+                    diffs_out: out.iter().map(|d| d.len() as u64).sum(),
+                    dummies: 0,
+                    accesses: StatsSnapshot::default(),
+                });
+            }
+            out
+        } else {
+            // Children first. The subtree-entry snapshot prices the
+            // whole walk below this boundary for the publish record.
+            let sub0 = db.stats().snapshot();
+            let mut incoming = Vec::new();
+            for (i, c) in node.children().into_iter().enumerate() {
+                let child_path = {
+                    let mut p = path.clone();
+                    p.push(i);
+                    p
+                };
+                for diff in self.walk(db, state, c, &child_path)? {
+                    incoming.push(IncomingDiff { side: i, diff });
+                }
+            }
+            if incoming.is_empty() {
+                return Ok(Vec::new());
+            }
+            state.faults.on_operator(op_label(node))?;
+            let diffs_in: u64 = incoming.iter().map(|i| i.diff.len() as u64).sum();
+            // Rule application (counted as diff-computation cost).
+            let before = db.stats().snapshot();
+            let out = {
+                let access = AccessCtx {
+                    db,
+                    base_changes: &state.net,
+                    caches: &self.cache_map,
+                    cache_changes: &state.cache_changes,
+                };
+                let ctx = RuleCtx {
+                    access: &access,
+                    minimize: self.minimize,
+                    parallel: self.knobs.parallel,
+                };
+                propagate(&ctx, node, path, incoming)?
             };
-            let ctx = RuleCtx {
-                access: &access,
-                minimize: self.options.minimize,
-                parallel: self.options.parallel,
-            };
-            propagate(&ctx, node, path, incoming)?
+            let spent = db.stats().snapshot().since(&before);
+            state.report.diff_compute = state.report.diff_compute.merge(spent);
+            if let Some(trace) = state.report.trace.as_mut() {
+                trace.operators.push(OpTrace {
+                    path: path.clone(),
+                    op: op_label(node).to_string(),
+                    phase: TracePhase::Propagate,
+                    diffs_in,
+                    diffs_out: out.iter().map(|d| d.len() as u64).sum(),
+                    dummies: 0,
+                    accesses: spent,
+                });
+            }
+            if state.faults.wants_access() {
+                state
+                    .faults
+                    .on_access(db.stats().snapshot().since(&state.round0).total())?;
+            }
+            if let Some(key) = publish_key {
+                if let Some(shared) = state.shared.as_mut() {
+                    let label = shared
+                        .prefixes
+                        .map
+                        .get(path)
+                        .map_or("prefix", |s| s.label.as_str());
+                    let compute = db.stats().snapshot().since(&sub0);
+                    shared.cache.publish(key, label, &out, compute);
+                }
+            }
+            out
         };
-        let spent = db.stats().snapshot().since(&before);
-        state.report.diff_compute = state.report.diff_compute.merge(spent);
-        if let Some(trace) = state.report.trace.as_mut() {
-            trace.operators.push(OpTrace {
-                path: path.clone(),
-                op: op_label(node).to_string(),
-                phase: TracePhase::Propagate,
-                diffs_in,
-                diffs_out: out.iter().map(|d| d.len() as u64).sum(),
-                dummies: 0,
-                accesses: spent,
-            });
-        }
-        if state.faults.wants_access() {
-            state
-                .faults
-                .on_access(db.stats().snapshot().since(&state.round0).total())?;
-        }
         // Cache boundary: apply the diffs so operators above see the
         // cache in post-state (pre-state through the overlay).
         if let Some(cache_name) = self.cache_map.get(path) {
@@ -480,6 +592,16 @@ struct RoundState<'r> {
     report: &'r mut MaintenanceReport,
     faults: &'r FaultState,
     round0: StatsSnapshot,
+    shared: Option<SharedCtx<'r>>,
+}
+
+/// The shared-prefix machinery threaded through one round's walk.
+struct SharedCtx<'r> {
+    prefixes: &'r SharedPrefixes,
+    cache: &'r mut SharedDiffCache,
+    /// Designated path → this round's cache key (structural
+    /// fingerprint ⊕ pending-net digest), precomputed at round start.
+    round_keys: HashMap<PathId, String>,
 }
 
 fn merge_outcomes(a: ApplyOutcome, b: ApplyOutcome) -> ApplyOutcome {

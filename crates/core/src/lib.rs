@@ -38,12 +38,17 @@
 //! * [`supervisor`] — the self-healing maintenance supervisor: drives
 //!   rounds to convergence with retry/backoff, poison-diff bisection
 //!   and quarantine, recompute escalation, and round budgets.
+//! * [`config`] — the [`config::EngineKnobs`] block and
+//!   [`config::EngineConfig`] trait shared by every engine.
+//! * [`shared`] — cross-view shared-prefix i-diff reuse (the engine
+//!   hook under the `idivm-sched` view catalog).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod access;
 pub mod apply;
 pub mod cache;
+pub mod config;
 pub mod diff;
 pub mod engine;
 pub mod faults;
@@ -52,13 +57,18 @@ pub mod report;
 pub mod rules;
 pub mod schema_gen;
 pub mod script;
+pub mod shared;
 pub mod supervisor;
 pub mod trace;
 
+pub use config::{EngineConfig, EngineKnobs};
 pub use diff::{DiffInstance, DiffKind, DiffSchema};
 pub use engine::{IdIvm, IvmOptions, RecoveryPolicy};
 pub use faults::{FaultKind, FaultPlan, FaultSite, FaultState, RoundBudget};
 pub use report::MaintenanceReport;
+pub use shared::{
+    detect_shared_prefixes, PrefixSpec, SharedDiffCache, SharedPrefixStat, SharedPrefixes,
+};
 pub use supervisor::{
     BackoffPolicy, BisectNode, BisectOutcome, MaintenanceSupervisor, QuarantineEntry,
     QuarantineLog, SupervisedEngine, SupervisorConfig, SupervisorReport, SupervisorVerdict,

@@ -1,0 +1,385 @@
+//! Cross-view **shared-prefix i-diff reuse** — the engine hook under
+//! the multi-view catalog (`idivm-sched`).
+//!
+//! The paper's idIVM is a multi-view maintainer: i-diffs are computed
+//! once per base-table modification and pushed through every dependent
+//! view. When several registered views contain the *same operator
+//! subtree* over the same base tables (e.g. the BSMA Q7 family all
+//! starting from `σ_ts(mentions ⋈ microblog)`), the i-diffs at that
+//! subtree's root are a pure function of
+//!
+//! * the subtree structure (ID-extended plan + the `minimize` knob),
+//! * the base-table i-diff schemas of the tables it scans, and
+//! * the pending net changes restricted to those tables
+//!
+//! — base tables are never mutated during a maintenance round, so the
+//! value is identical for every view maintained against the same
+//! pending net in the same round. [`detect_shared_prefixes`] finds such
+//! subtrees across a set of registered engines; the engine's shared
+//! walk ([`crate::IdIvm::maintain_with_changes_shared`]) then computes
+//! each prefix **once** per round and serves every other dependent view
+//! from the round-scoped [`SharedDiffCache`] at zero counted accesses.
+//!
+//! Soundness invariants (enforced by the designation rules here):
+//!
+//! 1. **No cache strictly inside a prefix.** Skipping the subtree walk
+//!    skips its interior cache-boundary applies, which would let a
+//!    reusing view's private caches rot. A cache *at* the prefix root
+//!    is fine — the shared walk still applies the (reused) diffs there.
+//! 2. **Keys bind structure + schemas + pending net.** The round lookup
+//!    key ties the structural fingerprint to a digest of the net
+//!    changes of the subtree's base tables, so views with different
+//!    pending horizons (deferred vs eager) can never alias.
+//! 3. **Per-round lifetime.** A [`SharedDiffCache`] must be created
+//!    fresh for each scheduler round (and horizon group) and dropped
+//!    afterwards; entries are never carried across rounds.
+
+use crate::access::PathId;
+use crate::diff::DiffInstance;
+use crate::engine::IdIvm;
+use crate::trace::op_label;
+use idivm_algebra::Plan;
+use idivm_reldb::{StatsSnapshot, TableChanges};
+use idivm_types::Key;
+use std::collections::HashMap;
+
+/// One designated shared-prefix boundary inside a view's plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSpec {
+    /// Structural fingerprint: subtree debug form + `minimize` knob +
+    /// the i-diff schema fingerprints of the subtree's base tables.
+    /// Views sharing this string compute identical i-diffs at the
+    /// boundary for identical pending nets.
+    pub structural: String,
+    /// Base tables scanned by the subtree, sorted and deduplicated —
+    /// the net-digest domain.
+    pub tables: Vec<String>,
+    /// Human-readable label for reports (`op` + scan list).
+    pub label: String,
+}
+
+/// A view's designated shared-prefix boundaries: plan path → spec.
+/// Computed by [`detect_shared_prefixes`]; consumed by
+/// [`crate::IdIvm::maintain_with_changes_shared`]. Empty means the view
+/// shares nothing (the shared walk degrades to the plain walk).
+#[derive(Debug, Clone, Default)]
+pub struct SharedPrefixes {
+    /// Designated boundaries.
+    pub map: HashMap<PathId, PrefixSpec>,
+}
+
+impl SharedPrefixes {
+    /// No designated prefixes.
+    pub fn none() -> Self {
+        SharedPrefixes::default()
+    }
+
+    /// Number of designated boundaries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no boundary is designated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The per-round lookup key for the boundary at `path` under the
+    /// pending net `net`, or `None` if `path` is not designated.
+    pub fn round_key(
+        &self,
+        path: &PathId,
+        net: &HashMap<String, TableChanges>,
+    ) -> Option<String> {
+        let spec = self.map.get(path)?;
+        Some(format!(
+            "{}#{:016x}",
+            spec.structural,
+            net_digest(net, &spec.tables)
+        ))
+    }
+}
+
+/// What happened at one shared prefix over a cache's lifetime (one
+/// scheduler round / horizon group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedPrefixStat {
+    /// Report label (see [`PrefixSpec::label`]).
+    pub label: String,
+    /// Counted accesses the one computation spent (subtree walk).
+    pub compute_accesses: StatsSnapshot,
+    /// Diff tuples published at the boundary.
+    pub diff_tuples: usize,
+    /// Reuses served from the cache after the computation.
+    pub hits: u64,
+}
+
+impl SharedPrefixStat {
+    /// Counted accesses the reuses avoided: every hit would have spent
+    /// the compute cost again.
+    pub fn saved_accesses(&self) -> u64 {
+        self.compute_accesses.total() * self.hits
+    }
+}
+
+#[derive(Debug)]
+struct SharedEntry {
+    diffs: Vec<DiffInstance>,
+    stat: SharedPrefixStat,
+}
+
+/// Round-scoped cache of shared-prefix i-diffs: the first view to walk
+/// a designated subtree publishes its boundary diffs (plus compute
+/// cost); every later view with the same round key clones them at zero
+/// counted accesses. Create one per scheduler round (per horizon
+/// group), drop it when the round ends — entries must never outlive
+/// the base-table state they were computed against.
+#[derive(Debug, Default)]
+pub struct SharedDiffCache {
+    entries: HashMap<String, SharedEntry>,
+}
+
+impl SharedDiffCache {
+    /// An empty round cache.
+    pub fn new() -> Self {
+        SharedDiffCache::default()
+    }
+
+    /// Serve a reuse: clone the published diffs for `key` and count the
+    /// hit. `None` means this round key has not been computed yet.
+    pub fn reuse(&mut self, key: &str) -> Option<Vec<DiffInstance>> {
+        let e = self.entries.get_mut(key)?;
+        e.stat.hits += 1;
+        Some(e.diffs.clone())
+    }
+
+    /// Publish the diffs computed at a boundary (first walk of the
+    /// round). Later `reuse` calls with the same key are served from
+    /// this entry.
+    pub fn publish(
+        &mut self,
+        key: String,
+        label: &str,
+        diffs: &[DiffInstance],
+        compute_accesses: StatsSnapshot,
+    ) {
+        let diff_tuples = diffs.iter().map(DiffInstance::len).sum();
+        self.entries.insert(
+            key,
+            SharedEntry {
+                diffs: diffs.to_vec(),
+                stat: SharedPrefixStat {
+                    label: label.to_string(),
+                    compute_accesses,
+                    diff_tuples,
+                    hits: 0,
+                },
+            },
+        );
+    }
+
+    /// Number of published boundaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing was published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reuses served across all boundaries.
+    pub fn total_hits(&self) -> u64 {
+        self.entries.values().map(|e| e.stat.hits).sum()
+    }
+
+    /// Counted accesses avoided across all boundaries.
+    pub fn total_saved_accesses(&self) -> u64 {
+        self.entries.values().map(|e| e.stat.saved_accesses()).sum()
+    }
+
+    /// Per-prefix statistics, sorted by label (deterministic report
+    /// order for any `HashMap` iteration order).
+    pub fn stats(&self) -> Vec<SharedPrefixStat> {
+        let mut out: Vec<SharedPrefixStat> =
+            self.entries.values().map(|e| e.stat.clone()).collect();
+        out.sort_by(|a, b| a.label.cmp(&b.label));
+        out
+    }
+}
+
+/// Detect shared operator-tree prefixes across registered engines.
+/// Returns one [`SharedPrefixes`] per input engine (same order). A
+/// subtree is designated for a view when
+///
+/// * it is not a bare `Scan` (base tables are already shared storage),
+/// * its structural fingerprint occurs at least twice across all
+///   `(view, path)` pairs (so one computation has at least one
+///   consumer), and
+/// * the view materializes no cache *strictly inside* the subtree
+///   (invariant 1 of the module docs; a cache at the subtree root is
+///   allowed).
+///
+/// Nested designations compose: an outer reuse short-circuits the inner
+/// boundary, while the outer *computation* publishes the inner boundary
+/// on its way up.
+pub fn detect_shared_prefixes(views: &[&IdIvm]) -> Vec<SharedPrefixes> {
+    let mut occurrences: HashMap<String, Vec<(usize, PathId, PrefixSpec)>> = HashMap::new();
+    for (vi, view) in views.iter().enumerate() {
+        let mut candidates = Vec::new();
+        collect_candidates(view, view.plan(), &PathId::new(), &mut candidates);
+        for (path, spec) in candidates {
+            occurrences
+                .entry(spec.structural.clone())
+                .or_default()
+                .push((vi, path, spec));
+        }
+    }
+    let mut out: Vec<SharedPrefixes> = views.iter().map(|_| SharedPrefixes::none()).collect();
+    for occs in occurrences.into_values() {
+        if occs.len() < 2 {
+            continue;
+        }
+        for (vi, path, spec) in occs {
+            out[vi].map.insert(path, spec);
+        }
+    }
+    out
+}
+
+fn collect_candidates(
+    view: &IdIvm,
+    node: &Plan,
+    path: &PathId,
+    out: &mut Vec<(PathId, PrefixSpec)>,
+) {
+    if !matches!(node, Plan::Scan { .. }) && !has_cache_strictly_inside(view, path) {
+        out.push((path.clone(), prefix_spec(view, node)));
+    }
+    for (i, c) in node.children().into_iter().enumerate() {
+        let mut p = path.clone();
+        p.push(i);
+        collect_candidates(view, c, &p, out);
+    }
+}
+
+/// Does `view` materialize a cache at a *proper descendant* of `path`?
+/// (The root mapping `[] → view` is at depth 0 and never strictly
+/// inside a candidate.)
+fn has_cache_strictly_inside(view: &IdIvm, path: &PathId) -> bool {
+    view.cache_map()
+        .keys()
+        .any(|cp| cp.len() > path.len() && cp[..path.len()] == path[..])
+}
+
+/// The structural fingerprint + metadata of one candidate subtree.
+fn prefix_spec(view: &IdIvm, node: &Plan) -> PrefixSpec {
+    let mut tables: Vec<String> = node
+        .scans()
+        .into_iter()
+        .map(|(_, t)| t.to_string())
+        .collect();
+    tables.sort();
+    tables.dedup();
+    // Exact structural identity: the subtree's debug form is a faithful
+    // rendering of operators, predicates, and column indices (`Plan`
+    // has no `Hash`), and the per-table diff-schema debug pins the
+    // update-schema split the populate step will use.
+    let mut structural = format!("minimize={};{:?}", view.options().minimize, node);
+    for t in &tables {
+        if let Some(s) = view.schemas().tables.get(t) {
+            structural.push_str(&format!(";{t}={s:?}"));
+        }
+    }
+    let label = format!("{}[{}]", op_label(node), tables.join(","));
+    PrefixSpec {
+        structural,
+        tables,
+        label,
+    }
+}
+
+/// FNV-1a digest of the pending net restricted to `tables` (sorted
+/// key order — deterministic for any `HashMap` iteration order).
+pub fn net_digest(net: &HashMap<String, TableChanges>, tables: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for t in tables {
+        let Some(changes) = net.get(t) else { continue };
+        eat(t);
+        let mut items: Vec<(&Key, _)> = changes.iter().collect();
+        items.sort_by_key(|(k, _)| *k);
+        for (k, c) in items {
+            eat(&format!("{k:?}={c:?}"));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use idivm_reldb::NetChange;
+    use idivm_types::{row, Value};
+
+    fn change(v: i64) -> NetChange {
+        NetChange::Inserted { post: row![v] }
+    }
+
+    #[test]
+    fn net_digest_is_order_insensitive_and_table_scoped() {
+        let mut a: HashMap<String, TableChanges> = HashMap::new();
+        let mut t = TableChanges::new();
+        t.insert(Key(vec![Value::Int(1)]), change(1));
+        t.insert(Key(vec![Value::Int(2)]), change(2));
+        a.insert("m".into(), t);
+
+        let mut b: HashMap<String, TableChanges> = HashMap::new();
+        let mut t = TableChanges::new();
+        t.insert(Key(vec![Value::Int(2)]), change(2));
+        t.insert(Key(vec![Value::Int(1)]), change(1));
+        b.insert("m".into(), t);
+        // An extra table outside the digest domain must not matter.
+        let mut u = TableChanges::new();
+        u.insert(Key(vec![Value::Int(9)]), change(9));
+        b.insert("users".into(), u);
+
+        let tables = vec!["m".to_string()];
+        assert_eq!(net_digest(&a, &tables), net_digest(&b, &tables));
+        // But a change inside the domain must.
+        let mut c = a.clone();
+        c.get_mut("m")
+            .unwrap()
+            .insert(Key(vec![Value::Int(3)]), change(3));
+        assert_ne!(net_digest(&a, &tables), net_digest(&c, &tables));
+    }
+
+    #[test]
+    fn cache_reuse_counts_hits_and_savings() {
+        let mut cache = SharedDiffCache::new();
+        assert!(cache.reuse("k").is_none());
+        cache.publish(
+            "k".into(),
+            "join[m,b]",
+            &[],
+            StatsSnapshot {
+                tuple_accesses: 10,
+                index_lookups: 5,
+            },
+        );
+        assert!(cache.reuse("k").is_some());
+        assert!(cache.reuse("k").is_some());
+        assert_eq!(cache.total_hits(), 2);
+        assert_eq!(cache.total_saved_accesses(), 30);
+        let stats = cache.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].label, "join[m,b]");
+        assert_eq!(stats[0].saved_accesses(), 30);
+    }
+}

@@ -47,6 +47,7 @@
 //! and no armed faults, the driven round is byte-identical to calling
 //! the engine directly (same access counts, same trace).
 
+use crate::config::EngineConfig;
 use crate::engine::{IdIvm, RecoveryPolicy};
 use crate::faults::{FaultPlan, RoundBudget};
 use crate::report::MaintenanceReport;
@@ -55,8 +56,10 @@ use idivm_types::{Error, Key, Result};
 use std::collections::HashMap;
 
 /// The engine surface the supervisor drives. Implemented by `IdIvm`
-/// (here), `TupleIvm`, and `Sdbt` (in their own crates).
-pub trait SupervisedEngine {
+/// (here), `TupleIvm`, and `Sdbt` (in their own crates). The fault,
+/// recovery, and budget knobs the supervisor saves and restores come
+/// from the [`EngineConfig`] supertrait.
+pub trait SupervisedEngine: EngineConfig {
     /// Stable engine label for reports and JSON.
     fn label(&self) -> &'static str;
 
@@ -72,19 +75,6 @@ pub trait SupervisedEngine {
         db: &mut Database,
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport>;
-
-    /// The armed fault-injection plan.
-    fn faults(&self) -> FaultPlan;
-    /// Arm a fault-injection plan.
-    fn set_faults(&mut self, faults: FaultPlan);
-    /// The current recovery policy.
-    fn recovery(&self) -> RecoveryPolicy;
-    /// Set the recovery policy.
-    fn set_recovery(&mut self, recovery: RecoveryPolicy);
-    /// The current per-round access budget.
-    fn budget(&self) -> RoundBudget;
-    /// Set the per-round access budget.
-    fn set_budget(&mut self, budget: RoundBudget);
 }
 
 impl SupervisedEngine for IdIvm {
@@ -98,30 +88,6 @@ impl SupervisedEngine for IdIvm {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         IdIvm::maintain_with_changes(self, db, net)
-    }
-
-    fn faults(&self) -> FaultPlan {
-        self.options().faults
-    }
-
-    fn set_faults(&mut self, faults: FaultPlan) {
-        IdIvm::set_faults(self, faults);
-    }
-
-    fn recovery(&self) -> RecoveryPolicy {
-        self.options().recovery
-    }
-
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        IdIvm::set_recovery(self, recovery);
-    }
-
-    fn budget(&self) -> RoundBudget {
-        self.options().budget
-    }
-
-    fn set_budget(&mut self, budget: RoundBudget) {
-        IdIvm::set_budget(self, budget);
     }
 }
 
@@ -511,8 +477,26 @@ impl<'e, E: SupervisedEngine + ?Sized> MaintenanceSupervisor<'e, E> {
     /// [`SupervisorVerdict`] (`Degraded` at worst). The log is cleared
     /// on every healthy verdict and preserved on `Degraded`.
     pub fn run(&mut self, db: &mut Database) -> SupervisorReport {
-        let mut report = SupervisorReport::new(self.engine.label(), self.config.budget);
         let net = db.fold_log();
+        let report = self.run_with_changes(db, &net);
+        if report.verdict != SupervisorVerdict::Idle && report.verdict.healthy() {
+            db.clear_log();
+        }
+        report
+    }
+
+    /// Drive an externally folded change set to convergence (the
+    /// multi-view scheduler composes each view's pending net itself).
+    /// The modification log is untouched — the caller owns it; clear
+    /// the corresponding pending changes on any healthy, non-idle
+    /// verdict, exactly as [`MaintenanceSupervisor::run`] does with the
+    /// database log.
+    pub fn run_with_changes(
+        &mut self,
+        db: &mut Database,
+        net: &HashMap<String, TableChanges>,
+    ) -> SupervisorReport {
+        let mut report = SupervisorReport::new(self.engine.label(), self.config.budget);
         if net.is_empty() {
             return report;
         }
@@ -531,7 +515,7 @@ impl<'e, E: SupervisedEngine + ?Sized> MaintenanceSupervisor<'e, E> {
         // Canonical flat batch: deterministic bisection splits for any
         // HashMap iteration order or thread count.
         let mut flat: Vec<(String, Key, NetChange)> = Vec::new();
-        for (table, changes) in &net {
+        for (table, changes) in net {
             for (key, change) in changes {
                 flat.push((table.clone(), key.clone(), change.clone()));
             }
@@ -544,13 +528,10 @@ impl<'e, E: SupervisedEngine + ?Sized> MaintenanceSupervisor<'e, E> {
         report.verdict = if report.quarantine.is_empty() {
             SupervisorVerdict::Converged
         } else if committed == 0 && self.config.recompute_fallback {
-            self.recompute_escalation(db, &mut report, &net, base_plan)
+            self.recompute_escalation(db, &mut report, net, base_plan)
         } else {
             SupervisorVerdict::ConvergedQuarantined
         };
-        if report.verdict.healthy() {
-            db.clear_log();
-        }
         self.engine.set_faults(saved.0);
         self.engine.set_recovery(saved.1);
         self.engine.set_budget(saved.2);
@@ -692,6 +673,7 @@ fn to_net(batch: &[(String, Key, NetChange)]) -> HashMap<String, TableChanges> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EngineKnobs;
     use std::cell::RefCell;
 
     /// A scripted engine: fails according to a poison-key set and a
@@ -704,9 +686,7 @@ mod tests {
         transient_failures: u64,
         attempts: RefCell<u64>,
         committed: RefCell<Vec<Vec<Key>>>,
-        faults: FaultPlan,
-        recovery: RecoveryPolicy,
-        budget: RoundBudget,
+        knobs: EngineKnobs,
     }
 
     impl Scripted {
@@ -716,10 +696,17 @@ mod tests {
                 transient_failures,
                 attempts: RefCell::new(0),
                 committed: RefCell::new(Vec::new()),
-                faults: FaultPlan::disabled(),
-                recovery: RecoveryPolicy::Abort,
-                budget: RoundBudget::unlimited(),
+                knobs: EngineKnobs::default(),
             }
+        }
+    }
+
+    impl EngineConfig for Scripted {
+        fn knobs(&self) -> &EngineKnobs {
+            &self.knobs
+        }
+        fn knobs_mut(&mut self) -> &mut EngineKnobs {
+            &mut self.knobs
         }
     }
 
@@ -741,7 +728,7 @@ mod tests {
             let mut keys: Vec<Key> = net.values().flat_map(|c| c.keys().cloned()).collect();
             keys.sort();
             if keys.iter().any(|k| self.poison.contains(k)) {
-                if self.recovery == RecoveryPolicy::RecomputeOnError {
+                if self.knobs.recovery == RecoveryPolicy::RecomputeOnError {
                     return Ok(MaintenanceReport {
                         recovered: true,
                         ..MaintenanceReport::default()
@@ -751,30 +738,6 @@ mod tests {
             }
             self.committed.borrow_mut().push(keys);
             Ok(MaintenanceReport::default())
-        }
-
-        fn faults(&self) -> FaultPlan {
-            self.faults
-        }
-
-        fn set_faults(&mut self, faults: FaultPlan) {
-            self.faults = faults;
-        }
-
-        fn recovery(&self) -> RecoveryPolicy {
-            self.recovery
-        }
-
-        fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-            self.recovery = recovery;
-        }
-
-        fn budget(&self) -> RoundBudget {
-            self.budget
-        }
-
-        fn set_budget(&mut self, budget: RoundBudget) {
-            self.budget = budget;
         }
     }
 
@@ -917,12 +880,22 @@ mod tests {
         assert_eq!(r.quarantine.len(), 4);
         assert!(db.log().is_empty(), "log cleared after recompute repair");
         // Engine knobs restored.
-        assert_eq!(e.recovery, RecoveryPolicy::Abort);
+        assert_eq!(e.knobs.recovery, RecoveryPolicy::Abort);
     }
 
     #[test]
     fn unrecoverable_engine_degrades_without_panicking() {
-        struct Dead;
+        struct Dead {
+            knobs: EngineKnobs,
+        }
+        impl EngineConfig for Dead {
+            fn knobs(&self) -> &EngineKnobs {
+                &self.knobs
+            }
+            fn knobs_mut(&mut self) -> &mut EngineKnobs {
+                &mut self.knobs
+            }
+        }
         impl SupervisedEngine for Dead {
             fn label(&self) -> &'static str {
                 "dead"
@@ -934,22 +907,12 @@ mod tests {
             ) -> Result<MaintenanceReport> {
                 Err(Error::Internal("scripted catastrophe".into()))
             }
-            fn faults(&self) -> FaultPlan {
-                FaultPlan::disabled()
-            }
-            fn set_faults(&mut self, _: FaultPlan) {}
-            fn recovery(&self) -> RecoveryPolicy {
-                RecoveryPolicy::Abort
-            }
-            fn set_recovery(&mut self, _: RecoveryPolicy) {}
-            fn budget(&self) -> RoundBudget {
-                RoundBudget::unlimited()
-            }
-            fn set_budget(&mut self, _: RoundBudget) {}
         }
         let mut db = seeded_db(4);
         touch_all(&mut db, 4);
-        let mut e = Dead;
+        let mut e = Dead {
+            knobs: EngineKnobs::default(),
+        };
         let r = MaintenanceSupervisor::new(&mut e, SupervisorConfig::default()).run(&mut db);
         assert_eq!(r.verdict, SupervisorVerdict::Degraded);
         assert!(!r.verdict.healthy());

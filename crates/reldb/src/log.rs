@@ -237,6 +237,42 @@ pub fn fold_keyed(
     out
 }
 
+/// Compose a later batch of per-table net changes **onto** an earlier
+/// one, in place. `base` is the accumulated pending net (older), `next`
+/// the freshly folded round batch (newer); after the call `base` holds
+/// the effective net between the oldest pre-state and the newest
+/// post-state, using the same pairwise collapse rules as [`fold_keyed`]
+/// (insert→update ⇒ insert, insert→delete ⇒ nothing, update→update ⇒
+/// first-pre/last-post, update→delete ⇒ delete with first pre,
+/// delete→insert ⇒ update or nothing, pre == post ⇒ nothing).
+///
+/// This is what lets a *deferred* view fold several rounds of
+/// modifications into one effective maintenance batch: composing nets
+/// is associative with folding, so `compose(fold(a), fold(b)) ==
+/// fold(a ++ b)` for well-formed logs.
+pub fn compose_changes(
+    base: &mut HashMap<String, TableChanges>,
+    next: HashMap<String, TableChanges>,
+) {
+    for (table, changes) in next {
+        let per_table = base.entry(table).or_default();
+        for (key, change) in changes {
+            match change {
+                NetChange::Inserted { post } => apply_insert(per_table, key, post),
+                NetChange::Deleted { pre } => apply_delete(per_table, key, pre),
+                NetChange::Updated { pre, post } => apply_update(per_table, key, pre, post),
+            }
+        }
+    }
+    for changes in base.values_mut() {
+        changes.retain(|_, c| match c {
+            NetChange::Updated { pre, post } => pre != post,
+            _ => true,
+        });
+    }
+    base.retain(|_, changes| !changes.is_empty());
+}
+
 // ----------------------------------------------------------------------
 // Undo log: inverse operations for atomic maintenance rounds
 // ----------------------------------------------------------------------
@@ -633,6 +669,31 @@ mod tests {
                 None => assert!(folded.is_empty(), "cell {i}: expected no net change"),
             }
         }
+    }
+
+    #[test]
+    fn compose_matches_folding_the_concatenated_log() {
+        // compose(fold(a), fold(b)) == fold(a ++ b) over a mixed script.
+        let a = vec![ins(10), upd(10, 11)];
+        let b = vec![del(11), ins(20)];
+        let mut composed = fold_keyed(&a, key_of);
+        compose_changes(&mut composed, fold_keyed(&b, key_of));
+        let concat: Vec<LogEntry> = a.iter().chain(b.iter()).cloned().collect();
+        assert_eq!(composed, fold_keyed(&concat, key_of));
+        // insert(11) then delete across batches nets to nothing... except
+        // the second batch re-inserts value 20, so the net is one insert.
+        assert_eq!(composed["p"][&k(1)], NetChange::Inserted { post: row![1, 20] });
+    }
+
+    #[test]
+    fn compose_cancels_across_batches() {
+        let mut base = fold_keyed(&[ins(10)], key_of);
+        compose_changes(&mut base, fold_keyed(&[del(10)], key_of));
+        assert!(base.is_empty(), "insert then delete across batches nets to nothing");
+
+        let mut base = fold_keyed(&[upd(10, 11)], key_of);
+        compose_changes(&mut base, fold_keyed(&[upd(11, 10)], key_of));
+        assert!(base.is_empty(), "update there-and-back across batches nets to nothing");
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! The multi-view catalog: many named [`IdIvm`] views registered over
+//! one shared [`Database`], with the base-table → view dependency DAG
+//! and the cross-view shared-prefix designations kept current on every
+//! registration.
+//!
+//! The catalog is the *structural* layer: it knows which views exist,
+//! which base tables each one depends on, and which operator subtrees
+//! are shared (so one i-diff computation can serve several views). The
+//! *temporal* layer — per-view refresh policies, pending-change
+//! accumulation, and failure routing — lives on top of it in
+//! [`crate::scheduler::MaintenanceScheduler`].
+
+use idivm_core::supervisor::{MaintenanceSupervisor, SupervisorConfig, SupervisorReport};
+use idivm_core::{
+    detect_shared_prefixes, IdIvm, IvmOptions, MaintenanceReport, SharedDiffCache, SharedPrefixes,
+};
+use idivm_exec::executor::sorted;
+use idivm_reldb::{Database, TableChanges, TableSignature};
+use idivm_types::{Error, Result, Row};
+use std::collections::{BTreeMap, HashMap};
+
+/// One registered view: its engine, its shared-prefix designations
+/// (recomputed whenever the registered set changes), and the base
+/// tables it scans.
+pub struct CatalogView {
+    engine: IdIvm,
+    prefixes: SharedPrefixes,
+    tables: Vec<String>,
+}
+
+impl CatalogView {
+    /// The maintenance engine.
+    pub fn engine(&self) -> &IdIvm {
+        &self.engine
+    }
+
+    /// Mutable engine access (knob configuration — parallelism, trace,
+    /// faults — via `idivm_core::EngineConfig`).
+    pub fn engine_mut(&mut self) -> &mut IdIvm {
+        &mut self.engine
+    }
+
+    /// The view's current shared-prefix designations.
+    pub fn prefixes(&self) -> &SharedPrefixes {
+        &self.prefixes
+    }
+
+    /// Base tables the view scans, sorted and deduplicated.
+    pub fn tables(&self) -> &[String] {
+        &self.tables
+    }
+}
+
+/// Many named views over one shared database. Registration keeps the
+/// dependency DAG and the shared-prefix designations current; views are
+/// always iterated in name order, so every catalog operation is
+/// deterministic for any `HashMap` iteration order or thread count.
+pub struct ViewCatalog {
+    db: Database,
+    views: BTreeMap<String, CatalogView>,
+}
+
+impl ViewCatalog {
+    /// Wrap an existing database (the catalog takes ownership; base
+    /// modifications go through [`ViewCatalog::db_mut`]).
+    pub fn new(db: Database) -> Self {
+        ViewCatalog {
+            db,
+            views: BTreeMap::new(),
+        }
+    }
+
+    /// Register and materialize a view. Recomputes the shared-prefix
+    /// designations across the whole registered set — a new view can
+    /// create sharing opportunities for existing ones.
+    ///
+    /// # Errors
+    /// Duplicate name ([`Error::Config`]) or any [`IdIvm::setup`]
+    /// failure.
+    pub fn register(&mut self, name: &str, plan: idivm_algebra::Plan, options: IvmOptions) -> Result<()> {
+        if self.views.contains_key(name) {
+            return Err(Error::Config(format!(
+                "view `{name}` is already registered"
+            )));
+        }
+        let engine = IdIvm::setup(&mut self.db, name, plan, options)?;
+        let mut tables: Vec<String> = engine
+            .plan()
+            .scans()
+            .into_iter()
+            .map(|(_, t)| t.to_string())
+            .collect();
+        tables.sort();
+        tables.dedup();
+        self.views.insert(
+            name.to_string(),
+            CatalogView {
+                engine,
+                prefixes: SharedPrefixes::none(),
+                tables,
+            },
+        );
+        self.refresh_prefixes();
+        Ok(())
+    }
+
+    /// Drop a view: its materialized table, its caches, and its
+    /// registration. Remaining views' shared-prefix designations are
+    /// recomputed (a prefix shared only with the dropped view loses its
+    /// designation).
+    ///
+    /// # Errors
+    /// Unknown view name ([`Error::Config`]).
+    pub fn unregister(&mut self, name: &str) -> Result<()> {
+        let view = self
+            .views
+            .remove(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))?;
+        for def in view.engine.caches() {
+            self.db.drop_table(&def.name);
+        }
+        self.db.drop_table(name);
+        self.refresh_prefixes();
+        Ok(())
+    }
+
+    /// Recompute every view's shared-prefix designations (name order —
+    /// deterministic).
+    fn refresh_prefixes(&mut self) {
+        let engines: Vec<&IdIvm> = self.views.values().map(|v| &v.engine).collect();
+        let prefixes = detect_shared_prefixes(&engines);
+        for (view, p) in self.views.values_mut().zip(prefixes) {
+            view.prefixes = p;
+        }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access — this is where base-table modifications
+    /// enter. The catalog does not intercept them; maintenance layers
+    /// fold the modification log when they run.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Tear down the catalog, returning the database (views stay
+    /// materialized as plain tables).
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// Registered view names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True iff no view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Look up a registered view.
+    ///
+    /// # Errors
+    /// Unknown view name ([`Error::Config`]).
+    pub fn view(&self, name: &str) -> Result<&CatalogView> {
+        self.views
+            .get(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))
+    }
+
+    /// Mutable view access (engine knob configuration).
+    ///
+    /// # Errors
+    /// Unknown view name ([`Error::Config`]).
+    pub fn view_mut(&mut self, name: &str) -> Result<&mut CatalogView> {
+        self.views
+            .get_mut(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))
+    }
+
+    /// The base-table → dependent-views DAG: every base table scanned
+    /// by at least one view, mapped to the (sorted) names of the views
+    /// that scan it.
+    pub fn dependency_dag(&self) -> BTreeMap<String, Vec<String>> {
+        let mut dag: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (name, view) in &self.views {
+            for t in &view.tables {
+                dag.entry(t.clone()).or_default().push(name.clone());
+            }
+        }
+        dag
+    }
+
+    /// The (sorted) views that scan `table` — the fan-out set of one
+    /// base-table modification.
+    pub fn dependents(&self, table: &str) -> Vec<&str> {
+        self.views
+            .iter()
+            .filter(|(_, v)| v.tables.iter().any(|t| t == table))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Restrict a folded net-change set to the tables `view` scans —
+    /// the per-view slice of a shared modification batch.
+    ///
+    /// # Errors
+    /// Unknown view name ([`Error::Config`]).
+    pub fn restrict_net(
+        &self,
+        name: &str,
+        net: &HashMap<String, TableChanges>,
+    ) -> Result<HashMap<String, TableChanges>> {
+        let view = self.view(name)?;
+        Ok(net
+            .iter()
+            .filter(|(t, _)| view.tables.contains(t))
+            .map(|(t, c)| (t.clone(), c.clone()))
+            .collect())
+    }
+
+    /// Run one atomic maintenance round for `name` over an externally
+    /// folded change set, with shared-prefix reuse through `cache`
+    /// (create one [`SharedDiffCache`] per scheduler round and share it
+    /// between every view maintained in that round).
+    ///
+    /// # Errors
+    /// Unknown view name, or any
+    /// [`IdIvm::maintain_with_changes_shared`] failure (the round has
+    /// been rolled back; the caller still owns `net`).
+    pub fn maintain_shared(
+        &mut self,
+        name: &str,
+        net: &HashMap<String, TableChanges>,
+        cache: &mut SharedDiffCache,
+    ) -> Result<MaintenanceReport> {
+        let view = self
+            .views
+            .get(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))?;
+        view.engine
+            .maintain_with_changes_shared(&mut self.db, net, &view.prefixes, cache)
+    }
+
+    /// Run one atomic maintenance round for `name` without prefix
+    /// sharing (the independent-maintenance baseline).
+    ///
+    /// # Errors
+    /// Same conditions as [`ViewCatalog::maintain_shared`].
+    pub fn maintain_independent(
+        &mut self,
+        name: &str,
+        net: &HashMap<String, TableChanges>,
+    ) -> Result<MaintenanceReport> {
+        let view = self
+            .views
+            .get(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))?;
+        view.engine.maintain_with_changes(&mut self.db, net)
+    }
+
+    /// Drive `name`'s pending changes through a per-view
+    /// [`MaintenanceSupervisor`] (retry → bisect/quarantine → recompute
+    /// → degrade). Never returns `Err` for maintenance failures — the
+    /// verdict in the report is the signal; the view's quarantine and
+    /// rollback machinery cannot touch sibling views (each round only
+    /// mutates this view's table and caches).
+    ///
+    /// # Errors
+    /// Unknown view name ([`Error::Config`]) only.
+    pub fn maintain_supervised(
+        &mut self,
+        name: &str,
+        net: &HashMap<String, TableChanges>,
+        config: SupervisorConfig,
+    ) -> Result<SupervisorReport> {
+        let view = self
+            .views
+            .get_mut(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))?;
+        let mut supervisor = MaintenanceSupervisor::new(&mut view.engine, config);
+        Ok(supervisor.run_with_changes(&mut self.db, net))
+    }
+
+    /// The materialized rows of a view, sorted (uncounted — reads are
+    /// not maintenance cost).
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn rows(&self, name: &str) -> Result<Vec<Row>> {
+        self.view(name)?;
+        Ok(sorted(self.db.table(name)?.rows_uncounted()))
+    }
+
+    /// Bit-identity fingerprint of a view's materialized table.
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn signature(&self, name: &str) -> Result<TableSignature> {
+        self.view(name)?;
+        Ok(self.db.table(name)?.signature())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use idivm_workloads::MultiView;
+
+    fn suite() -> (MultiView, ViewCatalog) {
+        let cfg = MultiView {
+            bsma: idivm_workloads::bsma::Bsma {
+                scale: 0.05,
+                seed: 11,
+            },
+        };
+        let db = cfg.build().unwrap();
+        let mut catalog = ViewCatalog::new(db);
+        let views = cfg.views(catalog.db()).unwrap();
+        for (name, plan) in views {
+            catalog
+                .register(&name, plan, IvmOptions::default())
+                .unwrap();
+        }
+        (cfg, catalog)
+    }
+
+    #[test]
+    fn dag_maps_tables_to_sorted_dependents() {
+        let (_, catalog) = suite();
+        let dag = catalog.dependency_dag();
+        // Every view scans mentions + microblog.
+        assert_eq!(dag["mentions"].len(), 4);
+        assert_eq!(dag["microblog"].len(), 4);
+        // Only the two user-joining views scan users.
+        assert_eq!(
+            dag["users"],
+            vec!["mention_favor".to_string(), "mention_users".to_string()]
+        );
+        assert_eq!(catalog.dependents("users"), vec!["mention_favor", "mention_users"]);
+    }
+
+    #[test]
+    fn q7_family_shares_a_designated_prefix() {
+        let (_, catalog) = suite();
+        // Three of the four views carry designated shared boundaries:
+        // the σ_ts(mentions ⋈ microblog) subtree occurs in all of them
+        // with *identical* base diff schemas.
+        for name in ["mention_favor", "mention_timeline", "mention_users"] {
+            assert!(
+                !catalog.view(name).unwrap().prefixes().is_empty(),
+                "{name} shares no prefix"
+            );
+        }
+        // Negative control: `mention_topic_counts` groups on
+        // `microblog.topic`, which makes `topic` a conditional
+        // attribute *in that view only*. Its microblog update-diff
+        // schemas therefore split differently from the other views'
+        // and the same structural subtree would populate different
+        // diff instances — sharing would be unsound, and detection
+        // must refuse to designate.
+        assert!(
+            catalog.view("mention_topic_counts").unwrap().prefixes().is_empty(),
+            "topic_counts has an incompatible diff-schema split and must not share"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_are_config_errors() {
+        let (cfg, mut catalog) = suite();
+        let plan = cfg.plan(catalog.db(), "mention_timeline").unwrap();
+        assert!(catalog
+            .register("mention_timeline", plan, IvmOptions::default())
+            .is_err());
+        assert!(catalog.view("nope").is_err());
+        assert!(catalog.unregister("nope").is_err());
+    }
+
+    #[test]
+    fn unregister_drops_tables_and_redesignates() {
+        let (_, mut catalog) = suite();
+        // Removing two of the "other" views leaves mention_users +
+        // mention_favor, which still share their prefix pairwise.
+        catalog.unregister("mention_timeline").unwrap();
+        catalog.unregister("mention_topic_counts").unwrap();
+        assert!(!catalog.db().has_table("mention_timeline"));
+        assert_eq!(catalog.len(), 2);
+        for name in catalog.names() {
+            assert!(!catalog.view(name).unwrap().prefixes().is_empty());
+        }
+        // Dropping one more leaves a single view — nothing to share.
+        catalog.unregister("mention_favor").unwrap();
+        assert!(catalog
+            .view("mention_users")
+            .unwrap()
+            .prefixes()
+            .is_empty());
+    }
+}

@@ -1,0 +1,487 @@
+//! Per-view refresh policies and round scheduling over a
+//! [`ViewCatalog`].
+//!
+//! A [`MaintenanceScheduler`] owns the catalog and, for each view, a
+//! **refresh policy**, a **pending net** (the composed effective
+//! changes the view has not seen yet), and a staleness counter. One
+//! [`MaintenanceScheduler::tick`] is the unit of time:
+//!
+//! 1. Fold the database's modification log once and clear it — from
+//!    here the scheduler owns the changes.
+//! 2. Compose the folded net onto every dependent view's pending net
+//!    ([`compose_changes`]): pendings accumulated over several ticks
+//!    are exactly what folding the concatenated log would have
+//!    produced, so a deferred round is one bigger — not different —
+//!    round.
+//! 3. Maintain every *due* view (policy decides), all against one
+//!    fresh [`SharedDiffCache`]: the first due view to walk a
+//!    designated shared prefix publishes its i-diffs, every later due
+//!    view with the same pending horizon reuses them at zero counted
+//!    accesses.
+//! 4. Route any maintenance failure through a per-view
+//!    [`MaintenanceSupervisor`] (retry → bisect/quarantine → recompute
+//!    → degrade). A failing or degraded view never blocks or corrupts
+//!    its siblings: each round is atomic over that view's table and
+//!    caches only, and its pending net stays queued for the next tick.
+//!
+//! **Staleness semantics.** A view's staleness is the number of ticks
+//! its pending net has been non-empty. `Eager` refreshes at staleness
+//! 1 (every tick it has changes); `Deferred { max_staleness_rounds: k }`
+//! lets staleness grow to `k` before refreshing, folding up to `k`
+//! ticks of changes into one round; `OnRead` never refreshes on a tick
+//! — [`MaintenanceScheduler::read_view`] is the barrier that drains
+//! it. Once drained, a view's contents are bit-identical under any
+//! policy: composition is exact and maintenance is deterministic.
+
+use crate::catalog::ViewCatalog;
+use idivm_core::supervisor::{SupervisorConfig, SupervisorReport, SupervisorVerdict};
+use idivm_core::{IvmOptions, MaintenanceReport, SharedDiffCache, SharedPrefixStat};
+use idivm_exec::ParallelConfig;
+use idivm_reldb::{compose_changes, Database, StatsSnapshot, TableChanges};
+use idivm_types::{Error, Result, Row};
+use std::collections::{BTreeMap, HashMap};
+
+/// When a view's pending changes are propagated into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPolicy {
+    /// Refresh on every tick that delivers changes (staleness never
+    /// exceeds 1).
+    Eager,
+    /// Let pending changes accumulate for up to `max_staleness_rounds`
+    /// ticks, then refresh in one composed round.
+    /// `max_staleness_rounds = 1` behaves like [`RefreshPolicy::Eager`];
+    /// 0 is rejected at registration.
+    Deferred {
+        /// Maximum ticks a non-empty pending net may age before the
+        /// scheduler refreshes the view.
+        max_staleness_rounds: u32,
+    },
+    /// Never refresh on a tick; pending changes drain only through the
+    /// [`MaintenanceScheduler::read_view`] barrier (or an explicit
+    /// [`MaintenanceScheduler::drain`]).
+    OnRead,
+}
+
+impl RefreshPolicy {
+    /// Stable lowercase label (JSON, reports).
+    pub fn label(self) -> String {
+        match self {
+            RefreshPolicy::Eager => "eager".to_string(),
+            RefreshPolicy::Deferred {
+                max_staleness_rounds,
+            } => format!("deferred({max_staleness_rounds})"),
+            RefreshPolicy::OnRead => "on_read".to_string(),
+        }
+    }
+
+    fn validate(self) -> Result<()> {
+        if let RefreshPolicy::Deferred {
+            max_staleness_rounds: 0,
+        } = self
+        {
+            return Err(Error::Config(
+                "Deferred requires max_staleness_rounds >= 1 (1 behaves like Eager)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative per-view maintenance accounting, attributed by the
+/// scheduler on its serial drive loop (snapshot deltas — bit-identical
+/// for any `ParallelConfig` thread count).
+#[derive(Debug, Clone, Default)]
+pub struct ViewStats {
+    /// Maintenance rounds run (supervised attempts count as one).
+    pub rounds: u64,
+    /// Counted accesses attributed to this view's maintenance.
+    pub accesses: StatsSnapshot,
+    /// View-level diff tuples applied across all rounds.
+    pub view_diff_tuples: u64,
+    /// Rounds that had to be routed through the supervisor.
+    pub supervised_rounds: u64,
+    /// Net changes quarantined by supervised rounds, cumulative.
+    pub quarantined_changes: u64,
+    /// Verdict of the most recent supervised round, if any.
+    pub last_verdict: Option<SupervisorVerdict>,
+    /// Report of the most recent clean round (carries the round trace
+    /// when the engine's trace knob is on).
+    pub last_report: Option<MaintenanceReport>,
+    /// Report of the most recent supervised round, if any.
+    pub last_supervisor: Option<SupervisorReport>,
+}
+
+/// What one [`MaintenanceScheduler::tick`] (or drain/read barrier)
+/// did.
+#[derive(Debug, Clone, Default)]
+pub struct RoundSummary {
+    /// Scheduler round number (1-based; barriers reuse the current
+    /// number without advancing it).
+    pub round: u64,
+    /// Views maintained this round, in name order, with the accesses
+    /// attributed to each.
+    pub maintained: Vec<(String, StatsSnapshot)>,
+    /// Views left stale this round (non-empty pending, not due), with
+    /// their staleness in ticks.
+    pub deferred: Vec<(String, u32)>,
+    /// Per-prefix sharing outcomes for the round's shared cache:
+    /// compute cost, published diff tuples, reuse hits.
+    pub prefix_stats: Vec<SharedPrefixStat>,
+    /// Reuse hits across all shared prefixes this round.
+    pub shared_hits: u64,
+    /// Counted accesses the reuses avoided.
+    pub shared_saved_accesses: u64,
+    /// Views whose round went through the supervisor, with verdicts.
+    pub verdicts: Vec<(String, SupervisorVerdict)>,
+}
+
+impl RoundSummary {
+    /// Total counted accesses across the round's maintained views.
+    pub fn total_accesses(&self) -> u64 {
+        self.maintained.iter().map(|(_, s)| s.total()).sum()
+    }
+}
+
+struct ViewState {
+    policy: RefreshPolicy,
+    pending: HashMap<String, TableChanges>,
+    staleness: u32,
+    stats: ViewStats,
+}
+
+/// Scheduler-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Compute shared operator-tree prefixes once per round and fan the
+    /// i-diffs out to every dependent due view (on by default; off
+    /// gives the independent-maintenance baseline the benches compare
+    /// against).
+    pub share_prefixes: bool,
+    /// Supervisor configuration for failure routing.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            share_prefixes: true,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// Drives a [`ViewCatalog`] under per-view refresh policies. See the
+/// module docs for the tick protocol.
+pub struct MaintenanceScheduler {
+    catalog: ViewCatalog,
+    states: BTreeMap<String, ViewState>,
+    config: SchedulerConfig,
+    round: u64,
+}
+
+impl MaintenanceScheduler {
+    /// Wrap a database under `config` with no views registered yet.
+    pub fn new(db: Database, config: SchedulerConfig) -> Self {
+        MaintenanceScheduler {
+            catalog: ViewCatalog::new(db),
+            states: BTreeMap::new(),
+            config,
+            round: 0,
+        }
+    }
+
+    /// Register and materialize a view under a refresh policy.
+    ///
+    /// # Errors
+    /// Invalid policy or any [`ViewCatalog::register`] failure.
+    pub fn register(
+        &mut self,
+        name: &str,
+        plan: idivm_algebra::Plan,
+        policy: RefreshPolicy,
+        options: IvmOptions,
+    ) -> Result<()> {
+        policy.validate()?;
+        self.catalog.register(name, plan, options)?;
+        self.states.insert(
+            name.to_string(),
+            ViewState {
+                policy,
+                pending: HashMap::new(),
+                staleness: 0,
+                stats: ViewStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a view, discarding its pending changes.
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn unregister(&mut self, name: &str) -> Result<()> {
+        self.catalog.unregister(name)?;
+        self.states.remove(name);
+        Ok(())
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &ViewCatalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (engine knob configuration).
+    pub fn catalog_mut(&mut self) -> &mut ViewCatalog {
+        &mut self.catalog
+    }
+
+    /// Mutable database access — base-table modifications enter here
+    /// and accumulate in the modification log until the next tick or
+    /// barrier.
+    pub fn db_mut(&mut self) -> &mut Database {
+        self.catalog.db_mut()
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Database {
+        self.catalog.db()
+    }
+
+    /// A view's refresh policy.
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn policy(&self, name: &str) -> Result<RefreshPolicy> {
+        Ok(self.state(name)?.policy)
+    }
+
+    /// Change a view's refresh policy (takes effect next tick; pending
+    /// changes are preserved).
+    ///
+    /// # Errors
+    /// Unknown view name or invalid policy.
+    pub fn set_policy(&mut self, name: &str, policy: RefreshPolicy) -> Result<()> {
+        policy.validate()?;
+        self.state_mut(name)?.policy = policy;
+        Ok(())
+    }
+
+    /// Set every registered engine's partitioned-propagation
+    /// configuration (results and counted accesses stay bit-identical
+    /// for any thread count).
+    ///
+    /// # Errors
+    /// Invalid thread count.
+    pub fn set_parallel_all(&mut self, parallel: ParallelConfig) -> Result<()> {
+        use idivm_core::EngineConfig;
+        let names: Vec<String> = self.states.keys().cloned().collect();
+        for name in names {
+            self.catalog.view_mut(&name)?.engine_mut().set_parallel(parallel)?;
+        }
+        Ok(())
+    }
+
+    /// A view's cumulative maintenance statistics.
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn stats(&self, name: &str) -> Result<&ViewStats> {
+        Ok(&self.state(name)?.stats)
+    }
+
+    /// Ticks a view's pending net has been non-empty (0 = up to date).
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn staleness(&self, name: &str) -> Result<u32> {
+        Ok(self.state(name)?.staleness)
+    }
+
+    /// The view's composed pending net (empty when up to date).
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn pending(&self, name: &str) -> Result<&HashMap<String, TableChanges>> {
+        Ok(&self.state(name)?.pending)
+    }
+
+    /// Completed scheduler rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    fn state(&self, name: &str) -> Result<&ViewState> {
+        self.states
+            .get(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))
+    }
+
+    fn state_mut(&mut self, name: &str) -> Result<&mut ViewState> {
+        self.states
+            .get_mut(name)
+            .ok_or_else(|| Error::Config(format!("view `{name}` is not registered")))
+    }
+
+    /// Fold the database log once, clear it, and compose the per-view
+    /// slices onto every dependent view's pending net. Advances
+    /// staleness for every view left with a non-empty pending.
+    fn distribute(&mut self) -> Result<()> {
+        let net = self.catalog.db().fold_log();
+        if !net.is_empty() {
+            self.catalog.db_mut().clear_log();
+            for name in self.states.keys().cloned().collect::<Vec<_>>() {
+                let slice = self.catalog.restrict_net(&name, &net)?;
+                if !slice.is_empty() {
+                    let state = self.state_mut(&name)?;
+                    compose_changes(&mut state.pending, slice);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One scheduler round: distribute freshly logged changes, then
+    /// maintain every due view against one fresh shared-prefix cache.
+    /// Never fails on maintenance errors — those are routed through the
+    /// per-view supervisor and surface as verdicts in the summary.
+    ///
+    /// # Errors
+    /// Catalog inconsistencies only (unknown view — a bug).
+    pub fn tick(&mut self) -> Result<RoundSummary> {
+        self.round += 1;
+        self.distribute()?;
+        // Staleness advances on ticks (barriers reuse it as-is).
+        for state in self.states.values_mut() {
+            if !state.pending.is_empty() {
+                state.staleness += 1;
+            }
+        }
+        let due: Vec<String> = self
+            .states
+            .iter()
+            .filter(|(_, s)| match s.policy {
+                RefreshPolicy::Eager => !s.pending.is_empty(),
+                RefreshPolicy::Deferred {
+                    max_staleness_rounds,
+                } => !s.pending.is_empty() && s.staleness >= max_staleness_rounds,
+                RefreshPolicy::OnRead => false,
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        self.maintain_views(&due)
+    }
+
+    /// Read barrier: bring `name` fully up to date (distributing any
+    /// freshly logged changes first), then return its sorted rows.
+    /// This is how `OnRead` views are served; it is equally valid for
+    /// any policy.
+    ///
+    /// # Errors
+    /// Unknown view name, or a degraded view (its supervisor could not
+    /// converge — pending changes are preserved for the next attempt).
+    pub fn read_view(&mut self, name: &str) -> Result<Vec<Row>> {
+        self.state(name)?;
+        self.distribute()?;
+        if !self.state(name)?.pending.is_empty() {
+            let summary = self.maintain_views(&[name.to_string()])?;
+            if let Some((_, verdict)) = summary
+                .verdicts
+                .iter()
+                .find(|(n, v)| n == name && !v.healthy())
+            {
+                return Err(Error::Config(format!(
+                    "view `{name}` is degraded ({}) — pending changes preserved",
+                    verdict.label()
+                )));
+            }
+        }
+        self.catalog.rows(name)
+    }
+
+    /// Drain barrier: bring *every* view fully up to date (one shared
+    /// cache across all of them), regardless of policy.
+    ///
+    /// # Errors
+    /// Catalog inconsistencies only; per-view failures surface as
+    /// verdicts in the summary.
+    pub fn drain(&mut self) -> Result<RoundSummary> {
+        self.distribute()?;
+        let due: Vec<String> = self
+            .states
+            .iter()
+            .filter(|(_, s)| !s.pending.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect();
+        self.maintain_views(&due)
+    }
+
+    /// Maintain `due` views (name order) against one fresh shared
+    /// cache, attributing accesses per view and routing failures
+    /// through the per-view supervisor.
+    fn maintain_views(&mut self, due: &[String]) -> Result<RoundSummary> {
+        let mut summary = RoundSummary {
+            round: self.round,
+            ..RoundSummary::default()
+        };
+        let mut cache = SharedDiffCache::new();
+        let mut due = due.to_vec();
+        due.sort();
+        for name in &due {
+            let net = self.state(name)?.pending.clone();
+            if net.is_empty() {
+                continue;
+            }
+            let before = self.catalog.db().stats().snapshot();
+            let result = if self.config.share_prefixes {
+                self.catalog.maintain_shared(name, &net, &mut cache)
+            } else {
+                self.catalog.maintain_independent(name, &net)
+            };
+            match result {
+                Ok(report) => {
+                    let spent = self.catalog.db().stats().snapshot().since(&before);
+                    let state = self.state_mut(name)?;
+                    state.pending.clear();
+                    state.staleness = 0;
+                    state.stats.rounds += 1;
+                    state.stats.accesses = state.stats.accesses.merge(spent);
+                    state.stats.view_diff_tuples += report.view_diff_tuples as u64;
+                    state.stats.last_report = Some(report);
+                    summary.maintained.push((name.clone(), spent));
+                }
+                Err(_) => {
+                    // The failed round has been rolled back; escalate
+                    // to the per-view supervisor, which owns retries,
+                    // bisection/quarantine, and the recompute ladder.
+                    let report =
+                        self.catalog
+                            .maintain_supervised(name, &net, self.config.supervisor)?;
+                    let spent = self.catalog.db().stats().snapshot().since(&before);
+                    let verdict = report.verdict;
+                    let state = self.state_mut(name)?;
+                    if verdict.healthy() && verdict != SupervisorVerdict::Idle {
+                        state.pending.clear();
+                        state.staleness = 0;
+                    }
+                    state.stats.rounds += 1;
+                    state.stats.supervised_rounds += 1;
+                    state.stats.accesses = state.stats.accesses.merge(spent);
+                    state.stats.quarantined_changes += report.quarantine.len() as u64;
+                    state.stats.last_verdict = Some(verdict);
+                    state.stats.last_supervisor = Some(report);
+                    summary.maintained.push((name.clone(), spent));
+                    summary.verdicts.push((name.clone(), verdict));
+                }
+            }
+        }
+        for (name, state) in &self.states {
+            if !state.pending.is_empty() && !due.contains(name) {
+                summary.deferred.push((name.clone(), state.staleness));
+            }
+        }
+        summary.shared_hits = cache.total_hits();
+        summary.shared_saved_accesses = cache.total_saved_accesses();
+        summary.prefix_stats = cache.stats();
+        Ok(summary)
+    }
+}

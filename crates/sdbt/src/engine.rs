@@ -4,9 +4,10 @@
 use crate::partial::Partial;
 use idivm_algebra::{ensure_ids, AggFunc, AggSpec, Plan};
 use idivm_core::access::PathId;
+use idivm_core::config::{EngineConfig, EngineKnobs};
 use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
-use idivm_core::faults::{FaultPlan, FaultState, RoundBudget};
-use idivm_core::trace::{OpTrace, RoundTrace, TraceConfig, TracePhase};
+use idivm_core::faults::FaultState;
+use idivm_core::trace::{OpTrace, RoundTrace, TracePhase};
 use idivm_core::MaintenanceReport;
 use idivm_exec::{execute, materialize_view, refresh_view, view_schema};
 use idivm_reldb::{Database, NetChange, TableChanges};
@@ -41,10 +42,16 @@ pub struct Sdbt {
     shape: RootShape,
     variant: SdbtVariant,
     partials: Vec<PartialState>,
-    trace: TraceConfig,
-    faults: FaultPlan,
-    budget: RoundBudget,
-    recovery: RecoveryPolicy,
+    knobs: EngineKnobs,
+}
+
+impl EngineConfig for Sdbt {
+    fn knobs(&self) -> &EngineKnobs {
+        &self.knobs
+    }
+    fn knobs_mut(&mut self) -> &mut EngineKnobs {
+        &mut self.knobs
+    }
 }
 
 struct PartialState {
@@ -154,49 +161,8 @@ impl Sdbt {
             shape,
             variant,
             partials: states,
-            trace: TraceConfig::disabled(),
-            faults: FaultPlan::disabled(),
-            budget: RoundBudget::unlimited(),
-            recovery: RecoveryPolicy::Abort,
+            knobs: EngineKnobs::default(),
         })
-    }
-
-    /// Enable or disable per-phase trace recording (off by default).
-    pub fn set_trace(&mut self, trace: TraceConfig) {
-        self.trace = trace;
-    }
-
-    /// Set the deterministic fault-injection plan (disabled by default;
-    /// zero cost when off). The plan drives this engine's own phase
-    /// boundaries — inner map maintainers are not separately injected.
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
-    }
-
-    /// Set what a round does after an error forced a rollback.
-    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        self.recovery = recovery;
-    }
-
-    /// Set the per-round access budget (unlimited by default; zero
-    /// cost when off). See [`RoundBudget`].
-    pub fn set_budget(&mut self, budget: RoundBudget) {
-        self.budget = budget;
-    }
-
-    /// The armed fault-injection plan.
-    pub fn faults(&self) -> FaultPlan {
-        self.faults
-    }
-
-    /// The current recovery policy.
-    pub fn recovery(&self) -> RecoveryPolicy {
-        self.recovery
-    }
-
-    /// The current per-round access budget.
-    pub fn budget(&self) -> RoundBudget {
-        self.budget
     }
 
     /// The maintained view's name.
@@ -276,7 +242,7 @@ impl Sdbt {
             Err(e) => {
                 if owner {
                     db.abort_round();
-                    if self.recovery == RecoveryPolicy::RecomputeOnError {
+                    if self.knobs.recovery == RecoveryPolicy::RecomputeOnError {
                         return self.recover(db, &e);
                     }
                 } else {
@@ -329,7 +295,7 @@ impl Sdbt {
             recovery_cause: Some(cause.to_string()),
             ..MaintenanceReport::default()
         };
-        if self.trace.enabled {
+        if self.knobs.trace.enabled {
             let mut trace = RoundTrace::default();
             trace.operators.push(OpTrace {
                 path: PathId::new(),
@@ -353,13 +319,13 @@ impl Sdbt {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
-        let faults = FaultState::with_budget(self.faults, self.budget);
+        let faults = FaultState::with_budget(self.knobs.faults, self.knobs.budget);
         // Content-dependent failpoint: a poison key in the pending
         // batch fails the round before any propagation.
         faults.on_batch(net)?;
         let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
-        if self.trace.enabled {
+        if self.knobs.trace.enabled {
             report.trace = Some(RoundTrace::default());
         }
         if net.is_empty() {
@@ -721,30 +687,6 @@ impl idivm_core::SupervisedEngine for Sdbt {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         Sdbt::maintain_with_changes(self, db, net)
-    }
-
-    fn faults(&self) -> FaultPlan {
-        self.faults
-    }
-
-    fn set_faults(&mut self, faults: FaultPlan) {
-        Sdbt::set_faults(self, faults);
-    }
-
-    fn recovery(&self) -> RecoveryPolicy {
-        self.recovery
-    }
-
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        Sdbt::set_recovery(self, recovery);
-    }
-
-    fn budget(&self) -> RoundBudget {
-        self.budget
-    }
-
-    fn set_budget(&mut self, budget: RoundBudget) {
-        Sdbt::set_budget(self, budget);
     }
 }
 

@@ -4,11 +4,12 @@ use crate::propagate::{propagate, TupleCtx};
 use crate::tdiff::{apply, TApplyOutcome, TDiffs};
 use idivm_algebra::{ensure_ids, Plan};
 use idivm_core::access::{AccessCtx, PathId};
+use idivm_core::config::{EngineConfig, EngineKnobs};
 use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
-use idivm_core::faults::{FaultPlan, FaultState, RoundBudget};
-use idivm_core::trace::{op_label, OpTrace, RoundTrace, TraceConfig, TracePhase};
+use idivm_core::faults::FaultState;
+use idivm_core::trace::{op_label, OpTrace, RoundTrace, TracePhase};
 use idivm_core::MaintenanceReport;
-use idivm_exec::{materialize_view, refresh_view, ParallelConfig};
+use idivm_exec::{materialize_view, refresh_view};
 use idivm_reldb::{Database, StatsSnapshot};
 use idivm_types::{Error, Result};
 use std::collections::HashMap;
@@ -24,11 +25,16 @@ use std::time::Instant;
 pub struct TupleIvm {
     view_name: String,
     plan: Plan,
-    parallel: ParallelConfig,
-    trace: TraceConfig,
-    faults: FaultPlan,
-    budget: RoundBudget,
-    recovery: RecoveryPolicy,
+    knobs: EngineKnobs,
+}
+
+impl EngineConfig for TupleIvm {
+    fn knobs(&self) -> &EngineKnobs {
+        &self.knobs
+    }
+    fn knobs_mut(&mut self) -> &mut EngineKnobs {
+        &mut self.knobs
+    }
 }
 
 impl TupleIvm {
@@ -44,61 +50,8 @@ impl TupleIvm {
         Ok(TupleIvm {
             view_name: view_name.to_string(),
             plan,
-            parallel: ParallelConfig::serial(),
-            trace: TraceConfig::disabled(),
-            faults: FaultPlan::disabled(),
-            budget: RoundBudget::unlimited(),
-            recovery: RecoveryPolicy::Abort,
+            knobs: EngineKnobs::default(),
         })
-    }
-
-    /// Set the partitioned-propagation configuration (serial by
-    /// default). Access counts are bit-identical for any thread count.
-    ///
-    /// # Errors
-    /// [`Error::Config`] for an invalid thread count (see
-    /// [`ParallelConfig::validate`]).
-    pub fn set_parallel(&mut self, parallel: ParallelConfig) -> Result<()> {
-        parallel.validate()?;
-        self.parallel = parallel;
-        Ok(())
-    }
-
-    /// Enable or disable per-operator trace recording (off by default).
-    pub fn set_trace(&mut self, trace: TraceConfig) {
-        self.trace = trace;
-    }
-
-    /// Set the deterministic fault-injection plan (disabled by default;
-    /// zero cost when off). See [`idivm_core::faults`].
-    pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
-    }
-
-    /// Set what a round does after an error forced a rollback.
-    pub fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        self.recovery = recovery;
-    }
-
-    /// Set the per-round access budget (unlimited by default; zero
-    /// cost when off). See [`RoundBudget`].
-    pub fn set_budget(&mut self, budget: RoundBudget) {
-        self.budget = budget;
-    }
-
-    /// The armed fault-injection plan.
-    pub fn faults(&self) -> FaultPlan {
-        self.faults
-    }
-
-    /// The current recovery policy.
-    pub fn recovery(&self) -> RecoveryPolicy {
-        self.recovery
-    }
-
-    /// The current per-round access budget.
-    pub fn budget(&self) -> RoundBudget {
-        self.budget
     }
 
     /// The maintained view's name.
@@ -159,7 +112,7 @@ impl TupleIvm {
             Err(e) => {
                 if owner {
                     db.abort_round();
-                    if self.recovery == RecoveryPolicy::RecomputeOnError {
+                    if self.knobs.recovery == RecoveryPolicy::RecomputeOnError {
                         return self.recover(db, &e);
                     }
                 } else {
@@ -182,7 +135,7 @@ impl TupleIvm {
             recovery_cause: Some(cause.to_string()),
             ..MaintenanceReport::default()
         };
-        if self.trace.enabled {
+        if self.knobs.trace.enabled {
             let mut trace = RoundTrace::default();
             trace.operators.push(OpTrace {
                 path: PathId::new(),
@@ -206,13 +159,13 @@ impl TupleIvm {
         net: &HashMap<String, idivm_reldb::TableChanges>,
     ) -> Result<MaintenanceReport> {
         let started = Instant::now();
-        let faults = FaultState::with_budget(self.faults, self.budget);
+        let faults = FaultState::with_budget(self.knobs.faults, self.knobs.budget);
         // Content-dependent failpoint: a poison key in the pending
         // batch fails the round before any propagation.
         faults.on_batch(net)?;
         let round0 = db.stats().snapshot();
         let mut report = MaintenanceReport::default();
-        if self.trace.enabled {
+        if self.knobs.trace.enabled {
             report.trace = Some(RoundTrace::default());
         }
         if net.is_empty() {
@@ -232,7 +185,7 @@ impl TupleIvm {
         let before = db.stats().snapshot();
         let empty_caches: HashMap<PathId, String> = HashMap::new();
         let empty_changes: HashMap<String, idivm_reldb::TableChanges> = HashMap::new();
-        let mut op_traces = self.trace.enabled.then(Vec::new);
+        let mut op_traces = self.knobs.trace.enabled.then(Vec::new);
         let view_diffs = {
             let access = AccessCtx {
                 db,
@@ -243,7 +196,7 @@ impl TupleIvm {
             let ctx = TupleCtx {
                 access: &access,
                 view_name: &self.view_name,
-                parallel: self.parallel,
+                parallel: self.knobs.parallel,
             };
             walk(
                 &ctx,
@@ -300,30 +253,6 @@ impl idivm_core::SupervisedEngine for TupleIvm {
         net: &HashMap<String, idivm_reldb::TableChanges>,
     ) -> Result<MaintenanceReport> {
         TupleIvm::maintain_with_changes(self, db, net)
-    }
-
-    fn faults(&self) -> FaultPlan {
-        self.faults
-    }
-
-    fn set_faults(&mut self, faults: FaultPlan) {
-        TupleIvm::set_faults(self, faults);
-    }
-
-    fn recovery(&self) -> RecoveryPolicy {
-        self.recovery
-    }
-
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        TupleIvm::set_recovery(self, recovery);
-    }
-
-    fn budget(&self) -> RoundBudget {
-        self.budget
-    }
-
-    fn set_budget(&mut self, budget: RoundBudget) {
-        TupleIvm::set_budget(self, budget);
     }
 }
 

@@ -9,6 +9,10 @@
 //!   relation sizes of the Benchmark for Social Media Analytics
 //!   (Figure 9a), plus the eight analytics views of Figure 9b (Q7, Q10,
 //!   Q11, Q15, Q18, Q*1, Q*2, Q*3).
+//! * [`multiview`] — the overlapping Q7-family suite for the view
+//!   catalog: four standing views sharing the σ_ts(mentions ⋈
+//!   microblog) prefix, plus a tweet-stream modification generator
+//!   whose diffs actually reach the shared subtree.
 //!
 //! The paper ran on BSMA's released data at 1M-user scale on PostgreSQL;
 //! we substitute a seeded synthetic generator with the same shape,
@@ -17,6 +21,8 @@
 //! which the generator preserves).
 
 pub mod bsma;
+pub mod multiview;
 pub mod running_example;
 
+pub use multiview::MultiView;
 pub use running_example::RunningExample;

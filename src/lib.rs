@@ -7,6 +7,11 @@
 
 pub use idivm_algebra as algebra;
 pub use idivm_core as core;
+/// The multi-view catalog + shared-diff maintenance scheduler
+/// (`idivm-sched`). Exposed as `catalog` here because it sits *above*
+/// `idivm_core` in the dependency DAG and so cannot be re-exported
+/// from there.
+pub use idivm_sched as catalog;
 pub use idivm_cost as cost;
 pub use idivm_exec as exec;
 pub use idivm_reldb as reldb;

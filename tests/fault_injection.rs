@@ -31,7 +31,8 @@
 //! at P = 4.
 
 use idivm_repro::core::{
-    FaultPlan, IdIvm, IvmOptions, MaintenanceReport, RecoveryPolicy, TraceConfig, TracePhase,
+    EngineConfig, FaultPlan, IdIvm, IvmOptions, MaintenanceReport, RecoveryPolicy, TraceConfig,
+    TracePhase,
 };
 use idivm_repro::exec::{executor::sorted, recompute_rows, ParallelConfig};
 use idivm_repro::reldb::Database;
@@ -73,24 +74,16 @@ fn four_threads() -> ParallelConfig {
     }
 }
 
-/// The engine surface the sweep needs: fault plan selection, one
-/// maintenance round, and the maintained rows to diff against the
-/// recompute oracle.
-trait EngineUnderTest {
-    fn set_faults(&mut self, plan: FaultPlan);
-    fn set_recovery(&mut self, recovery: RecoveryPolicy);
+/// The engine surface the sweep needs: one maintenance round and the
+/// maintained rows to diff against the recompute oracle (fault plan
+/// and recovery knobs come from the shared `EngineConfig` supertrait).
+trait EngineUnderTest: EngineConfig {
     fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport>;
     fn oracle(&self, db: &Database) -> Vec<Row>;
     fn actual(&self, db: &Database) -> Vec<Row>;
 }
 
 impl EngineUnderTest for IdIvm {
-    fn set_faults(&mut self, plan: FaultPlan) {
-        IdIvm::set_faults(self, plan);
-    }
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        IdIvm::set_recovery(self, recovery);
-    }
     fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
         IdIvm::maintain(self, db)
     }
@@ -103,12 +96,6 @@ impl EngineUnderTest for IdIvm {
 }
 
 impl EngineUnderTest for TupleIvm {
-    fn set_faults(&mut self, plan: FaultPlan) {
-        TupleIvm::set_faults(self, plan);
-    }
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        TupleIvm::set_recovery(self, recovery);
-    }
     fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
         TupleIvm::maintain(self, db)
     }
@@ -121,12 +108,6 @@ impl EngineUnderTest for TupleIvm {
 }
 
 impl EngineUnderTest for Sdbt {
-    fn set_faults(&mut self, plan: FaultPlan) {
-        Sdbt::set_faults(self, plan);
-    }
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        Sdbt::set_recovery(self, recovery);
-    }
     fn maintain(&self, db: &mut Database) -> Result<MaintenanceReport> {
         Sdbt::maintain(self, db)
     }

@@ -14,7 +14,7 @@
 //! * the Figure 10 workload (BSMA Q10) at small scale, both engines;
 //! * the Figure 12 workload (running-example SPJ + aggregate sweeps).
 
-use idivm_repro::core::{IdIvm, IvmOptions};
+use idivm_repro::core::{EngineConfig, IdIvm, IvmOptions};
 use idivm_repro::exec::{executor::sorted, recompute_rows, ParallelConfig};
 use idivm_repro::reldb::{Database, StatsSnapshot};
 use idivm_repro::tuple::TupleIvm;

@@ -27,8 +27,8 @@
 //! boxed test-local subtrait that adds the oracle/actual accessors.
 
 use idivm_repro::core::{
-    FaultPlan, IdIvm, IvmOptions, MaintenanceReport, MaintenanceSupervisor, RecoveryPolicy,
-    RoundBudget, SupervisedEngine, SupervisorConfig, SupervisorVerdict,
+    EngineConfig, FaultPlan, IdIvm, IvmOptions, MaintenanceReport, MaintenanceSupervisor,
+    RecoveryPolicy, RoundBudget, SupervisedEngine, SupervisorConfig, SupervisorVerdict,
 };
 use idivm_repro::exec::{executor::sorted, recompute_rows, ParallelConfig};
 use idivm_repro::reldb::{Database, NetChange, TableChanges};
@@ -102,6 +102,15 @@ impl ChaosEngine for Sdbt {
 
 /// Forward the supervised surface through the box so a
 /// `MaintenanceSupervisor<Box<dyn ChaosEngine>>` drives any engine.
+impl EngineConfig for Box<dyn ChaosEngine> {
+    fn knobs(&self) -> &idivm_repro::core::EngineKnobs {
+        (**self).knobs()
+    }
+    fn knobs_mut(&mut self) -> &mut idivm_repro::core::EngineKnobs {
+        (**self).knobs_mut()
+    }
+}
+
 impl SupervisedEngine for Box<dyn ChaosEngine> {
     fn label(&self) -> &'static str {
         (**self).label()
@@ -112,24 +121,6 @@ impl SupervisedEngine for Box<dyn ChaosEngine> {
         net: &HashMap<String, TableChanges>,
     ) -> Result<MaintenanceReport> {
         (**self).maintain_with_changes(db, net)
-    }
-    fn faults(&self) -> FaultPlan {
-        (**self).faults()
-    }
-    fn set_faults(&mut self, faults: FaultPlan) {
-        (**self).set_faults(faults);
-    }
-    fn recovery(&self) -> RecoveryPolicy {
-        (**self).recovery()
-    }
-    fn set_recovery(&mut self, recovery: RecoveryPolicy) {
-        (**self).set_recovery(recovery);
-    }
-    fn budget(&self) -> RoundBudget {
-        (**self).budget()
-    }
-    fn set_budget(&mut self, budget: RoundBudget) {
-        (**self).set_budget(budget);
     }
 }
 

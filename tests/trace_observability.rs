@@ -13,7 +13,7 @@
 //! `maintain()` on malformed predicates.
 
 use idivm_repro::algebra::{Expr, PlanBuilder};
-use idivm_repro::core::{IdIvm, IvmOptions, RoundTrace, TraceConfig, TracePhase};
+use idivm_repro::core::{EngineConfig, IdIvm, IvmOptions, RoundTrace, TraceConfig, TracePhase};
 use idivm_repro::exec::{DbCatalog, ParallelConfig};
 use idivm_repro::reldb::{Database, StatsSnapshot};
 use idivm_repro::sdbt::{Sdbt, SdbtVariant};
