@@ -1,32 +1,44 @@
-//! Multi-view catalog benchmark — shared-prefix maintenance vs
-//! independent per-view maintenance on the overlapping Q7-family BSMA
-//! suite, driven by the tweet stream.
+//! Multi-view catalog benchmark — adaptive intermediate
+//! materialization vs shared-prefix maintenance vs independent
+//! per-view maintenance on the overlapping Q7-family BSMA suite,
+//! driven by the tweet stream.
 //!
 //! Usage:
 //! ```text
 //! cargo run --release -p idivm-bench --bin multiview [-- --scale N --rounds R --diffs D --smoke]
 //! ```
 //!
-//! Four standing views share the σ_ts(mentions ⋈ microblog) operator
-//! subtree (one of them — `mention_topic_counts` — is a deliberate
-//! negative control whose diff schemas forbid sharing; see
+//! Five standing views share the σ_ts(mentions ⋈ microblog) operator
+//! subtree; three of them additionally share the deep `⋈ users` prefix
+//! (one view — `mention_topic_counts` — is a deliberate negative
+//! control whose diff schemas forbid sharing; see
 //! `idivm_workloads::multiview`). The benchmark runs the identical
 //! deterministic tweet stream through the [`MaintenanceScheduler`]
-//! twice — shared prefixes on vs off — and reports per-view and total
-//! counted accesses, per-prefix sharing outcomes, and the access
-//! ratio, which is **asserted ≥ 1.3×**. It also asserts the per-view
-//! results (table signatures) are bit-identical across:
+//! three ways — independent, shared prefixes, shared + cost-model
+//! promotion — and reports per-view and total counted accesses
+//! (bracketed around the scheduler calls, so backing population and
+//! promotion surgery are charged to the run that incurs them),
+//! per-prefix sharing outcomes, promotion events, and the access
+//! ratios. Guards:
 //!
-//! * shared vs independent maintenance,
-//! * `ParallelConfig` serial vs 4 threads (including the per-view
-//!   *access attribution*, not just the rows),
-//! * all-Eager vs a mixed Eager/Deferred/OnRead policy run, once
-//!   drained.
+//! * independent / shared ≥ 1.3× (the PR5 sharing guard),
+//! * independent / promoted ≥ 2.0× (the adaptive-materialization
+//!   guard; relaxed to 1.4× under `--smoke`),
+//! * promoted ≤ shared total accesses (in-process ratchet — promotion
+//!   never loses to sharing alone),
+//! * per-view signatures bit-identical across independent / shared /
+//!   promoted / P = 4 / mixed-policy runs (the P = 4 check includes
+//!   the per-view *access attribution*, not just the rows),
+//! * the promotion decision log is byte-identical across repeated
+//!   runs.
 //!
-//! Writes `BENCH_multiview.json` (schema in `EXPERIMENTS.md`).
+//! Writes `BENCH_multiview.json` (promotion run) and
+//! `BENCH_multiview_nopromotion.json` (sharing only) — schema in
+//! `EXPERIMENTS.md`.
 
 use idivm_bench::fmt_row;
 use idivm_core::IvmOptions;
+use idivm_cost::PromotionConfig;
 use idivm_exec::ParallelConfig;
 use idivm_reldb::TableSignature;
 use idivm_sched::{MaintenanceScheduler, RefreshPolicy, SchedulerConfig};
@@ -35,8 +47,13 @@ use idivm_workloads::multiview::VIEW_NAMES;
 use idivm_workloads::MultiView;
 use std::collections::BTreeMap;
 
-/// Minimum shared/independent access ratio the run must demonstrate.
+/// Minimum independent/shared access ratio the run must demonstrate.
 const MIN_RATIO: f64 = 1.3;
+/// Minimum independent/promoted access ratio (full-size run).
+const MIN_PROMOTED_RATIO: f64 = 2.0;
+/// Promoted guard under `--smoke` (fewer rounds amortize the backing
+/// population less).
+const MIN_PROMOTED_RATIO_SMOKE: f64 = 1.4;
 
 /// Cumulative per-prefix sharing outcome across all rounds.
 #[derive(Debug, Clone, Default)]
@@ -48,33 +65,49 @@ struct PrefixTotals {
     saved_accesses: u64,
 }
 
+/// One cost-model comparison, flattened for the decision log and JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CostRecord {
+    round: u64,
+    label: String,
+    promoted: bool,
+    consumers: u64,
+    observed_compute: u64,
+    observed_diff_tuples: u64,
+    predicted_maintain_milli: u128,
+    predicted_recompute_milli: u128,
+    decision: String,
+}
+
 /// One full run of the tweet stream through the scheduler.
 #[derive(Debug)]
 struct Outcome {
     per_view_accesses: BTreeMap<String, u64>,
+    /// Counted accesses across every scheduler call (ticks, barriers,
+    /// drain) — includes intermediate maintenance, backing population,
+    /// and promotion surgery.
     total_accesses: u64,
     shared_hits: u64,
     shared_saved_accesses: u64,
     prefixes: BTreeMap<String, PrefixTotals>,
     signatures: BTreeMap<String, TableSignature>,
+    cost_log: Vec<CostRecord>,
+    /// `round:action:backing:label` lines, in order.
+    events: Vec<String>,
+    /// Backings still promoted at the end of the run.
+    intermediates: Vec<String>,
 }
 
 fn run(
     cfg: &MultiView,
     rounds: u64,
     diffs: usize,
-    share_prefixes: bool,
+    config: SchedulerConfig,
     parallel: ParallelConfig,
     policy: impl Fn(&str) -> RefreshPolicy,
 ) -> Outcome {
     let db = cfg.build().expect("generator failed");
-    let mut sched = MaintenanceScheduler::new(
-        db,
-        SchedulerConfig {
-            share_prefixes,
-            ..SchedulerConfig::default()
-        },
-    );
+    let mut sched = MaintenanceScheduler::new(db, config);
     for name in VIEW_NAMES {
         let plan = cfg.plan(sched.db(), name).expect("plan");
         sched
@@ -83,9 +116,12 @@ fn run(
     }
     sched.set_parallel_all(parallel).expect("parallel config");
 
+    let mut total_accesses = 0u64;
     let mut shared_hits = 0;
     let mut shared_saved = 0;
     let mut prefixes: BTreeMap<String, PrefixTotals> = BTreeMap::new();
+    let mut cost_log: Vec<CostRecord> = Vec::new();
+    let mut events: Vec<String> = Vec::new();
     let mut absorb = |summary: &idivm_sched::RoundSummary| {
         shared_hits += summary.shared_hits;
         shared_saved += summary.shared_saved_accesses;
@@ -97,18 +133,54 @@ fn run(
             entry.hits += stat.hits;
             entry.saved_accesses += stat.saved_accesses();
         }
+        for c in &summary.cost {
+            cost_log.push(CostRecord {
+                round: summary.round,
+                label: c.label.clone(),
+                promoted: c.promoted,
+                consumers: c.consumers,
+                observed_compute: c.observed_compute,
+                observed_diff_tuples: c.observed_diff_tuples,
+                predicted_maintain_milli: c.predicted_maintain_milli,
+                predicted_recompute_milli: c.predicted_recompute_milli,
+                decision: c.decision.label().to_string(),
+            });
+        }
+        for e in &summary.promotions {
+            events.push(format!(
+                "{}:{}:{}:{}",
+                summary.round, e.action, e.backing, e.label
+            ));
+        }
     };
     for round in 1..=rounds {
         cfg.tweet_batch(sched.db_mut(), diffs, round)
             .expect("tweet batch");
+        let before = sched.db().stats().snapshot();
         let summary = sched.tick().expect("tick");
+        let bracketed = sched.db().stats().snapshot().since(&before).total();
+        total_accesses += bracketed;
+        if std::env::var_os("MULTIVIEW_TRACE").is_some() {
+            let inter: Vec<String> = summary
+                .intermediates
+                .iter()
+                .map(|(n, s)| format!("{n}={}", s.total()))
+                .collect();
+            eprintln!(
+                "round {round}: bracketed {bracketed} attributed {} inter [{}]",
+                summary.total_accesses(),
+                inter.join(", ")
+            );
+        }
         absorb(&summary);
         // Exercise the OnRead barrier mid-stream: any view can be read
         // at any time, draining just that view.
         if round == rounds / 2 {
             for name in VIEW_NAMES {
                 if sched.policy(name).expect("policy") == RefreshPolicy::OnRead {
+                    let before = sched.db().stats().snapshot();
                     let rows = sched.read_view(name).expect("read_view");
+                    total_accesses += sched.db().stats().snapshot().since(&before).total();
                     assert!(!rows.is_empty(), "{name}: read barrier returned no rows");
                 }
             }
@@ -116,7 +188,9 @@ fn run(
     }
     // Drain whatever Deferred/OnRead left pending so every policy mix
     // converges to the same final state.
+    let before = sched.db().stats().snapshot();
     let summary = sched.drain().expect("drain");
+    total_accesses += sched.db().stats().snapshot().since(&before).total();
     absorb(&summary);
 
     let mut per_view = BTreeMap::new();
@@ -132,13 +206,118 @@ fn run(
         );
     }
     Outcome {
-        total_accesses: per_view.values().sum(),
         per_view_accesses: per_view,
+        total_accesses,
         shared_hits,
         shared_saved_accesses: shared_saved,
         prefixes,
         signatures,
+        cost_log,
+        events,
+        intermediates: sched.intermediates(),
     }
+}
+
+/// Stream shape shared by every run in one invocation.
+#[derive(Clone, Copy)]
+struct RunShape {
+    scale: f64,
+    rounds: u64,
+    diffs: usize,
+}
+
+fn write_artifact(
+    path: &str,
+    shape: RunShape,
+    outcome: &Outcome,
+    independent: &Outcome,
+    promotion_enabled: bool,
+    guard_ratio: f64,
+    sig_checks: &str,
+) {
+    let RunShape {
+        scale,
+        rounds,
+        diffs,
+    } = shape;
+    let ratio = independent.total_accesses as f64 / outcome.total_accesses as f64;
+    let views_json: Vec<String> = VIEW_NAMES
+        .iter()
+        .map(|name| {
+            format!(
+                "    {{\"name\": \"{name}\", \"accesses\": {}, \"independent_accesses\": {}}}",
+                outcome.per_view_accesses[*name], independent.per_view_accesses[*name]
+            )
+        })
+        .collect();
+    let prefixes_json: Vec<String> = outcome
+        .prefixes
+        .iter()
+        .map(|(label, p)| {
+            format!(
+                "    {{\"label\": \"{label}\", \"computes\": {}, \"compute_accesses\": {}, \
+                 \"diff_tuples\": {}, \"hits\": {}, \"saved_accesses\": {}}}",
+                p.computes, p.compute_accesses, p.diff_tuples, p.hits, p.saved_accesses
+            )
+        })
+        .collect();
+    let events_json: Vec<String> = outcome
+        .events
+        .iter()
+        .map(|e| {
+            let parts: Vec<&str> = e.splitn(4, ':').collect();
+            format!(
+                "      {{\"round\": {}, \"action\": \"{}\", \"backing\": \"{}\", \"label\": \"{}\"}}",
+                parts[0], parts[1], parts[2], parts[3]
+            )
+        })
+        .collect();
+    let cost_json: Vec<String> = outcome
+        .cost_log
+        .iter()
+        .map(|c| {
+            format!(
+                "      {{\"round\": {}, \"label\": \"{}\", \"promoted\": {}, \"consumers\": {}, \
+                 \"observed_compute\": {}, \"observed_diff_tuples\": {}, \
+                 \"predicted_maintain_milli\": {}, \"predicted_recompute_milli\": {}, \
+                 \"decision\": \"{}\"}}",
+                c.round,
+                c.label,
+                c.promoted,
+                c.consumers,
+                c.observed_compute,
+                c.observed_diff_tuples,
+                c.predicted_maintain_milli,
+                c.predicted_recompute_milli,
+                c.decision
+            )
+        })
+        .collect();
+    let intermediates_json: Vec<String> = outcome
+        .intermediates
+        .iter()
+        .map(|b| format!("\"{b}\""))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"multiview\",\n  \"scale\": {scale},\n  \"rounds\": {rounds},\n  \
+         \"diffs\": {diffs},\n  \"views\": [\n{}\n  ],\n  \"prefixes\": [\n{}\n  ],\n  \
+         \"total_accesses\": {},\n  \"independent_total_accesses\": {},\n  \
+         \"shared_hits\": {},\n  \"shared_saved_accesses\": {},\n  \"ratio\": {ratio:.4},\n  \
+         \"guard_min_ratio\": {guard_ratio},\n  \"signatures_match\": {sig_checks},\n  \
+         \"promotion\": {{\n    \"enabled\": {promotion_enabled},\n    \
+         \"intermediates\": [{}],\n    \"events\": [\n{}\n    ],\n    \"cost\": [\n{}\n    ]\n  }}\n}}\n",
+        views_json.join(",\n"),
+        prefixes_json.join(",\n"),
+        outcome.total_accesses,
+        independent.total_accesses,
+        outcome.shared_hits,
+        outcome.shared_saved_accesses,
+        intermediates_json.join(", "),
+        events_json.join(",\n"),
+        cost_json.join(",\n"),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
 }
 
 fn main() {
@@ -151,8 +330,11 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
+    // Enough rounds past the promotion point (fires after round 2) to
+    // amortize the one-time backing population — the maintain-vs-
+    // recompute crossover the cost model is built around.
     let scale = get("--scale", if smoke { 0.02 } else { 0.05 });
-    let rounds = get("--rounds", if smoke { 4.0 } else { 6.0 }) as u64;
+    let rounds = get("--rounds", if smoke { 10.0 } else { 12.0 }) as u64;
     let diffs = get("--diffs", if smoke { 24.0 } else { 64.0 }) as usize;
     let cfg = MultiView {
         bsma: Bsma {
@@ -168,44 +350,58 @@ fn main() {
         threads: 4,
         min_shard_rows: 1,
     };
-    let shared = run(&cfg, rounds, diffs, true, ParallelConfig::serial(), eager);
-    let independent = run(&cfg, rounds, diffs, false, ParallelConfig::serial(), eager);
-    let shared_p4 = run(&cfg, rounds, diffs, true, four_threads, eager);
-    let mixed = run(&cfg, rounds, diffs, true, ParallelConfig::serial(), |name| {
-        match name {
-            "mention_favor" => RefreshPolicy::Eager,
-            "mention_timeline" => RefreshPolicy::Deferred {
-                max_staleness_rounds: 2,
-            },
-            "mention_topic_counts" => RefreshPolicy::OnRead,
-            _ => RefreshPolicy::Deferred {
-                max_staleness_rounds: 3,
-            },
-        }
-    });
+    let shared_cfg = SchedulerConfig::default();
+    let independent_cfg = SchedulerConfig {
+        share_prefixes: false,
+        ..SchedulerConfig::default()
+    };
+    let promoted_cfg = SchedulerConfig {
+        promotion: Some(PromotionConfig::default()),
+        ..SchedulerConfig::default()
+    };
+    let mixed_policy = |name: &str| match name {
+        "mention_favor" => RefreshPolicy::Eager,
+        "mention_timeline" => RefreshPolicy::Deferred {
+            max_staleness_rounds: 2,
+        },
+        "mention_topic_counts" => RefreshPolicy::OnRead,
+        _ => RefreshPolicy::Deferred {
+            max_staleness_rounds: 3,
+        },
+    };
 
-    let widths = &[22usize, 14, 14, 9];
+    let independent = run(&cfg, rounds, diffs, independent_cfg, ParallelConfig::serial(), eager);
+    let shared = run(&cfg, rounds, diffs, shared_cfg, ParallelConfig::serial(), eager);
+    let promoted = run(&cfg, rounds, diffs, promoted_cfg, ParallelConfig::serial(), eager);
+    let promoted_again = run(&cfg, rounds, diffs, promoted_cfg, ParallelConfig::serial(), eager);
+    let promoted_p4 = run(&cfg, rounds, diffs, promoted_cfg, four_threads, eager);
+    let mixed = run(&cfg, rounds, diffs, promoted_cfg, ParallelConfig::serial(), mixed_policy);
+
+    let widths = &[22usize, 13, 13, 13, 9];
     println!(
         "{}",
         fmt_row(
             &[
                 "view".into(),
-                "shared acc.".into(),
-                "indep. acc.".into(),
+                "promoted".into(),
+                "shared".into(),
+                "indep.".into(),
                 "ratio".into(),
             ],
             widths
         )
     );
     for name in VIEW_NAMES {
+        let p = promoted.per_view_accesses[name];
         let s = shared.per_view_accesses[name];
         let i = independent.per_view_accesses[name];
-        let r = if s == 0 { f64::INFINITY } else { i as f64 / s as f64 };
+        let r = if p == 0 { f64::INFINITY } else { i as f64 / p as f64 };
         println!(
             "{}",
             fmt_row(
                 &[
                     name.into(),
+                    p.to_string(),
                     s.to_string(),
                     i.to_string(),
                     format!("{r:.2}x"),
@@ -214,38 +410,49 @@ fn main() {
             )
         );
     }
-    let ratio = independent.total_accesses as f64 / shared.total_accesses as f64;
+    let shared_ratio = independent.total_accesses as f64 / shared.total_accesses as f64;
+    let promoted_ratio = independent.total_accesses as f64 / promoted.total_accesses as f64;
     println!(
         "{}",
         fmt_row(
             &[
                 "TOTAL".into(),
+                promoted.total_accesses.to_string(),
                 shared.total_accesses.to_string(),
                 independent.total_accesses.to_string(),
-                format!("{ratio:.2}x"),
+                format!("{promoted_ratio:.2}x"),
             ],
             widths
         )
     );
     println!(
-        "\nshared-prefix reuse: {} hits, {} accesses avoided",
-        shared.shared_hits, shared.shared_saved_accesses
+        "\nshared-prefix reuse (promoted run): {} hits, {} accesses avoided",
+        promoted.shared_hits, promoted.shared_saved_accesses
     );
-    for (label, p) in &shared.prefixes {
+    for (label, p) in &promoted.prefixes {
         println!(
             "  {label:<40} {:>3} computes ({} acc., {} diff tuples)  {:>3} hits  {:>8} saved",
             p.computes, p.compute_accesses, p.diff_tuples, p.hits, p.saved_accesses
         );
     }
+    println!("\npromotion events:");
+    for e in &promoted.events {
+        println!("  {e}");
+    }
 
     // --- Correctness gates ---------------------------------------------
     let sig_independent = shared.signatures == independent.signatures;
-    let sig_p4 =
-        shared.signatures == shared_p4.signatures && shared.per_view_accesses == shared_p4.per_view_accesses;
-    let sig_mixed = shared.signatures == mixed.signatures;
+    let sig_promoted = promoted.signatures == shared.signatures;
+    let sig_p4 = promoted.signatures == promoted_p4.signatures
+        && promoted.per_view_accesses == promoted_p4.per_view_accesses;
+    let sig_mixed = promoted.signatures == mixed.signatures;
     assert!(
         sig_independent,
         "shared-prefix maintenance changed view contents vs independent"
+    );
+    assert!(
+        sig_promoted,
+        "promotion changed view contents vs sharing alone"
     );
     assert!(
         sig_p4,
@@ -255,55 +462,78 @@ fn main() {
         sig_mixed,
         "mixed Eager/Deferred/OnRead run did not converge to the Eager state"
     );
-    println!("\nsignatures: independent ok, P=4 ok (incl. attribution), policy mix ok");
+    println!("\nsignatures: independent ok, promoted ok, P=4 ok (incl. attribution), policy mix ok");
+
+    assert!(
+        promoted.cost_log == promoted_again.cost_log && promoted.events == promoted_again.events,
+        "promotion decisions are not byte-identical across identical runs"
+    );
+    println!("promotion decisions: byte-identical across repeated runs");
+
+    assert!(
+        !promoted.events.is_empty(),
+        "the cost model never promoted anything"
+    );
+    assert!(
+        promoted.total_accesses <= shared.total_accesses,
+        "ratchet: promotion ({}) lost to sharing alone ({})",
+        promoted.total_accesses,
+        shared.total_accesses
+    );
     assert!(
         shared.shared_hits > 0,
         "shared run produced no prefix reuse hits"
     );
     assert!(
-        ratio >= MIN_RATIO,
-        "catalog maintenance must save >= {MIN_RATIO}x accesses, got {ratio:.3}x \
+        shared_ratio >= MIN_RATIO,
+        "catalog sharing must save >= {MIN_RATIO}x accesses, got {shared_ratio:.3}x \
          (shared {} vs independent {})",
         shared.total_accesses,
         independent.total_accesses
     );
-    println!("access-ratio guard: {ratio:.2}x >= {MIN_RATIO}x  OK");
-
-    // --- Machine-readable record ---------------------------------------
-    let views_json: Vec<String> = VIEW_NAMES
-        .iter()
-        .map(|name| {
-            format!(
-                "    {{\"name\": \"{name}\", \"shared_accesses\": {}, \"independent_accesses\": {}}}",
-                shared.per_view_accesses[*name], independent.per_view_accesses[*name]
-            )
-        })
-        .collect();
-    let prefixes_json: Vec<String> = shared
-        .prefixes
-        .iter()
-        .map(|(label, p)| {
-            format!(
-                "    {{\"label\": \"{label}\", \"computes\": {}, \"compute_accesses\": {}, \
-                 \"diff_tuples\": {}, \"hits\": {}, \"saved_accesses\": {}}}",
-                p.computes, p.compute_accesses, p.diff_tuples, p.hits, p.saved_accesses
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"multiview\",\n  \"scale\": {scale},\n  \"rounds\": {rounds},\n  \
-         \"diffs\": {diffs},\n  \"views\": [\n{}\n  ],\n  \"prefixes\": [\n{}\n  ],\n  \
-         \"shared_total_accesses\": {},\n  \"independent_total_accesses\": {},\n  \
-         \"shared_hits\": {},\n  \"shared_saved_accesses\": {},\n  \"ratio\": {ratio:.4},\n  \
-         \"guard_min_ratio\": {MIN_RATIO},\n  \"signatures_match\": {{\"independent\": {sig_independent}, \
-         \"parallel_p4\": {sig_p4}, \"policy_mix\": {sig_mixed}}}\n}}\n",
-        views_json.join(",\n"),
-        prefixes_json.join(",\n"),
-        shared.total_accesses,
-        independent.total_accesses,
-        shared.shared_hits,
-        shared.shared_saved_accesses,
+    let min_promoted = if smoke {
+        MIN_PROMOTED_RATIO_SMOKE
+    } else {
+        MIN_PROMOTED_RATIO
+    };
+    assert!(
+        promoted_ratio >= min_promoted,
+        "adaptive materialization must save >= {min_promoted}x accesses, got {promoted_ratio:.3}x \
+         (promoted {} vs independent {})",
+        promoted.total_accesses,
+        independent.total_accesses
     );
-    std::fs::write("BENCH_multiview.json", &json).expect("write BENCH_multiview.json");
-    println!("wrote BENCH_multiview.json");
+    println!(
+        "access-ratio guards: shared {shared_ratio:.2}x >= {MIN_RATIO}x, \
+         promoted {promoted_ratio:.2}x >= {min_promoted}x  OK"
+    );
+
+    // --- Machine-readable records --------------------------------------
+    let sig_checks = format!(
+        "{{\"independent\": {sig_independent}, \"promoted\": {sig_promoted}, \
+         \"parallel_p4\": {sig_p4}, \"policy_mix\": {sig_mixed}}}"
+    );
+    let shape = RunShape {
+        scale,
+        rounds,
+        diffs,
+    };
+    write_artifact(
+        "BENCH_multiview.json",
+        shape,
+        &promoted,
+        &independent,
+        true,
+        min_promoted,
+        &sig_checks,
+    );
+    write_artifact(
+        "BENCH_multiview_nopromotion.json",
+        shape,
+        &shared,
+        &independent,
+        false,
+        MIN_RATIO,
+        &sig_checks,
+    );
 }

@@ -131,6 +131,47 @@ impl IdIvm {
         plan: Plan,
         options: IvmOptions,
     ) -> Result<Self> {
+        Self::setup_inner(db, view_name, plan, options, false)
+    }
+
+    /// Re-register a view over a *content-equivalent* rewrite of its
+    /// plan — the promotion/demotion rewire path of the adaptive
+    /// intermediate layer. Instead of re-materializing, the existing
+    /// view table is kept when its storage shape (arity + key
+    /// positions) matches the rewritten plan, and so is every cache
+    /// whose name and shape survive the rewrite. Caches that only
+    /// exist under the old plan must be dropped by the caller (the
+    /// catalog knows the old definitions); caches new to the rewritten
+    /// plan are materialized from scratch.
+    ///
+    /// The caller asserts the content invariant: the rewritten plan
+    /// evaluates to exactly the same rows as the plan the kept tables
+    /// were maintained under (true when a prefix subtree is swapped
+    /// for a scan of its freshly populated backing table, and when the
+    /// swap is reversed). Column *names* may drift (scan-alias
+    /// prefixes); signatures fingerprint rows and index postings only,
+    /// so a rewire is invisible to bit-identity checks.
+    ///
+    /// # Errors
+    /// Same conditions as [`IdIvm::setup`], plus a storage-shape
+    /// mismatch of the existing view table ([`Error::Plan`] — the
+    /// rewrite was not content-equivalent).
+    pub fn setup_over(
+        db: &mut Database,
+        view_name: &str,
+        plan: Plan,
+        options: IvmOptions,
+    ) -> Result<Self> {
+        Self::setup_inner(db, view_name, plan, options, true)
+    }
+
+    fn setup_inner(
+        db: &mut Database,
+        view_name: &str,
+        plan: Plan,
+        options: IvmOptions,
+        reuse: bool,
+    ) -> Result<Self> {
         options.parallel.validate()?;
         // Pass 1: make every subview carry its IDs.
         let plan = ensure_ids(plan)?;
@@ -143,10 +184,23 @@ impl IdIvm {
         ensure_probe_indexes(db, &plan)?;
         // Cache planning + materialization.
         let (cache_defs, cache_map) = plan_caches(&plan, view_name, options.use_input_caches)?;
-        materialize_view(db, view_name, &plan)?;
+        if reuse && db.has_table(view_name) {
+            ensure_storage_shape(db, view_name, &plan)?;
+        } else {
+            materialize_view(db, view_name, &plan)?;
+        }
         for def in &cache_defs {
             let sub = crate::access::node_at(&plan, &def.path)?.clone();
-            materialize_view(db, &def.name, &sub)?;
+            if reuse && db.has_table(&def.name) {
+                if ensure_storage_shape(db, &def.name, &sub).is_err() {
+                    // Same name, different shape after the rewrite:
+                    // rebuild from scratch.
+                    db.drop_table(&def.name);
+                    materialize_view(db, &def.name, &sub)?;
+                }
+            } else {
+                materialize_view(db, &def.name, &sub)?;
+            }
             let t = db.table_mut(&def.name)?;
             for set in &def.index_sets {
                 t.create_index_positions(set.clone());
@@ -413,6 +467,7 @@ impl IdIvm {
         let outcome = apply_all(db.table_mut(&self.view_name)?, &root_diffs, &mut view_changes)?;
         report.view_update = db.stats().snapshot().since(&before);
         report.view_outcome = outcome;
+        report.view_changes = view_changes;
         if faults.wants_access() {
             faults.on_access(db.stats().snapshot().since(&round0).total())?;
         }
@@ -534,13 +589,15 @@ impl IdIvm {
             }
             if let Some(key) = publish_key {
                 if let Some(shared) = state.shared.as_mut() {
-                    let label = shared
+                    let (label, structure) = shared
                         .prefixes
                         .map
                         .get(path)
-                        .map_or("prefix", |s| s.label.as_str());
+                        .map_or(("prefix", ""), |s| {
+                            (s.label.as_str(), s.structure.as_str())
+                        });
                     let compute = db.stats().snapshot().since(&sub0);
-                    shared.cache.publish(key, label, &out, compute);
+                    shared.cache.publish(key, label, structure, &out, compute);
                 }
             }
             out
@@ -679,6 +736,31 @@ fn collect_probe_sets(node: &Plan, out: &mut Vec<(String, Vec<usize>)>) {
     }
     for c in node.children() {
         collect_probe_sets(c, out);
+    }
+}
+
+/// Check that an existing table can keep serving as the storage of
+/// `plan`: same arity and same key *positions*. Column names are
+/// deliberately ignored — a plan rewrite that swaps a subtree for a
+/// backing-table scan renames columns (scan-alias prefixes) without
+/// moving them.
+///
+/// # Errors
+/// [`Error::Plan`] on a shape mismatch; inference failures.
+fn ensure_storage_shape(db: &Database, name: &str, plan: &Plan) -> Result<()> {
+    let want = view_schema(db, plan)?;
+    let have = db.table(name)?.schema();
+    if have.arity() == want.arity() && have.key() == want.key() {
+        Ok(())
+    } else {
+        Err(Error::Plan(format!(
+            "table `{name}` (arity {}, key {:?}) cannot store the rewritten plan \
+             (arity {}, key {:?})",
+            have.arity(),
+            have.key(),
+            want.arity(),
+            want.key()
+        )))
     }
 }
 

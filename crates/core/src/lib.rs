@@ -67,7 +67,9 @@ pub use engine::{IdIvm, IvmOptions, RecoveryPolicy};
 pub use faults::{FaultKind, FaultPlan, FaultSite, FaultState, RoundBudget};
 pub use report::MaintenanceReport;
 pub use shared::{
-    detect_shared_prefixes, PrefixSpec, SharedDiffCache, SharedPrefixStat, SharedPrefixes,
+    detect_shared_prefixes, promotion_candidates, structure_key, substitute_scan,
+    substitute_structures, PrefixSpec, PromotionCandidate, SharedDiffCache, SharedPrefixStat,
+    SharedPrefixes,
 };
 pub use supervisor::{
     BackoffPolicy, BisectNode, BisectOutcome, MaintenanceSupervisor, QuarantineEntry,

@@ -3,7 +3,7 @@
 
 use crate::apply::ApplyOutcome;
 use crate::trace::RoundTrace;
-use idivm_reldb::StatsSnapshot;
+use idivm_reldb::{StatsSnapshot, TableChanges};
 use std::fmt;
 use std::time::Duration;
 
@@ -41,6 +41,15 @@ pub struct MaintenanceReport {
     /// Display form of the error the recovery repaired (`None` unless
     /// `recovered`).
     pub recovery_cause: Option<String>,
+    /// Net changes the round applied to the view table, keyed by view
+    /// key. When the view serves as the backing table of a promoted
+    /// intermediate, these are exactly the Δ its consumers must see as
+    /// pending base-table changes — surfacing them here is what makes
+    /// intermediate maintenance O(Δ) for the whole consumer set (no
+    /// recompute, no table diff). Empty after a recompute recovery (the
+    /// repair rewrites the table wholesale; callers must fall back to a
+    /// table-level diff in that case).
+    pub view_changes: TableChanges,
 }
 
 impl MaintenanceReport {

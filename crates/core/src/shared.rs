@@ -41,7 +41,7 @@ use crate::trace::op_label;
 use idivm_algebra::Plan;
 use idivm_reldb::{StatsSnapshot, TableChanges};
 use idivm_types::Key;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One designated shared-prefix boundary inside a view's plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +51,13 @@ pub struct PrefixSpec {
     /// Views sharing this string compute identical i-diffs at the
     /// boundary for identical pending nets.
     pub structural: String,
+    /// Structure-only fingerprint ([`structure_key`]): the subtree
+    /// debug form + `minimize` knob, *without* the per-view diff-schema
+    /// splits. This is the promotion-matching key — consumers of a
+    /// materialized intermediate regenerate their own diff schemas from
+    /// the backing table, so schema-split compatibility (required for
+    /// round-sharing) is not required for promotion.
+    pub structure: String,
     /// Base tables scanned by the subtree, sorted and deduplicated —
     /// the net-digest domain.
     pub tables: Vec<String>,
@@ -106,6 +113,10 @@ impl SharedPrefixes {
 pub struct SharedPrefixStat {
     /// Report label (see [`PrefixSpec::label`]).
     pub label: String,
+    /// Structure-only fingerprint of the boundary subtree (see
+    /// [`PrefixSpec::structure`]) — the key the adaptive promotion
+    /// trackers accumulate per-round observations under.
+    pub structure: String,
     /// Counted accesses the one computation spent (subtree walk).
     pub compute_accesses: StatsSnapshot,
     /// Diff tuples published at the boundary.
@@ -160,6 +171,7 @@ impl SharedDiffCache {
         &mut self,
         key: String,
         label: &str,
+        structure: &str,
         diffs: &[DiffInstance],
         compute_accesses: StatsSnapshot,
     ) {
@@ -170,6 +182,7 @@ impl SharedDiffCache {
                 diffs: diffs.to_vec(),
                 stat: SharedPrefixStat {
                     label: label.to_string(),
+                    structure: structure.to_string(),
                     compute_accesses,
                     diff_tuples,
                     hits: 0,
@@ -222,7 +235,18 @@ impl SharedDiffCache {
 ///
 /// Nested designations compose: an outer reuse short-circuits the inner
 /// boundary, while the outer *computation* publishes the inner boundary
-/// on its way up.
+/// on its way up — **unless** every occurrence of the inner group lies
+/// strictly inside an occurrence of a single designated outer group. In
+/// that case any walk that could reach the inner boundary hits the
+/// outer boundary first: the first walk of a round computes (and would
+/// publish) both, and every later walk with the same pending horizon
+/// short-circuits at the outer boundary, so the inner publish can never
+/// be consumed. Such fully covered groups are suppressed — publishing
+/// them is pure overhead (a clone of every boundary diff per round with
+/// a structurally guaranteed `hits: 0`; the `join[mentions,microblog]`
+/// entry of `BENCH_multiview.json` burned 1708 diff-tuple clones per
+/// run this way). Coverage is transitive over strict path containment,
+/// so one pass against the full designated set is exact.
 pub fn detect_shared_prefixes(views: &[&IdIvm]) -> Vec<SharedPrefixes> {
     let mut occurrences: HashMap<String, Vec<(usize, PathId, PrefixSpec)>> = HashMap::new();
     for (vi, view) in views.iter().enumerate() {
@@ -235,16 +259,34 @@ pub fn detect_shared_prefixes(views: &[&IdIvm]) -> Vec<SharedPrefixes> {
                 .push((vi, path, spec));
         }
     }
+    let designated: Vec<Vec<(usize, PathId, PrefixSpec)>> = occurrences
+        .into_values()
+        .filter(|occs| occs.len() >= 2)
+        .collect();
     let mut out: Vec<SharedPrefixes> = views.iter().map(|_| SharedPrefixes::none()).collect();
-    for occs in occurrences.into_values() {
-        if occs.len() < 2 {
+    for (gi, occs) in designated.iter().enumerate() {
+        let covered = designated
+            .iter()
+            .enumerate()
+            .any(|(gj, outer)| gj != gi && covers(outer, occs));
+        if covered {
             continue;
         }
         for (vi, path, spec) in occs {
-            out[vi].map.insert(path, spec);
+            out[*vi].map.insert(path.clone(), spec.clone());
         }
     }
     out
+}
+
+/// Does every occurrence of `inner` lie strictly inside an occurrence
+/// of `outer` in the same view?
+fn covers(outer: &[(usize, PathId, PrefixSpec)], inner: &[(usize, PathId, PrefixSpec)]) -> bool {
+    inner.iter().all(|(vi, p, _)| {
+        outer
+            .iter()
+            .any(|(vj, q, _)| vj == vi && q.len() < p.len() && p[..q.len()] == q[..])
+    })
 }
 
 fn collect_candidates(
@@ -285,7 +327,8 @@ fn prefix_spec(view: &IdIvm, node: &Plan) -> PrefixSpec {
     // rendering of operators, predicates, and column indices (`Plan`
     // has no `Hash`), and the per-table diff-schema debug pins the
     // update-schema split the populate step will use.
-    let mut structural = format!("minimize={};{:?}", view.options().minimize, node);
+    let structure = structure_key(view.options().minimize, node);
+    let mut structural = structure.clone();
     for t in &tables {
         if let Some(s) = view.schemas().tables.get(t) {
             structural.push_str(&format!(";{t}={s:?}"));
@@ -294,9 +337,21 @@ fn prefix_spec(view: &IdIvm, node: &Plan) -> PrefixSpec {
     let label = format!("{}[{}]", op_label(node), tables.join(","));
     PrefixSpec {
         structural,
+        structure,
         tables,
         label,
     }
+}
+
+/// Structure-only fingerprint of a subtree: debug form + `minimize`
+/// knob, *without* the per-view i-diff schema splits that
+/// [`PrefixSpec::structural`] appends. Two plans with equal structure
+/// keys compute identical boundary *contents* from identical base
+/// state — which is all materialized-intermediate promotion needs,
+/// since each consumer regenerates its own diff schemas from the
+/// backing table.
+pub fn structure_key(minimize: bool, node: &Plan) -> String {
+    format!("minimize={minimize};{node:?}")
 }
 
 /// FNV-1a digest of the pending net restricted to `tables` (sorted
@@ -319,6 +374,174 @@ pub fn net_digest(net: &HashMap<String, TableChanges>, tables: &[String]) -> u64
         }
     }
     h
+}
+
+/// One promotable subtree: an operator structure that occurs in at
+/// least two *distinct* registered views. Promotion materializes the
+/// subtree once as a hidden backing table maintained by its own i-diff
+/// script and rewrites every consumer to scan the backing instead —
+/// turning per-consumer prefix recomputation into a single O(Δ)
+/// maintenance round (see `idivm-sched`'s `ViewCatalog::promote`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionCandidate {
+    /// Structure-only fingerprint ([`structure_key`]) — the identity
+    /// promotion trackers and rewrites match on.
+    pub structure: String,
+    /// Human-readable label (`op[tables…]`), same shape as
+    /// [`PrefixSpec::label`].
+    pub label: String,
+    /// Base tables the subtree scans, sorted and deduplicated.
+    pub tables: Vec<String>,
+    /// The subtree itself (taken from the first consumer in name
+    /// order; all consumers' copies are structurally identical by
+    /// construction of the fingerprint).
+    pub subtree: Plan,
+    /// Names of the distinct views containing the structure.
+    pub consumers: BTreeSet<String>,
+}
+
+/// Detect promotable subtrees across named view plans. `views` is
+/// `(name, current plan, minimize knob)` per view. A subtree is a
+/// candidate when it
+///
+/// * contains at least two base-table scans (single-table subtrees are
+///   cheap enough that materializing them just moves work around), and
+/// * occurs in at least two distinct views (an intermediate with one
+///   consumer saves nothing over that consumer's own caches).
+///
+/// Results are sorted by structure key — deterministic for any input
+/// order, which is what makes downstream promotion decisions
+/// byte-identical across runs and thread counts.
+pub fn promotion_candidates(views: &[(&str, &Plan, bool)]) -> Vec<PromotionCandidate> {
+    let mut by_structure: BTreeMap<String, PromotionCandidate> = BTreeMap::new();
+    for (name, plan, minimize) in views {
+        let mut nodes = Vec::new();
+        collect_subtrees(plan, &mut nodes);
+        for node in nodes {
+            if node.scans().len() < 2 {
+                continue;
+            }
+            let structure = structure_key(*minimize, node);
+            let entry = by_structure.entry(structure.clone()).or_insert_with(|| {
+                let mut tables: Vec<String> =
+                    node.scans().into_iter().map(|(_, t)| t.to_string()).collect();
+                tables.sort();
+                tables.dedup();
+                let label = format!("{}[{}]", op_label(node), tables.join(","));
+                PromotionCandidate {
+                    structure,
+                    label,
+                    tables,
+                    subtree: node.clone(),
+                    consumers: BTreeSet::new(),
+                }
+            });
+            entry.consumers.insert((*name).to_string());
+        }
+    }
+    by_structure
+        .into_values()
+        .filter(|c| c.consumers.len() >= 2)
+        .collect()
+}
+
+fn collect_subtrees<'a>(node: &'a Plan, out: &mut Vec<&'a Plan>) {
+    if !matches!(node, Plan::Scan { .. }) {
+        out.push(node);
+    }
+    for c in node.children() {
+        collect_subtrees(c, out);
+    }
+}
+
+/// Rebuild `plan`, replacing every subtree whose [`structure_key`]
+/// appears in `map` with the mapped replacement (a backing-table scan).
+/// Substitution is **top-down**: the outermost matching boundary wins
+/// and its interior is not revisited — nested promoted structures
+/// inside an already-replaced subtree are the intermediate's own
+/// business, not the consumer's.
+pub fn substitute_structures(
+    plan: &Plan,
+    minimize: bool,
+    map: &BTreeMap<String, Plan>,
+) -> Plan {
+    if !matches!(plan, Plan::Scan { .. }) {
+        if let Some(replacement) = map.get(&structure_key(minimize, plan)) {
+            return replacement.clone();
+        }
+    }
+    rebuild(plan, |child| substitute_structures(child, minimize, map))
+}
+
+/// Rebuild `plan`, replacing every `Scan` of `table` with a clone of
+/// `subtree` — the inverse of [`substitute_structures`], used at
+/// demotion to restore a consumer's original plan before the backing
+/// table is dropped.
+pub fn substitute_scan(plan: &Plan, table: &str, subtree: &Plan) -> Plan {
+    if let Plan::Scan { table: t, .. } = plan {
+        if t == table {
+            return subtree.clone();
+        }
+    }
+    rebuild(plan, |child| substitute_scan(child, table, subtree))
+}
+
+/// Clone `plan` with each child passed through `f` (scans are returned
+/// verbatim).
+fn rebuild(plan: &Plan, mut f: impl FnMut(&Plan) -> Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, pred } => Plan::Select {
+            input: Box::new(f(input)),
+            pred: pred.clone(),
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(f(input)),
+            cols: cols.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => Plan::Join {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+            residual: residual.clone(),
+        },
+        Plan::SemiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => Plan::SemiJoin {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+            residual: residual.clone(),
+        },
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => Plan::AntiJoin {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+            residual: residual.clone(),
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+        },
+        Plan::GroupBy { input, keys, aggs } => Plan::GroupBy {
+            input: Box::new(f(input)),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +590,7 @@ mod tests {
         cache.publish(
             "k".into(),
             "join[m,b]",
+            "minimize=false;…",
             &[],
             StatsSnapshot {
                 tuple_accesses: 10,
@@ -380,6 +604,141 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].label, "join[m,b]");
+        assert_eq!(stats[0].structure, "minimize=false;…");
         assert_eq!(stats[0].saved_accesses(), 30);
+    }
+
+    use idivm_types::{ColumnType, Schema};
+
+    fn scan(table: &str) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: table.into(),
+            schema: Schema::from_pairs(
+                &[("id", ColumnType::Int), ("v", ColumnType::Int)],
+                &["id"],
+            )
+            .unwrap(),
+        }
+    }
+
+    fn join(left: Plan, right: Plan) -> Plan {
+        Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            on: vec![(0, 0)],
+            residual: None,
+        }
+    }
+
+    #[test]
+    fn promotion_candidates_filtering() {
+        let shared = join(scan("m"), scan("b"));
+        let a = Plan::Select {
+            input: Box::new(shared.clone()),
+            pred: idivm_algebra::Expr::col(0).eq(idivm_algebra::Expr::lit(1)),
+        };
+        let b = Plan::Project {
+            input: Box::new(shared.clone()),
+            cols: vec![("id".into(), idivm_algebra::Expr::col(0))],
+        };
+        // `c` shares nothing: single-scan subtrees are never candidates.
+        let c = Plan::Select {
+            input: Box::new(scan("users")),
+            pred: idivm_algebra::Expr::col(1).eq(idivm_algebra::Expr::lit(2)),
+        };
+        let out = promotion_candidates(&[
+            ("va", &a, false),
+            ("vb", &b, false),
+            ("vc", &c, false),
+        ]);
+        assert_eq!(out.len(), 1, "only the shared two-scan join qualifies");
+        assert_eq!(out[0].subtree, shared);
+        assert_eq!(out[0].tables, vec!["b".to_string(), "m".to_string()]);
+        assert_eq!(
+            out[0].consumers.iter().collect::<Vec<_>>(),
+            vec!["va", "vb"]
+        );
+        assert_eq!(out[0].structure, structure_key(false, &shared));
+
+        // Two occurrences inside the *same* view do not qualify.
+        let twice = join(shared.clone(), shared.clone());
+        let out = promotion_candidates(&[("va", &twice, false), ("vc", &c, false)]);
+        assert!(
+            out.iter().all(|cand| cand.subtree != shared),
+            "single-view repetition must not promote"
+        );
+    }
+
+    #[test]
+    fn substitution_round_trips_through_backing_scan() {
+        let shared = join(scan("m"), scan("b"));
+        let view = Plan::GroupBy {
+            input: Box::new(Plan::Select {
+                input: Box::new(shared.clone()),
+                pred: idivm_algebra::Expr::col(0).eq(idivm_algebra::Expr::lit(1)),
+            }),
+            keys: vec![0],
+            aggs: vec![],
+        };
+        let backing = scan("__ivm_backing");
+        let mut map = BTreeMap::new();
+        map.insert(structure_key(false, &shared), backing.clone());
+        let rewritten = substitute_structures(&view, false, &map);
+        assert_ne!(rewritten, view);
+        let mut found = Vec::new();
+        collect_subtrees(&rewritten, &mut found);
+        assert!(
+            found.iter().all(|n| **n != shared),
+            "shared subtree must be gone after substitution"
+        );
+        assert!(rewritten
+            .scans()
+            .iter()
+            .any(|(_, t)| *t == "__ivm_backing"));
+        // Demotion restores the original plan exactly.
+        let restored = substitute_scan(&rewritten, "__ivm_backing", &shared);
+        assert_eq!(restored, view);
+    }
+
+    #[test]
+    fn substitution_is_top_down_outermost_wins() {
+        let inner = join(scan("m"), scan("b"));
+        let outer = join(inner.clone(), scan("users"));
+        let mut map = BTreeMap::new();
+        map.insert(structure_key(false, &inner), scan("__bk_inner"));
+        map.insert(structure_key(false, &outer), scan("__bk_outer"));
+        let rewritten = substitute_structures(&outer, false, &map);
+        assert_eq!(rewritten, scan("__bk_outer"), "outer boundary must win");
+    }
+
+    #[test]
+    fn covered_groups_are_suppressed() {
+        // Group `inner` occurs only strictly inside `outer` occurrences
+        // (same views, deeper paths) → covered.
+        let spec = |s: &str| PrefixSpec {
+            structural: s.into(),
+            structure: s.into(),
+            tables: vec![],
+            label: s.into(),
+        };
+        let outer = vec![
+            (0usize, vec![0usize], spec("o")),
+            (1, vec![], spec("o")),
+        ];
+        let inner = vec![
+            (0usize, vec![0usize, 1], spec("i")),
+            (1, vec![0], spec("i")),
+        ];
+        assert!(covers(&outer, &inner));
+        // One occurrence outside any outer occurrence → not covered.
+        let escaped = vec![
+            (0usize, vec![0usize, 1], spec("i")),
+            (2, vec![0], spec("i")),
+        ];
+        assert!(!covers(&outer, &escaped));
+        // Same path (not *strictly* inside) → not covered.
+        let same = vec![(0usize, vec![0usize], spec("i"))];
+        assert!(!covers(&outer, &same));
     }
 }

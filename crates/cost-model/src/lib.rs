@@ -20,8 +20,10 @@
 
 pub mod agg;
 pub mod measure;
+pub mod promote;
 pub mod spj;
 
 pub use agg::AggModel;
 pub use measure::ObservedParams;
+pub use promote::{CrossoverModel, PrefixObservation, PromotionConfig, PromotionDecision};
 pub use spj::SpjModel;

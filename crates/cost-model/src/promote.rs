@@ -1,0 +1,315 @@
+//! Promote/demote crossover for **adaptive intermediate
+//! materialization** (the `ViewCatalog`'s promotion layer).
+//!
+//! The scheduler observes, per designated shared prefix and per round,
+//! the accesses one computation of the prefix costs (`C`), the diff
+//! tuples published at its boundary (`D`), and the number of distinct
+//! consumer views (`n`). This module decides, from those observations
+//! alone, whether the prefix should be **promoted** to a persistently
+//! materialized intermediate view (maintained once per round by its own
+//! i-diff script at O(Δ)) or left inline (recomputed inside each
+//! consumer's walk).
+//!
+//! Modeled costs per round, in **milli-accesses** (integer arithmetic —
+//! the decision must be byte-identical across runs, platforms, and
+//! thread counts, so no floats anywhere near it):
+//!
+//! * *maintain-as-view*: one subtree computation plus applying `D`
+//!   boundary tuples to the backing table —
+//!   `C·1000 + apply_cost_milli·D`.
+//! * *recompute-per-round*: every consumer pays the prefix. Without a
+//!   backing table a consumer either walks the subtree itself
+//!   (diff-schema-incompatible siblings cannot share) or probes the
+//!   un-materialized boundary as a subview — per-probe joins over base
+//!   tables, the cost the paper's intermediate caches exist to kill —
+//!   so the inline world is charged `n·C·1000`.
+//!
+//! Hysteresis: promotion needs `promote_after_rounds` *consecutive*
+//! rounds favoring it by at least `promote_margin_pct`; demotion
+//! symmetrically needs `demote_after_rounds` rounds exceeding the
+//! inline cost by `demote_margin_pct`. Between the two bands the state
+//! holds — a prefix oscillating near the crossover never thrashes
+//! promote/demote cycles.
+
+/// Tuning knobs for the promote/demote decision. All integer — see the
+/// module docs for why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionConfig {
+    /// Modeled cost, in milli-accesses, of applying one boundary diff
+    /// tuple to the backing table (index maintenance included).
+    pub apply_cost_milli: u64,
+    /// Promote only when maintain-as-view undercuts recompute by at
+    /// least this percentage (`maintain·100 ≤ recompute·(100−margin)`).
+    pub promote_margin_pct: u64,
+    /// Demote only when maintain-as-view exceeds recompute by at least
+    /// this percentage (`maintain·100 ≥ recompute·(100+margin)`).
+    pub demote_margin_pct: u64,
+    /// Consecutive favorable rounds required before promoting.
+    pub promote_after_rounds: u32,
+    /// Consecutive unfavorable rounds required before demoting.
+    pub demote_after_rounds: u32,
+    /// Never promote a prefix with fewer distinct consumer views.
+    pub min_consumers: u64,
+    /// Never promote a prefix whose one-shot compute cost is below this
+    /// many accesses — materializing trivia just moves work around.
+    pub min_compute: u64,
+}
+
+impl Default for PromotionConfig {
+    fn default() -> Self {
+        PromotionConfig {
+            apply_cost_milli: 1500,
+            promote_margin_pct: 10,
+            demote_margin_pct: 25,
+            promote_after_rounds: 2,
+            demote_after_rounds: 2,
+            min_consumers: 2,
+            min_compute: 16,
+        }
+    }
+}
+
+/// One round's observation of a designated prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixObservation {
+    /// Accesses one computation of the prefix spent this round (`C`).
+    pub compute_accesses: u64,
+    /// Diff tuples published at the prefix boundary this round (`D`).
+    pub diff_tuples: u64,
+    /// Distinct consumer views of the prefix (`n`).
+    pub consumers: u64,
+}
+
+impl PromotionConfig {
+    /// Modeled per-round cost of maintaining the prefix as a
+    /// materialized intermediate, in milli-accesses:
+    /// `C·1000 + apply_cost_milli·D`.
+    pub fn maintain_milli(&self, o: &PrefixObservation) -> u128 {
+        u128::from(o.compute_accesses) * 1000
+            + u128::from(self.apply_cost_milli) * u128::from(o.diff_tuples)
+    }
+
+    /// Modeled per-round cost of leaving the prefix inline, in
+    /// milli-accesses: `n·C·1000`.
+    pub fn recompute_milli(&self, o: &PrefixObservation) -> u128 {
+        u128::from(o.consumers) * u128::from(o.compute_accesses) * 1000
+    }
+
+    /// Does this round's observation favor promotion (margin + size
+    /// gates included)?
+    pub fn favors_promotion(&self, o: &PrefixObservation) -> bool {
+        if o.consumers < self.min_consumers || o.compute_accesses < self.min_compute {
+            return false;
+        }
+        self.maintain_milli(o) * 100
+            <= self.recompute_milli(o) * u128::from(100 - self.promote_margin_pct.min(100))
+    }
+
+    /// Does this round's observation favor demotion?
+    pub fn favors_demotion(&self, o: &PrefixObservation) -> bool {
+        if o.consumers < self.min_consumers {
+            // The consumer set shrank below the floor (views
+            // unregistered): the intermediate no longer pays for
+            // itself regardless of the cost comparison.
+            return true;
+        }
+        self.maintain_milli(o) * 100
+            >= self.recompute_milli(o) * u128::from(100 + self.demote_margin_pct)
+    }
+}
+
+/// What the tracker wants done with a prefix after an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionDecision {
+    /// Materialize the prefix as an intermediate view.
+    Promote,
+    /// Drop the intermediate, restore inline plans.
+    Demote,
+    /// Keep the current state.
+    Hold,
+}
+
+impl PromotionDecision {
+    /// Stable lowercase label (JSON, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            PromotionDecision::Promote => "promote",
+            PromotionDecision::Demote => "demote",
+            PromotionDecision::Hold => "hold",
+        }
+    }
+}
+
+/// Per-prefix hysteresis state: consecutive-round streak counters
+/// feeding [`PromotionDecision`]s. Purely deterministic — the decision
+/// sequence is a function of the observation sequence alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossoverModel {
+    promote_streak: u32,
+    demote_streak: u32,
+}
+
+impl CrossoverModel {
+    /// Fresh tracker (both streaks zero).
+    pub fn new() -> Self {
+        CrossoverModel::default()
+    }
+
+    /// Feed one round's observation. `promoted` is the prefix's current
+    /// state; the returned decision is what the caller should do *now*
+    /// (streak counters reset once a flip is issued).
+    pub fn observe(
+        &mut self,
+        cfg: &PromotionConfig,
+        promoted: bool,
+        o: &PrefixObservation,
+    ) -> PromotionDecision {
+        if promoted {
+            self.promote_streak = 0;
+            if cfg.favors_demotion(o) {
+                self.demote_streak += 1;
+                if self.demote_streak >= cfg.demote_after_rounds {
+                    self.demote_streak = 0;
+                    return PromotionDecision::Demote;
+                }
+            } else {
+                self.demote_streak = 0;
+            }
+        } else {
+            self.demote_streak = 0;
+            if cfg.favors_promotion(o) {
+                self.promote_streak += 1;
+                if self.promote_streak >= cfg.promote_after_rounds {
+                    self.promote_streak = 0;
+                    return PromotionDecision::Promote;
+                }
+            } else {
+                self.promote_streak = 0;
+            }
+        }
+        PromotionDecision::Hold
+    }
+
+    /// Current favorable-for-promotion streak length.
+    pub fn promote_streak(&self) -> u32 {
+        self.promote_streak
+    }
+
+    /// Current favorable-for-demotion streak length.
+    pub fn demote_streak(&self) -> u32 {
+        self.demote_streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(c: u64, d: u64, n: u64) -> PrefixObservation {
+        PrefixObservation {
+            compute_accesses: c,
+            diff_tuples: d,
+            consumers: n,
+        }
+    }
+
+    #[test]
+    fn crossover_formula_exact_values() {
+        let cfg = PromotionConfig::default();
+        // The BENCH_multiview select-prefix shape: C=568, D=285, n=4.
+        let o = obs(568, 285, 4);
+        assert_eq!(cfg.maintain_milli(&o), 568_000 + 1500 * 285);
+        assert_eq!(cfg.recompute_milli(&o), 4 * 568_000);
+        // maintain = 995_500 ≤ 0.9 · 2_272_000 = 2_044_800 → favorable.
+        assert!(cfg.favors_promotion(&o));
+        assert!(!cfg.favors_demotion(&o));
+    }
+
+    #[test]
+    fn margin_bands_leave_a_hold_gap() {
+        let cfg = PromotionConfig::default();
+        // n=1 ⇒ recompute = C; maintain = C + apply·D > recompute, but
+        // the consumer gate fires first (min_consumers).
+        assert!(!cfg.favors_promotion(&obs(1000, 10, 1)));
+        // Inside the hysteresis band: maintain ≈ recompute. With n=2,
+        // C=1000, D=600: maintain = 1_900_000, recompute = 2_000_000.
+        // 1_900_000·100 = 190M > 2_000_000·90 = 180M → not promotable;
+        // 190M < 2_000_000·125 = 250M → not demotable. Hold band.
+        let band = obs(1000, 600, 2);
+        assert!(!cfg.favors_promotion(&band));
+        assert!(!cfg.favors_demotion(&band));
+        // Far above the band: demote.
+        let bad = obs(100, 2000, 2);
+        assert!(cfg.favors_demotion(&bad));
+    }
+
+    #[test]
+    fn size_gates_block_trivia() {
+        let cfg = PromotionConfig::default();
+        // Compute below min_compute never promotes, however favorable.
+        assert!(!cfg.favors_promotion(&obs(15, 0, 8)));
+        assert!(cfg.favors_promotion(&obs(16, 0, 8)));
+    }
+
+    #[test]
+    fn consumer_collapse_forces_demotion() {
+        let cfg = PromotionConfig::default();
+        // Even a cost-favorable intermediate demotes once its consumer
+        // set shrinks below the floor.
+        assert!(cfg.favors_demotion(&obs(10_000, 1, 1)));
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_rounds() {
+        let cfg = PromotionConfig::default();
+        let good = obs(568, 285, 4);
+        let band = obs(1000, 600, 2);
+        let mut m = CrossoverModel::new();
+        // One favorable round is not enough (promote_after_rounds = 2).
+        assert_eq!(m.observe(&cfg, false, &good), PromotionDecision::Hold);
+        // A band round breaks the streak.
+        assert_eq!(m.observe(&cfg, false, &band), PromotionDecision::Hold);
+        assert_eq!(m.observe(&cfg, false, &good), PromotionDecision::Hold);
+        // Second consecutive favorable round promotes.
+        assert_eq!(m.observe(&cfg, false, &good), PromotionDecision::Promote);
+        // Once promoted, favorable rounds hold (no re-promotion).
+        assert_eq!(m.observe(&cfg, true, &good), PromotionDecision::Hold);
+        // Two consecutive unfavorable rounds demote.
+        let bad = obs(100, 2000, 2);
+        assert_eq!(m.observe(&cfg, true, &bad), PromotionDecision::Hold);
+        assert_eq!(m.observe(&cfg, true, &bad), PromotionDecision::Demote);
+    }
+
+    #[test]
+    fn decision_sequence_is_deterministic() {
+        let cfg = PromotionConfig::default();
+        let stream = [
+            (false, obs(568, 285, 4)),
+            (false, obs(568, 285, 4)),
+            (true, obs(100, 2000, 2)),
+            (true, obs(568, 285, 4)),
+            (true, obs(100, 2000, 2)),
+            (true, obs(100, 2000, 2)),
+        ];
+        let run = || {
+            let mut m = CrossoverModel::new();
+            stream
+                .iter()
+                .map(|(p, o)| m.observe(&cfg, *p, o))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(
+            a,
+            vec![
+                PromotionDecision::Hold,
+                PromotionDecision::Promote,
+                PromotionDecision::Hold,
+                PromotionDecision::Hold,
+                PromotionDecision::Hold,
+                PromotionDecision::Demote,
+            ]
+        );
+    }
+}

@@ -25,7 +25,10 @@ pub mod stats;
 pub mod table;
 
 pub use database::Database;
-pub use log::{compose_changes, LogEntry, ModificationLog, NetChange, TableChanges, UndoLog, UndoOp};
+pub use log::{
+    compose_changes, table_delta, LogEntry, ModificationLog, NetChange, TableChanges, UndoLog,
+    UndoOp,
+};
 pub use overlay::PreState;
 pub use stats::{AccessStats, StatsSnapshot};
 pub use table::{Table, TableSignature};

@@ -273,6 +273,46 @@ pub fn compose_changes(
     base.retain(|_, changes| !changes.is_empty());
 }
 
+/// The exact [`TableChanges`] between two row snapshots of one keyed
+/// table: rows only in `pre` are [`NetChange::Deleted`], rows only in
+/// `post` are [`NetChange::Inserted`], rows present in both with
+/// different contents are [`NetChange::Updated`]. `key_cols` are the
+/// table's primary-key positions.
+///
+/// This is the fallback Δ-extraction path of the adaptive-intermediate
+/// layer: a clean maintenance round reports its net view changes
+/// directly, but a *supervised* round (retry/quarantine/recompute) only
+/// guarantees the final table state — diffing snapshots recovers the Δ
+/// the backing table's consumers must see.
+pub fn table_delta(pre: &[Row], post: &[Row], key_cols: &[usize]) -> TableChanges {
+    let pre_by_key: HashMap<Key, &Row> = pre.iter().map(|r| (r.key(key_cols), r)).collect();
+    let post_by_key: HashMap<Key, &Row> = post.iter().map(|r| (r.key(key_cols), r)).collect();
+    let mut out = TableChanges::new();
+    for (k, pre_row) in &pre_by_key {
+        match post_by_key.get(k) {
+            None => {
+                out.insert(k.clone(), NetChange::Deleted { pre: (*pre_row).clone() });
+            }
+            Some(post_row) if post_row != pre_row => {
+                out.insert(
+                    k.clone(),
+                    NetChange::Updated {
+                        pre: (*pre_row).clone(),
+                        post: (*post_row).clone(),
+                    },
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for (k, post_row) in &post_by_key {
+        if !pre_by_key.contains_key(k) {
+            out.insert(k.clone(), NetChange::Inserted { post: (*post_row).clone() });
+        }
+    }
+    out
+}
+
 // ----------------------------------------------------------------------
 // Undo log: inverse operations for atomic maintenance rounds
 // ----------------------------------------------------------------------
@@ -789,5 +829,24 @@ mod tests {
         });
         assert_eq!(a.len(), 1);
         a.disarm();
+    }
+
+    #[test]
+    fn table_delta_classifies_all_three_change_kinds() {
+        let pre = vec![row![1, 10], row![2, 20], row![3, 30]];
+        let post = vec![row![2, 21], row![3, 30], row![4, 40]];
+        let delta = table_delta(&pre, &post, &[0]);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta[&k(1)], NetChange::Deleted { pre: row![1, 10] });
+        assert_eq!(
+            delta[&k(2)],
+            NetChange::Updated {
+                pre: row![2, 20],
+                post: row![2, 21]
+            }
+        );
+        assert_eq!(delta[&k(4)], NetChange::Inserted { post: row![4, 40] });
+        // Identical snapshots produce the empty delta.
+        assert!(table_delta(&post, &post, &[0]).is_empty());
     }
 }

@@ -37,7 +37,8 @@
 pub mod catalog;
 pub mod scheduler;
 
-pub use catalog::{CatalogView, ViewCatalog};
+pub use catalog::{CatalogView, IntermediateView, ViewCatalog};
 pub use scheduler::{
-    MaintenanceScheduler, RefreshPolicy, RoundSummary, SchedulerConfig, ViewStats,
+    CostEntry, MaintenanceScheduler, PromotionEvent, RefreshPolicy, RoundSummary, SchedulerConfig,
+    ViewStats,
 };

@@ -35,11 +35,12 @@
 
 use crate::catalog::ViewCatalog;
 use idivm_core::supervisor::{SupervisorConfig, SupervisorReport, SupervisorVerdict};
-use idivm_core::{IvmOptions, MaintenanceReport, SharedDiffCache, SharedPrefixStat};
+use idivm_core::{IvmOptions, MaintenanceReport, PromotionCandidate, SharedDiffCache, SharedPrefixStat};
+use idivm_cost::{CrossoverModel, PrefixObservation, PromotionConfig, PromotionDecision};
 use idivm_exec::ParallelConfig;
 use idivm_reldb::{compose_changes, Database, StatsSnapshot, TableChanges};
 use idivm_types::{Error, Result, Row};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// When a view's pending changes are propagated into it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +112,45 @@ pub struct ViewStats {
     pub last_supervisor: Option<SupervisorReport>,
 }
 
+/// A promotion-state transition applied at the end of a tick (or by a
+/// forced API call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromotionEvent {
+    /// `"promote"` or `"demote"`.
+    pub action: &'static str,
+    /// The hidden backing table created (or dropped).
+    pub backing: String,
+    /// Human-readable prefix label (e.g. `join[mentions,microblog]`).
+    pub label: String,
+    /// Consumer views rewired by the transition, sorted.
+    pub consumers: Vec<String>,
+}
+
+/// One maintain-vs-recompute comparison evaluated by the cost model at
+/// the end of a tick — the predicted-vs-observed record behind each
+/// promotion verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostEntry {
+    /// Prefix label.
+    pub label: String,
+    /// Whether the prefix was promoted (backed) when observed.
+    pub promoted: bool,
+    /// Consumer views the prefix serves.
+    pub consumers: u64,
+    /// Observed compute accesses for the prefix this round (`C`).
+    pub observed_compute: u64,
+    /// Observed diff tuples produced this round (`D`).
+    pub observed_diff_tuples: u64,
+    /// Predicted per-round cost of maintaining a backing, in
+    /// milli-accesses.
+    pub predicted_maintain_milli: u128,
+    /// Predicted per-round cost of recomputing the prefix in every
+    /// consumer, in milli-accesses.
+    pub predicted_recompute_milli: u128,
+    /// The model's verdict after hysteresis.
+    pub decision: PromotionDecision,
+}
+
 /// What one [`MaintenanceScheduler::tick`] (or drain/read barrier)
 /// did.
 #[derive(Debug, Clone, Default)]
@@ -121,6 +161,9 @@ pub struct RoundSummary {
     /// Views maintained this round, in name order, with the accesses
     /// attributed to each.
     pub maintained: Vec<(String, StatsSnapshot)>,
+    /// Promoted intermediates maintained this round (before any
+    /// consumer), in backing-name order, with attributed accesses.
+    pub intermediates: Vec<(String, StatsSnapshot)>,
     /// Views left stale this round (non-empty pending, not due), with
     /// their staleness in ticks.
     pub deferred: Vec<(String, u32)>,
@@ -131,14 +174,107 @@ pub struct RoundSummary {
     pub shared_hits: u64,
     /// Counted accesses the reuses avoided.
     pub shared_saved_accesses: u64,
-    /// Views whose round went through the supervisor, with verdicts.
+    /// Views whose round went through the supervisor, with verdicts
+    /// (includes promoted intermediates, under their backing names).
     pub verdicts: Vec<(String, SupervisorVerdict)>,
+    /// Promotion/demotion transitions applied at the end of this tick.
+    pub promotions: Vec<PromotionEvent>,
+    /// Cost-model comparisons evaluated at the end of this tick, in
+    /// label order.
+    pub cost: Vec<CostEntry>,
 }
 
 impl RoundSummary {
-    /// Total counted accesses across the round's maintained views.
+    /// Total counted accesses across the round's maintained views and
+    /// intermediates.
     pub fn total_accesses(&self) -> u64 {
-        self.maintained.iter().map(|(_, s)| s.total()).sum()
+        self.maintained
+            .iter()
+            .chain(self.intermediates.iter())
+            .map(|(_, s)| s.total())
+            .sum()
+    }
+
+    /// Render the summary as a deterministic JSON object (hand-rolled;
+    /// labels and names contain no characters requiring escapes).
+    pub fn to_json(&self) -> String {
+        fn views(items: &[(String, StatsSnapshot)]) -> String {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|(n, s)| format!("{{\"name\":\"{n}\",\"accesses\":{}}}", s.total()))
+                .collect();
+            format!("[{}]", parts.join(","))
+        }
+        let deferred: Vec<String> = self
+            .deferred
+            .iter()
+            .map(|(n, st)| format!("{{\"name\":\"{n}\",\"staleness\":{st}}}"))
+            .collect();
+        let prefixes: Vec<String> = self
+            .prefix_stats
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"label\":\"{}\",\"compute_accesses\":{},\"diff_tuples\":{},\"hits\":{},\"saved_accesses\":{}}}",
+                    p.label,
+                    p.compute_accesses.total(),
+                    p.diff_tuples,
+                    p.hits,
+                    p.saved_accesses()
+                )
+            })
+            .collect();
+        let verdicts: Vec<String> = self
+            .verdicts
+            .iter()
+            .map(|(n, v)| format!("{{\"name\":\"{n}\",\"verdict\":\"{}\"}}", v.label()))
+            .collect();
+        let promotions: Vec<String> = self
+            .promotions
+            .iter()
+            .map(|e| {
+                let consumers: Vec<String> =
+                    e.consumers.iter().map(|c| format!("\"{c}\"")).collect();
+                format!(
+                    "{{\"action\":\"{}\",\"backing\":\"{}\",\"label\":\"{}\",\"consumers\":[{}]}}",
+                    e.action,
+                    e.backing,
+                    e.label,
+                    consumers.join(",")
+                )
+            })
+            .collect();
+        let cost: Vec<String> = self
+            .cost
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"label\":\"{}\",\"promoted\":{},\"consumers\":{},\"observed_compute\":{},\"observed_diff_tuples\":{},\"predicted_maintain_milli\":{},\"predicted_recompute_milli\":{},\"decision\":\"{}\"}}",
+                    c.label,
+                    c.promoted,
+                    c.consumers,
+                    c.observed_compute,
+                    c.observed_diff_tuples,
+                    c.predicted_maintain_milli,
+                    c.predicted_recompute_milli,
+                    c.decision.label()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"round\":{},\"total_accesses\":{},\"maintained\":{},\"intermediates\":{},\"deferred\":[{}],\"shared\":{{\"hits\":{},\"saved_accesses\":{},\"prefixes\":[{}]}},\"verdicts\":[{}],\"promotions\":[{}],\"cost\":[{}]}}",
+            self.round,
+            self.total_accesses(),
+            views(&self.maintained),
+            views(&self.intermediates),
+            deferred.join(","),
+            self.shared_hits,
+            self.shared_saved_accesses,
+            prefixes.join(","),
+            verdicts.join(","),
+            promotions.join(","),
+            cost.join(",")
+        )
     }
 }
 
@@ -159,6 +295,14 @@ pub struct SchedulerConfig {
     pub share_prefixes: bool,
     /// Supervisor configuration for failure routing.
     pub supervisor: SupervisorConfig,
+    /// Adaptive intermediate materialization: when `Some`, the
+    /// scheduler feeds per-prefix observations from each tick into a
+    /// [`CrossoverModel`] per prefix structure and promotes/demotes
+    /// backings at tick boundaries. Requires `share_prefixes` (the
+    /// shared cache's per-prefix stats are the observation source for
+    /// unpromoted prefixes). `None` (the default) disables automatic
+    /// decisions; already-promoted intermediates are still maintained.
+    pub promotion: Option<PromotionConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -166,6 +310,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             share_prefixes: true,
             supervisor: SupervisorConfig::default(),
+            promotion: None,
         }
     }
 }
@@ -177,6 +322,31 @@ pub struct MaintenanceScheduler {
     states: BTreeMap<String, ViewState>,
     config: SchedulerConfig,
     round: u64,
+    /// Pending base-table nets per promoted backing (keyed by backing
+    /// table name). Intermediates are effectively eager: drained at the
+    /// start of every tick/barrier, before any consumer runs.
+    intermediate_pending: BTreeMap<String, HashMap<String, TableChanges>>,
+    /// Cumulative maintenance accounting per promoted backing.
+    intermediate_stats: BTreeMap<String, ViewStats>,
+    /// Hysteresis trackers keyed by prefix *structure* — they survive
+    /// promote/demote transitions so re-promotion uses the same state
+    /// machine.
+    trackers: BTreeMap<String, CrossoverModel>,
+}
+
+/// What one intermediate-sync pass (start of tick/barrier) did.
+#[derive(Default)]
+struct IntermediateRound {
+    /// Backings maintained, in name order, with attributed accesses.
+    maintained: Vec<(String, StatsSnapshot)>,
+    /// Supervised backings with their verdicts.
+    verdicts: Vec<(String, SupervisorVerdict)>,
+    /// Net backing-delta tuples produced per backing (`D` for the cost
+    /// model).
+    deltas: BTreeMap<String, u64>,
+    /// Backings whose supervised round did not converge — their
+    /// consumers are deferred this tick.
+    failed: BTreeSet<String>,
 }
 
 impl MaintenanceScheduler {
@@ -187,6 +357,9 @@ impl MaintenanceScheduler {
             states: BTreeMap::new(),
             config,
             round: 0,
+            intermediate_pending: BTreeMap::new(),
+            intermediate_stats: BTreeMap::new(),
+            trackers: BTreeMap::new(),
         }
     }
 
@@ -278,6 +451,18 @@ impl MaintenanceScheduler {
         for name in names {
             self.catalog.view_mut(&name)?.engine_mut().set_parallel(parallel)?;
         }
+        let backings: Vec<String> = self
+            .catalog
+            .intermediate_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for backing in backings {
+            self.catalog
+                .intermediate_mut(&backing)?
+                .engine_mut()
+                .set_parallel(parallel)?;
+        }
         Ok(())
     }
 
@@ -336,8 +521,120 @@ impl MaintenanceScheduler {
                     compose_changes(&mut state.pending, slice);
                 }
             }
+            let backings: Vec<String> = self
+                .catalog
+                .intermediate_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            for backing in backings {
+                let tables = self.catalog.intermediate(&backing)?.tables().to_vec();
+                let slice: HashMap<String, TableChanges> = net
+                    .iter()
+                    .filter(|(t, _)| tables.contains(t))
+                    .map(|(t, c)| (t.clone(), c.clone()))
+                    .collect();
+                if !slice.is_empty() {
+                    let pending = self.intermediate_pending.entry(backing).or_default();
+                    compose_changes(pending, slice);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Maintain every promoted intermediate with a non-empty pending
+    /// net, in backing-name order, before any consumer view runs this
+    /// round. Each backing's net delta is composed (under the backing
+    /// table's name) into every consumer's pending net, so consumers
+    /// pick it up at O(Δ) through their rewritten `Scan`. Failures are
+    /// routed through the supervisor; a backing that does not converge
+    /// keeps its pending net and its consumers are deferred this tick.
+    fn sync_intermediates(&mut self, cache: &mut SharedDiffCache) -> Result<IntermediateRound> {
+        let mut round = IntermediateRound::default();
+        let backings: Vec<String> = self
+            .catalog
+            .intermediate_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for backing in backings {
+            let net = match self.intermediate_pending.get(&backing) {
+                Some(net) if !net.is_empty() => net.clone(),
+                _ => continue,
+            };
+            let before = self.catalog.db().stats().snapshot();
+            let result = if self.config.share_prefixes {
+                self.catalog.maintain_intermediate_shared(&backing, &net, cache)
+            } else {
+                self.catalog.maintain_intermediate(&backing, &net)
+            };
+            let (delta, verdict) = match result {
+                Ok((report, delta)) => {
+                    let stats = self.intermediate_stats.entry(backing.clone()).or_default();
+                    stats.view_diff_tuples += report.view_diff_tuples as u64;
+                    stats.last_report = Some(report);
+                    (delta, None)
+                }
+                Err(_) => {
+                    // The failed round has been rolled back; the
+                    // supervisor owns retries, quarantine, and the
+                    // recompute ladder. Its delta is an exact snapshot
+                    // diff of the backing (empty if it degraded —
+                    // everything rolled back).
+                    let (report, delta) = self.catalog.maintain_intermediate_supervised(
+                        &backing,
+                        &net,
+                        self.config.supervisor,
+                    )?;
+                    let verdict = report.verdict;
+                    let stats = self.intermediate_stats.entry(backing.clone()).or_default();
+                    stats.supervised_rounds += 1;
+                    stats.quarantined_changes += report.quarantine.len() as u64;
+                    stats.last_verdict = Some(verdict);
+                    stats.last_supervisor = Some(report);
+                    (delta, Some(verdict))
+                }
+            };
+            let spent = self.catalog.db().stats().snapshot().since(&before);
+            let stats = self.intermediate_stats.entry(backing.clone()).or_default();
+            stats.rounds += 1;
+            stats.accesses = stats.accesses.merge(spent);
+            let converged = match verdict {
+                None => true,
+                Some(v) => {
+                    round.verdicts.push((backing.clone(), v));
+                    v.healthy() && v != SupervisorVerdict::Idle
+                }
+            };
+            if converged {
+                if let Some(pending) = self.intermediate_pending.get_mut(&backing) {
+                    pending.clear();
+                }
+            } else {
+                round.failed.insert(backing.clone());
+            }
+            let delta_tuples = delta.len() as u64;
+            if !delta.is_empty() {
+                let consumers: Vec<String> = self
+                    .catalog
+                    .intermediate(&backing)?
+                    .consumers()
+                    .iter()
+                    .cloned()
+                    .collect();
+                for consumer in consumers {
+                    if let Some(state) = self.states.get_mut(&consumer) {
+                        let mut slice = HashMap::new();
+                        slice.insert(backing.clone(), delta.clone());
+                        compose_changes(&mut state.pending, slice);
+                    }
+                }
+            }
+            round.deltas.insert(backing.clone(), delta_tuples);
+            round.maintained.push((backing, spent));
+        }
+        Ok(round)
     }
 
     /// One scheduler round: distribute freshly logged changes, then
@@ -350,15 +647,23 @@ impl MaintenanceScheduler {
     pub fn tick(&mut self) -> Result<RoundSummary> {
         self.round += 1;
         self.distribute()?;
+        // Promoted intermediates drain first (they are upstream of
+        // every consumer in the maintenance DAG); their net deltas land
+        // in consumer pendings before staleness advances, so an eager
+        // consumer sees backing changes the same tick they happen.
+        let mut cache = SharedDiffCache::new();
+        let inter = self.sync_intermediates(&mut cache)?;
         // Staleness advances on ticks (barriers reuse it as-is).
         for state in self.states.values_mut() {
             if !state.pending.is_empty() {
                 state.staleness += 1;
             }
         }
+        let skip = self.consumers_of(&inter.failed)?;
         let due: Vec<String> = self
             .states
             .iter()
+            .filter(|(n, _)| !skip.contains(*n))
             .filter(|(_, s)| match s.policy {
                 RefreshPolicy::Eager => !s.pending.is_empty(),
                 RefreshPolicy::Deferred {
@@ -368,7 +673,24 @@ impl MaintenanceScheduler {
             })
             .map(|(n, _)| n.clone())
             .collect();
-        self.maintain_views(&due)
+        let mut summary = self.maintain_views(&due, &mut cache)?;
+        summary.intermediates = inter.maintained.clone();
+        let mut verdicts = inter.verdicts.clone();
+        verdicts.append(&mut summary.verdicts);
+        summary.verdicts = verdicts;
+        if self.config.promotion.is_some() {
+            self.apply_promotion_decisions(&inter, &mut summary)?;
+        }
+        Ok(summary)
+    }
+
+    /// Views consuming any backing in `failed`.
+    fn consumers_of(&self, failed: &BTreeSet<String>) -> Result<BTreeSet<String>> {
+        let mut out = BTreeSet::new();
+        for backing in failed {
+            out.extend(self.catalog.intermediate(backing)?.consumers().iter().cloned());
+        }
+        Ok(out)
     }
 
     /// Read barrier: bring `name` fully up to date (distributing any
@@ -382,8 +704,15 @@ impl MaintenanceScheduler {
     pub fn read_view(&mut self, name: &str) -> Result<Vec<Row>> {
         self.state(name)?;
         self.distribute()?;
+        let mut cache = SharedDiffCache::new();
+        let inter = self.sync_intermediates(&mut cache)?;
+        if self.consumers_of(&inter.failed)?.contains(name) {
+            return Err(Error::Config(format!(
+                "view `{name}` consumes a degraded intermediate — pending changes preserved"
+            )));
+        }
         if !self.state(name)?.pending.is_empty() {
-            let summary = self.maintain_views(&[name.to_string()])?;
+            let summary = self.maintain_views(&[name.to_string()], &mut cache)?;
             if let Some((_, verdict)) = summary
                 .verdicts
                 .iter()
@@ -406,24 +735,31 @@ impl MaintenanceScheduler {
     /// verdicts in the summary.
     pub fn drain(&mut self) -> Result<RoundSummary> {
         self.distribute()?;
+        let mut cache = SharedDiffCache::new();
+        let inter = self.sync_intermediates(&mut cache)?;
+        let skip = self.consumers_of(&inter.failed)?;
         let due: Vec<String> = self
             .states
             .iter()
-            .filter(|(_, s)| !s.pending.is_empty())
+            .filter(|(n, s)| !s.pending.is_empty() && !skip.contains(*n))
             .map(|(n, _)| n.clone())
             .collect();
-        self.maintain_views(&due)
+        let mut summary = self.maintain_views(&due, &mut cache)?;
+        summary.intermediates = inter.maintained.clone();
+        let mut verdicts = inter.verdicts;
+        verdicts.append(&mut summary.verdicts);
+        summary.verdicts = verdicts;
+        Ok(summary)
     }
 
     /// Maintain `due` views (name order) against one fresh shared
     /// cache, attributing accesses per view and routing failures
     /// through the per-view supervisor.
-    fn maintain_views(&mut self, due: &[String]) -> Result<RoundSummary> {
+    fn maintain_views(&mut self, due: &[String], cache: &mut SharedDiffCache) -> Result<RoundSummary> {
         let mut summary = RoundSummary {
             round: self.round,
             ..RoundSummary::default()
         };
-        let mut cache = SharedDiffCache::new();
         let mut due = due.to_vec();
         due.sort();
         for name in &due {
@@ -433,7 +769,7 @@ impl MaintenanceScheduler {
             }
             let before = self.catalog.db().stats().snapshot();
             let result = if self.config.share_prefixes {
-                self.catalog.maintain_shared(name, &net, &mut cache)
+                self.catalog.maintain_shared(name, &net, cache)
             } else {
                 self.catalog.maintain_independent(name, &net)
             };
@@ -483,5 +819,274 @@ impl MaintenanceScheduler {
         summary.shared_saved_accesses = cache.total_saved_accesses();
         summary.prefix_stats = cache.stats();
         Ok(summary)
+    }
+
+    /// Feed this tick's per-prefix observations into the crossover
+    /// trackers and apply any transitions they fire. Deterministic:
+    /// candidates and intermediates are visited in sorted order, and
+    /// every input (accesses, diff tuples, consumer counts) is itself
+    /// deterministic, so the decision sequence is byte-identical across
+    /// runs and thread counts.
+    fn apply_promotion_decisions(
+        &mut self,
+        inter: &IntermediateRound,
+        summary: &mut RoundSummary,
+    ) -> Result<()> {
+        let Some(cfg) = self.config.promotion else {
+            return Ok(());
+        };
+        // Unpromoted candidate prefixes are observed through the
+        // round's shared cache: one stat per pending horizon may exist
+        // for a structure, so compute sums and the diff width is the
+        // widest horizon's.
+        let candidates = self.catalog.promotion_candidates();
+        let mut observed: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for stat in &summary.prefix_stats {
+            if candidates.iter().any(|c| c.structure == stat.structure) {
+                let entry = observed.entry(stat.structure.clone()).or_insert((0, 0));
+                entry.0 += stat.compute_accesses.total();
+                entry.1 = entry.1.max(stat.diff_tuples as u64);
+            }
+        }
+        let mut to_promote: Vec<PromotionCandidate> = Vec::new();
+        for (structure, (compute, diff_tuples)) in &observed {
+            let Some(candidate) = candidates.iter().find(|c| &c.structure == structure) else {
+                continue;
+            };
+            let obs = PrefixObservation {
+                compute_accesses: *compute,
+                diff_tuples: *diff_tuples,
+                consumers: candidate.consumers.len() as u64,
+            };
+            let tracker = self.trackers.entry(structure.clone()).or_default();
+            let decision = tracker.observe(&cfg, false, &obs);
+            summary.cost.push(CostEntry {
+                label: candidate.label.clone(),
+                promoted: false,
+                consumers: obs.consumers,
+                observed_compute: obs.compute_accesses,
+                observed_diff_tuples: obs.diff_tuples,
+                predicted_maintain_milli: cfg.maintain_milli(&obs),
+                predicted_recompute_milli: cfg.recompute_milli(&obs),
+                decision,
+            });
+            if decision == PromotionDecision::Promote {
+                to_promote.push(candidate.clone());
+            }
+        }
+        // Promoted prefixes are observed through their own maintenance
+        // round this tick (failed rounds are not observations).
+        let mut to_demote: Vec<String> = Vec::new();
+        for (backing, spent) in &inter.maintained {
+            if inter.failed.contains(backing) {
+                continue;
+            }
+            let iv = self.catalog.intermediate(backing)?;
+            let obs = PrefixObservation {
+                compute_accesses: spent.total(),
+                diff_tuples: inter.deltas.get(backing).copied().unwrap_or(0),
+                consumers: iv.consumers().len() as u64,
+            };
+            let structure = iv.structure().to_string();
+            let label = iv.label().to_string();
+            let tracker = self.trackers.entry(structure).or_default();
+            let decision = tracker.observe(&cfg, true, &obs);
+            summary.cost.push(CostEntry {
+                label,
+                promoted: true,
+                consumers: obs.consumers,
+                observed_compute: obs.compute_accesses,
+                observed_diff_tuples: obs.diff_tuples,
+                predicted_maintain_milli: cfg.maintain_milli(&obs),
+                predicted_recompute_milli: cfg.recompute_milli(&obs),
+                decision,
+            });
+            if decision == PromotionDecision::Demote {
+                to_demote.push(backing.clone());
+            }
+        }
+        // Collapse rule: an intermediate whose consumer set shrank
+        // below the floor (views unregistered) no longer pays for
+        // itself even if it had no round to observe this tick.
+        let idle: Vec<String> = self
+            .catalog
+            .intermediate_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for backing in idle {
+            if to_demote.contains(&backing) || inter.failed.contains(&backing) {
+                continue;
+            }
+            let consumers = self.catalog.intermediate(&backing)?.consumers().len() as u64;
+            if consumers < cfg.min_consumers {
+                to_demote.push(backing);
+            }
+        }
+        to_demote.sort();
+        to_demote.dedup();
+        for candidate in to_promote {
+            if let Some(event) = self.promote_candidate(&candidate)? {
+                summary.promotions.push(event);
+            }
+        }
+        for backing in to_demote {
+            if let Some(event) = self.demote_backing(&backing)? {
+                summary.promotions.push(event);
+            }
+        }
+        Ok(())
+    }
+
+    /// Bring `names` fully up to date ahead of catalog surgery.
+    /// Returns `false` (surgery must be skipped) if any of them could
+    /// not converge — their pendings are preserved.
+    fn drain_views(&mut self, names: &BTreeSet<String>) -> Result<bool> {
+        let due: Vec<String> = names
+            .iter()
+            .filter(|n| {
+                self.states
+                    .get(n.as_str())
+                    .is_some_and(|s| !s.pending.is_empty())
+            })
+            .cloned()
+            .collect();
+        if !due.is_empty() {
+            let mut cache = SharedDiffCache::new();
+            self.maintain_views(&due, &mut cache)?;
+        }
+        Ok(names.iter().all(|n| {
+            self.states
+                .get(n.as_str())
+                .is_none_or(|s| s.pending.is_empty())
+        }))
+    }
+
+    /// Promote `candidate` to a materialized intermediate: drain its
+    /// consumers (the backing is populated from current base state, so
+    /// an undrained consumer would double-apply its pending), create
+    /// and populate the hidden backing table, rewire every consumer's
+    /// plan to scan it, and start scheduling its maintenance. Returns
+    /// `None` if a consumer could not be drained (promotion is retried
+    /// on a later tick — the tracker keeps firing).
+    fn promote_candidate(&mut self, candidate: &PromotionCandidate) -> Result<Option<PromotionEvent>> {
+        let consumers: BTreeSet<String> = candidate.consumers.iter().cloned().collect();
+        if !self.drain_views(&consumers)? {
+            return Ok(None);
+        }
+        let backing = self.catalog.promote(candidate)?;
+        self.intermediate_pending
+            .insert(backing.clone(), HashMap::new());
+        self.intermediate_stats.entry(backing.clone()).or_default();
+        let consumers: Vec<String> = self
+            .catalog
+            .intermediate(&backing)?
+            .consumers()
+            .iter()
+            .cloned()
+            .collect();
+        Ok(Some(PromotionEvent {
+            action: "promote",
+            backing,
+            label: candidate.label.clone(),
+            consumers,
+        }))
+    }
+
+    /// Demote the intermediate behind `backing`: drain its consumers
+    /// and require the backing itself to be clean (a pending backing
+    /// delta not yet delivered to consumers would be lost by the
+    /// rewire), restore the inline subtree in every consumer plan, and
+    /// drop the backing. Returns `None` if the preconditions do not
+    /// hold this tick.
+    fn demote_backing(&mut self, backing: &str) -> Result<Option<PromotionEvent>> {
+        let iv = self.catalog.intermediate(backing)?;
+        let label = iv.label().to_string();
+        let consumers: BTreeSet<String> = iv.consumers().iter().cloned().collect();
+        if self
+            .intermediate_pending
+            .get(backing)
+            .is_some_and(|p| !p.is_empty())
+        {
+            return Ok(None);
+        }
+        if !self.drain_views(&consumers)? {
+            return Ok(None);
+        }
+        self.catalog.demote(backing)?;
+        self.intermediate_pending.remove(backing);
+        self.intermediate_stats.remove(backing);
+        Ok(Some(PromotionEvent {
+            action: "demote",
+            backing: backing.to_string(),
+            label,
+            consumers: consumers.into_iter().collect(),
+        }))
+    }
+
+    /// Promote a candidate by prefix label right now, outside the
+    /// cost-model loop (tests, tooling). Fails if no such candidate
+    /// exists or its consumers cannot be drained.
+    ///
+    /// # Errors
+    /// Unknown label, undrainable consumers, or any
+    /// [`ViewCatalog::promote`] failure.
+    pub fn force_promote(&mut self, label: &str) -> Result<String> {
+        // Quiescence: fold any freshly logged changes and deliver
+        // pending intermediate deltas before the surgery barrier.
+        self.distribute()?;
+        self.sync_intermediates(&mut SharedDiffCache::new())?;
+        let candidate = self
+            .catalog
+            .promotion_candidates()
+            .into_iter()
+            .find(|c| c.label == label)
+            .ok_or_else(|| {
+                Error::Config(format!("no promotable prefix labelled `{label}`"))
+            })?;
+        match self.promote_candidate(&candidate)? {
+            Some(event) => Ok(event.backing),
+            None => Err(Error::Config(format!(
+                "cannot promote `{label}`: a consumer view would not converge"
+            ))),
+        }
+    }
+
+    /// Demote a promoted intermediate right now, outside the
+    /// cost-model loop (tests, tooling).
+    ///
+    /// # Errors
+    /// Unknown backing, a dirty backing or consumer, or any
+    /// [`ViewCatalog::demote`] failure.
+    pub fn force_demote(&mut self, backing: &str) -> Result<()> {
+        // Deliver any pending backing delta to consumers first.
+        self.distribute()?;
+        self.sync_intermediates(&mut SharedDiffCache::new())?;
+        match self.demote_backing(backing)? {
+            Some(_) => Ok(()),
+            None => Err(Error::Config(format!(
+                "cannot demote `{backing}`: backing or a consumer would not converge"
+            ))),
+        }
+    }
+
+    /// Cumulative maintenance statistics of a promoted intermediate.
+    ///
+    /// # Errors
+    /// Unknown backing name.
+    pub fn intermediate_stats(&self, backing: &str) -> Result<&ViewStats> {
+        self.intermediate_stats.get(backing).ok_or_else(|| {
+            Error::Config(format!("intermediate `{backing}` is not registered"))
+        })
+    }
+
+    /// Backing-table names of the currently promoted intermediates,
+    /// sorted.
+    pub fn intermediates(&self) -> Vec<String> {
+        self.catalog
+            .intermediate_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     }
 }

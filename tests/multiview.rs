@@ -272,7 +272,7 @@ fn poisoned_view_is_quarantined_without_corrupting_or_blocking_siblings() {
 
     // The poisoned view went through its supervisor and was minimally
     // quarantined — and the *same tick* still maintained every sibling.
-    assert_eq!(summary.maintained.len(), 4, "a view was blocked");
+    assert_eq!(summary.maintained.len(), 5, "a view was blocked");
     let verdicts: Vec<&(String, SupervisorVerdict)> = summary.verdicts.iter().collect();
     assert_eq!(verdicts.len(), 1, "only the poisoned view may be supervised");
     assert_eq!(verdicts[0].0, poisoned);
