@@ -146,6 +146,29 @@ impl PlanBuilder {
         self.join_kind(right, on, Some(residual), JoinKind::Inner)
     }
 
+    /// Left outer join `self ⟕ right` (unmatched left rows survive,
+    /// NULL-padded on the right).
+    ///
+    /// # Errors
+    /// Unknown column on either side.
+    pub fn left_outer_join(self, right: PlanBuilder, on: &[(&str, &str)]) -> Result<Self> {
+        self.join_kind(right, on, None, JoinKind::LeftOuter)
+    }
+
+    /// Left outer join with an extra θ residual over the concatenated
+    /// schema (a right row only matches when keys AND residual hold).
+    ///
+    /// # Errors
+    /// Unknown column on either side.
+    pub fn left_outer_join_residual(
+        self,
+        right: PlanBuilder,
+        on: &[(&str, &str)],
+        residual: Expr,
+    ) -> Result<Self> {
+        self.join_kind(right, on, Some(residual), JoinKind::LeftOuter)
+    }
+
     /// Semijoin `self ⋉ right`.
     ///
     /// # Errors
@@ -177,6 +200,12 @@ impl PlanBuilder {
         let right = Box::new(right.plan);
         let plan = match kind {
             JoinKind::Inner => Plan::Join {
+                left,
+                right,
+                on: pairs,
+                residual,
+            },
+            JoinKind::LeftOuter => Plan::LeftOuterJoin {
                 left,
                 right,
                 on: pairs,
@@ -254,6 +283,7 @@ impl PlanBuilder {
 #[derive(Clone, Copy)]
 enum JoinKind {
     Inner,
+    LeftOuter,
     Semi,
     Anti,
 }

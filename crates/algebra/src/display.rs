@@ -49,6 +49,14 @@ fn render(plan: &Plan, depth: usize, out: &mut String) {
                 .unwrap_or_default();
             let _ = writeln!(out, "{pad}JOIN ⋈ [{}]{res}{ids}", keys.join(", "));
         }
+        Plan::LeftOuterJoin { on, residual, .. } => {
+            let keys: Vec<String> = on.iter().map(|(l, r)| format!("#{l}=#{r}")).collect();
+            let res = residual
+                .as_ref()
+                .map(|e| format!(" AND {e}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{pad}LEFT OUTER JOIN ⟕ [{}]{res}{ids}", keys.join(", "));
+        }
         Plan::SemiJoin { on, .. } => {
             let keys: Vec<String> = on.iter().map(|(l, r)| format!("#{l}=#{r}")).collect();
             let _ = writeln!(out, "{pad}SEMIJOIN ⋉ [{}]{ids}", keys.join(", "));

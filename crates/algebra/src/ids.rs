@@ -52,7 +52,11 @@ pub fn infer_ids(plan: &Plan) -> Result<Vec<usize>> {
             out.dedup();
             out
         }
-        Plan::Join { left, right, .. } => {
+        Plan::Join { left, right, .. } | Plan::LeftOuterJoin { left, right, .. } => {
+            // Outer join: padded rows carry NULLs in the right-ID
+            // positions; since every left row yields either matches or
+            // exactly one padded row, `ID(R) ∪ ID(S)` (with NULLs read
+            // as a distinguished padding marker) still keys the output.
             let mut ids = infer_ids(left)?;
             let off = left.arity();
             ids.extend(infer_ids(right)?.into_iter().map(|i| i + off));
@@ -118,6 +122,17 @@ pub fn ensure_ids(plan: Plan) -> Result<Plan> {
             on,
             residual,
         } => Plan::Join {
+            left: Box::new(ensure_ids(*left)?),
+            right: Box::new(ensure_ids(*right)?),
+            on,
+            residual,
+        },
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => Plan::LeftOuterJoin {
             left: Box::new(ensure_ids(*left)?),
             right: Box::new(ensure_ids(*right)?),
             on,

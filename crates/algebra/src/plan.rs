@@ -64,6 +64,17 @@ pub enum Plan {
         on: Vec<(usize, usize)>,
         residual: Option<Expr>,
     },
+    /// Left outer join `left ⟕ right`: every left row appears exactly
+    /// once per matching right row, or once NULL-padded on the right
+    /// when no right row matches (SQL semantics: NULL join keys on the
+    /// left never match and are always padded). Output columns are the
+    /// concatenation, like [`Plan::Join`].
+    LeftOuterJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+    },
     /// Semijoin `left ⋉ right` (output = left columns).
     SemiJoin {
         left: Box<Plan>,
@@ -123,6 +134,18 @@ impl Plan {
                 cols.extend(right.output_cols());
                 cols
             }
+            Plan::LeftOuterJoin { left, right, .. } => {
+                let mut cols = left.output_cols();
+                // Right columns may be NULL-padded, so they are not
+                // verbatim copies of their base attributes: provenance
+                // is dropped (a padded row holds NULL where the base
+                // holds a value).
+                cols.extend(right.output_cols().into_iter().map(|c| PlanCol {
+                    name: c.name,
+                    origin: None,
+                }));
+                cols
+            }
             Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => left.output_cols(),
             Plan::UnionAll { left, .. } => {
                 // Union output takes the left names; provenance is
@@ -160,7 +183,9 @@ impl Plan {
             Plan::Scan { schema, .. } => schema.arity(),
             Plan::Select { input, .. } => input.arity(),
             Plan::Project { cols, .. } => cols.len(),
-            Plan::Join { left, right, .. } => left.arity() + right.arity(),
+            Plan::Join { left, right, .. } | Plan::LeftOuterJoin { left, right, .. } => {
+                left.arity() + right.arity()
+            }
             Plan::SemiJoin { left, .. } | Plan::AntiJoin { left, .. } => left.arity(),
             Plan::UnionAll { left, .. } => left.arity() + 1,
             Plan::GroupBy { keys, aggs, .. } => keys.len() + aggs.len(),
@@ -175,6 +200,7 @@ impl Plan {
             | Plan::Project { input, .. }
             | Plan::GroupBy { input, .. } => vec![input],
             Plan::Join { left, right, .. }
+            | Plan::LeftOuterJoin { left, right, .. }
             | Plan::SemiJoin { left, right, .. }
             | Plan::AntiJoin { left, right, .. }
             | Plan::UnionAll { left, right } => vec![left, right],
@@ -267,6 +293,12 @@ impl Plan {
                 }
             }
             Plan::Join {
+                left,
+                right,
+                on,
+                residual,
+            }
+            | Plan::LeftOuterJoin {
                 left,
                 right,
                 on,

@@ -1,0 +1,297 @@
+//! TPC-H-flavored MIN/MAX + LEFT OUTER JOIN benchmark.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idivm-bench --bin tpch [-- --customers N --rounds R --diffs D --skew PCT --smoke]
+//! ```
+//!
+//! Two standing views over `customer`/`orders`/`lineitem`
+//! (`idivm_workloads::tpch`):
+//!
+//! * **extremes** — `γ_{custkey; MIN(price), MAX(price), SUM(price)}
+//!   (orders ⋈ lineitem)`, maintained by all three engines (ID-based,
+//!   tuple-based, SDBT-fixed on the lineitem stream) under a churn mix
+//!   in which `--skew` percent of modifications remove the group's
+//!   *current minimum* — the case where delta maintenance must fall
+//!   back to a counted per-group rescan.
+//! * **order_pad** — `customer ⟕ orders`, maintained by the ID-based
+//!   and tuple-based engines (SDBT rejects outer joins by construction)
+//!   under order churn that creates and destroys first/last orders.
+//!
+//! Every round, every engine is checked row-for-row against the
+//! recompute oracle, and the oracle's own counted accesses are
+//! bracketed so the maintained-vs-recompute comparison is apples to
+//! apples. Guards:
+//!
+//! * all engines bit-identical to recomputation, every round,
+//! * P = 4 runs byte-identical to serial (rows **and** rescan counts —
+//!   extremum emission is deliberately deterministic),
+//! * the skewed mix actually fires rescans (`rescans > 0` on every
+//!   extremes engine),
+//! * maintained MIN/MAX still beats recomputation on counted accesses
+//!   for the skewed-but-not-pathological default mix,
+//! * the LOJ view ends with at least one NULL-padded row.
+//!
+//! Writes `BENCH_tpch.json` — schema in `EXPERIMENTS.md`.
+
+use idivm_bench::fmt_row;
+use idivm_core::{EngineConfig, IdIvm, IvmOptions};
+use idivm_exec::{executor::sorted, recompute_rows, ParallelConfig};
+use idivm_sdbt::{Sdbt, SdbtVariant};
+use idivm_tuple::TupleIvm;
+use idivm_types::Value;
+use idivm_workloads::Tpch;
+
+/// Per-engine outcome on one view.
+#[derive(Debug, Default)]
+struct EngineTotals {
+    accesses: u64,
+    rescans: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get = |flag: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let customers = get("--customers", if smoke { 60.0 } else { 200.0 }) as usize;
+    let rounds = get("--rounds", if smoke { 4.0 } else { 8.0 }) as u64;
+    let diffs = get("--diffs", if smoke { 10.0 } else { 24.0 }) as usize;
+    let skew = get("--skew", 30.0) as u32;
+    let cfg = Tpch {
+        n_customers: customers,
+        extremum_pct: skew,
+        ..Tpch::default()
+    };
+    println!(
+        "TPC-H extremes + outer-join padding — {customers} customers, \
+         {rounds} rounds x {diffs} modifications, {skew}% extremum-deleting"
+    );
+
+    let four = ParallelConfig {
+        threads: 4,
+        min_shard_rows: 1,
+    };
+
+    // --- extremes view: MIN/MAX/SUM under extremum deletion ------------
+    let mut db_i = cfg.build().expect("build");
+    let mut db_t = cfg.build().expect("build");
+    let mut db_f = cfg.build().expect("build");
+    let mut db_p4 = cfg.build().expect("build");
+    let plan_i = cfg.extremes_plan(&db_i).expect("plan");
+    let plan_t = cfg.extremes_plan(&db_t).expect("plan");
+    let plan_f = cfg.extremes_plan(&db_f).expect("plan");
+    let plan_p4 = cfg.extremes_plan(&db_p4).expect("plan");
+    let partial = cfg.sdbt_lineitem_partial(&db_f).expect("partial");
+    let ivm = IdIvm::setup(&mut db_i, "V", plan_i, IvmOptions::default()).expect("id setup");
+    let tivm = TupleIvm::setup(&mut db_t, "V", plan_t).expect("tuple setup");
+    let sdbt = Sdbt::setup(
+        &mut db_f,
+        "V",
+        plan_f,
+        vec![partial],
+        SdbtVariant::Fixed("lineitem".into()),
+    )
+    .expect("sdbt setup");
+    let mut ivm_p4 =
+        IdIvm::setup(&mut db_p4, "V", plan_p4, IvmOptions::default()).expect("p4 setup");
+    ivm_p4.set_parallel(four).expect("p4 config");
+
+    let mut ext_id = EngineTotals::default();
+    let mut ext_tuple = EngineTotals::default();
+    let mut ext_sdbt = EngineTotals::default();
+    let mut ext_p4 = EngineTotals::default();
+    let mut ext_recompute: u64 = 0;
+    let mut p4_identical = true;
+    for round in 0..rounds {
+        for db in [&mut db_i, &mut db_t, &mut db_f, &mut db_p4] {
+            cfg.lineitem_churn_batch(db, diffs, round).expect("churn");
+        }
+        let ri = ivm.maintain(&mut db_i).expect("id maintain");
+        let rt = tivm.maintain(&mut db_t).expect("tuple maintain");
+        let rf = sdbt.maintain(&mut db_f).expect("sdbt maintain");
+        let rp = ivm_p4.maintain(&mut db_p4).expect("p4 maintain");
+        ext_id.accesses += ri.total_accesses();
+        ext_id.rescans += ri.rescans;
+        ext_tuple.accesses += rt.total_accesses();
+        ext_tuple.rescans += rt.rescans;
+        ext_sdbt.accesses += rf.total_accesses();
+        ext_sdbt.rescans += rf.rescans;
+        ext_p4.accesses += rp.total_accesses();
+        ext_p4.rescans += rp.rescans;
+
+        // The oracle, with its own cost bracketed for comparison.
+        let before = db_i.stats().snapshot();
+        let oracle = sorted(recompute_rows(&db_i, ivm.plan()).expect("recompute"));
+        ext_recompute += db_i.stats().snapshot().since(&before).total();
+        assert_eq!(
+            sorted(db_i.table("V").expect("view").rows_uncounted()),
+            oracle,
+            "id engine diverged from recompute in round {round}"
+        );
+        assert_eq!(
+            sorted(db_t.table("V").expect("view").rows_uncounted()),
+            oracle,
+            "tuple engine diverged from recompute in round {round}"
+        );
+        assert_eq!(
+            sorted(sdbt.visible_rows(&db_f).expect("visible")),
+            oracle,
+            "sdbt engine diverged from recompute in round {round}"
+        );
+        p4_identical &= sorted(db_p4.table("V").expect("view").rows_uncounted()) == oracle
+            && rp.rescans == ri.rescans;
+    }
+
+    // --- order_pad view: customer ⟕ orders under padding churn ---------
+    let mut db_li = cfg.build().expect("build");
+    let mut db_lt = cfg.build().expect("build");
+    let mut db_lp4 = cfg.build().expect("build");
+    let plan_li = cfg.loj_plan(&db_li).expect("plan");
+    let plan_lt = cfg.loj_plan(&db_lt).expect("plan");
+    let plan_lp4 = cfg.loj_plan(&db_lp4).expect("plan");
+    let livm = IdIvm::setup(&mut db_li, "P", plan_li, IvmOptions::default()).expect("id setup");
+    let ltivm = TupleIvm::setup(&mut db_lt, "P", plan_lt).expect("tuple setup");
+    let mut livm_p4 =
+        IdIvm::setup(&mut db_lp4, "P", plan_lp4, IvmOptions::default()).expect("p4 setup");
+    livm_p4.set_parallel(four).expect("p4 config");
+
+    let mut loj_id = EngineTotals::default();
+    let mut loj_tuple = EngineTotals::default();
+    let mut loj_recompute: u64 = 0;
+    let mut loj_p4_identical = true;
+    let mut padded_final: usize = 0;
+    for round in 0..rounds {
+        for db in [&mut db_li, &mut db_lt, &mut db_lp4] {
+            cfg.order_churn_batch(db, diffs, round).expect("churn");
+        }
+        let ri = livm.maintain(&mut db_li).expect("id maintain");
+        let rt = ltivm.maintain(&mut db_lt).expect("tuple maintain");
+        livm_p4.maintain(&mut db_lp4).expect("p4 maintain");
+        loj_id.accesses += ri.total_accesses();
+        loj_tuple.accesses += rt.total_accesses();
+
+        let before = db_li.stats().snapshot();
+        let oracle = sorted(recompute_rows(&db_li, livm.plan()).expect("recompute"));
+        loj_recompute += db_li.stats().snapshot().since(&before).total();
+        assert_eq!(
+            sorted(db_li.table("P").expect("view").rows_uncounted()),
+            oracle,
+            "id engine diverged on the outer join in round {round}"
+        );
+        assert_eq!(
+            sorted(db_lt.table("P").expect("view").rows_uncounted()),
+            oracle,
+            "tuple engine diverged on the outer join in round {round}"
+        );
+        loj_p4_identical &=
+            sorted(db_lp4.table("P").expect("view").rows_uncounted()) == oracle;
+        padded_final = oracle
+            .iter()
+            .filter(|r| r.iter().any(Value::is_null))
+            .count();
+    }
+
+    // --- Report --------------------------------------------------------
+    let widths = &[26usize, 12, 12, 12];
+    println!(
+        "\n{}",
+        fmt_row(
+            &["extremes engine".into(), "accesses".into(), "rescans".into(), "vs recompute".into()],
+            widths
+        )
+    );
+    let ratio = |a: u64| format!("{:.2}x", ext_recompute as f64 / a.max(1) as f64);
+    for (name, t) in [
+        ("id-ivm", &ext_id),
+        ("tuple-ivm", &ext_tuple),
+        ("sdbt-fixed", &ext_sdbt),
+        ("id-ivm (P=4)", &ext_p4),
+    ] {
+        println!(
+            "{}",
+            fmt_row(
+                &[
+                    name.into(),
+                    t.accesses.to_string(),
+                    t.rescans.to_string(),
+                    ratio(t.accesses),
+                ],
+                widths
+            )
+        );
+    }
+    println!(
+        "{}",
+        fmt_row(
+            &["recompute".into(), ext_recompute.to_string(), "-".into(), "1.00x".into()],
+            widths
+        )
+    );
+    println!(
+        "\norder_pad: id-ivm {} accesses, tuple-ivm {} accesses, recompute {}, \
+         {padded_final} NULL-padded rows at the end",
+        loj_id.accesses, loj_tuple.accesses, loj_recompute
+    );
+
+    // --- Guards --------------------------------------------------------
+    assert!(p4_identical, "P=4 extremes run diverged from serial (rows or rescan counts)");
+    assert!(loj_p4_identical, "P=4 outer-join run diverged from serial");
+    println!("signatures: cross-engine ok, P=4 ok (incl. rescan counts)");
+    for (name, t) in [("id", &ext_id), ("tuple", &ext_tuple), ("sdbt", &ext_sdbt)] {
+        assert!(
+            t.rescans > 0,
+            "{name}: the skewed mix fired no extremum rescans — the benchmark \
+             is not exercising the fallback"
+        );
+    }
+    assert!(
+        ext_id.accesses < ext_recompute,
+        "maintained MIN/MAX (id: {}) must beat per-round recomputation ({}) \
+         on the skewed mix",
+        ext_id.accesses,
+        ext_recompute
+    );
+    assert!(
+        padded_final > 0,
+        "order churn left no NULL-padded customers — the LOJ is not being exercised"
+    );
+    println!(
+        "guards: rescans fired on every engine, id-ivm {} < recompute {} accesses",
+        ext_id.accesses, ext_recompute
+    );
+
+    // --- Machine-readable record ---------------------------------------
+    let engine_json = |name: &str, t: &EngineTotals| {
+        format!(
+            "      {{\"name\": \"{name}\", \"accesses\": {}, \"rescans\": {}}}",
+            t.accesses, t.rescans
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"tpch\",\n  \"customers\": {customers},\n  \"rounds\": {rounds},\n  \
+         \"diffs\": {diffs},\n  \"extremum_pct\": {skew},\n  \"extremes\": {{\n    \
+         \"engines\": [\n{},\n{},\n{},\n{}\n    ],\n    \
+         \"recompute_accesses\": {},\n    \"id_vs_recompute_ratio\": {:.4}\n  }},\n  \
+         \"order_pad\": {{\n    \"engines\": [\n{},\n{}\n    ],\n    \
+         \"recompute_accesses\": {},\n    \"padded_rows_final\": {padded_final}\n  }},\n  \
+         \"signatures_match\": {{\"cross_engine\": true, \"parallel_p4\": {}}}\n}}\n",
+        engine_json("id-ivm", &ext_id),
+        engine_json("tuple-ivm", &ext_tuple),
+        engine_json("sdbt-fixed", &ext_sdbt),
+        engine_json("id-ivm-p4", &ext_p4),
+        ext_recompute,
+        ext_recompute as f64 / ext_id.accesses.max(1) as f64,
+        engine_json("id-ivm", &loj_id),
+        engine_json("tuple-ivm", &loj_tuple),
+        loj_recompute,
+        p4_identical && loj_p4_identical,
+    );
+    std::fs::write("BENCH_tpch.json", &json).expect("write BENCH_tpch.json");
+    println!("wrote BENCH_tpch.json");
+}

@@ -18,7 +18,9 @@
 
 use crate::diff::State;
 use idivm_algebra::Plan;
-use idivm_exec::executor::{hash_aggregate, hash_join, project_row, semi_or_anti};
+use idivm_exec::executor::{
+    hash_aggregate, hash_join, hash_left_outer_join, project_row, semi_or_anti,
+};
 use idivm_reldb::{Database, PreState, TableChanges};
 use idivm_types::{Error, Key, Result, Row, Value};
 use std::collections::HashMap;
@@ -91,6 +93,16 @@ pub fn scan(ctx: &AccessCtx<'_>, plan: &Plan, path: &PathId, state: State) -> Re
             let l = scan(ctx, left, &child(path, 0), state)?;
             let r = scan(ctx, right, &child(path, 1), state)?;
             hash_join(&l, &r, on, residual.as_ref())
+        }
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let l = scan(ctx, left, &child(path, 0), state)?;
+            let r = scan(ctx, right, &child(path, 1), state)?;
+            hash_left_outer_join(&l, &r, right.arity(), on, residual.as_ref())
         }
         Plan::SemiJoin {
             left,
@@ -197,72 +209,60 @@ pub fn lookup(
             right,
             on,
             residual,
+        } => probe_join(ctx, path, state, cols, probe, left, right, on, residual.as_ref()),
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
         } => {
             let la = left.arity();
-            let left_part: Vec<usize> = cols.iter().copied().filter(|&c| c < la).collect();
-            let right_part: Vec<usize> =
-                cols.iter().copied().filter(|&c| c >= la).collect();
+            let right_vals = probe_values(cols, probe, |c| c >= la);
+            if right_vals.iter().any(|v| !v.is_null()) {
+                // A non-NULL constraint on a right column excludes
+                // NULL-padded rows, so the result coincides with the
+                // inner join's.
+                return probe_join(
+                    ctx,
+                    path,
+                    state,
+                    cols,
+                    probe,
+                    left,
+                    right,
+                    on,
+                    residual.as_ref(),
+                );
+            }
+            // Drive from the left: build each matching left row's full
+            // outer output (joined or padded), then filter by the whole
+            // probe — a NULL right probe matches padded rows and
+            // genuinely-NULL matched columns alike.
             let lp = &child(path, 0);
             let rp = &child(path, 1);
-            if !left_part.is_empty() || right_part.is_empty() {
-                // Drive from the left side.
-                let lprobe = sub_probe(cols, probe, |c| c < la);
-                let lrows = lookup(ctx, left, lp, state, &left_part, &lprobe)?;
-                // For each left row, chase the join keys into the right,
-                // constraining also by the right part of the probe.
-                // Columns may repeat (a probe column that is also a join
-                // key); dedupe so index matching is not defeated, and
-                // reject contradictory constraints.
-                let mut rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-                for &c in &right_part {
-                    rcols.push(c - la);
-                }
-                let right_vals = probe_values(cols, probe, |c| c >= la);
-                let mut out = Vec::new();
-                for l in lrows {
-                    let mut vals: Vec<Value> =
-                        on.iter().map(|&(lc, _)| l[lc].clone()).collect();
-                    vals.extend(right_vals.iter().cloned());
-                    if vals.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    let Some((dcols, dvals)) = dedupe_probe(&rcols, vals) else {
-                        continue; // contradictory duplicate constraints
-                    };
-                    let rrows = lookup(ctx, right, rp, state, &dcols, &Key(dvals))?;
-                    for r in rrows {
+            let left_part: Vec<usize> = cols.iter().copied().filter(|&c| c < la).collect();
+            let lprobe = sub_probe(cols, probe, |c| c < la);
+            let lrows = lookup(ctx, left, lp, state, &left_part, &lprobe)?;
+            let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+            let pad = Row(vec![Value::Null; right.arity()]);
+            let mut out = Vec::new();
+            for l in lrows {
+                let vals: Vec<Value> = on.iter().map(|&(lc, _)| l[lc].clone()).collect();
+                let mut matched = false;
+                if !vals.iter().any(Value::is_null) {
+                    for r in lookup(ctx, right, rp, state, &rcols, &Key(vals))? {
                         let joined = l.concat(&r);
                         if idivm_algebra::opt_pred(residual.as_ref(), &joined)? {
                             out.push(joined);
+                            matched = true;
                         }
                     }
                 }
-                Ok(out)
-            } else {
-                // Probe columns are all on the right: drive from there.
-                let rprobe_cols: Vec<usize> = right_part.iter().map(|&c| c - la).collect();
-                let rprobe = sub_probe(cols, probe, |c| c >= la);
-                let rrows = lookup(ctx, right, rp, state, &rprobe_cols, &rprobe)?;
-                let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
-                let mut out = Vec::new();
-                for r in rrows {
-                    let vals: Vec<Value> = on
-                        .iter()
-                        .map(|&(_, rc)| r[rc].clone())
-                        .collect();
-                    if vals.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    let lrows = lookup(ctx, left, lp, state, &lcols, &Key(vals))?;
-                    for l in lrows {
-                        let joined = l.concat(&r);
-                        if idivm_algebra::opt_pred(residual.as_ref(), &joined)? {
-                            out.push(joined);
-                        }
-                    }
+                if !matched {
+                    out.push(l.concat(&pad));
                 }
-                Ok(out)
             }
+            Ok(filter_by(out, cols, probe))
         }
         Plan::SemiJoin {
             left,
@@ -335,6 +335,82 @@ pub fn exists(
     probe: &Key,
 ) -> Result<bool> {
     Ok(!lookup(ctx, plan, path, state, cols, probe)?.is_empty())
+}
+
+/// Inner-join equality probe, pushed down as a diff-driven
+/// index-nested-loop from whichever side carries probe columns.
+#[allow(clippy::too_many_arguments)]
+fn probe_join(
+    ctx: &AccessCtx<'_>,
+    path: &PathId,
+    state: State,
+    cols: &[usize],
+    probe: &Key,
+    left: &Plan,
+    right: &Plan,
+    on: &[(usize, usize)],
+    residual: Option<&idivm_algebra::Expr>,
+) -> Result<Vec<Row>> {
+    let la = left.arity();
+    let left_part: Vec<usize> = cols.iter().copied().filter(|&c| c < la).collect();
+    let right_part: Vec<usize> = cols.iter().copied().filter(|&c| c >= la).collect();
+    let lp = &child(path, 0);
+    let rp = &child(path, 1);
+    if !left_part.is_empty() || right_part.is_empty() {
+        // Drive from the left side.
+        let lprobe = sub_probe(cols, probe, |c| c < la);
+        let lrows = lookup(ctx, left, lp, state, &left_part, &lprobe)?;
+        // For each left row, chase the join keys into the right,
+        // constraining also by the right part of the probe.
+        // Columns may repeat (a probe column that is also a join
+        // key); dedupe so index matching is not defeated, and
+        // reject contradictory constraints.
+        let mut rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        for &c in &right_part {
+            rcols.push(c - la);
+        }
+        let right_vals = probe_values(cols, probe, |c| c >= la);
+        let mut out = Vec::new();
+        for l in lrows {
+            let mut vals: Vec<Value> = on.iter().map(|&(lc, _)| l[lc].clone()).collect();
+            vals.extend(right_vals.iter().cloned());
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            let Some((dcols, dvals)) = dedupe_probe(&rcols, vals) else {
+                continue; // contradictory duplicate constraints
+            };
+            let rrows = lookup(ctx, right, rp, state, &dcols, &Key(dvals))?;
+            for r in rrows {
+                let joined = l.concat(&r);
+                if idivm_algebra::opt_pred(residual, &joined)? {
+                    out.push(joined);
+                }
+            }
+        }
+        Ok(out)
+    } else {
+        // Probe columns are all on the right: drive from there.
+        let rprobe_cols: Vec<usize> = right_part.iter().map(|&c| c - la).collect();
+        let rprobe = sub_probe(cols, probe, |c| c >= la);
+        let rrows = lookup(ctx, right, rp, state, &rprobe_cols, &rprobe)?;
+        let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let mut out = Vec::new();
+        for r in rrows {
+            let vals: Vec<Value> = on.iter().map(|&(_, rc)| r[rc].clone()).collect();
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            let lrows = lookup(ctx, left, lp, state, &lcols, &Key(vals))?;
+            for l in lrows {
+                let joined = l.concat(&r);
+                if idivm_algebra::opt_pred(residual, &joined)? {
+                    out.push(joined);
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -148,6 +148,9 @@ pub fn has_m2m_join(node: &Plan) -> bool {
     let this = match node {
         Plan::Join {
             left, right, on, ..
+        }
+        | Plan::LeftOuterJoin {
+            left, right, on, ..
         } => {
             let lids = infer_ids(left).unwrap_or_default();
             let rids = infer_ids(right).unwrap_or_default();

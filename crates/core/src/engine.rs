@@ -37,6 +37,7 @@ use idivm_exec::{materialize_view, refresh_view, view_schema, ParallelConfig};
 use idivm_reldb::{Database, StatsSnapshot, TableChanges};
 use idivm_types::{Error, Result, Schema};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// What a maintenance round does after an error forced a rollback.
@@ -446,18 +447,21 @@ impl IdIvm {
             report.wall = started.elapsed();
             return Ok(report);
         }
+        let rescans = AtomicU64::new(0);
         let mut state = RoundState {
             net,
             base_diffs,
             cache_changes: HashMap::new(),
             report: &mut report,
             faults: &faults,
+            rescans: &rescans,
             round0,
             shared,
         };
         let propagate_started = Instant::now();
         let root_diffs = self.walk(db, &mut state, &self.plan, &PathId::new())?;
         let propagate_done = propagate_started.elapsed();
+        report.rescans = rescans.load(Ordering::Relaxed);
         // Apply the final i-diffs to the view.
         report.view_diff_tuples = root_diffs.iter().map(DiffInstance::len).sum();
         faults.on_apply(&self.view_name)?;
@@ -566,6 +570,8 @@ impl IdIvm {
                     access: &access,
                     minimize: self.minimize,
                     parallel: self.knobs.parallel,
+                    faults: Some(state.faults),
+                    rescans: Some(state.rescans),
                 };
                 propagate(&ctx, node, path, incoming)?
             };
@@ -648,6 +654,7 @@ struct RoundState<'r> {
     cache_changes: HashMap<String, TableChanges>,
     report: &'r mut MaintenanceReport,
     faults: &'r FaultState,
+    rescans: &'r AtomicU64,
     round0: StatsSnapshot,
     shared: Option<SharedCtx<'r>>,
 }
@@ -716,6 +723,9 @@ fn collect_probe_sets(node: &Plan, out: &mut Vec<(String, Vec<usize>)>) {
     };
     match node {
         Plan::Join {
+            left, right, on, ..
+        }
+        | Plan::LeftOuterJoin {
             left, right, on, ..
         }
         | Plan::SemiJoin {

@@ -37,8 +37,8 @@
 use idivm_exec::partition::stable_hash_key;
 use idivm_reldb::TableChanges;
 use idivm_types::{Error, Result};
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Where in the round a [`FaultPlan`] fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,16 +251,19 @@ impl RoundBudget {
 
 /// Per-round firing state: the plan plus serial counters. Engines
 /// create one at round start and call the hooks from the serial walk.
-/// (`Cell`, not atomics: every hook site is on the single-threaded
-/// spine of the round, by construction.)
+/// (Relaxed atomics, not `Cell`: every hook site still sits on the
+/// single-threaded spine of the round — operator entries, APPLY
+/// boundaries, and the serial dirty-group rescan loop — but the state
+/// must be `Sync` so rules can reach the mid-rescan failpoint through
+/// a shared `RuleCtx`.)
 #[derive(Debug)]
 pub struct FaultState {
     plan: FaultPlan,
     budget: RoundBudget,
-    operators: Cell<u64>,
-    applies: Cell<u64>,
-    fired: Cell<bool>,
-    budget_fired: Cell<bool>,
+    operators: AtomicU64,
+    applies: AtomicU64,
+    fired: AtomicBool,
+    budget_fired: AtomicBool,
 }
 
 impl FaultState {
@@ -274,10 +277,10 @@ impl FaultState {
         FaultState {
             plan,
             budget,
-            operators: Cell::new(0),
-            applies: Cell::new(0),
-            fired: Cell::new(false),
-            budget_fired: Cell::new(false),
+            operators: AtomicU64::new(0),
+            applies: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            budget_fired: AtomicBool::new(false),
         }
     }
 
@@ -296,7 +299,7 @@ impl FaultState {
     }
 
     fn fire(&self, what: &str) -> Error {
-        self.fired.set(true);
+        self.fired.store(true, Ordering::Relaxed);
         let site = self.plan.site.map_or("?", FaultSite::label);
         let msg = format!(
             "fault[site={site}, at={}, seed={}] fired at {what}",
@@ -318,7 +321,7 @@ impl FaultState {
     /// [`Error::Injected`] / [`Error::Poison`] when a poison key is
     /// present.
     pub fn on_batch(&self, net: &HashMap<String, TableChanges>) -> Result<()> {
-        if self.plan.site != Some(FaultSite::Diff) || self.fired.get() {
+        if self.plan.site != Some(FaultSite::Diff) || self.fired.load(Ordering::Relaxed) {
             return Ok(());
         }
         let mut tables: Vec<&String> = net.keys().collect();
@@ -341,11 +344,10 @@ impl FaultState {
     /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
     /// operator entry.
     pub fn on_operator(&self, label: &str) -> Result<()> {
-        if self.plan.site != Some(FaultSite::Operator) || self.fired.get() {
+        if self.plan.site != Some(FaultSite::Operator) || self.fired.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let n = self.operators.get();
-        self.operators.set(n + 1);
+        let n = self.operators.fetch_add(1, Ordering::Relaxed);
         if n == self.plan.at {
             return Err(self.fire(&format!("operator entry {n} (`{label}`)")));
         }
@@ -358,11 +360,10 @@ impl FaultState {
     /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
     /// APPLY call.
     pub fn on_apply(&self, target: &str) -> Result<()> {
-        if self.plan.site != Some(FaultSite::Apply) || self.fired.get() {
+        if self.plan.site != Some(FaultSite::Apply) || self.fired.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let n = self.applies.get();
-        self.applies.set(n + 1);
+        let n = self.applies.fetch_add(1, Ordering::Relaxed);
         if n == self.plan.at {
             return Err(self.fire(&format!("apply call {n} (target `{target}`)")));
         }
@@ -380,13 +381,15 @@ impl FaultState {
     /// [`Error::Budget`] at the first checkpoint where `cumulative`
     /// exceeds the budget.
     pub fn on_access(&self, cumulative: u64) -> Result<()> {
-        if self.plan.site == Some(FaultSite::Access) && !self.fired.get() && cumulative >= self.plan.at
+        if self.plan.site == Some(FaultSite::Access)
+            && !self.fired.load(Ordering::Relaxed)
+            && cumulative >= self.plan.at
         {
             return Err(self.fire(&format!("access checkpoint (cumulative {cumulative})")));
         }
         if let Some(max) = self.budget.max_accesses {
-            if cumulative > max && !self.budget_fired.get() {
-                self.budget_fired.set(true);
+            if cumulative > max && !self.budget_fired.load(Ordering::Relaxed) {
+                self.budget_fired.store(true, Ordering::Relaxed);
                 return Err(Error::Budget(format!(
                     "round spent {cumulative} accesses of a {max}-access budget"
                 )));
@@ -397,12 +400,12 @@ impl FaultState {
 
     /// Number of operator entries seen so far (sweep sizing).
     pub fn operators_seen(&self) -> u64 {
-        self.operators.get()
+        self.operators.load(Ordering::Relaxed)
     }
 
     /// Number of APPLY calls seen so far (sweep sizing).
     pub fn applies_seen(&self) -> u64 {
-        self.applies.get()
+        self.applies.load(Ordering::Relaxed)
     }
 }
 

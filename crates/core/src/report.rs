@@ -24,6 +24,12 @@ pub struct MaintenanceReport {
     pub base_diff_tuples: usize,
     /// View-level diff tuples produced (before application).
     pub view_diff_tuples: usize,
+    /// Dirty-group rescans performed by non-invertible aggregates
+    /// (MIN/MAX): groups whose stored extremum was removed and had to
+    /// be re-read from the input. The member lookups themselves are
+    /// counted in the access phases; this counts how often the fallback
+    /// fired.
+    pub rescans: u64,
     /// Wall-clock time of the round.
     pub wall: Duration,
     /// Per-operator trace (recorded only when
@@ -90,6 +96,9 @@ impl fmt::Display for MaintenanceReport {
             self.view_outcome.updated,
             self.view_outcome.dummies
         )?;
+        if self.rescans > 0 {
+            writeln!(f, "  extremum rescans: {}", self.rescans)?;
+        }
         if self.recovered {
             writeln!(
                 f,

@@ -26,7 +26,7 @@ use crate::access::{self, PathId};
 use crate::diff::{DiffInstance, DiffKind, DiffSchema, State};
 use crate::rules::common::{child_path, delete_rows, insert_rows, untouched, update_row_pairs};
 use crate::rules::{IncomingDiff, RuleCtx};
-use idivm_algebra::aggregate::aggregate_rows;
+use idivm_algebra::aggregate::{aggregate_rows, ExtremumDelta, ExtremumOutcome};
 use idivm_algebra::{AggFunc, AggSpec, Plan};
 use idivm_exec::partition::{run_sharded, shard_by, stable_hash_key};
 use idivm_types::{Error, Key, Result, Row, Value};
@@ -55,13 +55,29 @@ pub fn propagate(
         ));
     }
     let group_cols: BTreeSet<usize> = keys.iter().copied().collect();
-    let incremental_ok = aggs.iter().all(|a| a.func.is_incremental() && a.func != AggFunc::Avg)
-        && incoming.iter().all(|inc| {
-            inc.diff.schema.kind != DiffKind::Update
-                || untouched(&inc.diff.schema, &group_cols)
-        });
+    let groups_stable = incoming.iter().all(|inc| {
+        inc.diff.schema.kind != DiffKind::Update || untouched(&inc.diff.schema, &group_cols)
+    });
+    let incremental_ok = aggs
+        .iter()
+        .all(|a| a.func.is_incremental() && a.func != AggFunc::Avg)
+        && groups_stable;
+    // The extremum strategy covers MIN/MAX (mixed with SUM/COUNT):
+    // inserts and non-extremum removals fold like deltas; only a
+    // removal of the stored extremum marks the group dirty and forces
+    // one member rescan. AVG stays on the general path (its finish is
+    // a division, not a delta), as do group-column updates.
+    let extremum_ok = aggs.iter().all(|a| {
+        a.func.is_invertible() && a.func != AggFunc::Avg
+            || matches!(a.func, AggFunc::Min | AggFunc::Max)
+    }) && aggs
+        .iter()
+        .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
+        && groups_stable;
     if incremental_ok {
         incremental(ctx, node, input, keys, aggs, path, &incoming)
+    } else if extremum_ok {
+        extremum(ctx, node, input, keys, aggs, path, &incoming)
     } else {
         general(ctx, node, input, keys, aggs, path, &incoming)
     }
@@ -303,6 +319,255 @@ fn nz(v: Value) -> Value {
     } else {
         v
     }
+}
+
+// ---------------------------------------------------------------------
+// Extremum strategy (MIN/MAX with dirty-group rescan fallback)
+// ---------------------------------------------------------------------
+
+/// Per-group state folded by the extremum strategy: numeric deltas for
+/// the SUM/COUNT slots, [`ExtremumDelta`] trackers for the MIN/MAX
+/// slots.
+struct ExtGroup {
+    nums: Vec<Value>,
+    exts: Vec<ExtremumDelta>,
+    had_delete: bool,
+}
+
+/// One input-row event, in fold form.
+enum Ev<'a> {
+    Ins(&'a Row),
+    Del(&'a Row),
+    Upd(&'a Row, &'a Row),
+}
+
+fn ext_fold(g: &mut ExtGroup, aggs: &[AggSpec], ev: &Ev<'_>) -> Result<()> {
+    for (i, a) in aggs.iter().enumerate() {
+        if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+            match ev {
+                Ev::Ins(post) => g.exts[i].insert(a.func, &a.arg.eval(post)?),
+                Ev::Del(pre) => g.exts[i].remove(a.func, &a.arg.eval(pre)?),
+                Ev::Upd(pre, post) => {
+                    g.exts[i].remove(a.func, &a.arg.eval(pre)?);
+                    g.exts[i].insert(a.func, &a.arg.eval(post)?);
+                }
+            }
+        } else {
+            let d = match ev {
+                Ev::Ins(post) => delta_insert(a, post)?,
+                Ev::Del(pre) => delta_delete(a, pre)?,
+                Ev::Upd(pre, post) => delta_update(a, pre, post)?,
+            };
+            g.nums[i] = g.nums[i].add(&d);
+        }
+    }
+    if matches!(ev, Ev::Del(_)) {
+        g.had_delete = true;
+    }
+    Ok(())
+}
+
+/// MIN/MAX (mixed with SUM/COUNT) without giving up delta maintenance:
+/// inserts and removals of non-extremum members resolve from the stored
+/// group row alone; only a removal (or worsening update) of the stored
+/// extremum marks the group **dirty** and triggers one counted member
+/// rescan from `Input_post`. SUM/COUNT slots ride along as deltas and
+/// reuse the rescan's members when the group is dirty anyway.
+fn extremum(
+    ctx: &RuleCtx<'_>,
+    node: &Plan,
+    input: &Plan,
+    keys: &[usize],
+    aggs: &[AggSpec],
+    path: &PathId,
+    incoming: &[IncomingDiff],
+) -> Result<Vec<DiffInstance>> {
+    let ipath = child_path(path, 0);
+    let input_ids = idivm_algebra::infer_ids(input)?;
+    let in_arity = input.arity();
+    let mut groups: HashMap<Key, ExtGroup> = HashMap::new();
+    let n_aggs = aggs.len();
+    let fresh = move || ExtGroup {
+        nums: vec![Value::Int(0); n_aggs],
+        exts: vec![ExtremumDelta::default(); n_aggs],
+        had_delete: false,
+    };
+    if let Some(cache) = ctx.access.caches.get(&ipath) {
+        // Cached input: fold the recorded per-row net changes — zero
+        // accesses, immune to dummies (see `incremental`).
+        if let Some(changes) = ctx.access.cache_changes.get(cache.as_str()) {
+            for change in changes.values() {
+                match change {
+                    idivm_reldb::NetChange::Updated { pre, post } => {
+                        if pre.key(keys) == post.key(keys) {
+                            let g = groups.entry(post.key(keys)).or_insert_with(fresh);
+                            ext_fold(g, aggs, &Ev::Upd(pre, post))?;
+                        } else {
+                            let g = groups.entry(pre.key(keys)).or_insert_with(fresh);
+                            ext_fold(g, aggs, &Ev::Del(pre))?;
+                            let g = groups.entry(post.key(keys)).or_insert_with(fresh);
+                            ext_fold(g, aggs, &Ev::Ins(post))?;
+                        }
+                    }
+                    idivm_reldb::NetChange::Deleted { pre } => {
+                        let g = groups.entry(pre.key(keys)).or_insert_with(fresh);
+                        ext_fold(g, aggs, &Ev::Del(pre))?;
+                    }
+                    idivm_reldb::NetChange::Inserted { post } => {
+                        let g = groups.entry(post.key(keys)).or_insert_with(fresh);
+                        ext_fold(g, aggs, &Ev::Ins(post))?;
+                    }
+                }
+            }
+        }
+    } else {
+        // No cache: materialize the affected input rows by probing the
+        // input subview, deduped by input ID per diff kind (as in
+        // `incremental`).
+        let mut seen: HashMap<(u8, Key), ()> = HashMap::new();
+        for inc in incoming {
+            let diff = &inc.diff;
+            match diff.schema.kind {
+                DiffKind::Update => {
+                    for p in update_row_pairs(ctx.access, input, &ipath, &input_ids, diff)? {
+                        if seen.insert((b'u', p.post.key(&input_ids)), ()).is_some() {
+                            continue;
+                        }
+                        let g = groups.entry(p.post.key(keys)).or_insert_with(fresh);
+                        ext_fold(g, aggs, &Ev::Upd(&p.pre, &p.post))?;
+                    }
+                }
+                DiffKind::Delete => {
+                    for pre in delete_rows(ctx.access, input, &ipath, diff)? {
+                        if seen.insert((b'-', pre.key(&input_ids)), ()).is_some() {
+                            continue;
+                        }
+                        let g = groups.entry(pre.key(keys)).or_insert_with(fresh);
+                        ext_fold(g, aggs, &Ev::Del(&pre))?;
+                    }
+                }
+                DiffKind::Insert => {
+                    for post in insert_rows(diff, in_arity) {
+                        let id = post.key(&input_ids);
+                        if seen.insert((b'+', id.clone()), ()).is_some() {
+                            continue;
+                        }
+                        let pre_hit = access::lookup(
+                            ctx.access,
+                            input,
+                            &ipath,
+                            State::Pre,
+                            &input_ids,
+                            &id,
+                        )?;
+                        if pre_hit.contains(&post) {
+                            continue;
+                        }
+                        let g = groups.entry(post.key(keys)).or_insert_with(fresh);
+                        ext_fold(g, aggs, &Ev::Ins(&post))?;
+                    }
+                }
+            }
+        }
+    }
+    let mut entries: Vec<(Key, ExtGroup)> = groups.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Per-group conversion. Deliberately **serial** (unlike the other
+    // strategies): each dirty group fires the mid-rescan failpoint and
+    // bumps the rescan counter through `RuleCtx::on_rescan`, and those
+    // must happen in a canonical order for any thread count.
+    let out_arity = keys.len() + aggs.len();
+    let out_ids: Vec<usize> = (0..keys.len()).collect();
+    let out_key_cols: Vec<usize> = (0..keys.len()).collect();
+    let agg_cols: Vec<usize> = (keys.len()..out_arity).collect();
+    let mut del_rows = Vec::new();
+    let mut upd_rows = Vec::new();
+    let mut ins_rows = Vec::new();
+    for (gk, g) in entries {
+        let out_pre = access::lookup(ctx.access, node, path, State::Post, &out_key_cols, &gk)?;
+        match out_pre.first() {
+            None => {
+                // Group creation: the deltas start from empty, so every
+                // slot resolves without the stored row.
+                let mut r = gk.into_row();
+                for (i, a) in aggs.iter().enumerate() {
+                    r.0.push(if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        g.exts[i].created()
+                    } else {
+                        g.nums[i].clone()
+                    });
+                }
+                ins_rows.push(r);
+            }
+            Some(old) => {
+                let mut dirty = false;
+                let mut vals: Vec<Value> = Vec::with_capacity(aggs.len());
+                for (i, a) in aggs.iter().enumerate() {
+                    if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        match g.exts[i].resolve(a.func, &old[keys.len() + i]) {
+                            ExtremumOutcome::Clean(v) => vals.push(v),
+                            ExtremumOutcome::Rescan => {
+                                dirty = true;
+                                vals.push(Value::Null); // overwritten below
+                            }
+                        }
+                    } else {
+                        vals.push(old[keys.len() + i].add(&g.nums[i]));
+                    }
+                }
+                if dirty || g.had_delete {
+                    // One member lookup serves both the emptiness check
+                    // and the dirty recompute. The failpoint fires
+                    // *before* the lookup: an aborted round must roll
+                    // back with the rescan unperformed.
+                    if dirty {
+                        ctx.on_rescan()?;
+                    }
+                    let members =
+                        access::lookup(ctx.access, input, &ipath, State::Post, keys, &gk)?;
+                    if members.is_empty() {
+                        del_rows.push(gk.into_row());
+                        continue;
+                    }
+                    if dirty {
+                        vals = aggs
+                            .iter()
+                            .map(|a| aggregate_rows(a, &members))
+                            .collect::<Result<_>>()?;
+                    }
+                }
+                // σ_isupd: skip groups whose aggregates did not change.
+                let changed = vals
+                    .iter()
+                    .enumerate()
+                    .any(|(i, v)| *v != old[keys.len() + i]);
+                if changed {
+                    let mut r = gk.into_row();
+                    r.0.extend(old.0[keys.len()..].iter().cloned());
+                    r.0.extend(vals);
+                    upd_rows.push(r);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if !del_rows.is_empty() {
+        out.push(DiffInstance::new(
+            DiffSchema::delete(&out_ids, &[]),
+            del_rows,
+        ));
+    }
+    if !upd_rows.is_empty() {
+        out.push(DiffInstance::new(
+            DiffSchema::update(&out_ids, &agg_cols, &agg_cols),
+            upd_rows,
+        ));
+    }
+    if !ins_rows.is_empty() {
+        out.push(DiffInstance::insert_from_rows(&out_ids, out_arity, &ins_rows));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------

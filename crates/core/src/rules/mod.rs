@@ -17,6 +17,7 @@
 pub mod agg;
 pub mod common;
 pub mod join;
+pub mod outer;
 pub mod project;
 pub mod select;
 pub mod semi;
@@ -24,9 +25,11 @@ pub mod union;
 
 use crate::access::{AccessCtx, PathId};
 use crate::diff::DiffInstance;
+use crate::faults::FaultState;
 use idivm_algebra::Plan;
 use idivm_exec::partition::{run_sharded, shard_by, stable_hash_row, ParallelConfig};
 use idivm_types::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Context handed to every rule invocation.
 pub struct RuleCtx<'a> {
@@ -36,6 +39,35 @@ pub struct RuleCtx<'a> {
     pub minimize: bool,
     /// Partitioned propagation configuration (serial by default).
     pub parallel: ParallelConfig,
+    /// The round's fault hooks, for failpoints *inside* a rule — today
+    /// only the mid-rescan failpoint of the dirty-group extremum
+    /// strategy. `None` in contexts without fault machinery.
+    pub faults: Option<&'a FaultState>,
+    /// Dirty-group rescans performed this round (reported as
+    /// `MaintenanceReport::rescans`). `None` when nobody is counting.
+    pub rescans: Option<&'a AtomicU64>,
+}
+
+impl RuleCtx<'_> {
+    /// Announce one dirty-group rescan: fires the `rescan` operator
+    /// failpoint (so fault sweeps can land mid-rescan and prove the
+    /// rollback) and bumps the round's rescan counter. Must be called
+    /// *before* the member lookup it prices — the failpoint has to
+    /// abort the round with the rescan not yet performed. Rescans run
+    /// on the serial spine, so the counter and failpoint order are
+    /// thread-stable.
+    ///
+    /// # Errors
+    /// The armed fault, when the sweep lands on this rescan.
+    pub fn on_rescan(&self) -> Result<()> {
+        if let Some(f) = self.faults {
+            f.on_operator("rescan")?;
+        }
+        if let Some(c) = self.rescans {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
 }
 
 /// Hash-partition one diff instance by its ID key and run `rule` over
@@ -148,6 +180,38 @@ pub fn propagate(
                         d,
                     )
                 })?);
+            }
+            Ok(out)
+        }
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let mut out = Vec::new();
+            for inc in incoming {
+                let side = inc.side;
+                let rule = |d| {
+                    outer::propagate(
+                        ctx,
+                        left,
+                        right,
+                        on,
+                        residual.as_ref(),
+                        path,
+                        side,
+                        d,
+                    )
+                };
+                if side == 0 {
+                    out.extend(fan_out(ctx, inc.diff, rule)?);
+                } else {
+                    // Right-side diffs dedupe affected left rows across
+                    // the whole diff (`matching_left`): cross-row state,
+                    // so this path stays serial.
+                    out.extend(rule(inc.diff)?);
+                }
             }
             Ok(out)
         }

@@ -237,7 +237,7 @@ fn matches(
 }
 
 /// Left rows (post-state) matching any of the given right rows.
-fn matching_left(
+pub(crate) fn matching_left(
     ctx: &RuleCtx<'_>,
     left: &Plan,
     lpath: &PathId,

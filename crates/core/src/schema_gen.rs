@@ -162,6 +162,12 @@ fn collect_conditions(
             on,
             residual,
         }
+        | Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        }
         | Plan::SemiJoin {
             left,
             right,

@@ -87,6 +87,11 @@ fn render_path(out: &mut String, node: &Plan, table: &str, depth: usize) {
             "⋈ [{} keys]: ∆⁺ probes the other side; ∆−/∆u on non-join attrs pass through",
             on.len()
         ),
+        Plan::LeftOuterJoin { on, .. } => format!(
+            "⟕ [{} keys]: inner-join deltas plus padding repair — a first right \
+             match retracts the padded row, a last right removal re-pads",
+            on.len()
+        ),
         Plan::SemiJoin { .. } => "⋉: membership re-checked via probes".to_string(),
         Plan::AntiJoin { .. } => "▷: negated membership re-checked via probes".to_string(),
         Plan::UnionAll { .. } => "∪: append branch attribute to IDs".to_string(),

@@ -228,10 +228,21 @@ impl SharedDiffCache {
 /// * it is not a bare `Scan` (base tables are already shared storage),
 /// * its structural fingerprint occurs at least twice across all
 ///   `(view, path)` pairs (so one computation has at least one
-///   consumer), and
+///   consumer),
 /// * the view materializes no cache *strictly inside* the subtree
 ///   (invariant 1 of the module docs; a cache at the subtree root is
-///   allowed).
+///   allowed), and
+/// * the subtree contains no **non-invertible aggregate** (MIN/MAX).
+///   The round key binds structure + base-table nets only; that pins
+///   the boundary diffs exactly when every rule is a pure function of
+///   base state and the pending net. The dirty-group extremum rule is
+///   not: it reads the operator's *own materialized output* (the stored
+///   extremum) to choose between delta and rescan, and that output is
+///   per-view state — a cache at the boundary root is allowed, and one
+///   view's copy can lag after an aborted round recovered by recompute
+///   while another's did not. Reusing the first walker's diffs would
+///   then corrupt every other consumer, so such subtrees refuse
+///   designation outright.
 ///
 /// Nested designations compose: an outer reuse short-circuits the inner
 /// boundary, while the outer *computation* publishes the inner boundary
@@ -295,7 +306,10 @@ fn collect_candidates(
     path: &PathId,
     out: &mut Vec<(PathId, PrefixSpec)>,
 ) {
-    if !matches!(node, Plan::Scan { .. }) && !has_cache_strictly_inside(view, path) {
+    if !matches!(node, Plan::Scan { .. })
+        && !has_cache_strictly_inside(view, path)
+        && !contains_noninvertible_agg(node)
+    {
         out.push((path.clone(), prefix_spec(view, node)));
     }
     for (i, c) in node.children().into_iter().enumerate() {
@@ -303,6 +317,20 @@ fn collect_candidates(
         p.push(i);
         collect_candidates(view, c, &p, out);
     }
+}
+
+/// Does the subtree contain a `GroupBy` with any non-invertible
+/// aggregate (MIN/MAX)? Such subtrees refuse shared-prefix designation
+/// — see [`detect_shared_prefixes`].
+fn contains_noninvertible_agg(node: &Plan) -> bool {
+    if let Plan::GroupBy { aggs, .. } = node {
+        if aggs.iter().any(|a| !a.func.is_invertible()) {
+            return true;
+        }
+    }
+    node.children()
+        .into_iter()
+        .any(contains_noninvertible_agg)
 }
 
 /// Does `view` materialize a cache at a *proper descendant* of `path`?
@@ -510,6 +538,17 @@ fn rebuild(plan: &Plan, mut f: impl FnMut(&Plan) -> Plan) -> Plan {
             on: on.clone(),
             residual: residual.clone(),
         },
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => Plan::LeftOuterJoin {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+            residual: residual.clone(),
+        },
         Plan::SemiJoin {
             left,
             right,
@@ -710,6 +749,30 @@ mod tests {
         map.insert(structure_key(false, &outer), scan("__bk_outer"));
         let rewritten = substitute_structures(&outer, false, &map);
         assert_eq!(rewritten, scan("__bk_outer"), "outer boundary must win");
+    }
+
+    #[test]
+    fn noninvertible_aggregates_refuse_designation() {
+        use idivm_algebra::{AggFunc, AggSpec, Expr};
+        let group = |func: AggFunc| Plan::GroupBy {
+            input: Box::new(join(scan("m"), scan("b"))),
+            keys: vec![0],
+            aggs: vec![AggSpec {
+                func,
+                arg: Expr::col(1),
+                name: "a".into(),
+            }],
+        };
+        assert!(contains_noninvertible_agg(&group(AggFunc::Min)));
+        assert!(contains_noninvertible_agg(&group(AggFunc::Max)));
+        assert!(!contains_noninvertible_agg(&group(AggFunc::Sum)));
+        // The guard sees through wrapping operators.
+        let wrapped = Plan::Select {
+            input: Box::new(group(AggFunc::Max)),
+            pred: idivm_algebra::Expr::col(0).eq(idivm_algebra::Expr::lit(1)),
+        };
+        assert!(contains_noninvertible_agg(&wrapped));
+        assert!(!contains_noninvertible_agg(&join(scan("m"), scan("b"))));
     }
 
     #[test]

@@ -199,6 +199,7 @@ pub fn op_label(node: &Plan) -> &'static str {
         Plan::Select { .. } => "select",
         Plan::Project { .. } => "project",
         Plan::Join { .. } => "join",
+        Plan::LeftOuterJoin { .. } => "left_outer_join",
         Plan::SemiJoin { .. } => "semijoin",
         Plan::AntiJoin { .. } => "antijoin",
         Plan::UnionAll { .. } => "union_all",

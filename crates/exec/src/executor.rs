@@ -46,6 +46,16 @@ pub fn execute(db: &Database, plan: &Plan) -> Result<Vec<Row>> {
             let rrows = execute(db, right)?;
             hash_join(&lrows, &rrows, on, residual.as_ref())
         }
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let lrows = execute(db, left)?;
+            let rrows = execute(db, right)?;
+            hash_left_outer_join(&lrows, &rrows, right.arity(), on, residual.as_ref())
+        }
         Plan::SemiJoin {
             left,
             right,
@@ -141,6 +151,67 @@ pub fn hash_join(
                     out.push(joined);
                 }
             }
+        }
+    }
+    Ok(out)
+}
+
+/// Hash left outer join: every left row appears once per surviving
+/// match, or once NULL-padded across all `right_arity` right columns
+/// when nothing matches. NULL left join keys never match (SQL), so
+/// those rows are always padded; a residual that rejects every
+/// key-matched right row also pads.
+///
+/// # Errors
+/// Residual-predicate evaluation failures.
+pub fn hash_left_outer_join(
+    left: &[Row],
+    right: &[Row],
+    right_arity: usize,
+    on: &[(usize, usize)],
+    residual: Option<&Expr>,
+) -> Result<Vec<Row>> {
+    let pad = Row(vec![Value::Null; right_arity]);
+    let mut out = Vec::new();
+    let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let mut table: HashMap<Key, Vec<&Row>> = HashMap::new();
+    if !on.is_empty() {
+        for r in right {
+            let k = r.key(&rkeys);
+            if k.0.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(k).or_default().push(r);
+        }
+    }
+    // θ-only outer join: every right row is a candidate.
+    let all_right: Vec<&Row> = if on.is_empty() {
+        right.iter().collect()
+    } else {
+        Vec::new()
+    };
+    for l in left {
+        let candidates: &[&Row] = if on.is_empty() {
+            &all_right
+        } else {
+            let k = l.key(&lkeys);
+            if k.0.iter().any(Value::is_null) {
+                &[]
+            } else {
+                table.get(&k).map(|v| &v[..]).unwrap_or(&[])
+            }
+        };
+        let mut matched = false;
+        for r in candidates {
+            let joined = l.concat(r);
+            if opt_pred(residual, &joined)? {
+                out.push(joined);
+                matched = true;
+            }
+        }
+        if !matched {
+            out.push(l.concat(&pad));
         }
     }
     Ok(out)

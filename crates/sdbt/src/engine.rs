@@ -2,9 +2,11 @@
 //! application.
 
 use crate::partial::Partial;
+use idivm_algebra::aggregate::{aggregate_rows, ExtremumDelta, ExtremumOutcome};
 use idivm_algebra::{ensure_ids, AggFunc, AggSpec, Plan};
-use idivm_core::access::PathId;
+use idivm_core::access::{self, AccessCtx, PathId};
 use idivm_core::config::{EngineConfig, EngineKnobs};
+use idivm_core::diff::State;
 use idivm_core::engine::{ensure_probe_indexes, RecoveryPolicy};
 use idivm_core::faults::FaultState;
 use idivm_core::trace::{OpTrace, RoundTrace, TracePhase};
@@ -69,9 +71,11 @@ struct MapState {
 impl Sdbt {
     /// Register and materialize the view and its partial maps.
     ///
-    /// For aggregate roots only SUM/COUNT aggregates are supported (the
-    /// multiplicity-map model DBToaster uses; AVG is expressed as
-    /// SUM/COUNT upstream).
+    /// For aggregate roots SUM/COUNT/MIN/MAX are supported: SUM/COUNT
+    /// through the multiplicity-map model DBToaster uses, MIN/MAX
+    /// through the dirty-group rescan fallback (AVG is expressed as
+    /// SUM/COUNT upstream). Plans containing LEFT OUTER JOIN are
+    /// rejected — the probe chains compose inner joins only.
     ///
     /// # Errors
     /// Unsupported plans, name collisions, unknown tables.
@@ -84,16 +88,24 @@ impl Sdbt {
     ) -> Result<Self> {
         let plan = ensure_ids(plan)?;
         plan.validate()?;
-        ensure_probe_indexes(db, &plan)?;
+        if contains_left_outer_join(&plan) {
+            // The probe chains compose *inner* joins only: a partial map
+            // holds matching rows, and an empty probe result drops the
+            // chain — there is no place to emit a NULL-padded row.
+            // Rejecting at setup is the contract: never a silently wrong
+            // view.
+            return Err(Error::Unsupported(
+                "SDBT probe chains compose inner joins; LEFT OUTER JOIN is \
+                 not expressible in the partial-map model"
+                    .into(),
+            ));
+        }
         let shape = match &plan {
             Plan::GroupBy { keys, aggs, .. } => {
-                if aggs
-                    .iter()
-                    .any(|a| !matches!(a.func, AggFunc::Sum | AggFunc::Count))
-                {
+                if aggs.iter().any(|a| a.func == AggFunc::Avg) {
                     return Err(Error::Unsupported(
-                        "SDBT aggregates must be SUM/COUNT (DBToaster's \
-                         multiplicity-map model)"
+                        "SDBT aggregates must be SUM/COUNT/MIN/MAX (DBToaster \
+                         expresses AVG as SUM/COUNT upstream)"
                             .into(),
                     ));
                 }
@@ -104,6 +116,7 @@ impl Sdbt {
             }
             _ => RootShape::Spj,
         };
+        ensure_probe_indexes(db, &plan)?;
         // Materialize the view (aggregates get the hidden multiplicity
         // column).
         match &shape {
@@ -405,7 +418,7 @@ impl Sdbt {
             }
             RootShape::Aggregate { keys, aggs } => {
                 let (keys, aggs) = (keys.clone(), aggs.clone());
-                self.apply_aggregate(db, &keys, &aggs, composed, &mut report)?;
+                self.apply_aggregate(db, &keys, &aggs, composed, &faults, &mut report)?;
             }
         }
         report.view_update = db.stats().snapshot().since(&before);
@@ -556,14 +569,17 @@ impl Sdbt {
         keys: &[usize],
         aggs: &[AggSpec],
         composed: ComposedDiffs,
+        faults: &FaultState,
         report: &mut MaintenanceReport,
     ) -> Result<()> {
+        let Plan::GroupBy { input, .. } = &self.view_plan else {
+            return Err(Error::Internal(
+                "apply_aggregate on a non-aggregate root".into(),
+            ));
+        };
         // Dedupe composed contributions by the view-input's ID (several
         // partials can assert the same input row in multi-table rounds).
-        let input_ids = match &self.view_plan {
-            Plan::GroupBy { input, .. } => idivm_algebra::infer_ids(input)?,
-            _ => Vec::new(),
-        };
+        let input_ids = idivm_algebra::infer_ids(input)?;
         let mut seen: BTreeSet<(u8, Key)> = BTreeSet::new();
         let composed = ComposedDiffs {
             inserts: composed
@@ -584,8 +600,22 @@ impl Sdbt {
         };
         // Fold into per-group deltas with multiplicities (DBToaster's
         // map model: groups live while their multiplicity is positive).
-        let mut deltas: HashMap<Key, (Vec<Value>, i64)> = HashMap::new();
-        let eval = |a: &AggSpec, r: &Row| -> Result<Value> {
+        // SUM/COUNT slots sum numerically; MIN/MAX slots track inserted
+        // and removed candidates in [`ExtremumDelta`] form.
+        struct ExtG {
+            nums: Vec<Value>,
+            exts: Vec<ExtremumDelta>,
+            mult: i64,
+        }
+        let n_aggs = aggs.len();
+        let mut deltas: HashMap<Key, ExtG> = HashMap::new();
+        let fresh = move || ExtG {
+            nums: vec![Value::Int(0); n_aggs],
+            exts: vec![ExtremumDelta::default(); n_aggs],
+            mult: 0,
+        };
+        // SUM/COUNT contribution of one row (never called for MIN/MAX).
+        let num_eval = |a: &AggSpec, r: &Row| -> Result<Value> {
             let v = a.arg.eval(r)?;
             Ok(match a.func {
                 AggFunc::Sum => {
@@ -595,80 +625,183 @@ impl Sdbt {
                         v
                     }
                 }
-                AggFunc::Count => Value::Int(i64::from(!v.is_null())),
-                _ => Value::Int(0),
+                _ => Value::Int(i64::from(!v.is_null())),
             })
         };
-        let mut add = |gk: Key, per: Vec<Value>, mult: i64| {
-            let e = deltas
-                .entry(gk)
-                .or_insert_with(|| (vec![Value::Int(0); aggs.len()], 0));
-            for (s, v) in e.0.iter_mut().zip(&per) {
-                *s = s.add(v);
-            }
-            e.1 += mult;
-        };
         for r in &composed.inserts {
-            add(
-                r.key(keys),
-                aggs.iter().map(|a| eval(a, r)).collect::<Result<_>>()?,
-                1,
-            );
+            let g = deltas.entry(r.key(keys)).or_insert_with(fresh);
+            for (i, a) in aggs.iter().enumerate() {
+                if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                    g.exts[i].insert(a.func, &a.arg.eval(r)?);
+                } else {
+                    g.nums[i] = g.nums[i].add(&num_eval(a, r)?);
+                }
+            }
+            g.mult += 1;
         }
         for r in &composed.deletes {
-            add(
-                r.key(keys),
-                aggs.iter()
-                    .map(|a| Ok(eval(a, r)?.neg()))
-                    .collect::<Result<_>>()?,
-                -1,
-            );
+            let g = deltas.entry(r.key(keys)).or_insert_with(fresh);
+            for (i, a) in aggs.iter().enumerate() {
+                if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                    g.exts[i].remove(a.func, &a.arg.eval(r)?);
+                } else {
+                    g.nums[i] = g.nums[i].add(&num_eval(a, r)?.neg());
+                }
+            }
+            g.mult -= 1;
         }
         for (p, q) in &composed.updates {
-            add(
-                p.key(keys),
-                aggs.iter()
-                    .map(|a| Ok(eval(a, q)?.sub(&eval(a, p)?)))
-                    .collect::<Result<_>>()?,
-                0,
-            );
-        }
-        let view = db.table_mut(&self.view_name)?;
-        let key_cols: Vec<usize> = (0..keys.len()).collect();
-        let count_col = keys.len() + aggs.len();
-        for (gk, (delta, mult)) in deltas {
-            let old = view.lookup(&key_cols, &gk);
-            match old.first() {
-                Some(old_row) => {
-                    let new_count = old_row[count_col].as_int().unwrap_or(0) + mult;
-                    let pk = old_row.key(view.schema().key());
-                    if new_count <= 0 {
-                        view.delete_located(&pk);
-                        report.view_outcome.deleted += 1;
-                        continue;
-                    }
-                    let mut assignments: Vec<(usize, Value)> = delta
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, d)| !is_zero(d))
-                        .map(|(i, d)| (keys.len() + i, old_row[keys.len() + i].add(d)))
-                        .collect();
-                    if mult != 0 {
-                        assignments.push((count_col, Value::Int(new_count)));
-                    }
-                    if !assignments.is_empty() {
-                        view.patch(&pk, &assignments);
-                        report.view_outcome.updated += 1;
+            let (kp, kq) = (p.key(keys), q.key(keys));
+            if kp == kq {
+                let g = deltas.entry(kp).or_insert_with(fresh);
+                for (i, a) in aggs.iter().enumerate() {
+                    if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        g.exts[i].remove(a.func, &a.arg.eval(p)?);
+                        g.exts[i].insert(a.func, &a.arg.eval(q)?);
+                    } else {
+                        g.nums[i] = g.nums[i].add(&num_eval(a, q)?.sub(&num_eval(a, p)?));
                     }
                 }
-                None => {
-                    if mult > 0 {
-                        let mut r = gk.into_row();
-                        r.0.extend(delta);
-                        r.0.push(Value::Int(mult));
-                        view.insert_if_absent(r)?;
-                        report.view_outcome.inserted += 1;
+            } else {
+                // The update moved the row across groups: a departure
+                // from the pre-group and an arrival in the post-group,
+                // multiplicities included.
+                let g = deltas.entry(kp).or_insert_with(fresh);
+                for (i, a) in aggs.iter().enumerate() {
+                    if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        g.exts[i].remove(a.func, &a.arg.eval(p)?);
+                    } else {
+                        g.nums[i] = g.nums[i].add(&num_eval(a, p)?.neg());
                     }
+                }
+                g.mult -= 1;
+                let g = deltas.entry(kq).or_insert_with(fresh);
+                for (i, a) in aggs.iter().enumerate() {
+                    if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        g.exts[i].insert(a.func, &a.arg.eval(q)?);
+                    } else {
+                        g.nums[i] = g.nums[i].add(&num_eval(a, q)?);
+                    }
+                }
+                g.mult += 1;
+            }
+        }
+        // Plan the per-group actions against the pre-apply view first
+        // (immutable borrow: dirty groups rescan their members through
+        // the counted access paths over the post-state bases), then
+        // apply. Groups convert in sorted key order so the mid-rescan
+        // failpoint and rescan counter are deterministic.
+        enum Act {
+            Delete(Key),
+            Patch(Key, Vec<(usize, Value)>),
+            Insert(Row),
+        }
+        let mut entries: Vec<(Key, ExtG)> = deltas.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let key_cols: Vec<usize> = (0..keys.len()).collect();
+        let count_col = keys.len() + aggs.len();
+        let empty_caches: HashMap<PathId, String> = HashMap::new();
+        let empty_changes: HashMap<String, TableChanges> = HashMap::new();
+        let ipath: PathId = vec![0];
+        let mut acts: Vec<Act> = Vec::new();
+        {
+            let access = AccessCtx {
+                db,
+                base_changes: &empty_changes,
+                caches: &empty_caches,
+                cache_changes: &empty_changes,
+            };
+            let view = db.table(&self.view_name)?;
+            for (gk, g) in entries {
+                let old = view.lookup(&key_cols, &gk);
+                match old.first() {
+                    Some(old_row) => {
+                        let new_count = old_row[count_col].as_int().unwrap_or(0) + g.mult;
+                        let pk = old_row.key(view.schema().key());
+                        if new_count <= 0 {
+                            // Multiplicity hit zero: the group is gone,
+                            // no extremum to resolve.
+                            acts.push(Act::Delete(pk));
+                            continue;
+                        }
+                        let mut dirty = false;
+                        let mut vals: Vec<Value> = Vec::with_capacity(aggs.len());
+                        for (i, a) in aggs.iter().enumerate() {
+                            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                                match g.exts[i].resolve(a.func, &old_row[keys.len() + i]) {
+                                    ExtremumOutcome::Clean(v) => vals.push(v),
+                                    ExtremumOutcome::Rescan => {
+                                        dirty = true;
+                                        vals.push(Value::Null); // overwritten below
+                                    }
+                                }
+                            } else {
+                                vals.push(old_row[keys.len() + i].add(&g.nums[i]));
+                            }
+                        }
+                        if dirty {
+                            // The failpoint fires before the member
+                            // lookup: an aborted round rolls back with
+                            // the rescan unperformed.
+                            faults.on_operator("rescan")?;
+                            report.rescans += 1;
+                            let members = access::lookup(
+                                &access,
+                                input,
+                                &ipath,
+                                State::Post,
+                                keys,
+                                &gk,
+                            )?;
+                            vals = aggs
+                                .iter()
+                                .map(|a| aggregate_rows(a, &members))
+                                .collect::<Result<_>>()?;
+                        }
+                        let mut assignments: Vec<(usize, Value)> = vals
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(i, v)| *v != old_row[keys.len() + *i])
+                            .map(|(i, v)| (keys.len() + i, v))
+                            .collect();
+                        if g.mult != 0 {
+                            assignments.push((count_col, Value::Int(new_count)));
+                        }
+                        if !assignments.is_empty() {
+                            acts.push(Act::Patch(pk, assignments));
+                        }
+                    }
+                    None => {
+                        if g.mult > 0 {
+                            let mut r = gk.into_row();
+                            for (i, a) in aggs.iter().enumerate() {
+                                r.0.push(if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                                    g.exts[i].created()
+                                } else {
+                                    g.nums[i].clone()
+                                });
+                            }
+                            r.0.push(Value::Int(g.mult));
+                            acts.push(Act::Insert(r));
+                        }
+                    }
+                }
+            }
+        }
+        let view = db.table_mut(&self.view_name)?;
+        for act in acts {
+            match act {
+                Act::Delete(pk) => {
+                    view.delete_located(&pk);
+                    report.view_outcome.deleted += 1;
+                }
+                Act::Patch(pk, assignments) => {
+                    view.patch(&pk, &assignments);
+                    report.view_outcome.updated += 1;
+                }
+                Act::Insert(r) => {
+                    view.insert_if_absent(r)?;
+                    report.view_outcome.inserted += 1;
                 }
             }
         }
@@ -703,6 +836,13 @@ impl ComposedDiffs {
     }
 }
 
+/// Does the plan contain a `LeftOuterJoin` anywhere? SDBT rejects such
+/// plans at setup (see [`Sdbt::setup`]).
+fn contains_left_outer_join(node: &Plan) -> bool {
+    matches!(node, Plan::LeftOuterJoin { .. })
+        || node.children().into_iter().any(contains_left_outer_join)
+}
+
 /// Per-group input-row multiplicities of an aggregate plan.
 fn group_counts(db: &Database, plan: &Plan) -> Result<HashMap<Key, i64>> {
     let Plan::GroupBy { input, keys, .. } = plan else {
@@ -716,6 +856,3 @@ fn group_counts(db: &Database, plan: &Plan) -> Result<HashMap<Key, i64>> {
     Ok(counts)
 }
 
-fn is_zero(v: &Value) -> bool {
-    matches!(v, Value::Int(0)) || matches!(v, Value::Float(f) if *f == 0.0)
-}

@@ -13,6 +13,7 @@ use idivm_exec::{materialize_view, refresh_view};
 use idivm_reldb::{Database, StatsSnapshot};
 use idivm_types::{Error, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// An incrementally maintained view under classical tuple-based IVM.
@@ -186,6 +187,7 @@ impl TupleIvm {
         let empty_caches: HashMap<PathId, String> = HashMap::new();
         let empty_changes: HashMap<String, idivm_reldb::TableChanges> = HashMap::new();
         let mut op_traces = self.knobs.trace.enabled.then(Vec::new);
+        let rescans = AtomicU64::new(0);
         let view_diffs = {
             let access = AccessCtx {
                 db,
@@ -197,6 +199,8 @@ impl TupleIvm {
                 access: &access,
                 view_name: &self.view_name,
                 parallel: self.knobs.parallel,
+                faults: Some(&faults),
+                rescans: Some(&rescans),
             };
             walk(
                 &ctx,
@@ -210,6 +214,7 @@ impl TupleIvm {
         };
         report.diff_compute = db.stats().snapshot().since(&before);
         report.view_diff_tuples = view_diffs.len();
+        report.rescans = rescans.load(Ordering::Relaxed);
         let propagate_done = propagate_started.elapsed();
 
         // Apply them.

@@ -7,14 +7,16 @@
 //! the `a` accesses per diff tuple that dominate the tuple-based cost.
 
 use crate::tdiff::TDiffs;
-use idivm_algebra::aggregate::aggregate_rows;
+use idivm_algebra::aggregate::{aggregate_rows, ExtremumDelta, ExtremumOutcome};
 use idivm_algebra::{AggFunc, Expr, Plan};
 use idivm_core::access::{self, AccessCtx, PathId};
 use idivm_core::diff::State;
+use idivm_core::faults::FaultState;
 use idivm_exec::executor::project_row;
 use idivm_exec::partition::{run_sharded, shard_by, stable_hash_key, stable_hash_row, ParallelConfig};
 use idivm_types::{Key, Result, Row, Value};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Context for tuple-based propagation.
 pub struct TupleCtx<'a> {
@@ -29,6 +31,32 @@ pub struct TupleCtx<'a> {
     /// engine's sharding so parallel i-diff/t-diff access-ratio
     /// comparisons stay apples-to-apples.
     pub parallel: ParallelConfig,
+    /// The round's fault hooks, for the mid-rescan failpoint of the
+    /// dirty-group extremum path. `None` in contexts without fault
+    /// machinery.
+    pub faults: Option<&'a FaultState>,
+    /// Dirty-group rescans performed this round (reported as
+    /// `MaintenanceReport::rescans`). `None` when nobody is counting.
+    pub rescans: Option<&'a AtomicU64>,
+}
+
+impl TupleCtx<'_> {
+    /// Announce one dirty-group rescan — same contract as
+    /// `idivm_core::rules::RuleCtx::on_rescan`: fires the `rescan`
+    /// operator failpoint, then bumps the counter, and must be called
+    /// *before* the member lookup it prices.
+    ///
+    /// # Errors
+    /// The armed fault, when the sweep lands on this rescan.
+    fn on_rescan(&self) -> Result<()> {
+        if let Some(f) = self.faults {
+            f.on_operator("rescan")?;
+        }
+        if let Some(c) = self.rescans {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
 }
 
 /// Hash-partition t-diffs by the diff side's ID projection. Rows with
@@ -128,6 +156,17 @@ pub fn propagate(
             let mut out = join_side(ctx, left, right, on, residual.as_ref(), path, 0, dl)?;
             out.absorb(join_side(ctx, left, right, on, residual.as_ref(), path, 1, dr)?);
             Ok(out)
+        }
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            let mut iter = sides.into_iter();
+            let dl = iter.next().unwrap_or_default();
+            let dr = iter.next().unwrap_or_default();
+            outer_join(ctx, left, right, on, residual.as_ref(), path, dl, dr)
         }
         Plan::SemiJoin {
             left,
@@ -329,6 +368,146 @@ fn join_side(
     Ok(out)
 }
 
+/// Left outer join on t-diffs: the inner-join probes plus padding
+/// repair. A left row's output set is never empty — when no right row
+/// matches (or its join key is NULL) the row appears NULL-padded across
+/// the right columns, right IDs included. Padding transitions pair
+/// pre/post output sets by the right-ID projection (all-NULL on the
+/// padded row), so a first match retracts the padded row and a last
+/// removal re-pads.
+#[allow(clippy::too_many_arguments)]
+fn outer_join(
+    ctx: &TupleCtx<'_>,
+    left: &Plan,
+    right: &Plan,
+    on: &[(usize, usize)],
+    residual: Option<&Expr>,
+    path: &PathId,
+    dl: TDiffs,
+    dr: TDiffs,
+) -> Result<TDiffs> {
+    let la = left.arity();
+    let ra = right.arity();
+    let lpath = child(path, 0);
+    let rpath = child(path, 1);
+    let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    let outer_rows = |l: &Row, state: State| -> Result<Vec<Row>> {
+        let vals: Vec<Value> = lcols.iter().map(|&c| l[c].clone()).collect();
+        let mut out = Vec::new();
+        if !vals.iter().any(Value::is_null) {
+            for m in access::lookup(ctx.access, right, &rpath, state, &rcols, &Key(vals))? {
+                let j = l.concat(&m);
+                if idivm_algebra::opt_pred(residual, &j)? {
+                    out.push(j);
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(l.concat(&Row(vec![Value::Null; ra])));
+        }
+        Ok(out)
+    };
+    // Output-frame right IDs: the padding-transition pairing key.
+    let out_rids: Vec<usize> = idivm_algebra::infer_ids(right)?
+        .into_iter()
+        .map(|i| i + la)
+        .collect();
+    let mut cond: BTreeSet<usize> = lcols.iter().copied().collect();
+    if let Some(res) = residual {
+        cond.extend(res.columns().into_iter().filter(|&c| c < la));
+    }
+    let oc = other_changed(ctx, right);
+    let mut out = TDiffs::default();
+    // Left diffs: every row probes and pads independently — shard like
+    // the inner join.
+    let shards_n = ctx.parallel.effective_shards(dl.len());
+    let left_ids = idivm_algebra::infer_ids(left)?;
+    for r in run_sharded(shard_tdiffs(dl, shards_n, &left_ids), |_, chunk| {
+        let mut o = TDiffs::default();
+        for r in &chunk.inserts {
+            o.inserts.extend(outer_rows(r, State::Post)?);
+        }
+        for r in &chunk.deletes {
+            o.deletes.extend(outer_rows(r, State::Pre)?);
+        }
+        for (pre, post) in &chunk.updates {
+            let touched = cond.iter().any(|&c| pre[c] != post[c]);
+            if touched {
+                o.deletes.extend(outer_rows(pre, State::Pre)?);
+                o.inserts.extend(outer_rows(post, State::Post)?);
+            } else if oc {
+                let pre_out = outer_rows(pre, State::Pre)?;
+                let post_out = outer_rows(post, State::Post)?;
+                pair_by_rid(&mut o, pre_out, post_out, &out_rids);
+            } else {
+                // Right side untouched: matching and padding are fixed,
+                // so one probe reconstructs both states.
+                for q in outer_rows(post, State::Post)? {
+                    let p = pre.concat(&Row(q.0[la..].to_vec()));
+                    o.updates.push((p, q));
+                }
+            }
+        }
+        Ok::<_, idivm_types::Error>(o)
+    }) {
+        out.absorb(r?);
+    }
+    // Right diffs: affected left rows' output sets may gain or lose
+    // padding — recompute them. Dedup across the whole diff (cross-row
+    // state), so this path stays serial.
+    let mut affected: Vec<Row> = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut collect = |rows: &[Row]| -> Result<()> {
+        for r in rows {
+            let vals: Vec<Value> = rcols.iter().map(|&c| r[c].clone()).collect();
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            for l in access::lookup(ctx.access, left, &lpath, State::Post, &lcols, &Key(vals))? {
+                if idivm_algebra::opt_pred(residual, &l.concat(r))? && seen.insert(l.clone()) {
+                    affected.push(l);
+                }
+            }
+        }
+        Ok(())
+    };
+    collect(&dr.inserts)?;
+    collect(&dr.deletes)?;
+    let prs: Vec<Row> = dr.updates.iter().map(|(p, _)| p.clone()).collect();
+    let pos: Vec<Row> = dr.updates.iter().map(|(_, q)| q.clone()).collect();
+    collect(&prs)?;
+    collect(&pos)?;
+    for l in affected {
+        let pre_out = outer_rows(&l, State::Pre)?;
+        let post_out = outer_rows(&l, State::Post)?;
+        pair_by_rid(&mut out, pre_out, post_out, &out_rids);
+    }
+    Ok(out)
+}
+
+/// Pair pre/post output sets of one left row by the right-ID
+/// projection: shared keys become updates (when changed), vanished rows
+/// deletes, new rows inserts.
+fn pair_by_rid(o: &mut TDiffs, pre_out: Vec<Row>, post_out: Vec<Row>, rid: &[usize]) {
+    for q in &post_out {
+        let k = q.key(rid);
+        match pre_out.iter().find(|p| p.key(rid) == k) {
+            Some(p) => {
+                if *p != *q {
+                    o.updates.push((p.clone(), q.clone()));
+                }
+            }
+            None => o.inserts.push(q.clone()),
+        }
+    }
+    for p in pre_out {
+        if !post_out.iter().any(|q| q.key(rid) == p.key(rid)) {
+            o.deletes.push(p);
+        }
+    }
+}
+
 fn pair(side: usize, pre: &Row, m_pre: &Row, post: &Row, m_post: &Row) -> (Row, Row) {
     if side == 0 {
         (pre.concat(m_pre), post.concat(m_post))
@@ -473,6 +652,23 @@ fn group_by(
             .all(|(p, q)| keys.iter().all(|&k| p[k] == q[k]));
     if incremental {
         return group_by_deltas(ctx, input, keys, aggs, &ipath, d);
+    }
+    // MIN/MAX (mixed with SUM/COUNT) at the root with stable groups:
+    // delta-fold with a dirty-group rescan fallback instead of the
+    // two-lookups-per-group general recompute below.
+    let extremum = is_root
+        && aggs.iter().all(|a| {
+            a.func.is_invertible() && a.func != AggFunc::Avg
+                || matches!(a.func, AggFunc::Min | AggFunc::Max)
+        })
+        && aggs
+            .iter()
+            .any(|a| matches!(a.func, AggFunc::Min | AggFunc::Max))
+        && d.updates
+            .iter()
+            .all(|(p, q)| keys.iter().all(|&k| p[k] == q[k]));
+    if extremum {
+        return group_by_extremum(ctx, input, keys, aggs, &ipath, d);
     }
     // General path: recompute affected groups in pre- and post-state.
     let mut affected: BTreeSet<Key> = BTreeSet::new();
@@ -665,6 +861,175 @@ fn group_by_deltas(
         },
     ) {
         out.absorb(r?);
+    }
+    Ok(out)
+}
+
+/// The tuple-based extremum path: like [`group_by_deltas`], but MIN/MAX
+/// slots fold into [`ExtremumDelta`] trackers instead of numeric sums.
+/// Each group's stored row decides locally: inserts and removals of
+/// non-extremum members resolve without touching the input; only a
+/// removal (or tie) of the stored extremum marks the group **dirty**
+/// and triggers one counted member rescan.
+fn group_by_extremum(
+    ctx: &TupleCtx<'_>,
+    input: &Plan,
+    keys: &[usize],
+    aggs: &[idivm_algebra::AggSpec],
+    ipath: &PathId,
+    d: TDiffs,
+) -> Result<TDiffs> {
+    // Dedupe multi-path assertions of the same input-row change by the
+    // input's ID, exactly as in `group_by_deltas`.
+    let input_ids = idivm_algebra::infer_ids(input)?;
+    let mut seen: BTreeSet<(u8, Key)> = BTreeSet::new();
+    let d = TDiffs {
+        inserts: d
+            .inserts
+            .into_iter()
+            .filter(|r| seen.insert((b'+', r.key(&input_ids))))
+            .collect(),
+        deletes: d
+            .deletes
+            .into_iter()
+            .filter(|r| seen.insert((b'-', r.key(&input_ids))))
+            .collect(),
+        updates: d
+            .updates
+            .into_iter()
+            .filter(|(_, q)| seen.insert((b'u', q.key(&input_ids))))
+            .collect(),
+    };
+    struct ExtG {
+        nums: Vec<Value>,
+        exts: Vec<ExtremumDelta>,
+        had_delete: bool,
+    }
+    let n_aggs = aggs.len();
+    let mut groups: HashMap<Key, ExtG> = HashMap::new();
+    let fresh = move || ExtG {
+        nums: vec![Value::Int(0); n_aggs],
+        exts: vec![ExtremumDelta::default(); n_aggs],
+        had_delete: false,
+    };
+    // SUM/COUNT contribution of one row (never called for MIN/MAX).
+    let num_eval = |a: &idivm_algebra::AggSpec, r: &Row| -> Result<Value> {
+        let v = a.arg.eval(r)?;
+        Ok(match a.func {
+            AggFunc::Sum => {
+                if v.is_null() {
+                    Value::Int(0)
+                } else {
+                    v
+                }
+            }
+            _ => Value::Int(i64::from(!v.is_null())),
+        })
+    };
+    for r in &d.inserts {
+        let g = groups.entry(r.key(keys)).or_insert_with(fresh);
+        for (i, a) in aggs.iter().enumerate() {
+            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                g.exts[i].insert(a.func, &a.arg.eval(r)?);
+            } else {
+                g.nums[i] = g.nums[i].add(&num_eval(a, r)?);
+            }
+        }
+    }
+    for r in &d.deletes {
+        let g = groups.entry(r.key(keys)).or_insert_with(fresh);
+        for (i, a) in aggs.iter().enumerate() {
+            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                g.exts[i].remove(a.func, &a.arg.eval(r)?);
+            } else {
+                g.nums[i] = g.nums[i].add(&num_eval(a, r)?.neg());
+            }
+        }
+        g.had_delete = true;
+    }
+    for (p, q) in &d.updates {
+        let g = groups.entry(p.key(keys)).or_insert_with(fresh);
+        for (i, a) in aggs.iter().enumerate() {
+            if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                g.exts[i].remove(a.func, &a.arg.eval(p)?);
+                g.exts[i].insert(a.func, &a.arg.eval(q)?);
+            } else {
+                g.nums[i] = g.nums[i].add(&num_eval(a, q)?.sub(&num_eval(a, p)?));
+            }
+        }
+    }
+    // Convert, **serially**: dirty groups fire the mid-rescan failpoint
+    // and bump the rescan counter, which must happen in a canonical
+    // order for any thread count (sorted group keys give exactly that).
+    let view = ctx.access.db.table(ctx.view_name)?;
+    let key_cols: Vec<usize> = (0..keys.len()).collect();
+    let mut entries: Vec<(Key, ExtG)> = groups.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = TDiffs::default();
+    for (gk, g) in entries {
+        let old = view.lookup(&key_cols, &gk);
+        match old.first() {
+            Some(old_row) => {
+                let mut dirty = false;
+                let mut vals: Vec<Value> = Vec::with_capacity(aggs.len());
+                for (i, a) in aggs.iter().enumerate() {
+                    if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        match g.exts[i].resolve(a.func, &old_row[keys.len() + i]) {
+                            ExtremumOutcome::Clean(v) => vals.push(v),
+                            ExtremumOutcome::Rescan => {
+                                dirty = true;
+                                vals.push(Value::Null); // overwritten below
+                            }
+                        }
+                    } else {
+                        vals.push(old_row[keys.len() + i].add(&g.nums[i]));
+                    }
+                }
+                if dirty || g.had_delete {
+                    // One member lookup serves both the emptiness check
+                    // and the dirty recompute; the failpoint fires
+                    // before the lookup so an aborted round rolls back
+                    // with the rescan unperformed.
+                    if dirty {
+                        ctx.on_rescan()?;
+                    }
+                    let members =
+                        access::lookup(ctx.access, input, ipath, State::Post, keys, &gk)?;
+                    if members.is_empty() {
+                        out.deletes.push(old_row.clone());
+                        continue;
+                    }
+                    if dirty {
+                        vals = aggs
+                            .iter()
+                            .map(|a| aggregate_rows(a, &members))
+                            .collect::<Result<_>>()?;
+                    }
+                }
+                let changed = vals
+                    .iter()
+                    .enumerate()
+                    .any(|(i, v)| *v != old_row[keys.len() + i]);
+                if changed {
+                    let mut post = old_row.clone();
+                    for (i, v) in vals.into_iter().enumerate() {
+                        post.0[keys.len() + i] = v;
+                    }
+                    out.updates.push((old_row.clone(), post));
+                }
+            }
+            None => {
+                let mut r = gk.into_row();
+                for (i, a) in aggs.iter().enumerate() {
+                    r.0.push(if matches!(a.func, AggFunc::Min | AggFunc::Max) {
+                        g.exts[i].created()
+                    } else {
+                        g.nums[i].clone()
+                    });
+                }
+                out.inserts.push(r);
+            }
+        }
     }
     Ok(out)
 }

@@ -13,6 +13,9 @@
 //!   catalog: four standing views sharing the σ_ts(mentions ⋈
 //!   microblog) prefix, plus a tweet-stream modification generator
 //!   whose diffs actually reach the shared subtree.
+//! * [`tpch`] — a TPC-H-flavored customer/orders/lineitem workload with
+//!   skewed extremum-deleting updates, exercising MIN/MAX rescans and
+//!   LEFT OUTER JOIN padding churn.
 //!
 //! The paper ran on BSMA's released data at 1M-user scale on PostgreSQL;
 //! we substitute a seeded synthetic generator with the same shape,
@@ -23,6 +26,8 @@
 pub mod bsma;
 pub mod multiview;
 pub mod running_example;
+pub mod tpch;
 
 pub use multiview::MultiView;
 pub use running_example::RunningExample;
+pub use tpch::Tpch;

@@ -1,0 +1,417 @@
+//! Property-style extremum churn: a seeded op stream over a single
+//! grouped table, biased toward the cases a delta-folding MIN/MAX
+//! implementation gets wrong — deleting a row that *holds* the group
+//! extremum, duplicate extremum values (the deleted minimum has a
+//! twin, so no rescan promotion is needed), deleting the last row of
+//! a group, and moving rows between groups (a delete on one extremum
+//! and an insert on another in the same round).
+//!
+//! The op stream is generated once against a pure in-memory model —
+//! never by reading `Database` state, whose iteration order is
+//! per-instance — so every engine replays byte-identical history.
+//! Each engine is checked against the recompute oracle after every
+//! round; serial and P=4 id-IVM must converge to the same final
+//! database signature.
+
+use idivm_repro::algebra::{AggFunc, Plan, PlanBuilder};
+use idivm_repro::core::{IdIvm, IvmOptions};
+use idivm_repro::exec::{executor::sorted, recompute_rows, DbCatalog, ParallelConfig};
+use idivm_repro::reldb::Database;
+use idivm_repro::sdbt::{Partial, Sdbt, SdbtVariant};
+use idivm_repro::tuple::TupleIvm;
+use idivm_repro::types::{row, ColumnType, Key, Row, Schema, Value};
+
+const GROUPS: i64 = 4;
+const VALS: i64 = 5; // tiny domain → duplicate extremums are common
+const ROUNDS: usize = 12;
+const OPS_PER_ROUND: usize = 5;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: i64, grp: i64, val: i64 },
+    Delete { id: i64 },
+    SetVal { id: i64, val: i64 },
+    SetGrp { id: i64, grp: i64 },
+}
+
+/// Splitmix64 — deterministic, no external RNG dependency.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn seed_rows() -> Vec<(i64, i64, i64)> {
+    (1..=20)
+        .map(|i| (i, i % GROUPS, 1 + (i * 3) % VALS))
+        .collect()
+}
+
+/// Generate the scripted rounds against a model of the table. The
+/// model is the single source of truth: extremum targeting reads it,
+/// not the database.
+fn script(seed: u64) -> Vec<Vec<Op>> {
+    let mut model = seed_rows();
+    let mut next_id = 21i64;
+    let mut rng = Rng(seed);
+    let mut rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let mut ops = Vec::with_capacity(OPS_PER_ROUND);
+        for _ in 0..OPS_PER_ROUND {
+            let roll = rng.below(10);
+            match roll {
+                // 40%: delete the row holding a group's current
+                // minimum or maximum (the hazard under test).
+                0..=3 if !model.is_empty() => {
+                    let grp = rng.below(GROUPS as u64) as i64;
+                    let members: Vec<&(i64, i64, i64)> =
+                        model.iter().filter(|r| r.1 == grp).collect();
+                    if let Some(target) = if roll.is_multiple_of(2) {
+                        members.iter().min_by_key(|r| (r.2, r.0))
+                    } else {
+                        members.iter().max_by_key(|r| (r.2, -r.0))
+                    } {
+                        let id = target.0;
+                        model.retain(|r| r.0 != id);
+                        ops.push(Op::Delete { id });
+                    }
+                }
+                // 20%: move a row to another group — simultaneous
+                // extremum-delete on one group and insert on another.
+                4..=5 if !model.is_empty() => {
+                    let i = rng.below(model.len() as u64) as usize;
+                    let grp = rng.below(GROUPS as u64) as i64;
+                    model[i].1 = grp;
+                    ops.push(Op::SetGrp {
+                        id: model[i].0,
+                        grp,
+                    });
+                }
+                // 20%: rewrite a value (often through an extremum).
+                6..=7 if !model.is_empty() => {
+                    let i = rng.below(model.len() as u64) as usize;
+                    let val = 1 + rng.below(VALS as u64) as i64;
+                    model[i].2 = val;
+                    ops.push(Op::SetVal {
+                        id: model[i].0,
+                        val,
+                    });
+                }
+                // 20%: insert (refills groups emptied by deletion).
+                _ => {
+                    let grp = rng.below(GROUPS as u64) as i64;
+                    let val = 1 + rng.below(VALS as u64) as i64;
+                    ops.push(Op::Insert {
+                        id: next_id,
+                        grp,
+                        val,
+                    });
+                    model.push((next_id, grp, val));
+                    next_id += 1;
+                }
+            }
+        }
+        rounds.push(ops);
+    }
+    rounds
+}
+
+fn apply(db: &mut Database, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Insert { id, grp, val } => db.insert("t", row![id, grp, val]).unwrap(),
+            Op::Delete { id } => {
+                db.delete("t", &Key(vec![Value::Int(id)])).unwrap();
+            }
+            Op::SetVal { id, val } => {
+                db.update_named("t", &Key(vec![Value::Int(id)]), &[("val", Value::Int(val))])
+                    .unwrap();
+            }
+            Op::SetGrp { id, grp } => {
+                db.update_named("t", &Key(vec![Value::Int(id)]), &[("grp", Value::Int(grp))])
+                    .unwrap();
+            }
+        }
+    }
+}
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.set_logging(false);
+    db.create_table(
+        "t",
+        Schema::from_pairs(
+            &[
+                ("id", ColumnType::Int),
+                ("grp", ColumnType::Int),
+                ("val", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for (id, grp, val) in seed_rows() {
+        db.table_mut("t").unwrap().load(row![id, grp, val]).unwrap();
+    }
+    db.set_logging(true);
+    db
+}
+
+fn plan(db: &Database) -> Plan {
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "t")
+        .unwrap()
+        .group_by(
+            &["t.grp"],
+            &[
+                (AggFunc::Min, "t.val", "mn"),
+                (AggFunc::Max, "t.val", "mx"),
+                (AggFunc::Sum, "t.val", "s"),
+                (AggFunc::Count, "*", "n"),
+            ],
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+/// Run the scripted churn on one engine; differential-check every
+/// round; return the total rescan count.
+fn drive(
+    rounds: &[Vec<Op>],
+    label: &str,
+    maintain: impl Fn(&mut Database) -> idivm_repro::types::Result<idivm_repro::core::MaintenanceReport>,
+    oracle_plan: &Plan,
+    actual: impl Fn(&Database) -> Vec<Row>,
+    db: &mut Database,
+) -> u64 {
+    let mut rescans = 0;
+    for (i, ops) in rounds.iter().enumerate() {
+        apply(db, ops);
+        let report = maintain(db).unwrap();
+        rescans += report.rescans;
+        assert_eq!(
+            sorted(actual(db)),
+            sorted(recompute_rows(db, oracle_plan).unwrap()),
+            "{label}: diverged from the oracle in round {i}"
+        );
+    }
+    rescans
+}
+
+#[test]
+fn extremum_churn_all_engines_match_oracle_and_p4_matches_serial() {
+    let rounds = script(0xCAFE_D00D);
+
+    let mut db_serial = fresh_db();
+    let p = plan(&db_serial);
+    let ivm = IdIvm::setup(&mut db_serial, "V", p, IvmOptions::default()).unwrap();
+    let rescans_serial = drive(
+        &rounds,
+        "id-ivm serial",
+        |db| ivm.maintain(db),
+        ivm.plan(),
+        |db| db.table("V").unwrap().rows_uncounted(),
+        &mut db_serial,
+    );
+
+    let mut db_p4 = fresh_db();
+    let p = plan(&db_p4);
+    let opts = IvmOptions {
+        parallel: ParallelConfig {
+            threads: 4,
+            min_shard_rows: 1,
+        },
+        ..IvmOptions::default()
+    };
+    let ivm4 = IdIvm::setup(&mut db_p4, "V", p, opts).unwrap();
+    let rescans_p4 = drive(
+        &rounds,
+        "id-ivm P=4",
+        |db| ivm4.maintain(db),
+        ivm4.plan(),
+        |db| db.table("V").unwrap().rows_uncounted(),
+        &mut db_p4,
+    );
+    assert_eq!(
+        db_serial.signature(),
+        db_p4.signature(),
+        "serial and P=4 id-IVM diverged on final database signature"
+    );
+    assert_eq!(rescans_serial, rescans_p4, "rescan counts must not depend on P");
+
+    let mut db_tuple = fresh_db();
+    let p = plan(&db_tuple);
+    let tivm = TupleIvm::setup(&mut db_tuple, "V", p).unwrap();
+    let rescans_tuple = drive(
+        &rounds,
+        "tuple-ivm",
+        |db| tivm.maintain(db),
+        tivm.plan(),
+        |db| db.table("V").unwrap().rows_uncounted(),
+        &mut db_tuple,
+    );
+    assert_eq!(
+        db_serial.signature(),
+        db_tuple.signature(),
+        "tuple engine final state diverged"
+    );
+
+    let mut db = fresh_db();
+    let p = plan(&db);
+    let sdbt = Sdbt::setup(
+        &mut db,
+        "V",
+        p,
+        vec![Partial {
+            table: "t".into(),
+            steps: vec![],
+            compose: vec![0, 1, 2],
+            filter: None,
+        }],
+        SdbtVariant::Fixed("t".into()),
+    )
+    .unwrap();
+    let mut rescans_sdbt = 0;
+    for (i, ops) in rounds.iter().enumerate() {
+        apply(&mut db, ops);
+        let report = sdbt.maintain(&mut db).unwrap();
+        rescans_sdbt += report.rescans;
+        assert_eq!(
+            sorted(sdbt.visible_rows(&db).unwrap()),
+            sorted(recompute_rows(&db, sdbt.plan()).unwrap()),
+            "sdbt: diverged from the oracle in round {i}"
+        );
+    }
+
+    for (label, n) in [
+        ("id-ivm", rescans_serial),
+        ("tuple-ivm", rescans_tuple),
+        ("sdbt", rescans_sdbt),
+    ] {
+        assert!(
+            n > 0,
+            "{label}: extremum churn fired no rescans — the hazard cases \
+             were never routed through the fallback"
+        );
+    }
+}
+
+/// The duplicate-extremum corner in isolation: deleting one of two
+/// rows that tie for the minimum must keep the extremum (its twin
+/// still holds it), and deleting the twin must then promote the
+/// runner-up — on all three engines.
+#[test]
+fn duplicate_extremum_deletion_keeps_then_promotes() {
+    type Setup = fn(&mut Database) -> (
+        Box<dyn Fn(&mut Database) -> idivm_repro::types::Result<idivm_repro::core::MaintenanceReport>>,
+        Box<dyn Fn(&Database) -> Vec<Row>>,
+    );
+    let engines: Vec<(&str, Setup)> = vec![
+        ("id-ivm", |db| {
+            let p = plan(db);
+            let ivm = IdIvm::setup(db, "V", p, IvmOptions::default()).unwrap();
+            (
+                Box::new(move |db: &mut Database| ivm.maintain(db)),
+                Box::new(|db: &Database| db.table("V").unwrap().rows_uncounted()),
+            )
+        }),
+        ("tuple-ivm", |db| {
+            let p = plan(db);
+            let ivm = TupleIvm::setup(db, "V", p).unwrap();
+            (
+                Box::new(move |db: &mut Database| ivm.maintain(db)),
+                Box::new(|db: &Database| db.table("V").unwrap().rows_uncounted()),
+            )
+        }),
+        ("sdbt", |db| {
+            let sdbt_plan = plan(db);
+            let sdbt = std::rc::Rc::new(
+                Sdbt::setup(
+                    db,
+                    "V",
+                    sdbt_plan,
+                    vec![Partial {
+                        table: "t".into(),
+                        steps: vec![],
+                        compose: vec![0, 1, 2],
+                        filter: None,
+                    }],
+                    SdbtVariant::Fixed("t".into()),
+                )
+                .unwrap(),
+            );
+            let viewer = std::rc::Rc::clone(&sdbt);
+            (
+                Box::new(move |db: &mut Database| sdbt.maintain(db)),
+                Box::new(move |db: &Database| viewer.visible_rows(db).unwrap()),
+            )
+        }),
+    ];
+    for (label, setup) in engines {
+        let mut db = Database::new();
+        db.set_logging(false);
+        db.create_table(
+            "t",
+            Schema::from_pairs(
+                &[
+                    ("id", ColumnType::Int),
+                    ("grp", ColumnType::Int),
+                    ("val", ColumnType::Int),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Group 1: minimum 10 held TWICE (ids 1, 2), runner-up 70.
+        for (id, val) in [(1i64, 10i64), (2, 10), (3, 70)] {
+            db.table_mut("t").unwrap().load(row![id, 1, val]).unwrap();
+        }
+        db.set_logging(true);
+        let (maintain, actual) = setup(&mut db);
+
+        let min_of = |rows: Vec<Row>| -> Value {
+            rows.into_iter()
+                .find(|r| r[0] == Value::Int(1))
+                .map(|r| r[1].clone())
+                .unwrap_or(Value::Null)
+        };
+
+        // Delete one twin: the minimum survives through its double.
+        db.delete("t", &Key(vec![Value::Int(1)])).unwrap();
+        maintain(&mut db).unwrap();
+        assert_eq!(
+            min_of(actual(&db)),
+            Value::Int(10),
+            "{label}: duplicate extremum must survive deleting one holder"
+        );
+
+        // Delete the surviving twin: now the runner-up is promoted.
+        db.delete("t", &Key(vec![Value::Int(2)])).unwrap();
+        maintain(&mut db).unwrap();
+        assert_eq!(
+            min_of(actual(&db)),
+            Value::Int(70),
+            "{label}: runner-up not promoted after the last holder died"
+        );
+
+        // Delete the last row in the group: the group's view row goes.
+        db.delete("t", &Key(vec![Value::Int(3)])).unwrap();
+        maintain(&mut db).unwrap();
+        assert_eq!(
+            min_of(actual(&db)),
+            Value::Null,
+            "{label}: emptied group must drop its view row"
+        );
+    }
+}
