@@ -339,6 +339,11 @@ fn main() {
                         FaultSite::Apply => FaultPlan::at_apply(0, seed),
                         FaultSite::Access => FaultPlan::at_access(1, seed),
                         FaultSite::Diff => FaultPlan::at_diff(3, seed),
+                        // Ingest-path sites never fire inside an
+                        // engine round; the firehose bench sweeps them.
+                        FaultSite::Enqueue | FaultSite::BatchCut | FaultSite::Decode => {
+                            unreachable!("chaos sweeps engine sites only")
+                        }
                     };
                     match kind {
                         FaultKind::Transient => base.healing_after(2),

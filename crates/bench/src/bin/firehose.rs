@@ -1,0 +1,460 @@
+//! Firehose streaming-ingestion benchmark — the CDC front-end under
+//! load.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p idivm-bench --bin firehose [-- --scale N --rounds R --diffs D --smoke]
+//! ```
+//!
+//! Replays the deterministic multi-view tweet stream as CDC events
+//! through the full ingest stack — bounded admission queue, adaptive
+//! micro-batcher, dead-letter quarantine, per-cut scheduler ticks —
+//! on the virtual tick clock, across an offered-rate × overflow-policy
+//! grid, serial and P = 4. Reports sustained events/tick, p50/p99
+//! queue→cut latency, queue depth over time, cut causes, and shed/DLQ
+//! counts into `BENCH_firehose.json` (schema in `EXPERIMENTS.md`).
+//!
+//! Guards (in-process asserts):
+//!
+//! * **Conservation** — every generated event is admitted,
+//!   dead-lettered, or shed; nothing disappears silently.
+//! * **Bit-identity vs one-shot** — whenever a cell loses nothing
+//!   (`shed == 0 && dlq == 0`; every Block cell, by construction), the
+//!   streamed run's final `Database::signature()` *and* per-view
+//!   catalog signatures equal a one-shot run that applies the same log
+//!   directly and folds it in a single round.
+//! * **Thread-count independence** — P = 4 matches serial exactly:
+//!   view signatures, per-view counted accesses, cut sequence, and
+//!   DLQ bytes. Admission is serial by design; engine parallelism must
+//!   not leak into ingest observables.
+//! * **Determinism** — a repeated serial run is byte-identical (cuts,
+//!   depth series, latency samples, DLQ JSON).
+//! * **Quarantine isolation** — a garbage-laced cell dead-letters
+//!   exactly the garbage (deterministic bytes) while the healthy
+//!   events still converge to the clean one-shot signature.
+//!
+//! Shed cells under overload lose events *by design* (counted, never
+//! silent), so their final state intentionally differs from the
+//! lossless baseline; they are held to the determinism guards instead.
+
+use idivm_bench::fmt_row;
+use idivm_core::{FaultPlan, FaultState, IvmOptions};
+use idivm_exec::ParallelConfig;
+use idivm_ingest::{
+    apply_log, drive, partition_log, BatchPolicy, DriveConfig, DriveStats, IngestPipeline,
+    OverflowPolicy, PipelineConfig, QueueConfig, RawEvent,
+};
+use idivm_reldb::{LogEntry, TableSignature};
+use idivm_sched::{MaintenanceScheduler, RefreshPolicy, SchedulerConfig};
+use idivm_types::row;
+use idivm_workloads::bsma::Bsma;
+use idivm_workloads::multiview::VIEW_NAMES;
+use idivm_workloads::MultiView;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Producers the log is partitioned across (single writer per key).
+const PRODUCERS: u32 = 4;
+/// Admitted events the maintainer folds per busy tick.
+const SERVICE_RATE: u64 = 32;
+
+/// Everything one streamed run is judged on.
+struct StreamOutcome {
+    stats: DriveStats,
+    /// Base + view table signatures, sorted for stable comparison.
+    db_signature: BTreeMap<String, TableSignature>,
+    view_signatures: BTreeMap<String, TableSignature>,
+    per_view_accesses: BTreeMap<String, u64>,
+    dlq_json: String,
+    dlq_len: usize,
+}
+
+fn scheduler(cfg: &MultiView, parallel: ParallelConfig) -> MaintenanceScheduler {
+    let db = cfg.build().expect("generator failed");
+    let mut sched = MaintenanceScheduler::new(db, SchedulerConfig::default());
+    for name in VIEW_NAMES {
+        let plan = cfg.plan(sched.db(), name).expect("plan");
+        sched
+            .register(name, plan, RefreshPolicy::Eager, IvmOptions::default())
+            .expect("register");
+    }
+    sched.set_parallel_all(parallel).expect("parallel config");
+    sched
+}
+
+fn view_state(
+    sched: &MaintenanceScheduler,
+) -> (BTreeMap<String, TableSignature>, BTreeMap<String, u64>) {
+    let mut sigs = BTreeMap::new();
+    let mut accesses = BTreeMap::new();
+    for name in VIEW_NAMES {
+        sigs.insert(
+            name.to_string(),
+            sched.catalog().signature(name).expect("signature"),
+        );
+        accesses.insert(
+            name.to_string(),
+            sched.stats(name).expect("stats").accesses.total(),
+        );
+    }
+    (sigs, accesses)
+}
+
+/// The lossless baseline: apply the whole log directly, fold it in a
+/// single maintenance round.
+fn run_oneshot(
+    cfg: &MultiView,
+    entries: &[LogEntry],
+) -> (BTreeMap<String, TableSignature>, BTreeMap<String, TableSignature>) {
+    let mut sched = scheduler(cfg, ParallelConfig::serial());
+    apply_log(sched.db_mut(), entries).expect("one-shot replay");
+    sched.tick().expect("one-shot tick");
+    let (view_sigs, _) = view_state(&sched);
+    (sched.db().signature().into_iter().collect(), view_sigs)
+}
+
+fn run_streamed(
+    cfg: &MultiView,
+    streams: &[Vec<RawEvent>],
+    rate: usize,
+    policy: OverflowPolicy,
+    parallel: ParallelConfig,
+) -> StreamOutcome {
+    let mut sched = scheduler(cfg, parallel);
+    let pipeline_cfg = PipelineConfig {
+        queue: QueueConfig::with_capacity(96, policy),
+        batch: BatchPolicy {
+            max_events: 32,
+            max_age_ticks: 4,
+            max_staleness_ticks: 16,
+        },
+    };
+    let faults = Arc::new(FaultState::new(FaultPlan::disabled()));
+    let mut pipeline = IngestPipeline::new(pipeline_cfg, faults).expect("pipeline");
+    let stats = drive(
+        &mut pipeline,
+        &mut sched,
+        streams.to_vec(),
+        DriveConfig {
+            offers_per_tick: rate,
+            service_rate: SERVICE_RATE,
+            max_ticks: 1_000_000,
+        },
+    )
+    .expect("drive");
+    let (view_signatures, per_view_accesses) = view_state(&sched);
+    StreamOutcome {
+        stats,
+        db_signature: sched.db().signature().into_iter().collect(),
+        view_signatures,
+        per_view_accesses,
+        dlq_json: pipeline.dlq().to_json(),
+        dlq_len: pipeline.dlq().len(),
+    }
+}
+
+/// Decodable-but-inadmissible and undecodable events appended to the
+/// streams for the quarantine cell. Sequence numbers continue each
+/// stream's own numbering, so healthy admission is undisturbed.
+fn lace_with_garbage(streams: &mut [Vec<RawEvent>]) -> usize {
+    use idivm_ingest::{ChangeEvent, ChangeOp};
+    let next_seq = |s: &[RawEvent]| s.len() as u64;
+    // Undecodable wire on producer 0 (never consumes a seq slot).
+    streams[0].push(RawEvent {
+        wire: "3|zero|microblog|ins|i:1,i:2,i:3,i:4".into(),
+    });
+    // Unknown table on producer 1.
+    let seq = next_seq(&streams[1]);
+    streams[1].push(RawEvent::encode(&ChangeEvent {
+        producer: 1,
+        seq,
+        table: "no_such_table".into(),
+        op: ChangeOp::Insert { row: row![1] },
+    }));
+    // Wrong arity on producer 2: microblog has 4 columns.
+    let seq = next_seq(&streams[2]);
+    streams[2].push(RawEvent::encode(&ChangeEvent {
+        producer: 2,
+        seq,
+        table: "microblog".into(),
+        op: ChangeOp::Insert { row: row![77, 77] },
+    }));
+    // Type confusion on producer 3: ts column is Int, send Str.
+    let seq = next_seq(&streams[3]);
+    streams[3].push(RawEvent::encode(&ChangeEvent {
+        producer: 3,
+        seq,
+        table: "microblog".into(),
+        op: ChangeOp::Insert {
+            row: row![9_999_999, 0, "soon", 1],
+        },
+    }));
+    4
+}
+
+/// Downsample the per-tick depth series to at most `n` points.
+fn downsample(series: &[u64], n: usize) -> Vec<u64> {
+    if series.len() <= n {
+        return series.to_vec();
+    }
+    (0..n)
+        .map(|i| series[i * series.len() / n])
+        .collect()
+}
+
+struct Cell {
+    rate: usize,
+    policy: OverflowPolicy,
+    garbage: usize,
+    outcome: StreamOutcome,
+    converged_oneshot: bool,
+}
+
+fn cell_json(c: &Cell) -> String {
+    let s = &c.outcome.stats;
+    let mut causes: BTreeMap<&str, u64> = BTreeMap::new();
+    for (cause, _, _) in &s.cuts {
+        *causes.entry(cause).or_default() += 1;
+    }
+    let causes_json: Vec<String> = causes
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    let depth_json: Vec<String> = downsample(&s.depth_series, 32)
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    format!(
+        "    {{\"rate\": {}, \"policy\": \"{}\", \"garbage\": {}, \"ticks\": {}, \
+         \"offered\": {}, \"admitted\": {}, \"dead_lettered\": {}, \"shed\": {}, \
+         \"cuts\": {}, \"cut_causes\": {{{}}}, \"events_per_tick\": {:.4}, \
+         \"latency_p50_ticks\": {}, \"latency_p99_ticks\": {}, \"max_depth\": {}, \
+         \"depth_series\": [{}], \"converged_oneshot\": {}}}",
+        c.rate,
+        c.policy.label(),
+        c.garbage,
+        s.ticks,
+        s.offered,
+        s.admitted,
+        s.dead_lettered,
+        s.shed,
+        s.cuts.len(),
+        causes_json.join(", "),
+        s.events_per_tick(),
+        s.latency_percentile(50.0).unwrap_or(0),
+        s.latency_percentile(99.0).unwrap_or(0),
+        s.max_depth(),
+        depth_json.join(", "),
+        c.converged_oneshot,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let get = |flag: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get("--scale", 0.02);
+    let rounds = get("--rounds", if smoke { 3.0 } else { 6.0 }) as u64;
+    let diffs = get("--diffs", if smoke { 16.0 } else { 48.0 }) as usize;
+    let cfg = MultiView {
+        bsma: Bsma { scale, seed: 2015 },
+    };
+
+    let entries = cfg.tweet_stream(rounds, diffs).expect("tweet stream");
+    let base = cfg.build().expect("build");
+    let streams = partition_log(&base, &entries, PRODUCERS).expect("partition");
+    let total = entries.len() as u64;
+    println!(
+        "Firehose — {total} CDC events ({rounds} rounds x {diffs} tweets, scale {scale}), \
+         {PRODUCERS} producers, service rate {SERVICE_RATE}/tick"
+    );
+
+    let (oneshot_db_sig, oneshot_view_sigs) = run_oneshot(&cfg, &entries);
+
+    let four_threads = ParallelConfig {
+        threads: 4,
+        min_shard_rows: 1,
+    };
+    let rates = [2usize, 8, 64];
+    let policies = [OverflowPolicy::Block, OverflowPolicy::Shed];
+    let mut cells: Vec<Cell> = Vec::new();
+
+    let mut check_cell = |rate: usize, policy: OverflowPolicy, streams: &[Vec<RawEvent>], garbage: usize| {
+        let serial = run_streamed(&cfg, streams, rate, policy, ParallelConfig::serial());
+        let parallel = run_streamed(&cfg, streams, rate, policy, four_threads);
+        let again = run_streamed(&cfg, streams, rate, policy, ParallelConfig::serial());
+        let s = &serial.stats;
+        let label = format!("rate {rate} policy {}", policy.label());
+
+        // Conservation: nothing disappears silently.
+        let expected = total + garbage as u64;
+        assert_eq!(
+            s.offered, expected,
+            "{label}: consumed {} of {expected} events",
+            s.offered
+        );
+        assert_eq!(
+            s.admitted + s.dead_lettered + s.shed,
+            expected,
+            "{label}: admitted {} + dlq {} + shed {} != {expected}",
+            s.admitted,
+            s.dead_lettered,
+            s.shed
+        );
+        if policy == OverflowPolicy::Block {
+            assert_eq!(s.shed, 0, "{label}: a blocking queue shed events");
+        }
+
+        // P = 4 must match serial bit-for-bit on every observable.
+        assert_eq!(
+            serial.view_signatures, parallel.view_signatures,
+            "{label}: P=4 view contents diverged"
+        );
+        assert_eq!(
+            serial.db_signature, parallel.db_signature,
+            "{label}: P=4 database signature diverged"
+        );
+        assert_eq!(
+            serial.per_view_accesses, parallel.per_view_accesses,
+            "{label}: P=4 access attribution diverged"
+        );
+        assert_eq!(
+            serial.stats.cuts, parallel.stats.cuts,
+            "{label}: P=4 cut sequence diverged"
+        );
+        assert_eq!(
+            serial.dlq_json, parallel.dlq_json,
+            "{label}: P=4 DLQ bytes diverged"
+        );
+
+        // Repeat run must be byte-identical.
+        assert_eq!(serial.stats.cuts, again.stats.cuts, "{label}: cuts not deterministic");
+        assert_eq!(
+            serial.stats.depth_series, again.stats.depth_series,
+            "{label}: depth series not deterministic"
+        );
+        assert_eq!(
+            serial.stats.latencies_ticks, again.stats.latencies_ticks,
+            "{label}: latencies not deterministic"
+        );
+        assert_eq!(serial.dlq_json, again.dlq_json, "{label}: DLQ bytes not deterministic");
+        assert_eq!(
+            serial.db_signature, again.db_signature,
+            "{label}: final state not deterministic"
+        );
+
+        // Lossless cells must converge to the one-shot fold.
+        let lossless = s.shed == 0 && serial.dlq_len == garbage;
+        let converged = serial.db_signature == oneshot_db_sig
+            && serial.view_signatures == oneshot_view_sigs;
+        if garbage > 0 {
+            assert_eq!(
+                s.dead_lettered, garbage as u64,
+                "{label}: quarantined {} events, expected exactly the {garbage} garbage ones",
+                s.dead_lettered
+            );
+            assert!(
+                !serial.dlq_json.is_empty() && serial.dlq_len == garbage,
+                "{label}: DLQ should hold the garbage"
+            );
+        }
+        if lossless {
+            assert!(
+                converged,
+                "{label}: lossless streamed run did not converge to the one-shot signature"
+            );
+        }
+        cells.push(Cell {
+            rate,
+            policy,
+            garbage,
+            outcome: serial,
+            converged_oneshot: converged,
+        });
+    };
+
+    for rate in rates {
+        for policy in policies {
+            check_cell(rate, policy, &streams, 0);
+        }
+    }
+    // Quarantine cell: garbage rides along at nominal rate, Block.
+    let mut laced = streams.clone();
+    let garbage = lace_with_garbage(&mut laced);
+    check_cell(8, OverflowPolicy::Block, &laced, garbage);
+
+    // --- Console report ------------------------------------------------
+    let widths = &[6usize, 7, 9, 9, 6, 6, 6, 7, 7, 9, 10];
+    println!(
+        "\n{}",
+        fmt_row(
+            &[
+                "rate".into(),
+                "policy".into(),
+                "admitted".into(),
+                "dlq".into(),
+                "shed".into(),
+                "cuts".into(),
+                "ticks".into(),
+                "ev/tick".into(),
+                "p50".into(),
+                "p99".into(),
+                "max_depth".into(),
+            ],
+            widths
+        )
+    );
+    for c in &cells {
+        let s = &c.outcome.stats;
+        println!(
+            "{}",
+            fmt_row(
+                &[
+                    c.rate.to_string(),
+                    c.policy.label().into(),
+                    s.admitted.to_string(),
+                    s.dead_lettered.to_string(),
+                    s.shed.to_string(),
+                    s.cuts.len().to_string(),
+                    s.ticks.to_string(),
+                    format!("{:.2}", s.events_per_tick()),
+                    s.latency_percentile(50.0).unwrap_or(0).to_string(),
+                    s.latency_percentile(99.0).unwrap_or(0).to_string(),
+                    s.max_depth().to_string(),
+                ],
+                widths
+            )
+        );
+    }
+    let converged = cells.iter().filter(|c| c.converged_oneshot).count();
+    let overloaded = cells
+        .iter()
+        .any(|c| c.outcome.stats.cuts.iter().any(|(cause, _, _)| cause == "staleness"));
+    assert!(
+        overloaded,
+        "the rate grid never drove the batcher into staleness-SLO cuts — overload untested"
+    );
+    println!(
+        "\nguards: conservation ok, P=4 bit-identical ok, repeat-run determinism ok, \
+         {converged}/{} cells converged to one-shot, quarantine isolation ok",
+        cells.len()
+    );
+
+    // --- Machine-readable record ---------------------------------------
+    let cells_json: Vec<String> = cells.iter().map(cell_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"firehose\",\n  \"scale\": {scale},\n  \"rounds\": {rounds},\n  \
+         \"diffs\": {diffs},\n  \"events\": {total},\n  \"producers\": {PRODUCERS},\n  \
+         \"service_rate\": {SERVICE_RATE},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cells_json.join(",\n"),
+    );
+    std::fs::write("BENCH_firehose.json", &json)
+        .unwrap_or_else(|e| panic!("write BENCH_firehose.json: {e}"));
+    println!("wrote BENCH_firehose.json");
+}

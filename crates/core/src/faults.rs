@@ -63,6 +63,19 @@ pub enum FaultSite {
     /// trivially; the same predicate lets a supervisor bisect down to
     /// the exact poison set.
     Diff,
+    /// Ingest path: on the `at`-th (0-based) event enqueue into the
+    /// bounded CDC queue. Fires **before** the event is buffered, so
+    /// the producer still owns it (retryable — nothing is lost).
+    Enqueue,
+    /// Ingest path: on the `at`-th (0-based) micro-batch cut decision,
+    /// before any admitted event touches the database. The buffered
+    /// batch stays buffered (retryable).
+    BatchCut,
+    /// Ingest path: on the `at`-th (0-based) wire-event decode, before
+    /// validation. Distinct from a *malformed* event (which is
+    /// dead-lettered): an injected decode fault models the decoder
+    /// itself failing and leaves the raw event pending (retryable).
+    Decode,
 }
 
 impl FaultSite {
@@ -73,6 +86,9 @@ impl FaultSite {
             FaultSite::Operator => "operator",
             FaultSite::Apply => "apply",
             FaultSite::Diff => "diff",
+            FaultSite::Enqueue => "enqueue",
+            FaultSite::BatchCut => "batch_cut",
+            FaultSite::Decode => "decode",
         }
     }
 }
@@ -171,6 +187,33 @@ impl FaultPlan {
         }
     }
 
+    /// Fire on the `k`-th event enqueue (ingest path).
+    pub fn at_enqueue(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Enqueue),
+            at: k,
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
+    /// Fire on the `k`-th micro-batch cut decision (ingest path).
+    pub fn at_batch_cut(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::BatchCut),
+            at: k,
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
+    /// Fire on the `k`-th wire-event decode (ingest path).
+    pub fn at_decode(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Decode),
+            at: k,
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
     fn with_seed(self, seed: u64) -> Self {
         FaultPlan { seed, ..self }
     }
@@ -228,22 +271,47 @@ pub struct RoundBudget {
     /// Maximum accesses one round may spend; `None` disables the
     /// budget entirely (zero checkpoint cost).
     pub max_accesses: Option<u64>,
+    /// Total **virtual-tick deadline** for one supervised run: the sum
+    /// of backoff delays the retry ladder may accumulate before the
+    /// supervisor abandons incremental maintenance and escalates to
+    /// the recompute path with a typed [`Error::Budget`] cause.
+    /// Enforced by `MaintenanceSupervisor`, not at engine checkpoints
+    /// — it bounds the *ladder*, not one round, so a pathological
+    /// retry/backoff schedule cannot stall a firehose tick. `None`
+    /// (the default) disables the deadline.
+    pub max_ticks: Option<u64>,
 }
 
 impl RoundBudget {
     /// No budget (the default).
     pub fn unlimited() -> Self {
-        RoundBudget { max_accesses: None }
+        RoundBudget {
+            max_accesses: None,
+            max_ticks: None,
+        }
     }
 
     /// Cap one round at `max` accesses.
     pub fn capped(max: u64) -> Self {
         RoundBudget {
             max_accesses: Some(max),
+            max_ticks: None,
         }
     }
 
-    /// True iff a cap is set.
+    /// This budget, with a total virtual-tick deadline on the
+    /// supervised retry ladder (see [`RoundBudget::max_ticks`]).
+    pub fn with_max_ticks(self, ticks: u64) -> Self {
+        RoundBudget {
+            max_ticks: Some(ticks),
+            ..self
+        }
+    }
+
+    /// True iff an **access** cap is set (the checkpoint-enforced
+    /// budget — engines use this to gate checkpoint bookkeeping). The
+    /// virtual-tick deadline is supervisor-level and costs engines
+    /// nothing, so it does not count here.
     pub fn enabled(&self) -> bool {
         self.max_accesses.is_some()
     }
@@ -262,6 +330,9 @@ pub struct FaultState {
     budget: RoundBudget,
     operators: AtomicU64,
     applies: AtomicU64,
+    enqueues: AtomicU64,
+    batch_cuts: AtomicU64,
+    decodes: AtomicU64,
     fired: AtomicBool,
     budget_fired: AtomicBool,
 }
@@ -279,6 +350,9 @@ impl FaultState {
             budget,
             operators: AtomicU64::new(0),
             applies: AtomicU64::new(0),
+            enqueues: AtomicU64::new(0),
+            batch_cuts: AtomicU64::new(0),
+            decodes: AtomicU64::new(0),
             fired: AtomicBool::new(false),
             budget_fired: AtomicBool::new(false),
         }
@@ -394,6 +468,58 @@ impl FaultState {
                     "round spent {cumulative} accesses of a {max}-access budget"
                 )));
             }
+        }
+        Ok(())
+    }
+
+    /// Hook: an event enqueue into the ingest queue, **before** the
+    /// event is buffered (the producer still owns it on `Err`).
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// enqueue.
+    pub fn on_enqueue(&self) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Enqueue) || self.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = self.enqueues.fetch_add(1, Ordering::Relaxed);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("enqueue {n}")));
+        }
+        Ok(())
+    }
+
+    /// Hook: a micro-batch cut decision, before any admitted event
+    /// touches the database (the batch stays buffered on `Err`).
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// cut.
+    pub fn on_batch_cut(&self, pending: usize) -> Result<()> {
+        if self.plan.site != Some(FaultSite::BatchCut) || self.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = self.batch_cuts.fetch_add(1, Ordering::Relaxed);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("batch cut {n} ({pending} events pending)")));
+        }
+        Ok(())
+    }
+
+    /// Hook: a wire-event decode, before validation (the raw event
+    /// stays pending on `Err` — this is the decoder failing, not the
+    /// event being malformed).
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// decode.
+    pub fn on_decode(&self) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Decode) || self.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = self.decodes.fetch_add(1, Ordering::Relaxed);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("decode {n}")));
         }
         Ok(())
     }
@@ -522,6 +648,41 @@ mod tests {
         let mut mixed: Vec<i64> = healthy[..2].to_vec();
         mixed.push(poison[0]);
         assert!(FaultState::new(plan).on_batch(&batch_of(&mixed)).is_err());
+    }
+
+    #[test]
+    fn ingest_sites_fire_on_their_own_counters() {
+        let s = FaultState::new(FaultPlan::at_enqueue(1, 8));
+        s.on_decode().unwrap();
+        s.on_batch_cut(3).unwrap(); // other ingest sites untouched
+        s.on_enqueue().unwrap();
+        let err = s.on_enqueue().unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{err}");
+        assert!(err.to_string().contains("site=enqueue"), "{err}");
+        s.on_enqueue().unwrap(); // single-shot
+
+        let s = FaultState::new(FaultPlan::at_batch_cut(0, 8));
+        let err = s.on_batch_cut(5).unwrap_err();
+        assert!(err.to_string().contains("batch cut 0 (5 events pending)"), "{err}");
+
+        let s = FaultState::new(FaultPlan::at_decode(0, 8).permanent());
+        assert!(matches!(s.on_decode(), Err(Error::Poison(_))));
+    }
+
+    #[test]
+    fn max_ticks_is_supervisor_level_not_checkpoint_level() {
+        let b = RoundBudget::unlimited().with_max_ticks(100);
+        assert_eq!(b.max_ticks, Some(100));
+        // No access cap: engines skip checkpoint bookkeeping entirely.
+        assert!(!b.enabled());
+        let s = FaultState::with_budget(FaultPlan::disabled(), b);
+        assert!(!s.enabled());
+        assert!(!s.wants_access());
+        s.on_access(u64::MAX).unwrap();
+        // Composes with an access cap.
+        let b = RoundBudget::capped(10).with_max_ticks(100);
+        assert!(b.enabled());
+        assert_eq!((b.max_accesses, b.max_ticks), (Some(10), Some(100)));
     }
 
     #[test]

@@ -75,4 +75,4 @@ pub use supervisor::{
     BackoffPolicy, BisectNode, BisectOutcome, MaintenanceSupervisor, QuarantineEntry,
     QuarantineLog, SupervisedEngine, SupervisorConfig, SupervisorReport, SupervisorVerdict,
 };
-pub use trace::{OpTrace, PhaseTimings, RoundTrace, TraceConfig, TracePhase};
+pub use trace::{IngestTrace, OpTrace, PhaseTimings, RoundTrace, TraceConfig, TracePhase};

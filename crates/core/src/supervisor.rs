@@ -349,6 +349,11 @@ pub struct SupervisorReport {
     pub budget: RoundBudget,
     /// Rounds aborted by [`Error::Budget`].
     pub budget_aborts: u64,
+    /// True iff the run hit the total virtual-tick deadline
+    /// ([`RoundBudget::max_ticks`]): the retry/backoff ladder was
+    /// abandoned and the run escalated straight to the recompute path,
+    /// with the typed [`Error::Budget`] cause appended to `errors`.
+    pub deadline_exceeded: bool,
     /// Display form of every error observed, in order.
     pub errors: Vec<String>,
     /// The committed report of the last successful round (carries the
@@ -371,6 +376,7 @@ impl SupervisorReport {
             attempt_costs: Vec::new(),
             budget,
             budget_aborts: 0,
+            deadline_exceeded: false,
             errors: Vec::new(),
             last_round: None,
         }
@@ -421,6 +427,7 @@ impl SupervisorReport {
             "{{\"engine\": \"{}\", \"verdict\": \"{}\", \"attempts\": {}, \"retries\": {}, \
              \"backoff_ticks\": [{}], \"virtual_elapsed_ticks\": {}, \
              \"budget_max_accesses\": {}, \"budget_aborts\": {}, \
+             \"budget_max_ticks\": {}, \"deadline_exceeded\": {}, \
              \"committed_changes\": {}, \"attempt_costs\": [{}], \
              \"bisection\": [{}], \"quarantine\": [{}], \"errors\": [{}]}}",
             self.engine,
@@ -433,6 +440,10 @@ impl SupervisorReport {
                 .max_accesses
                 .map_or("null".to_string(), |m| m.to_string()),
             self.budget_aborts,
+            self.budget
+                .max_ticks
+                .map_or("null".to_string(), |m| m.to_string()),
+            self.deadline_exceeded,
             self.committed_changes,
             costs.join(", "),
             bisection.join(", "),
@@ -620,15 +631,38 @@ impl<'e, E: SupervisedEngine + ?Sized> MaintenanceSupervisor<'e, E> {
             }
             let retryable = e.retryable();
             report.errors.push(e.to_string());
-            if retryable && retries_here < self.config.max_retries {
+            if retryable && retries_here < self.config.max_retries && !report.deadline_exceeded {
                 let delay = self.config.backoff.delay(retries_here);
-                report.backoff_ticks.push(delay);
-                report.virtual_elapsed_ticks += delay;
-                report.retries += 1;
-                retries_here += 1;
-                continue;
+                if self
+                    .config
+                    .budget
+                    .max_ticks
+                    .is_none_or(|max| report.virtual_elapsed_ticks + delay <= max)
+                {
+                    report.backoff_ticks.push(delay);
+                    report.virtual_elapsed_ticks += delay;
+                    report.retries += 1;
+                    retries_here += 1;
+                    continue;
+                }
+                // Total virtual-tick deadline hit: abandon the
+                // retry/backoff ladder everywhere (bisection halves
+                // would only re-enter it) so the run falls through to
+                // quarantine and, with nothing committed, the
+                // recompute escalation — a firehose tick is never
+                // stalled by a pathological backoff schedule.
+                report.deadline_exceeded = true;
+                report.errors.push(
+                    Error::Budget(format!(
+                        "virtual-tick deadline: next backoff of {delay} ticks would exceed \
+                         max_ticks {} (elapsed {})",
+                        self.config.budget.max_ticks.unwrap_or(0),
+                        report.virtual_elapsed_ticks
+                    ))
+                    .to_string(),
+                );
             }
-            if self.config.bisect && batch.len() > 1 {
+            if self.config.bisect && batch.len() > 1 && !report.deadline_exceeded {
                 report.bisection.push(BisectNode {
                     depth,
                     size: batch.len(),
@@ -723,6 +757,14 @@ mod tests {
             let n = *self.attempts.borrow();
             *self.attempts.borrow_mut() = n + 1;
             if n < self.transient_failures {
+                // A recompute repair reads base post-state directly, so
+                // it bypasses the diff-path faults this script models.
+                if self.knobs.recovery == RecoveryPolicy::RecomputeOnError {
+                    return Ok(MaintenanceReport {
+                        recovered: true,
+                        ..MaintenanceReport::default()
+                    });
+                }
                 return Err(Error::Injected("scripted transient".into()));
             }
             let mut keys: Vec<Key> = net.values().flat_map(|c| c.keys().cloned()).collect();
@@ -827,6 +869,54 @@ mod tests {
             cfg.backoff.delay(0) + cfg.backoff.delay(1)
         );
         assert!(r.backoff_ticks[1] > r.backoff_ticks[0] / 2, "exponential-ish");
+    }
+
+    #[test]
+    fn tick_deadline_escalates_to_recompute_with_budget_cause() {
+        // A fault that never heals plus a generous retry allowance
+        // would normally climb a long backoff ladder; the virtual-tick
+        // deadline cuts it short and escalates to recompute.
+        let mut db = seeded_db(4);
+        touch_all(&mut db, 4);
+        let mut e = Scripted::new(vec![], u64::MAX);
+        let mut cfg = SupervisorConfig::seeded(7);
+        cfg.max_retries = 100;
+        cfg.budget = RoundBudget::unlimited().with_max_ticks(cfg.backoff.delay(0) + 1);
+        let r = MaintenanceSupervisor::new(&mut e, cfg).run(&mut db);
+        assert!(r.deadline_exceeded);
+        // One backoff fit under the deadline; the second would not.
+        assert_eq!(r.retries, 1);
+        assert!(r.virtual_elapsed_ticks <= cfg.budget.max_ticks.unwrap());
+        // The typed Error::Budget cause is in the report...
+        assert!(
+            r.errors.iter().any(|m| m.contains("virtual-tick deadline")),
+            "{:?}",
+            r.errors
+        );
+        // ...and the ladder skipped bisection: straight to quarantine,
+        // then (nothing committed) the recompute escalation. The
+        // scripted engine recomputes successfully under
+        // RecomputeOnError, so the run ends Recomputed, not Degraded.
+        assert_eq!(r.verdict, SupervisorVerdict::Recomputed);
+        assert!(r
+            .bisection
+            .iter()
+            .all(|b| b.outcome != BisectOutcome::Split));
+        let j = r.to_json();
+        assert!(j.contains("\"deadline_exceeded\": true"), "{j}");
+        assert!(j.contains("\"budget_max_ticks\""), "{j}");
+    }
+
+    #[test]
+    fn deadline_off_by_default_never_interferes() {
+        let mut db = seeded_db(4);
+        touch_all(&mut db, 4);
+        let mut e = Scripted::new(vec![], 2);
+        let cfg = SupervisorConfig::seeded(7);
+        assert_eq!(cfg.budget.max_ticks, None);
+        let r = MaintenanceSupervisor::new(&mut e, cfg).run(&mut db);
+        assert_eq!(r.verdict, SupervisorVerdict::Converged);
+        assert!(!r.deadline_exceeded);
     }
 
     #[test]

@@ -108,6 +108,40 @@ pub struct PhaseTimings {
     pub apply: Duration,
 }
 
+/// The **ingest pseudo-phase** of a firehose round: what the CDC
+/// front-end did to assemble the micro-batch this round maintained.
+/// Engines never populate it — the ingest pipeline stamps it onto the
+/// round's trace (and the scheduler's `RoundSummary`) so streamed
+/// rounds are attributable in the same trace JSON as everything else.
+/// All counters are deterministic on the virtual tick clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestTrace {
+    /// Events admitted into this batch (validated + applied as DML).
+    pub admitted: u64,
+    /// Events shed by the overloaded queue since the previous cut
+    /// (counted, never silent).
+    pub shed: u64,
+    /// Events dead-lettered by admission since the previous cut.
+    pub dead_lettered: u64,
+    /// Why the batcher cut this batch (`"count"`, `"age"`,
+    /// `"staleness"`, or `"flush"`).
+    pub cut_cause: &'static str,
+    /// Queue depth observed at the cut decision.
+    pub queue_depth_at_cut: u64,
+}
+
+impl IngestTrace {
+    /// Render as a JSON object (hand-rolled, like the rest of the
+    /// trace layer).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"admitted\": {}, \"shed\": {}, \"dead_lettered\": {}, \
+             \"cut_cause\": \"{}\", \"queue_depth_at_cut\": {}}}",
+            self.admitted, self.shed, self.dead_lettered, self.cut_cause, self.queue_depth_at_cut
+        )
+    }
+}
+
 /// Full structured trace of one maintenance round.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundTrace {
@@ -116,6 +150,9 @@ pub struct RoundTrace {
     pub operators: Vec<OpTrace>,
     /// Per-phase wall timings.
     pub timings: PhaseTimings,
+    /// Ingest pseudo-phase (streamed rounds only — `None` for rounds
+    /// fed by a hand-folded `ChangeLog`).
+    pub ingest: Option<IngestTrace>,
 }
 
 impl RoundTrace {
@@ -163,6 +200,9 @@ impl RoundTrace {
             self.timings.propagate.as_micros(),
             self.timings.apply.as_micros()
         ));
+        if let Some(ingest) = &self.ingest {
+            s.push_str(&format!("  \"ingest\": {},\n", ingest.to_json()));
+        }
         s.push_str(&format!("  \"dummy_diffs\": {},\n", self.dummy_diffs()));
         s.push_str(&format!(
             "  \"overestimation_ratio\": {},\n",
@@ -235,6 +275,7 @@ mod tests {
                 entry(TracePhase::ViewApply, 6, 3, 2, 6),
             ],
             timings: PhaseTimings::default(),
+            ingest: None,
         };
         let prop = t.sum_phase(TracePhase::Propagate);
         assert_eq!((prop.tuple_accesses, prop.index_lookups), (15, 4));
@@ -248,6 +289,7 @@ mod tests {
         let t = RoundTrace {
             operators: vec![entry(TracePhase::Propagate, 4, 0, 1, 1)],
             timings: PhaseTimings::default(),
+            ingest: None,
         };
         assert!(t.overestimation_ratio().is_none());
     }
@@ -260,6 +302,7 @@ mod tests {
                 entry(TracePhase::ViewApply, 4, 1, 2, 4),
             ],
             timings: PhaseTimings::default(),
+            ingest: None,
         };
         let j = t.to_json();
         assert!(j.contains("\"operators\""));

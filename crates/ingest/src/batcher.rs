@@ -1,0 +1,225 @@
+//! The adaptive micro-batcher: when to cut a maintenance tick.
+//!
+//! The batcher watches the admission queue on the **virtual tick
+//! clock** and decides, each tick, whether the buffered events should
+//! become a maintenance round now or keep accumulating. Three
+//! triggers, in priority order:
+//!
+//! * **Count** — the queue reached `max_events`: enough work to
+//!   amortize a round.
+//! * **Age** — the oldest buffered event has waited `max_age_ticks`:
+//!   freshness beats batching efficiency at low rates.
+//! * **Staleness** — the *overload* trigger. When the queue depth is
+//!   at or above the high watermark, the count and age triggers are
+//!   suspended and batches **grow** until the oldest event is about to
+//!   violate the staleness SLO (`max_staleness_ticks`). Bigger batches
+//!   amortize per-round maintenance overhead, which is exactly what an
+//!   overloaded system needs — and the SLO bounds how stale any view
+//!   may go, so degradation is graceful, never unbounded.
+//!
+//! A fourth cause, **Flush**, is the explicit end-of-stream drain the
+//! pipeline issues; the batcher never produces it on its own.
+//!
+//! The batcher tracks event ages itself (a FIFO of admission ticks
+//! mirroring the queue), so the queue stays a plain byte-level
+//! transport and the threaded producer path never needs a tick clock.
+
+/// Batch-cut thresholds, all on the virtual tick clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Cut when the queue holds this many events (normal load).
+    pub max_events: usize,
+    /// Cut when the oldest buffered event is this many ticks old
+    /// (normal load).
+    pub max_age_ticks: u64,
+    /// The staleness SLO: under overload, the *only* trigger — the
+    /// oldest event is never allowed to exceed this age. Must be
+    /// `>= max_age_ticks`.
+    pub max_staleness_ticks: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_events: 64,
+            max_age_ticks: 4,
+            max_staleness_ticks: 16,
+        }
+    }
+}
+
+/// Why a batch was cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutCause {
+    /// `max_events` buffered.
+    Count,
+    /// Oldest event reached `max_age_ticks`.
+    Age,
+    /// Overload: oldest event reached the staleness SLO.
+    Staleness,
+    /// Explicit end-of-stream drain.
+    Flush,
+}
+
+impl CutCause {
+    /// Stable lowercase label (trace and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            CutCause::Count => "count",
+            CutCause::Age => "age",
+            CutCause::Staleness => "staleness",
+            CutCause::Flush => "flush",
+        }
+    }
+}
+
+/// The cut decider. Owns the admission-tick FIFO paralleling the
+/// queue's contents.
+#[derive(Debug, Clone)]
+pub struct MicroBatcher {
+    policy: BatchPolicy,
+    /// Admission tick of every buffered event, queue order.
+    admitted_ticks: std::collections::VecDeque<u64>,
+}
+
+impl MicroBatcher {
+    /// A batcher with the given thresholds (`max_staleness_ticks` is
+    /// clamped up to `max_age_ticks` so the SLO can never be the
+    /// tighter bound).
+    pub fn new(policy: BatchPolicy) -> Self {
+        let policy = BatchPolicy {
+            max_staleness_ticks: policy.max_staleness_ticks.max(policy.max_age_ticks),
+            ..policy
+        };
+        MicroBatcher {
+            policy,
+            admitted_ticks: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Record one successful enqueue at `now`.
+    pub fn note_enqueued(&mut self, now: u64) {
+        self.admitted_ticks.push_back(now);
+    }
+
+    /// Record that a cut consumed `n` events (the oldest `n`),
+    /// returning their admission ticks — the cut's per-event latency
+    /// samples (`now - tick`) for the firehose percentiles.
+    pub fn note_cut(&mut self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n.min(self.admitted_ticks.len()));
+        for _ in 0..n {
+            match self.admitted_ticks.pop_front() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Forget everything (rollback restores via re-noting, or the
+    /// pipeline rebuilds from scratch).
+    pub fn clear(&mut self) {
+        self.admitted_ticks.clear();
+    }
+
+    /// Age in ticks of the oldest buffered event, if any.
+    pub fn oldest_age(&self, now: u64) -> Option<u64> {
+        self.admitted_ticks.front().map(|t| now.saturating_sub(*t))
+    }
+
+    /// Should the pipeline cut now? `depth` and `high_watermark` come
+    /// from the queue. Deterministic in its arguments.
+    pub fn decide(&self, now: u64, depth: usize, high_watermark: usize) -> Option<CutCause> {
+        if depth == 0 {
+            return None;
+        }
+        let age = self.oldest_age(now).unwrap_or(0);
+        if depth >= high_watermark {
+            // Overload: suspend count/age, grow the batch up to the
+            // staleness SLO.
+            if age >= self.policy.max_staleness_ticks {
+                return Some(CutCause::Staleness);
+            }
+            return None;
+        }
+        if depth >= self.policy.max_events {
+            return Some(CutCause::Count);
+        }
+        if age >= self.policy.max_age_ticks {
+            return Some(CutCause::Age);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher(max_events: usize, max_age: u64, slo: u64) -> MicroBatcher {
+        MicroBatcher::new(BatchPolicy {
+            max_events,
+            max_age_ticks: max_age,
+            max_staleness_ticks: slo,
+        })
+    }
+
+    #[test]
+    fn empty_queue_never_cuts() {
+        let b = batcher(4, 2, 8);
+        assert_eq!(b.decide(100, 0, 100), None);
+    }
+
+    #[test]
+    fn count_cut_at_threshold() {
+        let mut b = batcher(3, 10, 20);
+        for _ in 0..3 {
+            b.note_enqueued(0);
+        }
+        assert_eq!(b.decide(0, 2, 100), None);
+        assert_eq!(b.decide(0, 3, 100), Some(CutCause::Count));
+    }
+
+    #[test]
+    fn age_cut_when_oldest_event_waits() {
+        let mut b = batcher(100, 4, 20);
+        b.note_enqueued(10);
+        assert_eq!(b.decide(13, 1, 100), None);
+        assert_eq!(b.decide(14, 1, 100), Some(CutCause::Age));
+    }
+
+    #[test]
+    fn overload_suspends_count_and_age_until_slo() {
+        let mut b = batcher(4, 2, 10);
+        for _ in 0..8 {
+            b.note_enqueued(0);
+        }
+        // Depth 8 >= high watermark 6: count (8 >= 4) and age (9 >= 2)
+        // would both fire, but overload stretches to the SLO.
+        assert_eq!(b.decide(9, 8, 6), None);
+        assert_eq!(b.decide(10, 8, 6), Some(CutCause::Staleness));
+    }
+
+    #[test]
+    fn cut_pops_oldest_ages() {
+        let mut b = batcher(100, 5, 20);
+        b.note_enqueued(0);
+        b.note_enqueued(3);
+        assert_eq!(b.oldest_age(4), Some(4));
+        b.note_cut(1);
+        assert_eq!(b.oldest_age(4), Some(1));
+        b.note_cut(1);
+        assert_eq!(b.oldest_age(4), None);
+    }
+
+    #[test]
+    fn slo_clamped_to_at_least_max_age() {
+        let b = batcher(4, 8, 2);
+        assert_eq!(b.policy().max_staleness_ticks, 8);
+    }
+}

@@ -1,0 +1,335 @@
+//! The typed change-event stream format and its wire encoding.
+//!
+//! A [`ChangeEvent`] is one CDC record: which producer emitted it, its
+//! per-producer monotone sequence number, the target table, and the
+//! operation — insert (post-image), delete (pre-image), or update
+//! (pre- and post-image). Producers ship events over the wire as
+//! [`RawEvent`] lines; the pipeline decodes them back at admission.
+//! Decoding is schema-agnostic — a structurally valid line always
+//! decodes, and schema/type/state validation happens later at
+//! admission so each malformed shape dead-letters with its own
+//! specific cause rather than a generic parse error.
+//!
+//! Wire grammar (one event per line, `|`-separated, `\`-escaped):
+//!
+//! ```text
+//! <producer>|<seq>|<table>|ins|<row>
+//! <producer>|<seq>|<table>|del|<row>
+//! <producer>|<seq>|<table>|upd|<pre-row>|<post-row>
+//! row   := value ("," value)*
+//! value := "n" | "bt" | "bf" | "i:" int | "f:" float | "s:" text
+//! ```
+//!
+//! Floats are rendered with Rust's shortest-roundtrip `{:?}` so
+//! encode→decode is bit-exact; strings escape `\`, `|`, and `,`.
+
+use idivm_types::{Row, Value};
+
+/// The operation carried by a change event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeOp {
+    /// A new row (post-image only).
+    Insert {
+        /// The inserted row.
+        row: Row,
+    },
+    /// A removed row (pre-image only; the key is derived from it).
+    Delete {
+        /// The producer's claimed pre-image of the removed row.
+        pre: Row,
+    },
+    /// An in-place modification (key columns must not change).
+    Update {
+        /// The producer's claimed pre-image.
+        pre: Row,
+        /// The full post-image.
+        post: Row,
+    },
+}
+
+impl ChangeOp {
+    /// Stable lowercase wire tag.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChangeOp::Insert { .. } => "ins",
+            ChangeOp::Delete { .. } => "del",
+            ChangeOp::Update { .. } => "upd",
+        }
+    }
+}
+
+/// One typed CDC record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// Producer (stream shard) that emitted the event.
+    pub producer: u32,
+    /// Per-producer sequence number; each producer's stream must be
+    /// gap-free and monotone from its first observed value.
+    pub seq: u64,
+    /// Target base table.
+    pub table: String,
+    /// The change itself.
+    pub op: ChangeOp,
+}
+
+/// A wire-encoded change event (one line of the firehose protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEvent {
+    /// The encoded line.
+    pub wire: String,
+}
+
+/// Escape `\`, `|`, and `,` so field and value separators survive
+/// arbitrary string payloads.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, '\\' | '|' | ',') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Split on unescaped `sep`, preserving escapes inside segments.
+fn split_unescaped(s: &str, sep: char) -> Vec<String> {
+    let mut parts = vec![String::new()];
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                let last = parts.len() - 1;
+                parts[last].push('\\');
+                parts[last].push(n);
+            }
+        } else if c == sep {
+            parts.push(String::new());
+        } else {
+            let last = parts.len() - 1;
+            parts[last].push(c);
+        }
+    }
+    parts
+}
+
+/// Remove one level of backslash escaping.
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "n".to_string(),
+        Value::Bool(true) => "bt".to_string(),
+        Value::Bool(false) => "bf".to_string(),
+        Value::Int(i) => format!("i:{i}"),
+        Value::Float(f) => format!("f:{f:?}"),
+        Value::Str(s) => format!("s:{}", escape(s)),
+    }
+}
+
+fn decode_value(seg: &str) -> Result<Value, String> {
+    if let Some(rest) = seg.strip_prefix("s:") {
+        return Ok(Value::str(unescape(rest)));
+    }
+    match seg {
+        "n" => return Ok(Value::Null),
+        "bt" => return Ok(Value::Bool(true)),
+        "bf" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(rest) = seg.strip_prefix("i:") {
+        return rest
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad int literal `{rest}`"));
+    }
+    if let Some(rest) = seg.strip_prefix("f:") {
+        return rest
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad float literal `{rest}`"));
+    }
+    Err(format!("unknown value tag `{seg}`"))
+}
+
+fn encode_row(row: &Row) -> String {
+    let vals: Vec<String> = row.0.iter().map(encode_value).collect();
+    vals.join(",")
+}
+
+fn decode_row(seg: &str) -> Result<Row, String> {
+    if seg.is_empty() {
+        return Err("empty row".to_string());
+    }
+    let mut vals = Vec::new();
+    for part in split_unescaped(seg, ',') {
+        vals.push(decode_value(&part)?);
+    }
+    Ok(Row(vals))
+}
+
+impl RawEvent {
+    /// Encode a typed event onto the wire. Lossless: `decode` returns
+    /// a bit-identical [`ChangeEvent`].
+    pub fn encode(ev: &ChangeEvent) -> RawEvent {
+        let body = match &ev.op {
+            ChangeOp::Insert { row } => encode_row(row),
+            ChangeOp::Delete { pre } => encode_row(pre),
+            ChangeOp::Update { pre, post } => {
+                format!("{}|{}", encode_row(pre), encode_row(post))
+            }
+        };
+        RawEvent {
+            wire: format!(
+                "{}|{}|{}|{}|{}",
+                ev.producer,
+                ev.seq,
+                escape(&ev.table),
+                ev.op.label(),
+                body
+            ),
+        }
+    }
+
+    /// Decode the wire line back into a typed event.
+    ///
+    /// # Errors
+    /// A human-readable cause string for any structural problem —
+    /// the pipeline dead-letters the raw line with it.
+    pub fn decode(&self) -> Result<ChangeEvent, String> {
+        let parts = split_unescaped(&self.wire, '|');
+        if parts.len() < 5 {
+            return Err(format!("expected at least 5 fields, got {}", parts.len()));
+        }
+        let producer = parts[0]
+            .parse::<u32>()
+            .map_err(|_| format!("bad producer id `{}`", parts[0]))?;
+        let seq = parts[1]
+            .parse::<u64>()
+            .map_err(|_| format!("bad sequence number `{}`", parts[1]))?;
+        let table = unescape(&parts[2]);
+        let op = match (parts[3].as_str(), parts.len()) {
+            ("ins", 5) => ChangeOp::Insert {
+                row: decode_row(&parts[4])?,
+            },
+            ("del", 5) => ChangeOp::Delete {
+                pre: decode_row(&parts[4])?,
+            },
+            ("upd", 6) => ChangeOp::Update {
+                pre: decode_row(&parts[4])?,
+                post: decode_row(&parts[5])?,
+            },
+            (tag @ ("ins" | "del" | "upd"), n) => {
+                return Err(format!("op `{tag}` with {n} fields"));
+            }
+            (tag, _) => return Err(format!("unknown op tag `{tag}`")),
+        };
+        Ok(ChangeEvent {
+            producer,
+            seq,
+            table,
+            op,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idivm_types::row;
+
+    fn ev(op: ChangeOp) -> ChangeEvent {
+        ChangeEvent {
+            producer: 3,
+            seq: 41,
+            table: "microblog".into(),
+            op,
+        }
+    }
+
+    #[test]
+    fn roundtrip_insert_delete_update() {
+        for op in [
+            ChangeOp::Insert {
+                row: row![1, "pandas, geese | \\ moose", 2.5, true, Value::Null],
+            },
+            ChangeOp::Delete {
+                pre: row![7, "x"],
+            },
+            ChangeOp::Update {
+                pre: row![7, "x"],
+                post: row![7, "y"],
+            },
+        ] {
+            let e = ev(op);
+            let decoded = RawEvent::encode(&e).decode().unwrap();
+            assert_eq!(decoded, e);
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        let e = ev(ChangeOp::Insert {
+            row: row![0.1 + 0.2, f64::MIN_POSITIVE, -0.0],
+        });
+        let decoded = RawEvent::encode(&e).decode().unwrap();
+        let (Value::Float(a), Value::Float(b)) =
+            (decoded.op_row(0).clone(), e.op_row(0).clone())
+        else {
+            panic!("not floats");
+        };
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    impl ChangeEvent {
+        fn op_row(&self, idx: usize) -> &Value {
+            match &self.op {
+                ChangeOp::Insert { row } => &row.0[idx],
+                ChangeOp::Delete { pre } => &pre.0[idx],
+                ChangeOp::Update { post, .. } => &post.0[idx],
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_lines_fail_with_causes() {
+        for (wire, needle) in [
+            ("nonsense", "at least 5 fields"),
+            ("x|1|t|ins|i:1", "bad producer"),
+            ("1|x|t|ins|i:1", "bad sequence"),
+            ("1|2|t|frobnicate|i:1", "unknown op tag"),
+            ("1|2|t|upd|i:1", "op `upd` with 5 fields"),
+            ("1|2|t|ins|i:1|i:2", "op `ins` with 6 fields"),
+            ("1|2|t|ins|i:zebra", "bad int literal"),
+            ("1|2|t|ins|q:9", "unknown value tag"),
+            ("1|2|t|ins|", "empty row"),
+        ] {
+            let err = RawEvent { wire: wire.into() }.decode().unwrap_err();
+            assert!(err.contains(needle), "`{wire}` gave `{err}`");
+        }
+    }
+
+    #[test]
+    fn escaped_table_names_survive() {
+        let e = ChangeEvent {
+            producer: 0,
+            seq: 0,
+            table: "odd|name,with\\chars".into(),
+            op: ChangeOp::Insert { row: row![1] },
+        };
+        assert_eq!(RawEvent::encode(&e).decode().unwrap(), e);
+    }
+}

@@ -1,0 +1,409 @@
+//! The admission pipeline: decode → validate → logged DML → tick.
+//!
+//! A cut is **atomic and exactly-once**: the pipeline drains the
+//! queue, opens an atomic database round, and replays each event as
+//! logged DML against the scheduler's database after validating it
+//! against the *current* table state (so later events in the batch see
+//! earlier ones). Events that fail validation dead-letter with a
+//! specific cause and perturb nothing — all admission reads are
+//! uncounted, so healthy events' access accounting is bit-identical
+//! whether or not garbage rode along in the batch.
+//!
+//! When the batch commits, the modification log holds exactly the
+//! admitted events' DML; [`MaintenanceScheduler::tick`] (via
+//! [`tick_ingest`](MaintenanceScheduler::tick_ingest)) folds it into
+//! the same exact `ChangeLog` a one-shot run would have produced —
+//! the firehose's bit-identity guard checks precisely this.
+//!
+//! **Fault atomicity.** The three ingest failpoints fire *before* any
+//! irreversible step: `Enqueue` before buffering (producer keeps the
+//! event), `BatchCut` before draining (queue keeps the batch), and
+//! `Decode` per event mid-batch. A mid-batch fault rolls the attempt
+//! back completely — database round aborted, modification log
+//! truncated, dead letters un-pushed, sequence baselines restored,
+//! every drained event requeued at the front in order — leaving the
+//! database at its pre-cut signature with the whole batch pending and
+//! retryable. The CI sweep pins this at every site.
+
+use crate::batcher::{BatchPolicy, CutCause, MicroBatcher};
+use crate::dlq::{DeadLetter, DeadLetterCause, DeadLetterQueue};
+use crate::event::{ChangeEvent, ChangeOp, RawEvent};
+use crate::queue::{EventQueue, QueueConfig, SendOutcome};
+use idivm_core::{FaultState, IngestTrace};
+use idivm_reldb::Database;
+use idivm_sched::{MaintenanceScheduler, RoundSummary};
+use idivm_types::{ColumnType, Error, Result, Row, Schema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Queue + batcher configuration for one pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Admission queue sizing and overflow policy.
+    pub queue: QueueConfig,
+    /// Micro-batch cut thresholds.
+    pub batch: BatchPolicy,
+}
+
+/// Lifetime counters across every cut.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestTotals {
+    /// Events admitted (validated and applied as DML).
+    pub admitted: u64,
+    /// Events dead-lettered.
+    pub dead_lettered: u64,
+    /// Events shed by the queue.
+    pub shed: u64,
+    /// Batches cut.
+    pub cuts: u64,
+}
+
+/// What one committed cut did.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The ingest pseudo-phase record (also stamped on the round).
+    pub trace: IngestTrace,
+    /// The scheduler round the batch fed.
+    pub summary: RoundSummary,
+    /// Events drained from the queue for this batch (admitted +
+    /// dead-lettered).
+    pub batch_events: usize,
+    /// Per-event queue→cut latency samples, in virtual ticks, batch
+    /// order (empty when ages weren't tracked, e.g. threaded
+    /// producers).
+    pub latencies_ticks: Vec<u64>,
+}
+
+/// The CDC admission pipeline over one scheduler's database.
+pub struct IngestPipeline {
+    queue: EventQueue,
+    batcher: MicroBatcher,
+    dlq: DeadLetterQueue,
+    faults: Arc<FaultState>,
+    /// Next expected sequence number per producer; absent until the
+    /// producer's first event fixes its baseline.
+    expected_seq: BTreeMap<u32, u64>,
+    totals: IngestTotals,
+    /// Sheds already attributed to some earlier cut's trace.
+    shed_attributed: u64,
+}
+
+impl IngestPipeline {
+    /// Build a pipeline; the shared [`FaultState`] carries any armed
+    /// ingest failpoint.
+    ///
+    /// # Errors
+    /// [`Error::Config`] for an invalid queue config.
+    pub fn new(config: PipelineConfig, faults: Arc<FaultState>) -> Result<Self> {
+        Ok(IngestPipeline {
+            queue: EventQueue::new(config.queue, Arc::clone(&faults))?,
+            batcher: MicroBatcher::new(config.batch),
+            dlq: DeadLetterQueue::new(),
+            faults,
+            expected_seq: BTreeMap::new(),
+            totals: IngestTotals::default(),
+            shed_attributed: 0,
+        })
+    }
+
+    /// The admission queue (clone it for producer threads).
+    pub fn queue(&self) -> &EventQueue {
+        &self.queue
+    }
+
+    /// The dead-letter queue.
+    pub fn dlq(&self) -> &DeadLetterQueue {
+        &self.dlq
+    }
+
+    /// Lifetime counters (shed is read live from the queue).
+    pub fn totals(&self) -> IngestTotals {
+        IngestTotals {
+            shed: self.queue.stats().shed,
+            ..self.totals
+        }
+    }
+
+    /// Offer one event on the virtual-tick clock (non-blocking). On
+    /// [`SendOutcome::WouldBlock`] the caller keeps the event and
+    /// retries a later tick — that *is* the backpressure.
+    ///
+    /// # Errors
+    /// An armed `Enqueue` fault; the caller still owns the event.
+    pub fn offer(&mut self, now: u64, ev: &RawEvent) -> Result<SendOutcome> {
+        let outcome = self.queue.try_send(ev)?;
+        if outcome == SendOutcome::Enqueued {
+            self.batcher.note_enqueued(now);
+        }
+        Ok(outcome)
+    }
+
+    /// Account (for age tracking) an event that a *threaded* producer
+    /// pushed through [`EventQueue::send`] directly.
+    pub fn note_threaded_enqueue(&mut self, now: u64) {
+        self.batcher.note_enqueued(now);
+    }
+
+    /// Consult the batcher; cut and tick if it says so.
+    ///
+    /// # Errors
+    /// See [`IngestPipeline::cut`].
+    pub fn poll(
+        &mut self,
+        now: u64,
+        sched: &mut MaintenanceScheduler,
+    ) -> Result<Option<IngestOutcome>> {
+        match self.batcher.decide(
+            now,
+            self.queue.depth(),
+            self.queue.config().high_watermark,
+        ) {
+            Some(cause) => self.cut(now, cause, sched).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// End-of-stream drain: cut whatever is buffered with cause
+    /// `flush`. `None` when the queue is already empty.
+    ///
+    /// # Errors
+    /// See [`IngestPipeline::cut`].
+    pub fn flush(
+        &mut self,
+        now: u64,
+        sched: &mut MaintenanceScheduler,
+    ) -> Result<Option<IngestOutcome>> {
+        if self.queue.depth() == 0 {
+            return Ok(None);
+        }
+        self.cut(now, CutCause::Flush, sched).map(Some)
+    }
+
+    /// Cut the buffered batch: admit every event as logged DML inside
+    /// an atomic database round, then drive one scheduler tick with
+    /// the ingest trace stamped on it.
+    ///
+    /// # Errors
+    /// An armed `BatchCut`/`Decode` fault (the attempt is fully rolled
+    /// back — see the module docs), or a scheduler-level catalog error
+    /// from the tick.
+    pub fn cut(
+        &mut self,
+        now: u64,
+        cause: CutCause,
+        sched: &mut MaintenanceScheduler,
+    ) -> Result<IngestOutcome> {
+        let depth_at_cut = self.queue.depth();
+        self.faults.on_batch_cut(depth_at_cut)?;
+        let events = self.queue.drain_all();
+        let log_mark = sched.db().log().len();
+        let dlq_mark = self.dlq.len();
+        let seq_snapshot = self.expected_seq.clone();
+        if !sched.db_mut().begin_round() {
+            self.queue.requeue_front(events);
+            return Err(Error::Internal(
+                "ingest cut inside an open maintenance round".into(),
+            ));
+        }
+        let mut admitted = 0u64;
+        let mut dead = 0u64;
+        let mut failed: Option<Error> = None;
+        for raw in &events {
+            if let Err(e) = self.faults.on_decode() {
+                failed = Some(e);
+                break;
+            }
+            match raw.decode() {
+                Err(msg) => {
+                    self.dlq.push(DeadLetter::from_wire(
+                        DeadLetterCause::Decode(msg),
+                        raw.wire.clone(),
+                    ));
+                    dead += 1;
+                }
+                Ok(ev) => match self.admit(sched.db_mut(), &ev) {
+                    None => admitted += 1,
+                    Some(cause) => {
+                        self.dlq
+                            .push(DeadLetter::from_event(&ev, cause, raw.wire.clone()));
+                        dead += 1;
+                    }
+                },
+            }
+        }
+        if let Some(e) = failed {
+            // Full rollback: the batch never happened.
+            let db = sched.db_mut();
+            db.abort_round();
+            db.truncate_log(log_mark);
+            self.dlq.truncate(dlq_mark);
+            self.expected_seq = seq_snapshot;
+            self.queue.requeue_front(events);
+            return Err(e);
+        }
+        sched.db_mut().commit_round();
+        let admit_ticks = self.batcher.note_cut(events.len());
+        let latencies_ticks: Vec<u64> =
+            admit_ticks.iter().map(|t| now.saturating_sub(*t)).collect();
+        let shed_now = self.queue.stats().shed;
+        let shed_this_cut = shed_now - self.shed_attributed;
+        self.shed_attributed = shed_now;
+        self.totals.admitted += admitted;
+        self.totals.dead_lettered += dead;
+        self.totals.cuts += 1;
+        let trace = IngestTrace {
+            admitted,
+            shed: shed_this_cut,
+            dead_lettered: dead,
+            cut_cause: cause.label(),
+            queue_depth_at_cut: depth_at_cut as u64,
+        };
+        let summary = sched.tick_ingest(trace.clone())?;
+        Ok(IngestOutcome {
+            trace,
+            summary,
+            batch_events: events.len(),
+            latencies_ticks,
+        })
+    }
+
+    /// Validate one decoded event against the current database state
+    /// and, on success, apply it as logged DML. `None` = admitted;
+    /// `Some(cause)` = dead-letter. All reads are uncounted.
+    fn admit(&mut self, db: &mut Database, ev: &ChangeEvent) -> Option<DeadLetterCause> {
+        // 1. Sequence discipline (transport-level, checked first so a
+        //    malformed payload still consumes its sequence slot).
+        match self.expected_seq.get(&ev.producer).copied() {
+            None => {
+                // First contact fixes the baseline at whatever the
+                // producer starts with.
+                self.expected_seq.insert(ev.producer, ev.seq + 1);
+            }
+            Some(expected) if ev.seq == expected => {
+                self.expected_seq.insert(ev.producer, ev.seq + 1);
+            }
+            Some(expected) if ev.seq > expected => {
+                // Gap: quarantine this event, resync just past it so
+                // the stream keeps flowing.
+                self.expected_seq.insert(ev.producer, ev.seq + 1);
+                return Some(DeadLetterCause::SequenceGap { expected });
+            }
+            Some(expected) => {
+                // Regression (replay/duplicate): baseline unchanged.
+                return Some(DeadLetterCause::SequenceRegression { expected });
+            }
+        }
+        // 2. Target table.
+        let Ok(schema) = db.table(&ev.table).map(|t| t.schema().clone()) else {
+            return Some(DeadLetterCause::UnknownTable);
+        };
+        // 3/4. Shape: arity and column types of every carried image.
+        let images: Vec<&Row> = match &ev.op {
+            ChangeOp::Insert { row } => vec![row],
+            ChangeOp::Delete { pre } => vec![pre],
+            ChangeOp::Update { pre, post } => vec![pre, post],
+        };
+        for row in images {
+            if let Some(cause) = shape_check(row, &schema) {
+                return Some(cause);
+            }
+        }
+        // 5. State checks against current contents (uncounted reads),
+        //    then DML.
+        let stored = |db: &Database, key: &idivm_types::Key| -> Option<Row> {
+            db.table(&ev.table)
+                .ok()
+                .and_then(|t| t.get_uncounted(key).cloned())
+        };
+        match &ev.op {
+            ChangeOp::Insert { row } => {
+                let key = row.key(schema.key());
+                if stored(db, &key).is_some() {
+                    return Some(DeadLetterCause::DuplicateKey);
+                }
+                if let Err(e) = db.insert(&ev.table, row.clone()) {
+                    return Some(DeadLetterCause::Storage(e.to_string()));
+                }
+            }
+            ChangeOp::Delete { pre } => {
+                let key = pre.key(schema.key());
+                match stored(db, &key) {
+                    None => return Some(DeadLetterCause::MissingRow),
+                    Some(cur) if cur != *pre => {
+                        return Some(DeadLetterCause::StalePreImage { actual: cur })
+                    }
+                    Some(_) => {}
+                }
+                if let Err(e) = db.delete(&ev.table, &key) {
+                    return Some(DeadLetterCause::Storage(e.to_string()));
+                }
+            }
+            ChangeOp::Update { pre, post } => {
+                let key = pre.key(schema.key());
+                if post.key(schema.key()) != key {
+                    return Some(DeadLetterCause::KeyChanged);
+                }
+                match stored(db, &key) {
+                    None => return Some(DeadLetterCause::MissingRow),
+                    Some(cur) if cur != *pre => {
+                        return Some(DeadLetterCause::StalePreImage { actual: cur })
+                    }
+                    Some(_) => {}
+                }
+                let assignments: Vec<(usize, Value)> = pre
+                    .0
+                    .iter()
+                    .zip(post.0.iter())
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(i, (_, b))| (i, b.clone()))
+                    .collect();
+                // pre == post is a valid no-op: admitted, nothing
+                // logged.
+                if !assignments.is_empty() {
+                    if let Err(e) = db.update(&ev.table, &key, &assignments) {
+                        return Some(DeadLetterCause::Storage(e.to_string()));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Arity + per-column type admissibility (NULL fits any column; a
+/// non-NULL value must match the schema variant exactly).
+fn shape_check(row: &Row, schema: &Schema) -> Option<DeadLetterCause> {
+    if row.arity() != schema.arity() {
+        return Some(DeadLetterCause::WrongArity {
+            expected: schema.arity(),
+            got: row.arity(),
+        });
+    }
+    for (i, v) in row.0.iter().enumerate() {
+        let ty = schema.columns()[i].ty;
+        let ok = match v {
+            Value::Null => true,
+            Value::Bool(_) => ty == ColumnType::Bool,
+            Value::Int(_) => ty == ColumnType::Int,
+            Value::Float(_) => ty == ColumnType::Float,
+            Value::Str(_) => ty == ColumnType::Str,
+        };
+        if !ok {
+            return Some(DeadLetterCause::TypeMismatch {
+                column: i,
+                expected: type_label(ty),
+            });
+        }
+    }
+    None
+}
+
+fn type_label(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Bool => "bool",
+        ColumnType::Int => "int",
+        ColumnType::Float => "float",
+        ColumnType::Str => "str",
+    }
+}

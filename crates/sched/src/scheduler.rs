@@ -35,7 +35,10 @@
 
 use crate::catalog::ViewCatalog;
 use idivm_core::supervisor::{SupervisorConfig, SupervisorReport, SupervisorVerdict};
-use idivm_core::{IvmOptions, MaintenanceReport, PromotionCandidate, SharedDiffCache, SharedPrefixStat};
+use idivm_core::{
+    IngestTrace, IvmOptions, MaintenanceReport, PromotionCandidate, SharedDiffCache,
+    SharedPrefixStat,
+};
 use idivm_cost::{CrossoverModel, PrefixObservation, PromotionConfig, PromotionDecision};
 use idivm_exec::ParallelConfig;
 use idivm_reldb::{compose_changes, Database, StatsSnapshot, TableChanges};
@@ -182,6 +185,10 @@ pub struct RoundSummary {
     /// Cost-model comparisons evaluated at the end of this tick, in
     /// label order.
     pub cost: Vec<CostEntry>,
+    /// Ingest pseudo-phase for streamed rounds
+    /// ([`MaintenanceScheduler::tick_ingest`]); `None` for rounds fed
+    /// by direct DML.
+    pub ingest: Option<IngestTrace>,
 }
 
 impl RoundSummary {
@@ -261,8 +268,12 @@ impl RoundSummary {
                 )
             })
             .collect();
+        let ingest = self
+            .ingest
+            .as_ref()
+            .map_or_else(|| "null".to_string(), IngestTrace::to_json);
         format!(
-            "{{\"round\":{},\"total_accesses\":{},\"maintained\":{},\"intermediates\":{},\"deferred\":[{}],\"shared\":{{\"hits\":{},\"saved_accesses\":{},\"prefixes\":[{}]}},\"verdicts\":[{}],\"promotions\":[{}],\"cost\":[{}]}}",
+            "{{\"round\":{},\"total_accesses\":{},\"maintained\":{},\"intermediates\":{},\"deferred\":[{}],\"shared\":{{\"hits\":{},\"saved_accesses\":{},\"prefixes\":[{}]}},\"verdicts\":[{}],\"promotions\":[{}],\"cost\":[{}],\"ingest\":{ingest}}}",
             self.round,
             self.total_accesses(),
             views(&self.maintained),
@@ -681,6 +692,32 @@ impl MaintenanceScheduler {
         if self.config.promotion.is_some() {
             self.apply_promotion_decisions(&inter, &mut summary)?;
         }
+        Ok(summary)
+    }
+
+    /// A [`MaintenanceScheduler::tick`] driven by the streaming ingest
+    /// pipeline: identical scheduling, plus the ingest pseudo-phase is
+    /// stamped onto the summary and onto the round trace of every view
+    /// maintained this round — streamed rounds stay attributable in
+    /// the same JSON as hand-folded ones.
+    ///
+    /// # Errors
+    /// Same as [`MaintenanceScheduler::tick`].
+    pub fn tick_ingest(&mut self, ingest: IngestTrace) -> Result<RoundSummary> {
+        let mut summary = self.tick()?;
+        for (name, _) in &summary.maintained {
+            if let Some(state) = self.states.get_mut(name) {
+                if let Some(trace) = state
+                    .stats
+                    .last_report
+                    .as_mut()
+                    .and_then(|r| r.trace.as_mut())
+                {
+                    trace.ingest = Some(ingest.clone());
+                }
+            }
+        }
+        summary.ingest = Some(ingest);
         Ok(summary)
     }
 

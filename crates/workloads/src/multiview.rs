@@ -216,6 +216,28 @@ impl MultiView {
         }
         Ok(())
     }
+
+    /// The deterministic tweet stream as raw CDC material: `rounds`
+    /// rounds of [`MultiView::tweet_batch`] run against a *shadow
+    /// replica* (a fresh [`MultiView::build`] database), returning the
+    /// captured DML log entries in order. Pre-images in the entries
+    /// are exact for any consumer that starts from the same seeded
+    /// build and applies them in per-key order — which is precisely
+    /// the streaming-ingest contract.
+    ///
+    /// # Errors
+    /// Build/DML failures (a bug).
+    pub fn tweet_stream(&self, rounds: u64, d: usize) -> Result<Vec<idivm_reldb::LogEntry>> {
+        let mut shadow = self.build()?;
+        shadow.clear_log();
+        let mut out = Vec::new();
+        for round in 0..rounds {
+            self.tweet_batch(&mut shadow, d, round)?;
+            out.extend(shadow.log().entries().iter().cloned());
+            shadow.clear_log();
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,9 @@ pub use idivm_core as core;
 /// `idivm_core` in the dependency DAG and so cannot be re-exported
 /// from there.
 pub use idivm_sched as catalog;
+/// The streaming CDC ingestion front-end (`idivm-ingest`): bounded
+/// admission queue, adaptive micro-batcher, dead-letter quarantine.
+pub use idivm_ingest as ingest;
 pub use idivm_cost as cost;
 pub use idivm_exec as exec;
 pub use idivm_reldb as reldb;
