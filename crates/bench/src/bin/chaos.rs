@@ -340,8 +340,15 @@ fn main() {
                         FaultSite::Access => FaultPlan::at_access(1, seed),
                         FaultSite::Diff => FaultPlan::at_diff(3, seed),
                         // Ingest-path sites never fire inside an
-                        // engine round; the firehose bench sweeps them.
-                        FaultSite::Enqueue | FaultSite::BatchCut | FaultSite::Decode => {
+                        // engine round (the firehose bench sweeps
+                        // them), and durability sites fire in the WAL
+                        // layer (crashbench sweeps them).
+                        FaultSite::Enqueue
+                        | FaultSite::BatchCut
+                        | FaultSite::Decode
+                        | FaultSite::WalAppend
+                        | FaultSite::WalFsync
+                        | FaultSite::Checkpoint => {
                             unreachable!("chaos sweeps engine sites only")
                         }
                     };

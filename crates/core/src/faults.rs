@@ -76,6 +76,21 @@ pub enum FaultSite {
     /// dead-lettered): an injected decode fault models the decoder
     /// itself failing and leaves the raw event pending (retryable).
     Decode,
+    /// Durability path: on the `at`-th (0-based) WAL record append,
+    /// **before** the record's bytes reach the log file. The crash
+    /// harness interprets a fault here as a kill mid-append: a seeded
+    /// prefix of the record may land on disk (a torn tail for recovery
+    /// to truncate), but never the whole record.
+    WalAppend,
+    /// Durability path: on the `at`-th (0-based) WAL fsync. The crash
+    /// harness interprets a fault here as a kill after the OS buffered
+    /// the appended bytes but before they were made durable: recovery
+    /// sees the log truncated back to the last synced offset.
+    WalFsync,
+    /// Durability path: on the `at`-th (0-based) checkpoint attempt,
+    /// before the atomic rename publishes it. A partial temp file may
+    /// exist; the previous checkpoint and the WAL stay authoritative.
+    Checkpoint,
 }
 
 impl FaultSite {
@@ -89,6 +104,9 @@ impl FaultSite {
             FaultSite::Enqueue => "enqueue",
             FaultSite::BatchCut => "batch_cut",
             FaultSite::Decode => "decode",
+            FaultSite::WalAppend => "wal_append",
+            FaultSite::WalFsync => "wal_fsync",
+            FaultSite::Checkpoint => "checkpoint",
         }
     }
 }
@@ -214,6 +232,33 @@ impl FaultPlan {
         }
     }
 
+    /// Fire on the `k`-th WAL record append (durability path).
+    pub fn at_wal_append(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::WalAppend),
+            at: k,
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
+    /// Fire on the `k`-th WAL fsync (durability path).
+    pub fn at_wal_fsync(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::WalFsync),
+            at: k,
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
+    /// Fire on the `k`-th checkpoint attempt (durability path).
+    pub fn at_checkpoint(k: u64, seed: u64) -> Self {
+        FaultPlan {
+            site: Some(FaultSite::Checkpoint),
+            at: k,
+            ..FaultPlan::disabled().with_seed(seed)
+        }
+    }
+
     fn with_seed(self, seed: u64) -> Self {
         FaultPlan { seed, ..self }
     }
@@ -333,6 +378,9 @@ pub struct FaultState {
     enqueues: AtomicU64,
     batch_cuts: AtomicU64,
     decodes: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
     fired: AtomicBool,
     budget_fired: AtomicBool,
 }
@@ -353,6 +401,9 @@ impl FaultState {
             enqueues: AtomicU64::new(0),
             batch_cuts: AtomicU64::new(0),
             decodes: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             fired: AtomicBool::new(false),
             budget_fired: AtomicBool::new(false),
         }
@@ -524,6 +575,55 @@ impl FaultState {
         Ok(())
     }
 
+    /// Hook: a WAL record append, before any byte of the record lands.
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// append.
+    pub fn on_wal_append(&self, lsn: u64) -> Result<()> {
+        if self.plan.site != Some(FaultSite::WalAppend) || self.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("wal append {n} (lsn {lsn})")));
+        }
+        Ok(())
+    }
+
+    /// Hook: a WAL fsync, before the flush reaches the device.
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// fsync.
+    pub fn on_wal_fsync(&self) -> Result<()> {
+        if self.plan.site != Some(FaultSite::WalFsync) || self.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("wal fsync {n}")));
+        }
+        Ok(())
+    }
+
+    /// Hook: a checkpoint attempt, before the atomic rename publishes
+    /// the snapshot.
+    ///
+    /// # Errors
+    /// [`Error::Injected`] / [`Error::Poison`] when this is the armed
+    /// checkpoint.
+    pub fn on_checkpoint(&self, last_lsn: u64) -> Result<()> {
+        if self.plan.site != Some(FaultSite::Checkpoint) || self.fired.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let n = self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if n == self.plan.at {
+            return Err(self.fire(&format!("checkpoint {n} (last lsn {last_lsn})")));
+        }
+        Ok(())
+    }
+
     /// Number of operator entries seen so far (sweep sizing).
     pub fn operators_seen(&self) -> u64 {
         self.operators.load(Ordering::Relaxed)
@@ -532,6 +632,13 @@ impl FaultState {
     /// Number of APPLY calls seen so far (sweep sizing).
     pub fn applies_seen(&self) -> u64 {
         self.applies.load(Ordering::Relaxed)
+    }
+
+    /// The armed plan's seed. The durability layer folds it into the
+    /// torn-prefix length when a kill is simulated mid-write, so a
+    /// seeded sweep explores different tear points deterministically.
+    pub fn seed(&self) -> u64 {
+        self.plan.seed
     }
 }
 
@@ -667,6 +774,29 @@ mod tests {
 
         let s = FaultState::new(FaultPlan::at_decode(0, 8).permanent());
         assert!(matches!(s.on_decode(), Err(Error::Poison(_))));
+    }
+
+    #[test]
+    fn durability_sites_fire_on_their_own_counters() {
+        let s = FaultState::new(FaultPlan::at_wal_append(1, 77));
+        s.on_wal_fsync().unwrap();
+        s.on_checkpoint(0).unwrap(); // other durability sites untouched
+        s.on_wal_append(5).unwrap();
+        let err = s.on_wal_append(6).unwrap_err();
+        assert!(err.to_string().contains("site=wal_append"), "{err}");
+        assert!(err.to_string().contains("lsn 6"), "{err}");
+        s.on_wal_append(7).unwrap(); // single-shot
+
+        let s = FaultState::new(FaultPlan::at_wal_fsync(0, 77));
+        assert!(matches!(s.on_wal_fsync(), Err(Error::Injected(_))));
+
+        let s = FaultState::new(FaultPlan::at_checkpoint(0, 77).permanent());
+        let err = s.on_checkpoint(9).unwrap_err();
+        assert!(matches!(err, Error::Poison(_)), "{err}");
+        assert!(err.to_string().contains("last lsn 9"), "{err}");
+        assert_eq!(FaultSite::WalAppend.label(), "wal_append");
+        assert_eq!(FaultSite::WalFsync.label(), "wal_fsync");
+        assert_eq!(FaultSite::Checkpoint.label(), "checkpoint");
     }
 
     #[test]

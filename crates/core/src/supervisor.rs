@@ -359,6 +359,11 @@ pub struct SupervisorReport {
     /// The committed report of the last successful round (carries the
     /// round trace when tracing is enabled), if any.
     pub last_round: Option<MaintenanceReport>,
+    /// When the driven state was rebuilt by crash recovery before this
+    /// run, the durability layer stamps the source here (e.g.
+    /// `"checkpoint 3 + 12 wal records"`). `None` for an ordinary
+    /// in-memory run.
+    pub recovered_from: Option<String>,
 }
 
 impl SupervisorReport {
@@ -379,6 +384,7 @@ impl SupervisorReport {
             deadline_exceeded: false,
             errors: Vec::new(),
             last_round: None,
+            recovered_from: None,
         }
     }
 
@@ -429,7 +435,8 @@ impl SupervisorReport {
              \"budget_max_accesses\": {}, \"budget_aborts\": {}, \
              \"budget_max_ticks\": {}, \"deadline_exceeded\": {}, \
              \"committed_changes\": {}, \"attempt_costs\": [{}], \
-             \"bisection\": [{}], \"quarantine\": [{}], \"errors\": [{}]}}",
+             \"bisection\": [{}], \"quarantine\": [{}], \"errors\": [{}], \
+             \"recovered_from\": {}}}",
             self.engine,
             self.verdict.label(),
             self.attempts,
@@ -448,7 +455,10 @@ impl SupervisorReport {
             costs.join(", "),
             bisection.join(", "),
             quarantine.join(", "),
-            errors.join(", ")
+            errors.join(", "),
+            self.recovered_from
+                .as_deref()
+                .map_or("null".to_string(), |s| format!("\"{}\"", json_escape(s)))
         )
     }
 }

@@ -155,6 +155,16 @@ impl CrossoverModel {
         CrossoverModel::default()
     }
 
+    /// Rebuild a tracker from checkpointed streak counters, so a
+    /// crash-recovered scheduler replays the exact decision sequence an
+    /// uninterrupted run would have produced.
+    pub fn with_streaks(promote_streak: u32, demote_streak: u32) -> Self {
+        CrossoverModel {
+            promote_streak,
+            demote_streak,
+        }
+    }
+
     /// Feed one round's observation. `promoted` is the prefix's current
     /// state; the returned decision is what the caller should do *now*
     /// (streak counters reset once a flip is issued).

@@ -1,0 +1,1430 @@
+//! Hand-rolled binary codec for WAL records and checkpoint manifests.
+//!
+//! Layout conventions: all integers little-endian; `f64` by
+//! [`f64::to_bits`] (bit-exact round-trip — `Display` would lose NaN
+//! payloads and signed zeros); strings and sequences length-prefixed
+//! with `u32`; enums as a leading tag byte.
+//!
+//! Every decode goes through [`Reader`], whose reads are
+//! bounds-checked and return [`Error::Corrupt`] — never a panic — on
+//! short buffers, bad tags, over-long counts, or over-deep recursion.
+//! Recovery feeds this module attacker-grade garbage (bit-flip and
+//! truncation sweeps in the corruption tests), so "garbage in, typed
+//! error out" is the contract, enforced crate-wide by
+//! `deny(clippy::unwrap_used, clippy::expect_used)`.
+
+use idivm_algebra::{AggFunc, AggSpec, BinOp, CmpOp, Expr, Plan, ScalarFn};
+use idivm_ingest::{DeadLetter, DeadLetterCause, IngestTotals};
+use idivm_reldb::{NetChange, TableChanges};
+use idivm_sched::RefreshPolicy;
+use idivm_types::{Column, ColumnType, Error, Key, Result, Row, Schema, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Recursion ceiling for [`Expr`]/[`Plan`] decoding. Real plans are a
+/// few dozen operators deep; a corrupt length field must not be able
+/// to drive the decoder into a stack overflow (which would be a panic,
+/// not a typed error).
+const MAX_DEPTH: usize = 200;
+
+// ---------------------------------------------------------------------
+// Writer primitives (infallible — encoding owned, well-formed state)
+// ---------------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a bool as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` by bit pattern (exact round-trip).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a `usize` as `u64`.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over an untrusted byte buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True iff the buffer is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn corrupt(&self, what: &str) -> Error {
+        Error::Corrupt(format!("decode at byte {}: {what}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(&format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool byte (`0`/`1` only).
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer or any other byte value.
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.corrupt(&format!("bool byte {b}"))),
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i64`.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Read an `f64` by bit pattern.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `usize` (stored as `u64`).
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer or a value exceeding the
+    /// platform's `usize`.
+    pub fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.corrupt(&format!("usize {v} overflows")))
+    }
+
+    /// Read an element count whose items occupy at least
+    /// `min_item_bytes` each — rejects counts that could not fit in the
+    /// remaining buffer, so corrupt lengths cannot trigger huge
+    /// allocations.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer or an impossible count.
+    pub fn count(&mut self, min_item_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(self.corrupt(&format!(
+                "count {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] on a short buffer or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.count(1)?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.corrupt("invalid utf-8"))
+    }
+
+    /// Require full consumption (a valid payload has no trailing junk).
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] when bytes remain.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(self.corrupt(&format!("{} trailing bytes", self.remaining())))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Values, rows, keys
+// ---------------------------------------------------------------------
+
+/// Encode a [`Value`] (tag byte + body).
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Bool(b) => {
+            put_u8(out, 1);
+            put_bool(out, *b);
+        }
+        Value::Int(i) => {
+            put_u8(out, 2);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            put_u8(out, 3);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Decode a [`Value`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on a bad tag or short buffer.
+pub fn get_value(r: &mut Reader<'_>) -> Result<Value> {
+    match r.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(r.bool()?)),
+        2 => Ok(Value::Int(r.i64()?)),
+        3 => Ok(Value::Float(r.f64()?)),
+        4 => Ok(Value::str(r.str()?)),
+        t => Err(Error::Corrupt(format!("value tag {t}"))),
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, vs: &[Value]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        put_value(out, v);
+    }
+}
+
+fn get_values(r: &mut Reader<'_>) -> Result<Vec<Value>> {
+    let n = r.count(1)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(get_value(r)?);
+    }
+    Ok(vs)
+}
+
+/// Encode a [`Row`].
+pub fn put_row(out: &mut Vec<u8>, row: &Row) {
+    put_values(out, &row.0);
+}
+
+/// Decode a [`Row`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_row(r: &mut Reader<'_>) -> Result<Row> {
+    Ok(Row(get_values(r)?))
+}
+
+/// Encode a [`Key`].
+pub fn put_key(out: &mut Vec<u8>, key: &Key) {
+    put_values(out, &key.0);
+}
+
+/// Decode a [`Key`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_key(r: &mut Reader<'_>) -> Result<Key> {
+    Ok(Key(get_values(r)?))
+}
+
+// ---------------------------------------------------------------------
+// Schemas
+// ---------------------------------------------------------------------
+
+fn type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::Bool => 0,
+        ColumnType::Int => 1,
+        ColumnType::Float => 2,
+        ColumnType::Str => 3,
+    }
+}
+
+fn type_from_tag(r: &Reader<'_>, tag: u8) -> Result<ColumnType> {
+    match tag {
+        0 => Ok(ColumnType::Bool),
+        1 => Ok(ColumnType::Int),
+        2 => Ok(ColumnType::Float),
+        3 => Ok(ColumnType::Str),
+        t => Err(Error::Corrupt(format!(
+            "column type tag {t} (at byte {})",
+            r.remaining()
+        ))),
+    }
+}
+
+/// Encode a [`Schema`] as (name, type) pairs plus key column names.
+pub fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.arity() as u32);
+    for c in schema.columns() {
+        put_str(out, &c.name);
+        put_u8(out, type_tag(c.ty));
+    }
+    let key = schema.key_names();
+    put_u32(out, key.len() as u32);
+    for k in key {
+        put_str(out, k);
+    }
+}
+
+/// Decode a [`Schema`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes or a structurally invalid
+/// schema (duplicate columns, unknown key names).
+pub fn get_schema(r: &mut Reader<'_>) -> Result<Schema> {
+    let ncols = r.count(5)?;
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = r.str()?;
+        let tag = r.u8()?;
+        columns.push(Column::new(name, type_from_tag(r, tag)?));
+    }
+    let nkeys = r.count(4)?;
+    let mut keys = Vec::with_capacity(nkeys);
+    for _ in 0..nkeys {
+        keys.push(r.str()?);
+    }
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    Schema::new(columns, &key_refs)
+        .map_err(|e| Error::Corrupt(format!("invalid schema: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+fn bin_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+    }
+}
+
+fn bin_from_tag(tag: u8) -> Result<BinOp> {
+    match tag {
+        0 => Ok(BinOp::Add),
+        1 => Ok(BinOp::Sub),
+        2 => Ok(BinOp::Mul),
+        3 => Ok(BinOp::Div),
+        t => Err(Error::Corrupt(format!("binop tag {t}"))),
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_from_tag(tag: u8) -> Result<CmpOp> {
+    match tag {
+        0 => Ok(CmpOp::Eq),
+        1 => Ok(CmpOp::Ne),
+        2 => Ok(CmpOp::Lt),
+        3 => Ok(CmpOp::Le),
+        4 => Ok(CmpOp::Gt),
+        5 => Ok(CmpOp::Ge),
+        t => Err(Error::Corrupt(format!("cmpop tag {t}"))),
+    }
+}
+
+fn scalar_tag(f: ScalarFn) -> u8 {
+    match f {
+        ScalarFn::Abs => 0,
+        ScalarFn::Mod => 1,
+        ScalarFn::Concat => 2,
+        ScalarFn::Least => 3,
+        ScalarFn::Greatest => 4,
+    }
+}
+
+fn scalar_from_tag(tag: u8) -> Result<ScalarFn> {
+    match tag {
+        0 => Ok(ScalarFn::Abs),
+        1 => Ok(ScalarFn::Mod),
+        2 => Ok(ScalarFn::Concat),
+        3 => Ok(ScalarFn::Least),
+        4 => Ok(ScalarFn::Greatest),
+        t => Err(Error::Corrupt(format!("scalarfn tag {t}"))),
+    }
+}
+
+/// Encode an [`Expr`].
+pub fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::Col(i) => {
+            put_u8(out, 0);
+            put_usize(out, *i);
+        }
+        Expr::Lit(v) => {
+            put_u8(out, 1);
+            put_value(out, v);
+        }
+        Expr::Bin { op, left, right } => {
+            put_u8(out, 2);
+            put_u8(out, bin_tag(*op));
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        Expr::Cmp { op, left, right } => {
+            put_u8(out, 3);
+            put_u8(out, cmp_tag(*op));
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        Expr::And(es) => {
+            put_u8(out, 4);
+            put_u32(out, es.len() as u32);
+            for e in es {
+                put_expr(out, e);
+            }
+        }
+        Expr::Or(es) => {
+            put_u8(out, 5);
+            put_u32(out, es.len() as u32);
+            for e in es {
+                put_expr(out, e);
+            }
+        }
+        Expr::Not(inner) => {
+            put_u8(out, 6);
+            put_expr(out, inner);
+        }
+        Expr::IsNull(inner) => {
+            put_u8(out, 7);
+            put_expr(out, inner);
+        }
+        Expr::Func { f, args } => {
+            put_u8(out, 8);
+            put_u8(out, scalar_tag(*f));
+            put_u32(out, args.len() as u32);
+            for a in args {
+                put_expr(out, a);
+            }
+        }
+    }
+}
+
+/// Decode an [`Expr`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes or over-deep nesting.
+pub fn get_expr(r: &mut Reader<'_>) -> Result<Expr> {
+    get_expr_depth(r, 0)
+}
+
+fn get_expr_depth(r: &mut Reader<'_>, depth: usize) -> Result<Expr> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Corrupt("expr nesting exceeds limit".into()));
+    }
+    match r.u8()? {
+        0 => Ok(Expr::Col(r.usize()?)),
+        1 => Ok(Expr::Lit(get_value(r)?)),
+        2 => {
+            let op = bin_from_tag(r.u8()?)?;
+            let left = Box::new(get_expr_depth(r, depth + 1)?);
+            let right = Box::new(get_expr_depth(r, depth + 1)?);
+            Ok(Expr::Bin { op, left, right })
+        }
+        3 => {
+            let op = cmp_from_tag(r.u8()?)?;
+            let left = Box::new(get_expr_depth(r, depth + 1)?);
+            let right = Box::new(get_expr_depth(r, depth + 1)?);
+            Ok(Expr::Cmp { op, left, right })
+        }
+        4 => {
+            let n = r.count(1)?;
+            let mut es = Vec::with_capacity(n);
+            for _ in 0..n {
+                es.push(get_expr_depth(r, depth + 1)?);
+            }
+            Ok(Expr::And(es))
+        }
+        5 => {
+            let n = r.count(1)?;
+            let mut es = Vec::with_capacity(n);
+            for _ in 0..n {
+                es.push(get_expr_depth(r, depth + 1)?);
+            }
+            Ok(Expr::Or(es))
+        }
+        6 => Ok(Expr::Not(Box::new(get_expr_depth(r, depth + 1)?))),
+        7 => Ok(Expr::IsNull(Box::new(get_expr_depth(r, depth + 1)?))),
+        8 => {
+            let f = scalar_from_tag(r.u8()?)?;
+            let n = r.count(1)?;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(get_expr_depth(r, depth + 1)?);
+            }
+            Ok(Expr::Func { f, args })
+        }
+        t => Err(Error::Corrupt(format!("expr tag {t}"))),
+    }
+}
+
+fn put_opt_expr(out: &mut Vec<u8>, e: &Option<Expr>) {
+    match e {
+        None => put_u8(out, 0),
+        Some(e) => {
+            put_u8(out, 1);
+            put_expr(out, e);
+        }
+    }
+}
+
+fn get_opt_expr(r: &mut Reader<'_>) -> Result<Option<Expr>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_expr(r)?)),
+        t => Err(Error::Corrupt(format!("option tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregates and plans
+// ---------------------------------------------------------------------
+
+fn agg_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Sum => 0,
+        AggFunc::Count => 1,
+        AggFunc::Avg => 2,
+        AggFunc::Min => 3,
+        AggFunc::Max => 4,
+    }
+}
+
+fn agg_from_tag(tag: u8) -> Result<AggFunc> {
+    match tag {
+        0 => Ok(AggFunc::Sum),
+        1 => Ok(AggFunc::Count),
+        2 => Ok(AggFunc::Avg),
+        3 => Ok(AggFunc::Min),
+        4 => Ok(AggFunc::Max),
+        t => Err(Error::Corrupt(format!("aggfunc tag {t}"))),
+    }
+}
+
+/// Encode an [`AggSpec`].
+pub fn put_agg(out: &mut Vec<u8>, a: &AggSpec) {
+    put_u8(out, agg_tag(a.func));
+    put_expr(out, &a.arg);
+    put_str(out, &a.name);
+}
+
+/// Decode an [`AggSpec`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_agg(r: &mut Reader<'_>) -> Result<AggSpec> {
+    let func = agg_from_tag(r.u8()?)?;
+    let arg = get_expr(r)?;
+    let name = r.str()?;
+    Ok(AggSpec::new(func, arg, name))
+}
+
+fn put_on(out: &mut Vec<u8>, on: &[(usize, usize)]) {
+    put_u32(out, on.len() as u32);
+    for (l, r) in on {
+        put_usize(out, *l);
+        put_usize(out, *r);
+    }
+}
+
+fn get_on(r: &mut Reader<'_>) -> Result<Vec<(usize, usize)>> {
+    let n = r.count(16)?;
+    let mut on = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = r.usize()?;
+        let rr = r.usize()?;
+        on.push((l, rr));
+    }
+    Ok(on)
+}
+
+/// Encode a [`Plan`].
+pub fn put_plan(out: &mut Vec<u8>, p: &Plan) {
+    match p {
+        Plan::Scan {
+            table,
+            alias,
+            schema,
+        } => {
+            put_u8(out, 0);
+            put_str(out, table);
+            put_str(out, alias);
+            put_schema(out, schema);
+        }
+        Plan::Select { input, pred } => {
+            put_u8(out, 1);
+            put_plan(out, input);
+            put_expr(out, pred);
+        }
+        Plan::Project { input, cols } => {
+            put_u8(out, 2);
+            put_plan(out, input);
+            put_u32(out, cols.len() as u32);
+            for (name, e) in cols {
+                put_str(out, name);
+                put_expr(out, e);
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            put_u8(out, 3);
+            put_plan(out, left);
+            put_plan(out, right);
+            put_on(out, on);
+            put_opt_expr(out, residual);
+        }
+        Plan::LeftOuterJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            put_u8(out, 4);
+            put_plan(out, left);
+            put_plan(out, right);
+            put_on(out, on);
+            put_opt_expr(out, residual);
+        }
+        Plan::SemiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            put_u8(out, 5);
+            put_plan(out, left);
+            put_plan(out, right);
+            put_on(out, on);
+            put_opt_expr(out, residual);
+        }
+        Plan::AntiJoin {
+            left,
+            right,
+            on,
+            residual,
+        } => {
+            put_u8(out, 6);
+            put_plan(out, left);
+            put_plan(out, right);
+            put_on(out, on);
+            put_opt_expr(out, residual);
+        }
+        Plan::UnionAll { left, right } => {
+            put_u8(out, 7);
+            put_plan(out, left);
+            put_plan(out, right);
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            put_u8(out, 8);
+            put_plan(out, input);
+            put_u32(out, keys.len() as u32);
+            for k in keys {
+                put_usize(out, *k);
+            }
+            put_u32(out, aggs.len() as u32);
+            for a in aggs {
+                put_agg(out, a);
+            }
+        }
+    }
+}
+
+/// Decode a [`Plan`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes or over-deep nesting.
+pub fn get_plan(r: &mut Reader<'_>) -> Result<Plan> {
+    get_plan_depth(r, 0)
+}
+
+fn get_plan_depth(r: &mut Reader<'_>, depth: usize) -> Result<Plan> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Corrupt("plan nesting exceeds limit".into()));
+    }
+    match r.u8()? {
+        0 => {
+            let table = r.str()?;
+            let alias = r.str()?;
+            let schema = get_schema(r)?;
+            Ok(Plan::Scan {
+                table,
+                alias,
+                schema,
+            })
+        }
+        1 => {
+            let input = Box::new(get_plan_depth(r, depth + 1)?);
+            let pred = get_expr(r)?;
+            Ok(Plan::Select { input, pred })
+        }
+        2 => {
+            let input = Box::new(get_plan_depth(r, depth + 1)?);
+            let n = r.count(5)?;
+            let mut cols = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                let e = get_expr(r)?;
+                cols.push((name, e));
+            }
+            Ok(Plan::Project { input, cols })
+        }
+        tag @ (3..=6) => {
+            let left = Box::new(get_plan_depth(r, depth + 1)?);
+            let right = Box::new(get_plan_depth(r, depth + 1)?);
+            let on = get_on(r)?;
+            let residual = get_opt_expr(r)?;
+            Ok(match tag {
+                3 => Plan::Join {
+                    left,
+                    right,
+                    on,
+                    residual,
+                },
+                4 => Plan::LeftOuterJoin {
+                    left,
+                    right,
+                    on,
+                    residual,
+                },
+                5 => Plan::SemiJoin {
+                    left,
+                    right,
+                    on,
+                    residual,
+                },
+                _ => Plan::AntiJoin {
+                    left,
+                    right,
+                    on,
+                    residual,
+                },
+            })
+        }
+        7 => {
+            let left = Box::new(get_plan_depth(r, depth + 1)?);
+            let right = Box::new(get_plan_depth(r, depth + 1)?);
+            Ok(Plan::UnionAll { left, right })
+        }
+        8 => {
+            let input = Box::new(get_plan_depth(r, depth + 1)?);
+            let nk = r.count(8)?;
+            let mut keys = Vec::with_capacity(nk);
+            for _ in 0..nk {
+                keys.push(r.usize()?);
+            }
+            let na = r.count(1)?;
+            let mut aggs = Vec::with_capacity(na);
+            for _ in 0..na {
+                aggs.push(get_agg(r)?);
+            }
+            Ok(Plan::GroupBy { input, keys, aggs })
+        }
+        t => Err(Error::Corrupt(format!("plan tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Net changes
+// ---------------------------------------------------------------------
+
+/// Encode a [`NetChange`].
+pub fn put_net_change(out: &mut Vec<u8>, c: &NetChange) {
+    match c {
+        NetChange::Inserted { post } => {
+            put_u8(out, 0);
+            put_row(out, post);
+        }
+        NetChange::Deleted { pre } => {
+            put_u8(out, 1);
+            put_row(out, pre);
+        }
+        NetChange::Updated { pre, post } => {
+            put_u8(out, 2);
+            put_row(out, pre);
+            put_row(out, post);
+        }
+    }
+}
+
+/// Decode a [`NetChange`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_net_change(r: &mut Reader<'_>) -> Result<NetChange> {
+    match r.u8()? {
+        0 => Ok(NetChange::Inserted { post: get_row(r)? }),
+        1 => Ok(NetChange::Deleted { pre: get_row(r)? }),
+        2 => {
+            let pre = get_row(r)?;
+            let post = get_row(r)?;
+            Ok(NetChange::Updated { pre, post })
+        }
+        t => Err(Error::Corrupt(format!("net change tag {t}"))),
+    }
+}
+
+/// Encode one table's [`TableChanges`], sorted by key — the encoding
+/// is canonical, so equal nets produce identical bytes.
+pub fn put_table_changes(out: &mut Vec<u8>, changes: &TableChanges) {
+    let mut entries: Vec<(&Key, &NetChange)> = changes.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    put_u32(out, entries.len() as u32);
+    for (key, change) in entries {
+        put_key(out, key);
+        put_net_change(out, change);
+    }
+}
+
+/// Decode one table's [`TableChanges`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_table_changes(r: &mut Reader<'_>) -> Result<TableChanges> {
+    let n = r.count(1)?;
+    let mut changes = TableChanges::with_capacity(n);
+    for _ in 0..n {
+        let key = get_key(r)?;
+        let change = get_net_change(r)?;
+        changes.insert(key, change);
+    }
+    Ok(changes)
+}
+
+/// Encode a folded net (table → changes), sorted by table name.
+pub fn put_net(out: &mut Vec<u8>, net: &HashMap<String, TableChanges>) {
+    let mut tables: Vec<&String> = net.keys().collect();
+    tables.sort();
+    put_u32(out, tables.len() as u32);
+    for t in tables {
+        put_str(out, t);
+        put_table_changes(out, &net[t]);
+    }
+}
+
+/// Decode a folded net.
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_net(r: &mut Reader<'_>) -> Result<HashMap<String, TableChanges>> {
+    let n = r.count(1)?;
+    let mut net = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let table = r.str()?;
+        let changes = get_table_changes(r)?;
+        net.insert(table, changes);
+    }
+    Ok(net)
+}
+
+// ---------------------------------------------------------------------
+// Refresh policies
+// ---------------------------------------------------------------------
+
+/// Encode a [`RefreshPolicy`].
+pub fn put_policy(out: &mut Vec<u8>, p: RefreshPolicy) {
+    match p {
+        RefreshPolicy::Eager => put_u8(out, 0),
+        RefreshPolicy::Deferred {
+            max_staleness_rounds,
+        } => {
+            put_u8(out, 1);
+            put_u32(out, max_staleness_rounds);
+        }
+        RefreshPolicy::OnRead => put_u8(out, 2),
+    }
+}
+
+/// Decode a [`RefreshPolicy`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_policy(r: &mut Reader<'_>) -> Result<RefreshPolicy> {
+    match r.u8()? {
+        0 => Ok(RefreshPolicy::Eager),
+        1 => Ok(RefreshPolicy::Deferred {
+            max_staleness_rounds: r.u32()?,
+        }),
+        2 => Ok(RefreshPolicy::OnRead),
+        t => Err(Error::Corrupt(format!("policy tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ingest state
+// ---------------------------------------------------------------------
+
+fn put_opt_row(out: &mut Vec<u8>, row: &Option<Row>) {
+    match row {
+        None => put_u8(out, 0),
+        Some(row) => {
+            put_u8(out, 1);
+            put_row(out, row);
+        }
+    }
+}
+
+fn get_opt_row(r: &mut Reader<'_>) -> Result<Option<Row>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_row(r)?)),
+        t => Err(Error::Corrupt(format!("option tag {t}"))),
+    }
+}
+
+/// Map a persisted type label back to the static string admission
+/// uses, so a decoded `TypeMismatch` compares equal to a fresh one.
+fn static_type_label(s: &str) -> Result<&'static str> {
+    match s {
+        "bool" => Ok("bool"),
+        "int" => Ok("int"),
+        "float" => Ok("float"),
+        "str" => Ok("str"),
+        other => Err(Error::Corrupt(format!("type label `{other}`"))),
+    }
+}
+
+fn put_cause(out: &mut Vec<u8>, cause: &DeadLetterCause) {
+    match cause {
+        DeadLetterCause::Decode(m) => {
+            put_u8(out, 0);
+            put_str(out, m);
+        }
+        DeadLetterCause::UnknownTable => put_u8(out, 1),
+        DeadLetterCause::WrongArity { expected, got } => {
+            put_u8(out, 2);
+            put_usize(out, *expected);
+            put_usize(out, *got);
+        }
+        DeadLetterCause::TypeMismatch { column, expected } => {
+            put_u8(out, 3);
+            put_usize(out, *column);
+            put_str(out, expected);
+        }
+        DeadLetterCause::SequenceGap { expected } => {
+            put_u8(out, 4);
+            put_u64(out, *expected);
+        }
+        DeadLetterCause::SequenceRegression { expected } => {
+            put_u8(out, 5);
+            put_u64(out, *expected);
+        }
+        DeadLetterCause::DuplicateKey => put_u8(out, 6),
+        DeadLetterCause::MissingRow => put_u8(out, 7),
+        DeadLetterCause::StalePreImage { actual } => {
+            put_u8(out, 8);
+            put_row(out, actual);
+        }
+        DeadLetterCause::KeyChanged => put_u8(out, 9),
+        DeadLetterCause::Storage(m) => {
+            put_u8(out, 10);
+            put_str(out, m);
+        }
+    }
+}
+
+fn get_cause(r: &mut Reader<'_>) -> Result<DeadLetterCause> {
+    match r.u8()? {
+        0 => Ok(DeadLetterCause::Decode(r.str()?)),
+        1 => Ok(DeadLetterCause::UnknownTable),
+        2 => {
+            let expected = r.usize()?;
+            let got = r.usize()?;
+            Ok(DeadLetterCause::WrongArity { expected, got })
+        }
+        3 => {
+            let column = r.usize()?;
+            let label = r.str()?;
+            Ok(DeadLetterCause::TypeMismatch {
+                column,
+                expected: static_type_label(&label)?,
+            })
+        }
+        4 => Ok(DeadLetterCause::SequenceGap { expected: r.u64()? }),
+        5 => Ok(DeadLetterCause::SequenceRegression { expected: r.u64()? }),
+        6 => Ok(DeadLetterCause::DuplicateKey),
+        7 => Ok(DeadLetterCause::MissingRow),
+        8 => Ok(DeadLetterCause::StalePreImage { actual: get_row(r)? }),
+        9 => Ok(DeadLetterCause::KeyChanged),
+        10 => Ok(DeadLetterCause::Storage(r.str()?)),
+        t => Err(Error::Corrupt(format!("dead-letter cause tag {t}"))),
+    }
+}
+
+/// Encode one [`DeadLetter`].
+pub fn put_dead_letter(out: &mut Vec<u8>, letter: &DeadLetter) {
+    put_u32(out, letter.producer);
+    put_u64(out, letter.seq);
+    put_str(out, &letter.table);
+    put_cause(out, &letter.cause);
+    put_opt_row(out, &letter.pre);
+    put_opt_row(out, &letter.post);
+    put_str(out, &letter.wire);
+}
+
+/// Decode one [`DeadLetter`].
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_dead_letter(r: &mut Reader<'_>) -> Result<DeadLetter> {
+    let producer = r.u32()?;
+    let seq = r.u64()?;
+    let table = r.str()?;
+    let cause = get_cause(r)?;
+    let pre = get_opt_row(r)?;
+    let post = get_opt_row(r)?;
+    let wire = r.str()?;
+    Ok(DeadLetter {
+        producer,
+        seq,
+        table,
+        cause,
+        pre,
+        post,
+        wire,
+    })
+}
+
+/// Encode a batch of dead letters in order.
+pub fn put_dead_letters(out: &mut Vec<u8>, letters: &[DeadLetter]) {
+    put_u32(out, letters.len() as u32);
+    for letter in letters {
+        put_dead_letter(out, letter);
+    }
+}
+
+/// Decode a batch of dead letters.
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_dead_letters(r: &mut Reader<'_>) -> Result<Vec<DeadLetter>> {
+    let n = r.count(1)?;
+    let mut letters = Vec::with_capacity(n);
+    for _ in 0..n {
+        letters.push(get_dead_letter(r)?);
+    }
+    Ok(letters)
+}
+
+/// Encode per-producer sequence baselines.
+pub fn put_seq_baselines(out: &mut Vec<u8>, seq: &BTreeMap<u32, u64>) {
+    put_u32(out, seq.len() as u32);
+    for (producer, next) in seq {
+        put_u32(out, *producer);
+        put_u64(out, *next);
+    }
+}
+
+/// Decode per-producer sequence baselines.
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_seq_baselines(r: &mut Reader<'_>) -> Result<BTreeMap<u32, u64>> {
+    let n = r.count(12)?;
+    let mut seq = BTreeMap::new();
+    for _ in 0..n {
+        let producer = r.u32()?;
+        let next = r.u64()?;
+        seq.insert(producer, next);
+    }
+    Ok(seq)
+}
+
+/// Encode lifetime ingest totals.
+pub fn put_totals(out: &mut Vec<u8>, t: &IngestTotals) {
+    put_u64(out, t.admitted);
+    put_u64(out, t.dead_lettered);
+    put_u64(out, t.shed);
+    put_u64(out, t.cuts);
+}
+
+/// Decode lifetime ingest totals.
+///
+/// # Errors
+/// [`Error::Corrupt`] on malformed bytes.
+pub fn get_totals(r: &mut Reader<'_>) -> Result<IngestTotals> {
+    let admitted = r.u64()?;
+    let dead_lettered = r.u64()?;
+    let shed = r.u64()?;
+    let cuts = r.u64()?;
+    Ok(IngestTotals {
+        admitted,
+        dead_lettered,
+        shed,
+        cuts,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------
+
+/// FNV-1a-64 over a byte slice — the record and manifest checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use idivm_types::row;
+
+    fn roundtrip_value(v: Value) {
+        let mut out = Vec::new();
+        put_value(&mut out, &v);
+        let mut r = Reader::new(&out);
+        let back = get_value(&mut r).unwrap();
+        r.finish().unwrap();
+        // Bit-exact for floats: compare the re-encoding, not PartialEq
+        // (NaN != NaN but its bits round-trip).
+        let mut out2 = Vec::new();
+        put_value(&mut out2, &back);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly() {
+        roundtrip_value(Value::Null);
+        roundtrip_value(Value::Bool(true));
+        roundtrip_value(Value::Int(-42));
+        roundtrip_value(Value::Int(i64::MIN));
+        roundtrip_value(Value::Float(0.1 + 0.2));
+        roundtrip_value(Value::Float(-0.0));
+        roundtrip_value(Value::Float(f64::NAN));
+        roundtrip_value(Value::Float(f64::INFINITY));
+        roundtrip_value(Value::str("héllo|,\\world\n"));
+        roundtrip_value(Value::str(""));
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let s = Schema::from_pairs(
+            &[
+                ("did", ColumnType::Str),
+                ("price", ColumnType::Int),
+                ("w", ColumnType::Float),
+                ("ok", ColumnType::Bool),
+            ],
+            &["did", "price"],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        put_schema(&mut out, &s);
+        let mut r = Reader::new(&out);
+        let back = get_schema(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn exprs_and_plans_round_trip() {
+        let schema =
+            Schema::from_pairs(&[("a", ColumnType::Int), ("b", ColumnType::Str)], &["a"])
+                .unwrap();
+        let scan = Plan::Scan {
+            table: "t".into(),
+            alias: "t".into(),
+            schema: schema.clone(),
+        };
+        let pred = Expr::And(vec![
+            Expr::Cmp {
+                op: CmpOp::Ge,
+                left: Box::new(Expr::Col(0)),
+                right: Box::new(Expr::Lit(Value::Int(3))),
+            },
+            Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Col(1))))),
+            Expr::Func {
+                f: ScalarFn::Least,
+                args: vec![Expr::Col(0), Expr::Lit(Value::Float(1.5))],
+            },
+        ]);
+        let plan = Plan::GroupBy {
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::Select {
+                    input: Box::new(scan.clone()),
+                    pred,
+                }),
+                right: Box::new(scan),
+                on: vec![(0, 0)],
+                residual: Some(Expr::Cmp {
+                    op: CmpOp::Ne,
+                    left: Box::new(Expr::Col(1)),
+                    right: Box::new(Expr::Col(3)),
+                }),
+            }),
+            keys: vec![0],
+            aggs: vec![AggSpec::new(
+                AggFunc::Sum,
+                Expr::Bin {
+                    op: BinOp::Mul,
+                    left: Box::new(Expr::Col(0)),
+                    right: Box::new(Expr::Lit(Value::Int(2))),
+                },
+                "s",
+            )],
+        };
+        let mut out = Vec::new();
+        put_plan(&mut out, &plan);
+        let mut r = Reader::new(&out);
+        let back = get_plan(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn nets_encode_canonically_and_round_trip() {
+        let mut a: HashMap<String, TableChanges> = HashMap::new();
+        let mut b: HashMap<String, TableChanges> = HashMap::new();
+        for net in [&mut a, &mut b] {
+            let mut tc = TableChanges::new();
+            tc.insert(
+                Key(vec![Value::Int(2)]),
+                NetChange::Deleted { pre: row![2, "x"] },
+            );
+            tc.insert(
+                Key(vec![Value::Int(1)]),
+                NetChange::Updated {
+                    pre: row![1, "a"],
+                    post: row![1, "b"],
+                },
+            );
+            net.insert("t".into(), tc);
+            let mut tc2 = TableChanges::new();
+            tc2.insert(
+                Key(vec![Value::Int(9)]),
+                NetChange::Inserted { post: row![9, "z"] },
+            );
+            net.insert("s".into(), tc2);
+        }
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        put_net(&mut ea, &a);
+        put_net(&mut eb, &b);
+        assert_eq!(ea, eb, "encoding is canonical regardless of map order");
+        let mut r = Reader::new(&ea);
+        let back = get_net(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn dead_letters_round_trip_including_static_labels() {
+        let letters = vec![
+            DeadLetter {
+                producer: 3,
+                seq: 17,
+                table: "parts".into(),
+                cause: DeadLetterCause::TypeMismatch {
+                    column: 1,
+                    expected: "int",
+                },
+                pre: None,
+                post: Some(row![1, "x"]),
+                wire: "3|17|parts|ins|i:1,s:x".into(),
+            },
+            DeadLetter {
+                producer: 0,
+                seq: 0,
+                table: String::new(),
+                cause: DeadLetterCause::Decode("junk".into()),
+                pre: None,
+                post: None,
+                wire: "###".into(),
+            },
+            DeadLetter {
+                producer: 1,
+                seq: 5,
+                table: "t".into(),
+                cause: DeadLetterCause::StalePreImage { actual: row![5, 6] },
+                pre: Some(row![5, 7]),
+                post: Some(row![5, 8]),
+                wire: "w".into(),
+            },
+        ];
+        let mut out = Vec::new();
+        put_dead_letters(&mut out, &letters);
+        let mut r = Reader::new(&out);
+        let back = get_dead_letters(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(letters, back);
+    }
+
+    #[test]
+    fn policies_round_trip() {
+        for p in [
+            RefreshPolicy::Eager,
+            RefreshPolicy::Deferred {
+                max_staleness_rounds: 7,
+            },
+            RefreshPolicy::OnRead,
+        ] {
+            let mut out = Vec::new();
+            put_policy(&mut out, p);
+            let mut r = Reader::new(&out);
+            assert_eq!(get_policy(&mut r).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_buffers_yield_corrupt_not_panic() {
+        let mut out = Vec::new();
+        put_plan(
+            &mut out,
+            &Plan::Scan {
+                table: "t".into(),
+                alias: "t".into(),
+                schema: Schema::from_pairs(&[("a", ColumnType::Int)], &["a"]).unwrap(),
+            },
+        );
+        for cut in 0..out.len() {
+            let mut r = Reader::new(&out[..cut]);
+            match get_plan(&mut r) {
+                Err(Error::Corrupt(_)) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+                Ok(_) => panic!("truncation at {cut} decoded"),
+            }
+        }
+        // Every single-byte flip either still decodes (flips inside a
+        // string payload) or fails with Corrupt — never panics.
+        for i in 0..out.len() {
+            for bit in 0..8 {
+                let mut bytes = out.clone();
+                bytes[i] ^= 1 << bit;
+                let mut r = Reader::new(&bytes);
+                match get_plan(&mut r) {
+                    Ok(_) | Err(Error::Corrupt(_)) => {}
+                    Err(e) => panic!("unexpected error class: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_typed() {
+        // 300 Not() wrappers: over the decoder's depth ceiling.
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            put_u8(&mut out, 6);
+        }
+        put_u8(&mut out, 0);
+        put_usize(&mut out, 0);
+        let mut r = Reader::new(&out);
+        assert!(matches!(get_expr(&mut r), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn counts_cannot_force_huge_allocations() {
+        // A 4 GiB element count over a 12-byte buffer must be refused
+        // before any allocation happens.
+        let mut out = Vec::new();
+        put_u32(&mut out, u32::MAX);
+        out.extend_from_slice(&[0u8; 8]);
+        let mut r = Reader::new(&out);
+        assert!(matches!(r.count(1), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,645 @@
+//! The [`Durable`] wrapper: a [`MaintenanceScheduler`] (plus optional
+//! [`IngestPipeline`]) whose every committed round is journaled to a
+//! WAL and periodically folded into a checkpoint, recoverable with
+//! [`Durable::open`] to a bit-identical
+//! [`Database::signature`](idivm_reldb::Database::signature).
+//!
+//! ## Commit protocol
+//!
+//! Each round-driving call (`tick`, `drain`, `read_view`, and the
+//! ingest `poll`/`flush` cuts) captures the database's folded
+//! modification log *before* the round consumes it, runs the round
+//! through the ordinary in-memory machinery, then appends one
+//! [`WalRecord::Round`] and fsyncs per [`DurabilityPolicy`]. A crash
+//! before the append loses only the round that was never acknowledged;
+//! a crash after it replays the round deterministically.
+//!
+//! Catalog mutations (`register`, `unregister`, `force_promote`,
+//! `force_demote`) are journaled as their own records and **require a
+//! quiescent modification log** — un-journaled DML entering a catalog
+//! operation could not be replayed in the right order. Tick or drain
+//! first; the call errors with [`Error::Config`] otherwise. DDL
+//! records are always fsynced immediately (they are rare and cheap).
+//!
+//! ## Error contract
+//!
+//! When any durable call returns an error from the journaling path,
+//! the in-memory state may be *ahead of* the disk state. Treat the
+//! handle as crashed: drop it and [`Durable::open`] the directory.
+//! That is exactly what the crash-injection tests do.
+
+use crate::checkpoint::Checkpoint;
+use crate::wal::{RoundKind, Wal, WalRecord};
+use idivm_core::{FaultState, IvmOptions};
+use idivm_ingest::{IngestOutcome, IngestPipeline, PipelineConfig, RawEvent};
+use idivm_reldb::{Database, NetChange, TableChanges};
+use idivm_sched::{MaintenanceScheduler, RefreshPolicy, RoundSummary, SchedulerConfig};
+use idivm_types::{Error, Key, Result, Row, Value};
+use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// WAL filename inside the store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// When the WAL is flushed to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Fsync after every journaled round: no committed round is ever
+    /// lost. The strictest (and slowest) setting.
+    Always,
+    /// Append every round, fsync every `n` rounds: a crash loses at
+    /// most the last `n - 1` rounds (the unsynced tail reads as torn
+    /// and is truncated at recovery). `EveryNRounds(1)` ≡ `Always`.
+    EveryNRounds(u32),
+    /// Journal nothing. Recovery falls back to the newest checkpoint
+    /// alone. This is the zero-overhead baseline the crash bench
+    /// measures WAL cost against.
+    Off,
+}
+
+/// Store-wide durability knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// WAL fsync cadence.
+    pub policy: DurabilityPolicy,
+    /// Take a checkpoint (and truncate the WAL behind it) every this
+    /// many journaled rounds; `0` disables automatic checkpoints
+    /// (callers may still invoke [`Durable::checkpoint`] manually).
+    pub checkpoint_every_rounds: u32,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            policy: DurabilityPolicy::Always,
+            checkpoint_every_rounds: 0,
+        }
+    }
+}
+
+/// A durable maintenance stack over one store directory.
+pub struct Durable {
+    dir: PathBuf,
+    wal: Wal,
+    config: DurabilityConfig,
+    rounds_since_fsync: u32,
+    rounds_since_ckpt: u32,
+    sched: MaintenanceScheduler,
+    pipeline: Option<IngestPipeline>,
+    /// The engine-options template applied to every view this store
+    /// registers (recovery re-applies it; it is not journaled).
+    options: IvmOptions,
+    faults: Arc<FaultState>,
+}
+
+impl Durable {
+    /// Create a fresh store at `dir` over `db`: an empty WAL plus an
+    /// initial checkpoint, so [`Durable::open`] always finds one.
+    ///
+    /// # Errors
+    /// [`Error::Config`] when `db` has pending (un-ticked) DML;
+    /// I/O or injected-fault errors from the initial checkpoint.
+    pub fn create(
+        dir: &Path,
+        db: Database,
+        sched_config: SchedulerConfig,
+        options: IvmOptions,
+        config: DurabilityConfig,
+        faults: Arc<FaultState>,
+    ) -> Result<Durable> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Internal(format!("store dir create: {e}")))?;
+        let sched = MaintenanceScheduler::new(db, sched_config);
+        let wal = Wal::create(&dir.join(WAL_FILE), 1, Arc::clone(&faults))?;
+        let store = Durable {
+            dir: dir.to_path_buf(),
+            wal,
+            config,
+            rounds_since_fsync: 0,
+            rounds_since_ckpt: 0,
+            sched,
+            pipeline: None,
+            options,
+            faults,
+        };
+        Checkpoint::capture(&store.sched, None, 0)?.write(&store.dir, &store.faults)?;
+        Ok(store)
+    }
+
+    /// Recover the stack from `dir`: load the published checkpoint,
+    /// rebuild the database / catalog / scheduler / ingest state, then
+    /// replay every WAL record past the checkpoint through the
+    /// ordinary maintenance machinery. A torn WAL tail is truncated; a
+    /// mid-log checksum failure or LSN gap refuses with
+    /// [`Error::Corrupt`].
+    ///
+    /// Pass `pipeline_config` to re-attach an ingest pipeline; its
+    /// sequence baselines, dead letters, and totals are restored, so
+    /// producers resending already-durable events dead-letter as
+    /// regressions instead of double-applying.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] for damaged on-disk state; any scheduler
+    /// error replay encounters (a replay divergence is a bug and
+    /// surfaces loudly rather than silently).
+    pub fn open(
+        dir: &Path,
+        sched_config: SchedulerConfig,
+        options: IvmOptions,
+        config: DurabilityConfig,
+        faults: Arc<FaultState>,
+        pipeline_config: Option<PipelineConfig>,
+    ) -> Result<Durable> {
+        let ckpt = Checkpoint::load(dir)?;
+        let scan = Wal::scan(&dir.join(WAL_FILE))?;
+
+        // --- Rebuild the database verbatim -------------------------
+        let mut db = Database::new();
+        for t in &ckpt.tables {
+            db.create_table(&t.name, t.schema.clone())?;
+            let table = db.table_mut(&t.name)?;
+            for row in &t.rows {
+                table.load(row.clone())?;
+            }
+            for cols in &t.indexes {
+                table.create_index_positions(cols.clone());
+            }
+        }
+
+        // --- Reattach catalog state --------------------------------
+        // Intermediates first: view reattachment consults the live
+        // intermediates to reproduce the rewired (substituted) plans.
+        let mut sched = MaintenanceScheduler::new(db, sched_config);
+        for iv in &ckpt.intermediates {
+            let consumers: BTreeSet<String> = iv.consumers.iter().cloned().collect();
+            sched.reattach_intermediate(
+                &iv.backing,
+                iv.subtree.clone(),
+                iv.structure.clone(),
+                iv.label.clone(),
+                consumers,
+                options,
+            )?;
+            sched.restore_intermediate_pending(&iv.backing, iv.pending.clone())?;
+        }
+        for v in &ckpt.views {
+            sched.reattach(&v.name, v.plan.clone(), v.policy, options)?;
+            sched.restore_view_runtime(&v.name, v.pending.clone(), v.staleness)?;
+        }
+        sched.catalog_mut().set_next_backing(ckpt.next_backing);
+        sched.restore_round(ckpt.round);
+        for (structure, promote, demote) in &ckpt.trackers {
+            sched.restore_tracker(structure, *promote, *demote);
+        }
+
+        // --- Reattach the ingest pipeline --------------------------
+        let mut pipeline = match pipeline_config {
+            Some(pc) => {
+                let mut p = IngestPipeline::new(pc, Arc::clone(&faults))?;
+                p.set_capture_commits(true);
+                if let Some(ing) = &ckpt.ingest {
+                    p.restore_expected_seq(ing.expected_seq.clone());
+                    p.restore_dead_letters(ing.dead_letters.clone());
+                    p.restore_totals(ing.totals);
+                }
+                Some(p)
+            }
+            None => None,
+        };
+
+        // --- Replay the WAL tail -----------------------------------
+        let mut expected = ckpt.last_lsn + 1;
+        let mut replayed = 0u64;
+        for (lsn, record) in scan.records {
+            if lsn <= ckpt.last_lsn {
+                // A checkpoint published just before a crash killed the
+                // WAL truncation: already-folded records linger. Skip.
+                continue;
+            }
+            if lsn != expected {
+                return Err(Error::Corrupt(format!(
+                    "wal skips from checkpoint lsn {} to {lsn}",
+                    ckpt.last_lsn
+                )));
+            }
+            expected += 1;
+            replayed += 1;
+            match record {
+                WalRecord::Register { name, plan, policy } => {
+                    sched.register(&name, plan, policy, options)?;
+                }
+                WalRecord::Unregister { name } => {
+                    sched.unregister(&name)?;
+                }
+                WalRecord::Round { kind, net } => {
+                    apply_net(sched.db_mut(), &net)?;
+                    match kind {
+                        RoundKind::Tick => {
+                            sched.tick()?;
+                        }
+                        RoundKind::Drain => {
+                            sched.drain()?;
+                        }
+                        RoundKind::ReadView(name) => {
+                            sched.read_view(&name)?;
+                        }
+                        RoundKind::Ingest {
+                            expected_seq,
+                            dlq_appended,
+                            totals,
+                        } => {
+                            if let Some(p) = pipeline.as_mut() {
+                                p.restore_expected_seq(expected_seq);
+                                p.restore_dead_letters(dlq_appended);
+                                p.restore_totals(totals);
+                            }
+                            // `tick_ingest` is `tick` plus trace
+                            // stamping; state-wise a plain tick replays
+                            // the cut exactly.
+                            sched.tick()?;
+                        }
+                    }
+                }
+                WalRecord::Promote { label } => {
+                    sched.force_promote(&label)?;
+                }
+                WalRecord::Demote { backing } => {
+                    sched.force_demote(&backing)?;
+                }
+            }
+        }
+
+        let note = format!(
+            "checkpoint (lsn {}) + {replayed} wal record(s){}",
+            ckpt.last_lsn,
+            if scan.torn { ", torn tail truncated" } else { "" }
+        );
+        sched.set_recovery_note(Some(note));
+
+        let wal = Wal::reopen(
+            &dir.join(WAL_FILE),
+            scan.valid_len,
+            expected,
+            Arc::clone(&faults),
+        )?;
+        Ok(Durable {
+            dir: dir.to_path_buf(),
+            wal,
+            config,
+            rounds_since_fsync: 0,
+            rounds_since_ckpt: 0,
+            sched,
+            pipeline,
+            options,
+            faults,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog operations (journaled DDL; require quiescence)
+    // ------------------------------------------------------------------
+
+    fn require_quiescent(&self, op: &str) -> Result<()> {
+        if !self.sched.db().fold_log().is_empty() {
+            return Err(Error::Config(format!(
+                "{op} requires a quiescent modification log — tick or drain \
+                 before catalog operations"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Register and materialize a view (journaled). Uses the store's
+    /// engine-options template.
+    ///
+    /// # Errors
+    /// [`Error::Config`] with pending DML; scheduler/journal errors.
+    pub fn register(
+        &mut self,
+        name: &str,
+        plan: idivm_algebra::Plan,
+        policy: RefreshPolicy,
+    ) -> Result<()> {
+        self.require_quiescent("register")?;
+        self.sched
+            .register(name, plan.clone(), policy, self.options)?;
+        self.log_ddl(&WalRecord::Register {
+            name: name.to_string(),
+            plan,
+            policy,
+        })
+    }
+
+    /// Drop a view (journaled).
+    ///
+    /// # Errors
+    /// [`Error::Config`] with pending DML; scheduler/journal errors.
+    pub fn unregister(&mut self, name: &str) -> Result<()> {
+        self.require_quiescent("unregister")?;
+        self.sched.unregister(name)?;
+        self.log_ddl(&WalRecord::Unregister {
+            name: name.to_string(),
+        })
+    }
+
+    /// Force-promote a shared prefix to a materialized intermediate
+    /// (journaled). Returns the backing name.
+    ///
+    /// # Errors
+    /// [`Error::Config`] with pending DML; scheduler/journal errors.
+    pub fn force_promote(&mut self, label: &str) -> Result<String> {
+        self.require_quiescent("force_promote")?;
+        let backing = self.sched.force_promote(label)?;
+        self.log_ddl(&WalRecord::Promote {
+            label: label.to_string(),
+        })?;
+        Ok(backing)
+    }
+
+    /// Force-demote a promoted intermediate (journaled).
+    ///
+    /// # Errors
+    /// [`Error::Config`] with pending DML; scheduler/journal errors.
+    pub fn force_demote(&mut self, backing: &str) -> Result<()> {
+        self.require_quiescent("force_demote")?;
+        self.sched.force_demote(backing)?;
+        self.log_ddl(&WalRecord::Demote {
+            backing: backing.to_string(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Round-driving operations (journaled)
+    // ------------------------------------------------------------------
+
+    /// Run one maintenance tick and journal it.
+    ///
+    /// # Errors
+    /// Scheduler errors, or journaling errors (see the module's error
+    /// contract).
+    pub fn tick(&mut self) -> Result<RoundSummary> {
+        let net = self.sched.db().fold_log();
+        let summary = self.sched.tick()?;
+        self.log_round(WalRecord::Round {
+            kind: RoundKind::Tick,
+            net,
+        })?;
+        Ok(summary)
+    }
+
+    /// Drain barrier: bring every view up to date, journaled.
+    ///
+    /// # Errors
+    /// Scheduler or journaling errors.
+    pub fn drain(&mut self) -> Result<RoundSummary> {
+        let net = self.sched.db().fold_log();
+        let summary = self.sched.drain()?;
+        self.log_round(WalRecord::Round {
+            kind: RoundKind::Drain,
+            net,
+        })?;
+        Ok(summary)
+    }
+
+    /// Read barrier: bring `name` up to date and return its sorted
+    /// rows, journaled (the barrier consumes pending state, so it is a
+    /// durable event even though it looks like a read).
+    ///
+    /// # Errors
+    /// Scheduler or journaling errors.
+    pub fn read_view(&mut self, name: &str) -> Result<Vec<Row>> {
+        let net = self.sched.db().fold_log();
+        let rows = self.sched.read_view(name)?;
+        self.log_round(WalRecord::Round {
+            kind: RoundKind::ReadView(name.to_string()),
+            net,
+        })?;
+        Ok(rows)
+    }
+
+    /// Take a checkpoint now and truncate the WAL behind it.
+    ///
+    /// # Errors
+    /// [`Error::Config`] with pending DML; capture/write/injected-fault
+    /// errors (on error the previous checkpoint and full WAL remain
+    /// valid on disk).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let last_lsn = self.wal.next_lsn() - 1;
+        Checkpoint::capture(&self.sched, self.pipeline.as_ref(), last_lsn)?
+            .write(&self.dir, &self.faults)?;
+        // The snapshot is published; trailing records are now folded
+        // in. Truncate by recreating the log — LSNs keep counting.
+        self.wal = Wal::create(
+            &self.dir.join(WAL_FILE),
+            self.wal.next_lsn(),
+            Arc::clone(&self.faults),
+        )?;
+        self.rounds_since_ckpt = 0;
+        self.rounds_since_fsync = 0;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    /// Attach a CDC ingest pipeline (commit capture enabled, so every
+    /// cut is journaled).
+    ///
+    /// # Errors
+    /// [`Error::Config`] for an invalid pipeline config.
+    pub fn attach_pipeline(&mut self, config: PipelineConfig) -> Result<()> {
+        let mut p = IngestPipeline::new(config, Arc::clone(&self.faults))?;
+        p.set_capture_commits(true);
+        self.pipeline = Some(p);
+        Ok(())
+    }
+
+    fn pipeline_mut(&mut self) -> Result<&mut IngestPipeline> {
+        self.pipeline
+            .as_mut()
+            .ok_or_else(|| Error::Config("no ingest pipeline attached".into()))
+    }
+
+    /// Offer one wire event to the pipeline (non-blocking).
+    ///
+    /// # Errors
+    /// [`Error::Config`] without a pipeline; queue faults.
+    pub fn offer(&mut self, now: u64, ev: &RawEvent) -> Result<idivm_ingest::SendOutcome> {
+        self.pipeline_mut()?.offer(now, ev)
+    }
+
+    /// Poll the micro-batcher; if it cuts, the committed round is
+    /// journaled with its sequence baselines and DLQ appends.
+    ///
+    /// # Errors
+    /// [`Error::Config`] without a pipeline; pipeline, scheduler, or
+    /// journaling errors.
+    pub fn poll_ingest(&mut self, now: u64) -> Result<Option<IngestOutcome>> {
+        let Some(p) = self.pipeline.as_mut() else {
+            return Err(Error::Config("no ingest pipeline attached".into()));
+        };
+        let outcome = p.poll(now, &mut self.sched)?;
+        if outcome.is_some() {
+            self.log_committed_cut()?;
+        }
+        Ok(outcome)
+    }
+
+    /// Flush buffered events as a final cut, journaled.
+    ///
+    /// # Errors
+    /// [`Error::Config`] without a pipeline; pipeline, scheduler, or
+    /// journaling errors.
+    pub fn flush_ingest(&mut self, now: u64) -> Result<Option<IngestOutcome>> {
+        let Some(p) = self.pipeline.as_mut() else {
+            return Err(Error::Config("no ingest pipeline attached".into()));
+        };
+        let outcome = p.flush(now, &mut self.sched)?;
+        if outcome.is_some() {
+            self.log_committed_cut()?;
+        }
+        Ok(outcome)
+    }
+
+    fn log_committed_cut(&mut self) -> Result<()> {
+        let Some(cut) = self.pipeline.as_mut().and_then(IngestPipeline::take_committed)
+        else {
+            return Err(Error::Internal(
+                "pipeline committed a cut without capturing it".into(),
+            ));
+        };
+        self.log_round(WalRecord::Round {
+            kind: RoundKind::Ingest {
+                expected_seq: cut.expected_seq,
+                dlq_appended: cut.dlq_appended,
+                totals: cut.totals,
+            },
+            net: cut.net,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Journaling internals
+    // ------------------------------------------------------------------
+
+    fn log_ddl(&mut self, record: &WalRecord) -> Result<()> {
+        if self.config.policy == DurabilityPolicy::Off {
+            return Ok(());
+        }
+        self.wal.append(record)?;
+        // DDL is rare; always make it durable immediately.
+        self.wal.fsync()
+    }
+
+    fn log_round(&mut self, record: WalRecord) -> Result<()> {
+        if self.config.policy != DurabilityPolicy::Off {
+            self.wal.append(&record)?;
+            match self.config.policy {
+                DurabilityPolicy::Always => {
+                    self.wal.fsync()?;
+                    self.rounds_since_fsync = 0;
+                }
+                DurabilityPolicy::EveryNRounds(n) => {
+                    self.rounds_since_fsync += 1;
+                    if self.rounds_since_fsync >= n.max(1) {
+                        self.wal.fsync()?;
+                        self.rounds_since_fsync = 0;
+                    }
+                }
+                DurabilityPolicy::Off => {}
+            }
+        }
+        if self.config.checkpoint_every_rounds > 0 {
+            self.rounds_since_ckpt += 1;
+            if self.rounds_since_ckpt >= self.config.checkpoint_every_rounds {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The underlying scheduler (read-only).
+    pub fn scheduler(&self) -> &MaintenanceScheduler {
+        &self.sched
+    }
+
+    /// The shared database (read-only).
+    pub fn db(&self) -> &Database {
+        self.sched.db()
+    }
+
+    /// Mutable database access for direct base-table DML. Changes
+    /// accumulate in the modification log and become durable with the
+    /// round that consumes them.
+    pub fn db_mut(&mut self) -> &mut Database {
+        self.sched.db_mut()
+    }
+
+    /// The attached ingest pipeline, if any.
+    pub fn pipeline(&self) -> Option<&IngestPipeline> {
+        self.pipeline.as_ref()
+    }
+
+    /// Provenance of the last recovery (`None` for a fresh store):
+    /// e.g. `"checkpoint (lsn 12) + 3 wal record(s)"`.
+    pub fn recovered_from(&self) -> Option<&str> {
+        self.sched.recovery_note()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The WAL's current byte length (overhead accounting).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Full structural fingerprint of every table (rows + indexes +
+    /// pending modification log). Two stores with equal signatures are
+    /// indistinguishable to maintenance.
+    pub fn signature(&self) -> HashMap<String, idivm_reldb::TableSignature> {
+        self.sched.db().signature()
+    }
+}
+
+/// Re-apply a journaled folded net as ordinary logged DML, in
+/// canonical (table, key) order. The replayed modification log folds
+/// back to exactly `net`, so the following tick distributes the same
+/// deltas the original round did.
+fn apply_net(db: &mut Database, net: &HashMap<String, TableChanges>) -> Result<()> {
+    let mut tables: Vec<&String> = net.keys().collect();
+    tables.sort();
+    for table in tables {
+        let changes = &net[table];
+        let mut keys: Vec<&Key> = changes.keys().collect();
+        keys.sort();
+        for key in keys {
+            match &changes[key] {
+                NetChange::Inserted { post } => db.insert(table, post.clone())?,
+                NetChange::Deleted { .. } => {
+                    db.delete(table, key)?;
+                }
+                NetChange::Updated { pre, post } => {
+                    let assignments: Vec<(usize, Value)> = pre
+                        .0
+                        .iter()
+                        .zip(post.0.iter())
+                        .enumerate()
+                        .filter(|(_, (a, b))| a != b)
+                        .map(|(i, (_, b))| (i, b.clone()))
+                        .collect();
+                    db.update(table, key, &assignments)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}

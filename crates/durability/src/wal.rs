@@ -1,0 +1,689 @@
+//! The write-ahead log: a single append-only file of checksummed,
+//! length-prefixed records.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [8-byte magic "IVMWAL01"]
+//! [u32 len][u64 fnv1a(payload)][payload]   // record 0
+//! [u32 len][u64 fnv1a(payload)][payload]   // record 1
+//! ...
+//! ```
+//!
+//! Each payload is `[u64 lsn][u8 type][body]`. LSNs are assigned by the
+//! writer, strictly increasing by one, and must be contiguous on
+//! replay — a gap or repeat means acknowledged history was tampered
+//! with and reads as [`Error::Corrupt`].
+//!
+//! **Torn-tail ladder** (applied by [`Wal::scan`], in order):
+//!
+//! 1. A record whose frame extends past EOF, or whose checksum fails
+//!    with *nothing after it*, is a **torn tail**: the crash happened
+//!    mid-append, the bytes were never acknowledged, recovery truncates
+//!    them and continues.
+//! 2. A checksum or decode failure with bytes *after* the failing
+//!    record is **mid-log corruption**: acknowledged history is
+//!    damaged, recovery refuses with [`Error::Corrupt`].
+//!
+//! The [`FaultSite::WalAppend`](idivm_core::FaultSite::WalAppend) and
+//! [`FaultSite::WalFsync`](idivm_core::FaultSite::WalFsync) failpoints
+//! fire inside [`Wal::append`] / [`Wal::fsync`]. An armed append fault
+//! leaves a seeded partial prefix of the frame on disk (the torn tail a
+//! real kill leaves); an armed fsync fault drops everything past the
+//! last synced offset (the unflushed page-cache bytes a real kill
+//! loses).
+
+use crate::codec::{self, Reader};
+use idivm_core::FaultState;
+use idivm_ingest::{DeadLetter, IngestTotals};
+use idivm_reldb::TableChanges;
+use idivm_sched::RefreshPolicy;
+use idivm_types::{Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic: idIVM WAL, format 01.
+pub const WAL_MAGIC: &[u8; 8] = b"IVMWAL01";
+
+const HEADER: u64 = 8;
+/// Per-record frame prefix: u32 length + u64 checksum.
+const FRAME: usize = 12;
+
+fn io_err(what: &str, e: &std::io::Error) -> Error {
+    Error::Internal(format!("wal {what}: {e}"))
+}
+
+/// What kind of scheduler round a [`WalRecord::Round`] journals. The
+/// kinds replay differently: a tick advances the round counter, a
+/// drain or read barrier does not, and an ingest cut also restores
+/// sequence baselines and dead-letter appends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundKind {
+    /// An ordinary [`MaintenanceScheduler::tick`](idivm_sched::MaintenanceScheduler::tick).
+    Tick,
+    /// A [`drain`](idivm_sched::MaintenanceScheduler::drain) barrier.
+    Drain,
+    /// A [`read_view`](idivm_sched::MaintenanceScheduler::read_view)
+    /// barrier for the named view.
+    ReadView(String),
+    /// A streamed micro-batch cut: the net plus the ingest pipeline's
+    /// post-cut sequence baselines, the dead letters this cut appended,
+    /// and the post-cut lifetime totals. Journaling the baselines is
+    /// what makes restart exactly-once: a producer that resends a
+    /// durably-applied event hits `SequenceRegression` instead of
+    /// double-applying.
+    Ingest {
+        /// Per-producer next-expected sequence numbers after the cut.
+        expected_seq: BTreeMap<u32, u64>,
+        /// Dead letters appended by this cut, in order.
+        dlq_appended: Vec<DeadLetter>,
+        /// Lifetime totals after the cut.
+        totals: IngestTotals,
+    },
+}
+
+/// One durable event in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A view was registered (plan is the *source* plan, pre-rewrite —
+    /// replay re-derives any intermediate rewiring).
+    Register {
+        /// View name.
+        name: String,
+        /// Source plan as handed to `register`.
+        plan: idivm_algebra::Plan,
+        /// Refresh policy.
+        policy: RefreshPolicy,
+    },
+    /// A view was unregistered.
+    Unregister {
+        /// View name.
+        name: String,
+    },
+    /// One committed maintenance round: the folded base-table net that
+    /// entered it, plus the round kind.
+    Round {
+        /// How the round was driven (replay differs per kind).
+        kind: RoundKind,
+        /// Folded net DML (`Database::fold_log` output) applied by the
+        /// round, canonical-sorted by the codec.
+        net: HashMap<String, TableChanges>,
+    },
+    /// A forced promotion of the named structure label.
+    Promote {
+        /// Structure label passed to `force_promote`.
+        label: String,
+    },
+    /// A forced demotion of the named backing table.
+    Demote {
+        /// Backing name passed to `force_demote`.
+        backing: String,
+    },
+}
+
+fn encode_round_kind(out: &mut Vec<u8>, kind: &RoundKind) {
+    match kind {
+        RoundKind::Tick => codec::put_u8(out, 0),
+        RoundKind::Drain => codec::put_u8(out, 1),
+        RoundKind::ReadView(name) => {
+            codec::put_u8(out, 2);
+            codec::put_str(out, name);
+        }
+        RoundKind::Ingest {
+            expected_seq,
+            dlq_appended,
+            totals,
+        } => {
+            codec::put_u8(out, 3);
+            codec::put_seq_baselines(out, expected_seq);
+            codec::put_dead_letters(out, dlq_appended);
+            codec::put_totals(out, totals);
+        }
+    }
+}
+
+fn decode_round_kind(r: &mut Reader<'_>) -> Result<RoundKind> {
+    match r.u8()? {
+        0 => Ok(RoundKind::Tick),
+        1 => Ok(RoundKind::Drain),
+        2 => Ok(RoundKind::ReadView(r.str()?)),
+        3 => {
+            let expected_seq = codec::get_seq_baselines(r)?;
+            let dlq_appended = codec::get_dead_letters(r)?;
+            let totals = codec::get_totals(r)?;
+            Ok(RoundKind::Ingest {
+                expected_seq,
+                dlq_appended,
+                totals,
+            })
+        }
+        t => Err(Error::Corrupt(format!("round kind tag {t}"))),
+    }
+}
+
+impl WalRecord {
+    /// Encode the payload for `lsn` (everything the checksum covers).
+    fn encode(&self, lsn: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u64(&mut out, lsn);
+        match self {
+            WalRecord::Register { name, plan, policy } => {
+                codec::put_u8(&mut out, 1);
+                codec::put_str(&mut out, name);
+                codec::put_plan(&mut out, plan);
+                codec::put_policy(&mut out, *policy);
+            }
+            WalRecord::Unregister { name } => {
+                codec::put_u8(&mut out, 2);
+                codec::put_str(&mut out, name);
+            }
+            WalRecord::Round { kind, net } => {
+                codec::put_u8(&mut out, 3);
+                encode_round_kind(&mut out, kind);
+                codec::put_net(&mut out, net);
+            }
+            WalRecord::Promote { label } => {
+                codec::put_u8(&mut out, 4);
+                codec::put_str(&mut out, label);
+            }
+            WalRecord::Demote { backing } => {
+                codec::put_u8(&mut out, 5);
+                codec::put_str(&mut out, backing);
+            }
+        }
+        out
+    }
+
+    /// Decode one payload; returns `(lsn, record)`.
+    fn decode(payload: &[u8]) -> Result<(u64, WalRecord)> {
+        let mut r = Reader::new(payload);
+        let lsn = r.u64()?;
+        let record = match r.u8()? {
+            1 => {
+                let name = r.str()?;
+                let plan = codec::get_plan(&mut r)?;
+                let policy = codec::get_policy(&mut r)?;
+                WalRecord::Register { name, plan, policy }
+            }
+            2 => WalRecord::Unregister { name: r.str()? },
+            3 => {
+                let kind = decode_round_kind(&mut r)?;
+                let net = codec::get_net(&mut r)?;
+                WalRecord::Round { kind, net }
+            }
+            4 => WalRecord::Promote { label: r.str()? },
+            5 => WalRecord::Demote { backing: r.str()? },
+            t => return Err(Error::Corrupt(format!("wal record type {t}"))),
+        };
+        r.finish()?;
+        Ok((lsn, record))
+    }
+}
+
+/// Result of scanning a WAL file at recovery.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Every valid record, in LSN order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte offset just past the last valid record — the length the
+    /// file should be truncated to before appending resumes.
+    pub valid_len: u64,
+    /// True iff a torn tail was dropped (diagnostics only).
+    pub torn: bool,
+}
+
+/// The append-side handle over the log file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Logical end of the file (bytes written, synced or not).
+    len: u64,
+    /// Bytes known durable (advanced by [`Wal::fsync`]).
+    synced_len: u64,
+    next_lsn: u64,
+    faults: Arc<FaultState>,
+}
+
+impl Wal {
+    /// Create (or truncate) the log at `path`, write and sync the
+    /// magic header, and start LSNs at `next_lsn`.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] on I/O failure.
+    pub fn create(path: &Path, next_lsn: u64, faults: Arc<FaultState>) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("create", &e))?;
+        file.write_all(WAL_MAGIC).map_err(|e| io_err("write magic", &e))?;
+        file.sync_data().map_err(|e| io_err("sync magic", &e))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            len: HEADER,
+            synced_len: HEADER,
+            next_lsn,
+            faults,
+        })
+    }
+
+    /// Reopen a scanned log for appending: truncate any torn tail at
+    /// `valid_len` and resume at `next_lsn`. A header shorter than the
+    /// magic (crash between create and sync) is rewritten fresh.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] on I/O failure.
+    pub fn reopen(
+        path: &Path,
+        valid_len: u64,
+        next_lsn: u64,
+        faults: Arc<FaultState>,
+    ) -> Result<Wal> {
+        if valid_len < HEADER {
+            return Wal::create(path, next_lsn, faults);
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("reopen", &e))?;
+        file.set_len(valid_len).map_err(|e| io_err("truncate tail", &e))?;
+        file.sync_data().map_err(|e| io_err("sync truncate", &e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek", &e))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            len: valid_len,
+            synced_len: valid_len,
+            next_lsn,
+            faults,
+        })
+    }
+
+    /// Scan the log at `path`, applying the torn-vs-corrupt ladder.
+    /// Pure read — never modifies the file.
+    ///
+    /// # Errors
+    /// [`Error::Corrupt`] for a bad magic, a mid-log checksum or decode
+    /// failure, or an LSN discontinuity; [`Error::Internal`] on I/O
+    /// failure. A missing file is corrupt (the store always creates
+    /// one before acknowledging anything).
+    pub fn scan(path: &Path) -> Result<ScanOutcome> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes).map_err(|e| io_err("read", &e))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(Error::Corrupt(format!(
+                    "wal missing at {}",
+                    path.display()
+                )));
+            }
+            Err(e) => return Err(io_err("open", &e)),
+        }
+        if bytes.len() < WAL_MAGIC.len() {
+            // Crash between create and header sync: nothing was ever
+            // acknowledged, so an incomplete header is a torn tail.
+            return Ok(ScanOutcome {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: !bytes.is_empty(),
+            });
+        }
+        if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(Error::Corrupt("wal magic mismatch".into()));
+        }
+
+        let mut records = Vec::new();
+        let mut offset = WAL_MAGIC.len();
+        let mut prev_lsn: Option<u64> = None;
+        loop {
+            if offset == bytes.len() {
+                return Ok(ScanOutcome {
+                    records,
+                    valid_len: offset as u64,
+                    torn: false,
+                });
+            }
+            let torn = |records: Vec<(u64, WalRecord)>, offset: usize| {
+                Ok(ScanOutcome {
+                    records,
+                    valid_len: offset as u64,
+                    torn: true,
+                })
+            };
+            if bytes.len() - offset < FRAME {
+                return torn(records, offset);
+            }
+            let len = u32::from_le_bytes([
+                bytes[offset],
+                bytes[offset + 1],
+                bytes[offset + 2],
+                bytes[offset + 3],
+            ]) as usize;
+            let crc = u64::from_le_bytes([
+                bytes[offset + 4],
+                bytes[offset + 5],
+                bytes[offset + 6],
+                bytes[offset + 7],
+                bytes[offset + 8],
+                bytes[offset + 9],
+                bytes[offset + 10],
+                bytes[offset + 11],
+            ]);
+            let body_start = offset + FRAME;
+            let Some(body_end) = body_start.checked_add(len) else {
+                return torn(records, offset);
+            };
+            if body_end > bytes.len() {
+                // Frame extends past EOF: torn tail.
+                return torn(records, offset);
+            }
+            let payload = &bytes[body_start..body_end];
+            if codec::fnv1a(payload) != crc {
+                if body_end == bytes.len() {
+                    // Checksum failure on the very last record: the
+                    // append was cut mid-flight. Torn.
+                    return torn(records, offset);
+                }
+                return Err(Error::Corrupt(format!(
+                    "wal checksum mismatch at byte {offset} (lsn slot {}), \
+                     {} bytes of later history follow",
+                    records.len(),
+                    bytes.len() - body_end
+                )));
+            }
+            let (lsn, record) = WalRecord::decode(payload)?;
+            if let Some(prev) = prev_lsn {
+                if lsn != prev + 1 {
+                    return Err(Error::Corrupt(format!(
+                        "wal lsn discontinuity: {prev} then {lsn}"
+                    )));
+                }
+            }
+            prev_lsn = Some(lsn);
+            records.push((lsn, record));
+            offset = body_end;
+        }
+    }
+
+    /// Append one record, returning its LSN. Does **not** fsync — the
+    /// caller's [`DurabilityPolicy`](crate::DurabilityPolicy) decides
+    /// when to call [`Wal::fsync`].
+    ///
+    /// If the armed [`FaultSite::WalAppend`](idivm_core::FaultSite::WalAppend)
+    /// failpoint fires, a seeded partial prefix of the frame is left on
+    /// disk (the torn tail a mid-append kill produces) and the fault
+    /// error is returned.
+    ///
+    /// # Errors
+    /// The injected fault, or [`Error::Internal`] on I/O failure.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let lsn = self.next_lsn;
+        let payload = record.encode(lsn);
+        let mut frame = Vec::with_capacity(FRAME + payload.len());
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u64(&mut frame, codec::fnv1a(&payload));
+        frame.extend_from_slice(&payload);
+
+        if let Err(fault) = self.faults.on_wal_append(lsn) {
+            // Simulated kill mid-append: leave a deterministic torn
+            // prefix. The prefix length is seed-derived so a sweep
+            // explores header-only, mid-payload, and zero-byte tears.
+            let tear = (self
+                .faults
+                .seed()
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(lsn)) as usize
+                % frame.len();
+            self.file
+                .write_all(&frame[..tear])
+                .map_err(|e| io_err("torn write", &e))?;
+            self.file.flush().map_err(|e| io_err("flush", &e))?;
+            self.len += tear as u64;
+            return Err(fault);
+        }
+
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", &e))?;
+        self.len += frame.len() as u64;
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    /// Flush appended records to the device, advancing the durable
+    /// watermark.
+    ///
+    /// If the armed [`FaultSite::WalFsync`](idivm_core::FaultSite::WalFsync)
+    /// failpoint fires, everything past the last synced offset is
+    /// dropped (a kill loses unflushed page-cache bytes) and the fault
+    /// error is returned.
+    ///
+    /// # Errors
+    /// The injected fault, or [`Error::Internal`] on I/O failure.
+    pub fn fsync(&mut self) -> Result<()> {
+        if let Err(fault) = self.faults.on_wal_fsync() {
+            self.file
+                .set_len(self.synced_len)
+                .map_err(|e| io_err("drop unsynced tail", &e))?;
+            self.file
+                .seek(SeekFrom::End(0))
+                .map_err(|e| io_err("seek", &e))?;
+            self.len = self.synced_len;
+            return Err(fault);
+        }
+        self.file.sync_data().map_err(|e| io_err("fsync", &e))?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    /// The LSN the next append will use.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Logical file length in bytes (written, synced or not).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len <= HEADER
+    }
+
+    /// Bytes known durable.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use idivm_core::FaultPlan;
+    use idivm_reldb::NetChange;
+    use idivm_types::{row, Key, Value};
+
+    fn no_faults() -> Arc<FaultState> {
+        Arc::new(FaultState::new(FaultPlan::disabled()))
+    }
+
+    fn sample_round(i: i64) -> WalRecord {
+        let mut tc = TableChanges::new();
+        tc.insert(
+            Key(vec![Value::Int(i)]),
+            NetChange::Inserted { post: row![i, "x"] },
+        );
+        let mut net = HashMap::new();
+        net.insert("t".to_string(), tc);
+        WalRecord::Round {
+            kind: RoundKind::Tick,
+            net,
+        }
+    }
+
+    #[test]
+    fn append_scan_round_trips_in_lsn_order() {
+        let dir = std::env::temp_dir().join("idivm_wal_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 1, no_faults()).unwrap();
+        for i in 0..5 {
+            wal.append(&sample_round(i)).unwrap();
+        }
+        wal.append(&WalRecord::Promote { label: "j0".into() }).unwrap();
+        wal.fsync().unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records.len(), 6);
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, wal.len());
+        for (i, (lsn, _)) in scan.records.iter().enumerate() {
+            assert_eq!(*lsn, 1 + i as u64);
+        }
+        assert_eq!(scan.records[5].1, WalRecord::Promote { label: "j0".into() });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_mid_log_flip_is_corrupt() {
+        let dir = std::env::temp_dir().join("idivm_wal_torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 1, no_faults()).unwrap();
+        let mut after_two = 0;
+        for i in 0..3 {
+            wal.append(&sample_round(i)).unwrap();
+            if i == 1 {
+                after_two = wal.len();
+            }
+        }
+        wal.fsync().unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncating inside the last record -> torn, two records kept.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_len, after_two);
+
+        // Flipping a payload byte of record 0 (mid-log) -> Corrupt.
+        let mut flipped = full.clone();
+        flipped[(HEADER as usize) + FRAME + 2] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        match Wal::scan(&path) {
+            Err(Error::Corrupt(m)) => assert!(m.contains("checksum"), "{m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_append_fault_leaves_a_recoverable_torn_tail() {
+        let dir = std::env::temp_dir().join("idivm_wal_fault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let faults = Arc::new(FaultState::new(FaultPlan::at_wal_append(2, 2015)));
+        let mut wal = Wal::create(&path, 1, faults).unwrap();
+        wal.append(&sample_round(0)).unwrap();
+        wal.append(&sample_round(1)).unwrap();
+        let err = wal.append(&sample_round(2)).unwrap_err();
+        assert!(matches!(err, Error::Injected(_)), "{err}");
+        // The torn tail never hides the two acknowledged records.
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        let mut resumed =
+            Wal::reopen(&path, scan.valid_len, 3, no_faults()).unwrap();
+        resumed.append(&sample_round(2)).unwrap();
+        resumed.fsync().unwrap();
+        assert_eq!(Wal::scan(&path).unwrap().records.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_fsync_fault_drops_only_unsynced_records() {
+        let dir = std::env::temp_dir().join("idivm_wal_fsync");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let faults = Arc::new(FaultState::new(FaultPlan::at_wal_fsync(1, 7)));
+        let mut wal = Wal::create(&path, 1, faults).unwrap();
+        wal.append(&sample_round(0)).unwrap();
+        wal.fsync().unwrap(); // fsync 0: survives
+        wal.append(&sample_round(1)).unwrap();
+        wal.append(&sample_round(2)).unwrap();
+        assert!(matches!(wal.fsync(), Err(Error::Injected(_))));
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records.len(), 1, "unsynced appends lost");
+        assert!(!scan.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lsn_discontinuity_is_corrupt() {
+        let dir = std::env::temp_dir().join("idivm_wal_lsn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, 5, no_faults()).unwrap();
+        wal.append(&sample_round(0)).unwrap();
+        drop(wal);
+        // Forge a second record that skips an LSN, with a valid crc.
+        let rec = sample_round(1);
+        let payload = rec.encode(9);
+        let mut bytes = std::fs::read(&path).unwrap();
+        codec::put_u32(&mut bytes, payload.len() as u32);
+        codec::put_u64(&mut bytes, codec::fnv1a(&payload));
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        match Wal::scan(&path) {
+            Err(Error::Corrupt(m)) => assert!(m.contains("discontinuity"), "{m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_round_kind_round_trips() {
+        let kind = RoundKind::Ingest {
+            expected_seq: [(0u32, 7u64), (3, 1)].into_iter().collect(),
+            dlq_appended: vec![DeadLetter {
+                producer: 3,
+                seq: 0,
+                table: "t".into(),
+                cause: idivm_ingest::DeadLetterCause::SequenceRegression { expected: 1 },
+                pre: None,
+                post: Some(row![1]),
+                wire: "w".into(),
+            }],
+            totals: IngestTotals {
+                admitted: 10,
+                dead_lettered: 1,
+                shed: 2,
+                cuts: 3,
+            },
+        };
+        let rec = WalRecord::Round {
+            kind,
+            net: HashMap::new(),
+        };
+        let payload = rec.encode(42);
+        let (lsn, back) = WalRecord::decode(&payload).unwrap();
+        assert_eq!(lsn, 42);
+        assert_eq!(back, rec);
+    }
+}

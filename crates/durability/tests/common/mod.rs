@@ -1,0 +1,162 @@
+//! Shared scaffolding for the durability integration suites: fresh
+//! store directories, the BSMA multi-view workload wired through
+//! [`Durable`], and a tiny hand-built store small enough for
+//! byte-level corruption sweeps.
+
+#![allow(clippy::unwrap_used, dead_code)]
+
+use idivm_core::{FaultPlan, FaultState, IvmOptions};
+use idivm_durability::{Durable, DurabilityConfig};
+use idivm_reldb::{Database, TableSignature};
+use idivm_sched::{RefreshPolicy, SchedulerConfig};
+use idivm_types::{row, ColumnType, Schema};
+use idivm_workloads::bsma::Bsma;
+use idivm_workloads::multiview::{MultiView, VIEW_NAMES};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A full-store fingerprint: every table's rows, indexes, and pending
+/// modification log.
+pub type Sig = HashMap<String, TableSignature>;
+
+/// A fresh, unique, empty directory under the system temp dir.
+pub fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "idivm_dur_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Fault state with nothing armed.
+pub fn no_faults() -> Arc<FaultState> {
+    Arc::new(FaultState::new(FaultPlan::disabled()))
+}
+
+/// Fault state with `plan` armed.
+pub fn armed(plan: FaultPlan) -> Arc<FaultState> {
+    Arc::new(FaultState::new(plan))
+}
+
+/// The crash seeds a sweep explores: the `IDIVM_FAULT_SEED` override
+/// (the CI matrix sets it) or the default pair.
+pub fn sweep_seeds() -> Vec<u64> {
+    match std::env::var("IDIVM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(s) => vec![s],
+        None => vec![2015, 424242],
+    }
+}
+
+/// The BSMA multi-view workload at test scale.
+pub fn suite() -> MultiView {
+    MultiView {
+        bsma: Bsma {
+            scale: 0.02,
+            seed: 424242,
+        },
+    }
+}
+
+/// The per-view refresh policy the durable multi-view suites use: a
+/// deliberate mix so recovery must reproduce pending (Deferred/OnRead)
+/// state, not just materialized rows.
+pub fn mv_policy(name: &str) -> RefreshPolicy {
+    match name {
+        "mention_reach" => RefreshPolicy::Deferred {
+            max_staleness_rounds: 2,
+        },
+        "mention_topic_counts" => RefreshPolicy::OnRead,
+        _ => RefreshPolicy::Eager,
+    }
+}
+
+/// Build the BSMA database and create a durable store over it at
+/// `dir`, with all five Q7-family views registered under [`mv_policy`].
+pub fn mv_store(dir: &Path, dcfg: DurabilityConfig, faults: Arc<FaultState>) -> Durable {
+    let cfg = suite();
+    let db = cfg.build().unwrap();
+    let mut store = Durable::create(
+        dir,
+        db,
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        dcfg,
+        faults,
+    )
+    .unwrap();
+    for name in VIEW_NAMES {
+        let plan = cfg.plan(store.db(), name).unwrap();
+        store.register(name, plan, mv_policy(name)).unwrap();
+    }
+    store
+}
+
+/// Re-open an existing store with no pipeline and no armed faults.
+pub fn reopen(dir: &Path, dcfg: DurabilityConfig) -> idivm_types::Result<Durable> {
+    Durable::open(
+        dir,
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        dcfg,
+        no_faults(),
+        None,
+    )
+}
+
+/// A deliberately tiny base database — two tables, a handful of rows —
+/// whose WAL stays small enough to sweep byte-by-byte.
+pub fn tiny_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "items",
+        Schema::from_pairs(
+            &[
+                ("id", ColumnType::Int),
+                ("label", ColumnType::Str),
+                ("qty", ColumnType::Int),
+            ],
+            &["id"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        "bins",
+        Schema::from_pairs(
+            &[("bin", ColumnType::Int), ("item", ColumnType::Int)],
+            &["bin"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for i in 0..4i64 {
+        db.insert("items", row![i, format!("item-{i}"), 10 * i]).unwrap();
+        db.insert("bins", row![i, i % 2]).unwrap();
+    }
+    db.clear_log();
+    db
+}
+
+/// A join view over the tiny database.
+pub fn tiny_plan(db: &Database) -> idivm_algebra::Plan {
+    use idivm_algebra::PlanBuilder;
+    use idivm_exec::DbCatalog;
+    let cat = DbCatalog(db);
+    PlanBuilder::scan(&cat, "items")
+        .unwrap()
+        .join(PlanBuilder::scan(&cat, "bins").unwrap(), &[("items.id", "bins.item")])
+        .unwrap()
+        .build()
+        .unwrap()
+}

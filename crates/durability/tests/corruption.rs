@@ -1,0 +1,185 @@
+//! On-disk damage sweeps: flip or truncate **every byte** of a real
+//! store's WAL and checkpoint and prove the recovery path never
+//! panics — each damaged image either refuses with a typed
+//! [`Error::Corrupt`] or recovers cleanly to a committed-prefix
+//! signature (a state the application actually acknowledged).
+//!
+//! The torn-vs-corrupt ladder decides which: damage that mimics a
+//! crash tail (truncation, a flipped byte in the *last* record) is
+//! truncated and recovery continues; damage to acknowledged history
+//! with valid records after it is refused.
+
+#![allow(clippy::unwrap_used)]
+
+mod common;
+
+use common::{fresh_dir, no_faults, reopen, tiny_db, tiny_plan, Sig};
+use idivm_core::IvmOptions;
+use idivm_durability::{Durable, DurabilityConfig, CHECKPOINT_FILE, WAL_FILE};
+use idivm_sched::{RefreshPolicy, SchedulerConfig};
+use idivm_types::{row, Error, Key, Value};
+use std::path::{Path, PathBuf};
+
+/// Build a tiny store whose WAL is small enough to sweep byte-by-byte,
+/// returning the store dir, every acknowledged signature, and the
+/// pristine on-disk images.
+fn tiny_store() -> (PathBuf, Vec<Sig>, Vec<u8>, Vec<u8>) {
+    let dir = fresh_dir("corrupt");
+    let mut acks: Vec<Sig> = Vec::new();
+    let mut store = Durable::create(
+        &dir,
+        tiny_db(),
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        DurabilityConfig::default(),
+        no_faults(),
+    )
+    .unwrap();
+    acks.push(store.signature());
+    let plan = tiny_plan(store.db());
+    store.register("stock", plan, RefreshPolicy::Eager).unwrap();
+    acks.push(store.signature());
+
+    store.db_mut().insert("items", row![10, "added", 1]).unwrap();
+    store.db_mut().insert("bins", row![10, 10]).unwrap();
+    store.tick().unwrap();
+    acks.push(store.signature());
+
+    let key = Key(vec![Value::Int(10)]);
+    store.db_mut().update_named("items", &key, &[("qty", Value::Int(7))]).unwrap();
+    store.tick().unwrap();
+    acks.push(store.signature());
+
+    store.db_mut().delete("bins", &Key(vec![Value::Int(10)])).unwrap();
+    store.tick().unwrap();
+    acks.push(store.signature());
+    drop(store);
+
+    let wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    let ckpt = std::fs::read(dir.join(CHECKPOINT_FILE)).unwrap();
+    (dir, acks, wal, ckpt)
+}
+
+/// Open a damaged image: panics are test failures by construction;
+/// anything else must be a typed corruption error or a committed
+/// acknowledged state.
+fn check_open(dir: &Path, acks: &[Sig], what: &str) {
+    match reopen(dir, DurabilityConfig::default()) {
+        Ok(store) => {
+            let sig = store.signature();
+            assert!(
+                acks.iter().any(|s| s == &sig),
+                "{what}: recovered to a signature never acknowledged"
+            );
+        }
+        Err(Error::Corrupt(_)) => {}
+        Err(other) => panic!("{what}: expected Corrupt or clean recovery, got {other:?}"),
+    }
+}
+
+/// Flip one bit of every WAL byte in turn.
+#[test]
+fn wal_single_bit_flips_never_panic() {
+    let (dir, acks, wal, _) = tiny_store();
+    for i in 0..wal.len() {
+        let mut damaged = wal.clone();
+        damaged[i] ^= 0x01;
+        std::fs::write(dir.join(WAL_FILE), &damaged).unwrap();
+        check_open(&dir, &acks, &format!("wal bit flip at byte {i}"));
+    }
+    // High-bit flips walk a different failure surface (length fields).
+    for i in (0..wal.len()).step_by(3) {
+        let mut damaged = wal.clone();
+        damaged[i] ^= 0x80;
+        std::fs::write(dir.join(WAL_FILE), &damaged).unwrap();
+        check_open(&dir, &acks, &format!("wal high-bit flip at byte {i}"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Truncate the WAL at every byte offset: always a torn tail, so
+/// recovery must *succeed* at a committed prefix — never refuse.
+#[test]
+fn wal_truncation_at_every_byte_recovers_a_prefix() {
+    let (dir, acks, wal, _) = tiny_store();
+    for cut in 0..=wal.len() {
+        std::fs::write(dir.join(WAL_FILE), &wal[..cut]).unwrap();
+        let store = reopen(&dir, DurabilityConfig::default())
+            .unwrap_or_else(|e| panic!("truncation at {cut}: refused a torn tail: {e:?}"));
+        let sig = store.signature();
+        assert!(
+            acks.iter().any(|s| s == &sig),
+            "truncation at {cut}: recovered to a signature never acknowledged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Damage to acknowledged history — a flipped byte with valid records
+/// after it — must refuse, not silently drop committed rounds.
+#[test]
+fn mid_wal_damage_refuses_with_corrupt() {
+    let (dir, _acks, wal, _) = tiny_store();
+    // Flip a payload byte of the very first record (well before the
+    // last record's frame): acknowledged history is damaged.
+    let mut damaged = wal.clone();
+    damaged[8 + 12 + 4] ^= 0xFF; // magic + frame header + into the payload
+    std::fs::write(dir.join(WAL_FILE), &damaged).unwrap();
+    let err = reopen(&dir, DurabilityConfig::default()).map(|_| ()).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A missing WAL (deleted outright) is refused: the store had one.
+#[test]
+fn missing_wal_is_refused() {
+    let (dir, _acks, _, _) = tiny_store();
+    std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+    let err = reopen(&dir, DurabilityConfig::default()).map(|_| ()).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Flip one bit of every checkpoint byte: the snapshot is covered by a
+/// whole-body checksum, so every flip must refuse with `Corrupt`.
+#[test]
+fn checkpoint_bit_flips_always_refuse() {
+    let (dir, _acks, _, ckpt) = tiny_store();
+    for i in 0..ckpt.len() {
+        let mut damaged = ckpt.clone();
+        damaged[i] ^= 0x01;
+        std::fs::write(dir.join(CHECKPOINT_FILE), &damaged).unwrap();
+        let err = reopen(&dir, DurabilityConfig::default()).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, Error::Corrupt(_)),
+            "checkpoint flip at {i}: got {err:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Truncate the checkpoint at every byte offset: always refused.
+#[test]
+fn checkpoint_truncation_always_refuses() {
+    let (dir, _acks, _, ckpt) = tiny_store();
+    for cut in 0..ckpt.len() {
+        std::fs::write(dir.join(CHECKPOINT_FILE), &ckpt[..cut]).unwrap();
+        let err = reopen(&dir, DurabilityConfig::default()).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, Error::Corrupt(_)),
+            "checkpoint truncation at {cut}: got {err:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A stray `checkpoint.tmp` (a crash mid-publish) is ignored: the
+/// published snapshot stays authoritative.
+#[test]
+fn stray_checkpoint_tmp_is_ignored() {
+    let (dir, acks, _, _) = tiny_store();
+    std::fs::write(dir.join("checkpoint.tmp"), b"partial garbage").unwrap();
+    let store = reopen(&dir, DurabilityConfig::default()).unwrap();
+    assert_eq!(&store.signature(), acks.last().unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,270 @@
+//! Crash-point sweep: simulate a kill at **every** WAL append, WAL
+//! fsync, and checkpoint attempt of a full multi-view lifecycle
+//! (register ×5, DML ticks with automatic checkpoints, a read barrier,
+//! promote, demote, drain) and prove recovery always lands on an
+//! acknowledged state.
+//!
+//! A "kill" is the injected fault at the durability site — the write
+//! path leaves a seeded torn prefix / unsynced tail / partial temp
+//! file, the in-memory stack is dropped on the spot, and
+//! [`Durable::open`] recovers from whatever reached the disk. Under
+//! [`DurabilityPolicy::Always`] the contract is sharp:
+//!
+//! * append/fsync kill — the failing round was never acknowledged;
+//!   recovery lands on the **last acknowledged** signature;
+//! * checkpoint kill — the round journaled *before* the checkpoint
+//!   attempt is already durable; recovery lands on the at-failure
+//!   signature (the previous checkpoint + full WAL stay valid).
+//!
+//! Kill offsets are seeded (`IDIVM_FAULT_SEED` overrides the default
+//! pair) so CI explores different torn-prefix lengths deterministically.
+
+#![allow(clippy::unwrap_used)]
+
+mod common;
+
+use common::{armed, fresh_dir, mv_policy, reopen, suite, sweep_seeds, Sig};
+use idivm_core::{FaultPlan, FaultState, IvmOptions};
+use idivm_durability::{Durable, DurabilityConfig, DurabilityPolicy};
+use idivm_sched::SchedulerConfig;
+use idivm_types::Error;
+use idivm_workloads::multiview::VIEW_NAMES;
+use std::path::Path;
+use std::sync::Arc;
+
+const DIFFS: usize = 12;
+const DEEP: &str = "join[mentions,microblog,users]";
+
+fn sweep_cfg() -> DurabilityConfig {
+    DurabilityConfig {
+        policy: DurabilityPolicy::Always,
+        checkpoint_every_rounds: 2,
+    }
+}
+
+/// One sweep iteration's observable history: the signature after every
+/// acknowledged operation, plus the in-memory signature at the moment
+/// the injected crash surfaced (ahead of disk, per the error contract).
+struct ScenarioRun {
+    acks: Vec<Sig>,
+    at_failure: Option<Sig>,
+    completed: bool,
+}
+
+fn assert_injected(err: &Error, what: &str) {
+    assert!(
+        matches!(err, Error::Injected(_)),
+        "{what}: expected the injected crash, got {err:?}"
+    );
+}
+
+/// Drive the lifecycle until it completes or the armed fault kills it.
+fn run_scenario(dir: &Path, dcfg: DurabilityConfig, faults: Arc<FaultState>) -> ScenarioRun {
+    let cfg = suite();
+    let mut acks: Vec<Sig> = Vec::new();
+    let db = cfg.build().unwrap();
+    let mut store = match Durable::create(
+        dir,
+        db,
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        dcfg,
+        faults,
+    ) {
+        Ok(s) => s,
+        Err(err) => {
+            assert_injected(&err, "create");
+            return ScenarioRun {
+                acks,
+                at_failure: None,
+                completed: false,
+            };
+        }
+    };
+    acks.push(store.signature());
+
+    macro_rules! step {
+        ($e:expr) => {
+            match $e {
+                Ok(_) => acks.push(store.signature()),
+                Err(err) => {
+                    assert_injected(&err, stringify!($e));
+                    return ScenarioRun {
+                        acks,
+                        at_failure: Some(store.signature()),
+                        completed: false,
+                    };
+                }
+            }
+        };
+    }
+
+    for name in VIEW_NAMES {
+        let plan = cfg.plan(store.db(), name).unwrap();
+        step!(store.register(name, plan, mv_policy(name)));
+    }
+    for round in 1..=4u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        step!(store.tick());
+    }
+    step!(store.read_view("mention_topic_counts"));
+    let backing = match store.force_promote(DEEP) {
+        Ok(b) => {
+            acks.push(store.signature());
+            b
+        }
+        Err(err) => {
+            assert_injected(&err, "force_promote");
+            return ScenarioRun {
+                acks,
+                at_failure: Some(store.signature()),
+                completed: false,
+            };
+        }
+    };
+    for round in 5..=6u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        step!(store.tick());
+    }
+    step!(store.force_demote(&backing));
+    step!(store.drain());
+
+    ScenarioRun {
+        acks,
+        at_failure: None,
+        completed: true,
+    }
+}
+
+/// Recover the killed store and check the sweep contract: recovery
+/// succeeds, lands on the last acknowledged or at-failure signature,
+/// and the recovered store keeps accepting rounds.
+fn assert_recovers(dir: &Path, run: &ScenarioRun, label: &str) {
+    let mut recovered = reopen(dir, sweep_cfg())
+        .unwrap_or_else(|e| panic!("{label}: recovery after injected crash failed: {e:?}"));
+    let sig = recovered.signature();
+    let last_ack = run.acks.last().unwrap();
+    assert!(
+        sig == *last_ack || run.at_failure.as_ref() == Some(&sig),
+        "{label}: recovered signature is neither the last acknowledged \
+         state nor the at-failure state"
+    );
+    assert!(recovered.recovered_from().is_some(), "{label}: missing recovery note");
+    // Liveness: the recovered store still runs ordinary rounds.
+    suite().tweet_batch(recovered.db_mut(), 6, 99).unwrap();
+    recovered.tick().unwrap();
+}
+
+/// Sweep one durability fault site over every occurrence index `k`
+/// (starting at `start_k`) for every sweep seed, until a run completes
+/// without the fault firing — i.e. `k` walked past the last occurrence.
+fn sweep_site(site: &str, plan_for: impl Fn(u64, u64) -> FaultPlan, start_k: u64) {
+    for seed in sweep_seeds() {
+        let mut k = start_k;
+        loop {
+            let dir = fresh_dir(&format!("sweep_{site}"));
+            let faults = armed(plan_for(k, seed));
+            let run = run_scenario(&dir, sweep_cfg(), Arc::clone(&faults));
+            if run.completed {
+                assert!(
+                    k > start_k,
+                    "site={site} seed={seed}: the armed fault never fired"
+                );
+                std::fs::remove_dir_all(&dir).unwrap();
+                break;
+            }
+            assert_recovers(&dir, &run, &format!("site={site} k={k} seed={seed}"));
+            std::fs::remove_dir_all(&dir).unwrap();
+            k += 1;
+            assert!(k < 64, "site={site}: sweep ran away");
+        }
+    }
+}
+
+/// Kill before every WAL append of the lifecycle (a seeded torn prefix
+/// of the record may land on disk).
+#[test]
+fn kill_at_every_wal_append() {
+    sweep_site("wal_append", FaultPlan::at_wal_append, 0);
+}
+
+/// Kill at every WAL fsync (appended bytes buffered but never made
+/// durable; recovery sees the log truncated to the last synced offset).
+#[test]
+fn kill_at_every_wal_fsync() {
+    sweep_site("wal_fsync", FaultPlan::at_wal_fsync, 0);
+}
+
+/// Kill before every checkpoint rename (k = 0 is the store-creation
+/// checkpoint, covered by its own test below).
+#[test]
+fn kill_at_every_checkpoint() {
+    sweep_site("checkpoint", FaultPlan::at_checkpoint, 1);
+}
+
+/// A kill during the store-creation checkpoint leaves a directory with
+/// no published snapshot: nothing was ever acknowledged, and `open`
+/// refuses with a typed corruption error instead of fabricating state.
+#[test]
+fn kill_during_create_leaves_unopenable_store() {
+    let dir = fresh_dir("create_kill");
+    let faults = armed(FaultPlan::at_checkpoint(0, 2015));
+    let err = Durable::create(
+        &dir,
+        common::tiny_db(),
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        sweep_cfg(),
+        faults,
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert_injected(&err, "create");
+    let err = reopen(&dir, sweep_cfg()).map(|_| ()).unwrap_err();
+    assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Under `EveryNRounds`, an fsync kill can roll back several rounds at
+/// once — but always to an *acknowledged* signature, never a torn
+/// half-round.
+#[test]
+fn every_n_rounds_fsync_kill_recovers_to_acknowledged_state() {
+    let dcfg = DurabilityConfig {
+        policy: DurabilityPolicy::EveryNRounds(3),
+        checkpoint_every_rounds: 0,
+    };
+    // The five registration DDLs fsync unconditionally (k = 0..=4);
+    // k = 5 is the first batched round fsync, covering rounds 1–3.
+    let dir = fresh_dir("everyn_kill");
+    let faults = armed(FaultPlan::at_wal_fsync(5, 2015));
+    let run = run_scenario(&dir, dcfg, Arc::clone(&faults));
+    assert!(!run.completed);
+    let recovered = reopen(&dir, dcfg).unwrap();
+    let sig = recovered.signature();
+    assert!(
+        run.acks.iter().any(|s| s == &sig),
+        "recovered signature is not an acknowledged state"
+    );
+    // Rounds 1-3 rode the killed fsync: recovery lands back on the
+    // post-registration state, three rounds behind the failure point.
+    assert_eq!(sig, run.acks[5]);
+    assert_ne!(&sig, run.acks.last().unwrap());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The same (site, k, seed) kill is bit-reproducible: two independent
+/// sweeps of the same scenario recover to identical signatures.
+#[test]
+fn killed_runs_are_reproducible() {
+    let plan = FaultPlan::at_wal_append(8, 424242);
+    let mut sigs: Vec<Sig> = Vec::new();
+    for _ in 0..2 {
+        let dir = fresh_dir("repro_kill");
+        let run = run_scenario(&dir, sweep_cfg(), armed(plan));
+        assert!(!run.completed);
+        sigs.push(reopen(&dir, sweep_cfg()).unwrap().signature());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    assert_eq!(sigs[0], sigs[1]);
+}

@@ -1,0 +1,304 @@
+//! Clean-shutdown and mid-lifecycle recovery: a durable store dropped
+//! at any quiescent point and re-opened must come back with a
+//! bit-identical [`Database::signature`] — materialized rows, indexes,
+//! Deferred/OnRead pendings, promoted intermediates, and ingest
+//! baselines included — and then behave exactly like a store that
+//! never restarted.
+
+#![allow(clippy::unwrap_used)]
+
+mod common;
+
+use common::{fresh_dir, mv_store, no_faults, reopen, suite, tiny_db, tiny_plan};
+use idivm_core::IvmOptions;
+use idivm_durability::{
+    Durable, DurabilityConfig, DurabilityPolicy, WAL_FILE,
+};
+use idivm_exec::recompute_rows;
+use idivm_sched::{RefreshPolicy, SchedulerConfig};
+use idivm_types::row;
+use idivm_workloads::multiview::VIEW_NAMES;
+
+const DIFFS: usize = 24;
+const DEEP: &str = "join[mentions,microblog,users]";
+
+fn always() -> DurabilityConfig {
+    DurabilityConfig {
+        policy: DurabilityPolicy::Always,
+        checkpoint_every_rounds: 0,
+    }
+}
+
+/// Full multi-view lifecycle — DML rounds, a read barrier, promote,
+/// demote, drain — then drop and re-open. The recovered store must be
+/// bit-identical and every view must match the recompute oracle.
+#[test]
+fn multiview_lifecycle_survives_restart() {
+    let dir = fresh_dir("lifecycle");
+    let cfg = suite();
+    let dcfg = DurabilityConfig {
+        policy: DurabilityPolicy::Always,
+        checkpoint_every_rounds: 3,
+    };
+    let mut store = mv_store(&dir, dcfg, no_faults());
+
+    for round in 1..=4u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+        if round == 2 {
+            store.read_view("mention_topic_counts").unwrap();
+        }
+    }
+    let backing = store.force_promote(DEEP).unwrap();
+    for round in 5..=6u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    store.force_demote(&backing).unwrap();
+    store.drain().unwrap();
+    let live_sig = store.signature();
+    drop(store);
+
+    let recovered = reopen(&dir, dcfg).unwrap();
+    assert_eq!(recovered.signature(), live_sig, "recovery must be bit-identical");
+    let note = recovered.recovered_from().unwrap();
+    assert!(note.starts_with("checkpoint (lsn "), "note: {note}");
+
+    // Every recovered view still matches the full recompute oracle.
+    let sched = recovered.scheduler();
+    for name in VIEW_NAMES {
+        let view = sched.catalog().view(name).unwrap();
+        let mut oracle = recompute_rows(sched.db(), view.engine().plan()).unwrap();
+        oracle.sort();
+        let mut rows = sched.catalog().rows(name).unwrap();
+        rows.sort();
+        assert_eq!(rows, oracle, "recovered `{name}` diverges from oracle");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Re-opening the same directory twice yields identical state —
+/// recovery itself is deterministic and non-destructive (beyond
+/// truncating a torn tail, of which a clean shutdown has none).
+#[test]
+fn double_open_is_deterministic() {
+    let dir = fresh_dir("doubleopen");
+    let cfg = suite();
+    let mut store = mv_store(&dir, always(), no_faults());
+    for round in 1..=3u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    let live_sig = store.signature();
+    drop(store);
+
+    let first = reopen(&dir, always()).unwrap();
+    let first_sig = first.signature();
+    drop(first);
+    let second = reopen(&dir, always()).unwrap();
+    assert_eq!(first_sig, live_sig);
+    assert_eq!(second.signature(), live_sig);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A store that restarts mid-stream and keeps going must end
+/// bit-identical to a control store that never restarted: recovery
+/// leaves no invisible state behind that later rounds depend on.
+#[test]
+fn recovered_store_continues_like_uninterrupted_control() {
+    let cfg = suite();
+
+    let control_dir = fresh_dir("control");
+    let mut control = mv_store(&control_dir, always(), no_faults());
+    for round in 1..=6u64 {
+        cfg.tweet_batch(control.db_mut(), DIFFS, round).unwrap();
+        control.tick().unwrap();
+    }
+    control.drain().unwrap();
+    let control_sig = control.signature();
+    drop(control);
+
+    let dir = fresh_dir("restarted");
+    let mut store = mv_store(&dir, always(), no_faults());
+    for round in 1..=3u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    drop(store); // restart mid-stream
+    let mut store = reopen(&dir, always()).unwrap();
+    for round in 4..=6u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    store.drain().unwrap();
+    assert_eq!(store.signature(), control_sig);
+
+    std::fs::remove_dir_all(&control_dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Uncommitted DML (logged but never ticked) is not durable: recovery
+/// rolls back to the last journaled round, exactly as documented.
+#[test]
+fn unticked_dml_is_not_durable() {
+    let dir = fresh_dir("unticked");
+    let mut store = Durable::create(
+        &dir,
+        tiny_db(),
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        always(),
+        no_faults(),
+    )
+    .unwrap();
+    let plan = tiny_plan(store.db());
+    store.register("stock", plan, RefreshPolicy::Eager).unwrap();
+    store.db_mut().insert("items", row![100, "durable", 1]).unwrap();
+    store.tick().unwrap();
+    let committed = store.signature();
+
+    // This insert is acknowledged by the database but never journaled.
+    store.db_mut().insert("items", row![101, "lost", 2]).unwrap();
+    drop(store);
+
+    let recovered = reopen(&dir, always()).unwrap();
+    assert_eq!(recovered.signature(), committed);
+    let items = recovered.db().table("items").unwrap();
+    assert!(items.get(&idivm_types::Key(vec![idivm_types::Value::Int(101)])).is_none());
+    assert!(items.get(&idivm_types::Key(vec![idivm_types::Value::Int(100)])).is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Manual checkpoints truncate the WAL; recovery from checkpoint-only
+/// state (zero replayed records) is still exact.
+#[test]
+fn checkpoint_truncates_wal_and_recovers_alone() {
+    let dir = fresh_dir("ckpt");
+    let cfg = suite();
+    let mut store = mv_store(&dir, always(), no_faults());
+    for round in 1..=3u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    let before = store.wal_len();
+    store.checkpoint().unwrap();
+    assert!(store.wal_len() < before, "checkpoint must truncate the WAL");
+    let live_sig = store.signature();
+    drop(store);
+
+    let recovered = reopen(&dir, always()).unwrap();
+    assert_eq!(recovered.signature(), live_sig);
+    let note = recovered.recovered_from().unwrap();
+    assert!(note.contains("+ 0 wal record(s)"), "note: {note}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The published-checkpoint-but-stale-WAL crash window: if a crash
+/// lands after the checkpoint rename but before the WAL truncation,
+/// recovery must skip the already-folded records instead of
+/// double-applying them.
+#[test]
+fn checkpoint_published_but_wal_not_truncated() {
+    let dir = fresh_dir("stalewal");
+    let cfg = suite();
+    let mut store = mv_store(&dir, always(), no_faults());
+    for round in 1..=3u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    let stale_wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    store.checkpoint().unwrap();
+    let live_sig = store.signature();
+    drop(store);
+
+    // Simulate the crash window by restoring the pre-truncation WAL
+    // next to the freshly published checkpoint.
+    std::fs::write(dir.join(WAL_FILE), &stale_wal).unwrap();
+    let mut recovered = reopen(&dir, always()).unwrap();
+    assert_eq!(recovered.signature(), live_sig);
+    let note = recovered.recovered_from().unwrap();
+    assert!(note.contains("+ 0 wal record(s)"), "note: {note}");
+
+    // And the store keeps working: LSNs continue past the stale tail.
+    cfg.tweet_batch(recovered.db_mut(), DIFFS, 9).unwrap();
+    recovered.tick().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Deferred and OnRead pendings survive a restart: a view that was
+/// stale before the crash is exactly as stale after, and draining the
+/// recovered store converges it to the oracle.
+#[test]
+fn pending_state_survives_restart() {
+    let dir = fresh_dir("pending");
+    let cfg = suite();
+    let mut store = mv_store(&dir, always(), no_faults());
+    // One tick: Deferred(2)/OnRead views accumulate pending nets.
+    cfg.tweet_batch(store.db_mut(), DIFFS, 1).unwrap();
+    store.tick().unwrap();
+    let live_sig = store.signature();
+    drop(store);
+
+    let mut recovered = reopen(&dir, always()).unwrap();
+    assert_eq!(recovered.signature(), live_sig);
+    // Draining after recovery converges the stale views to the oracle.
+    recovered.drain().unwrap();
+    let sched = recovered.scheduler();
+    for name in VIEW_NAMES {
+        let view = sched.catalog().view(name).unwrap();
+        let mut oracle = recompute_rows(sched.db(), view.engine().plan()).unwrap();
+        oracle.sort();
+        let mut rows = sched.catalog().rows(name).unwrap();
+        rows.sort();
+        assert_eq!(rows, oracle, "drained `{name}` diverges from oracle");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Catalog operations refuse to run over un-journaled DML — the
+/// quiescence guard is what keeps the replay order exact.
+#[test]
+fn catalog_ops_require_quiescent_log() {
+    let dir = fresh_dir("quiescent");
+    let mut store = Durable::create(
+        &dir,
+        tiny_db(),
+        SchedulerConfig::default(),
+        IvmOptions::default(),
+        always(),
+        no_faults(),
+    )
+    .unwrap();
+    let plan = tiny_plan(store.db());
+    store.db_mut().insert("items", row![50, "pending", 5]).unwrap();
+    let err = store.register("stock", plan.clone(), RefreshPolicy::Eager).unwrap_err();
+    assert!(
+        matches!(err, idivm_types::Error::Config(_)),
+        "expected Config, got {err:?}"
+    );
+    store.tick().unwrap();
+    store.register("stock", plan, RefreshPolicy::Eager).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `EveryNRounds` batching: a clean shutdown loses nothing (the tail
+/// is still on disk, just not fsynced), and recovery is exact.
+#[test]
+fn every_n_rounds_clean_shutdown_is_exact() {
+    let dir = fresh_dir("everyn");
+    let cfg = suite();
+    let dcfg = DurabilityConfig {
+        policy: DurabilityPolicy::EveryNRounds(3),
+        checkpoint_every_rounds: 0,
+    };
+    let mut store = mv_store(&dir, dcfg, no_faults());
+    for round in 1..=4u64 {
+        cfg.tweet_batch(store.db_mut(), DIFFS, round).unwrap();
+        store.tick().unwrap();
+    }
+    let live_sig = store.signature();
+    drop(store);
+    let recovered = reopen(&dir, dcfg).unwrap();
+    assert_eq!(recovered.signature(), live_sig);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -45,6 +45,6 @@ pub use batcher::{BatchPolicy, CutCause, MicroBatcher};
 pub use dlq::{DeadLetter, DeadLetterCause, DeadLetterQueue};
 pub use driver::{drive, DriveConfig, DriveStats};
 pub use event::{ChangeEvent, ChangeOp, RawEvent};
-pub use pipeline::{IngestOutcome, IngestPipeline, IngestTotals, PipelineConfig};
+pub use pipeline::{CommittedCut, IngestOutcome, IngestPipeline, IngestTotals, PipelineConfig};
 pub use queue::{EventQueue, OverflowPolicy, QueueConfig, QueueStats, SendOutcome};
 pub use stream::{apply_log, partition_log};

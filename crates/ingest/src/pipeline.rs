@@ -30,10 +30,10 @@ use crate::dlq::{DeadLetter, DeadLetterCause, DeadLetterQueue};
 use crate::event::{ChangeEvent, ChangeOp, RawEvent};
 use crate::queue::{EventQueue, QueueConfig, SendOutcome};
 use idivm_core::{FaultState, IngestTrace};
-use idivm_reldb::Database;
+use idivm_reldb::{Database, TableChanges};
 use idivm_sched::{MaintenanceScheduler, RoundSummary};
 use idivm_types::{ColumnType, Error, Result, Row, Schema, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Queue + batcher configuration for one pipeline.
@@ -56,6 +56,26 @@ pub struct IngestTotals {
     pub shed: u64,
     /// Batches cut.
     pub cuts: u64,
+}
+
+/// The durable image of one committed cut, captured between the batch's
+/// `commit_round` and the scheduler tick that consumes it — exactly
+/// what a write-ahead log must journal to replay the cut after a crash.
+/// Capture is off by default ([`IngestPipeline::set_capture_commits`]).
+#[derive(Debug, Clone)]
+pub struct CommittedCut {
+    /// The database's folded modification log at commit — the net DML
+    /// this cut admitted (plus any direct DML logged before the cut),
+    /// which the following tick distributes.
+    pub net: HashMap<String, TableChanges>,
+    /// Post-cut per-producer sequence baselines (the whole map — a
+    /// replay restores it wholesale, keeping exactly-once across the
+    /// restart).
+    pub expected_seq: BTreeMap<u32, u64>,
+    /// Dead letters this cut appended, in admission order.
+    pub dlq_appended: Vec<DeadLetter>,
+    /// Post-cut lifetime totals (shed read live at capture).
+    pub totals: IngestTotals,
 }
 
 /// What one committed cut did.
@@ -86,6 +106,12 @@ pub struct IngestPipeline {
     totals: IngestTotals,
     /// Sheds already attributed to some earlier cut's trace.
     shed_attributed: u64,
+    /// When true, every committed cut leaves a [`CommittedCut`] for
+    /// [`IngestPipeline::take_committed`] (the durability layer's WAL
+    /// hook).
+    capture_commits: bool,
+    /// The most recent committed cut's durable image, if unclaimed.
+    committed: Option<CommittedCut>,
 }
 
 impl IngestPipeline {
@@ -103,6 +129,8 @@ impl IngestPipeline {
             expected_seq: BTreeMap::new(),
             totals: IngestTotals::default(),
             shed_attributed: 0,
+            capture_commits: false,
+            committed: None,
         })
     }
 
@@ -116,11 +144,50 @@ impl IngestPipeline {
         &self.dlq
     }
 
-    /// Lifetime counters (shed is read live from the queue).
+    /// Lifetime counters (shed is read live from the queue, on top of
+    /// any baseline restored from a checkpoint).
     pub fn totals(&self) -> IngestTotals {
         IngestTotals {
-            shed: self.queue.stats().shed,
+            shed: self.totals.shed + self.queue.stats().shed,
             ..self.totals
+        }
+    }
+
+    /// Enable (or disable) durable-commit capture: when on, every
+    /// committed cut records a [`CommittedCut`] claimable through
+    /// [`IngestPipeline::take_committed`].
+    pub fn set_capture_commits(&mut self, on: bool) {
+        self.capture_commits = on;
+    }
+
+    /// Claim the most recent committed cut's durable image.
+    pub fn take_committed(&mut self) -> Option<CommittedCut> {
+        self.committed.take()
+    }
+
+    /// Per-producer next-expected sequence baselines.
+    pub fn expected_seq(&self) -> &BTreeMap<u32, u64> {
+        &self.expected_seq
+    }
+
+    /// Restore sequence baselines wholesale (checkpoint/WAL recovery) —
+    /// a producer resending an already-durable event after the restart
+    /// dead-letters as a regression instead of double-applying.
+    pub fn restore_expected_seq(&mut self, expected_seq: BTreeMap<u32, u64>) {
+        self.expected_seq = expected_seq;
+    }
+
+    /// Restore lifetime totals from a checkpoint. The restored `shed`
+    /// becomes a baseline under the (fresh) queue's live counter.
+    pub fn restore_totals(&mut self, totals: IngestTotals) {
+        self.totals = totals;
+    }
+
+    /// Re-append checkpointed dead letters (recovery preserves the
+    /// quarantine across the restart; admission order is kept).
+    pub fn restore_dead_letters(&mut self, letters: Vec<DeadLetter>) {
+        for letter in letters {
+            self.dlq.push(letter);
         }
     }
 
@@ -258,6 +325,17 @@ impl IngestPipeline {
             cut_cause: cause.label(),
             queue_depth_at_cut: depth_at_cut as u64,
         };
+        if self.capture_commits {
+            // The batch is committed but the tick has not folded the
+            // log yet: this folded net is exactly what the round will
+            // distribute, so it is the WAL's redo image for the cut.
+            self.committed = Some(CommittedCut {
+                net: sched.db().fold_log(),
+                expected_seq: self.expected_seq.clone(),
+                dlq_appended: self.dlq.entries()[dlq_mark..].to_vec(),
+                totals: self.totals(),
+            });
+        }
         let summary = sched.tick_ingest(trace.clone())?;
         Ok(IngestOutcome {
             trace,

@@ -8,12 +8,17 @@
 //! [`Database::create_table`] and mutated through unlogged access
 //! ([`Database::table_mut`]) by the ∆-script executor.
 
-use crate::log::{LogEntry, ModificationLog, TableChanges, UndoLog};
+use crate::log::{LogEntry, ModificationLog, NetChange, TableChanges, UndoLog};
 use crate::overlay::PreState;
 use crate::stats::AccessStats;
 use crate::table::Table;
 use idivm_types::{Error, Key, Result, Row, Schema, Value};
 use std::collections::HashMap;
+
+/// Reserved pseudo-table name under which [`Database::signature`]
+/// fingerprints the folded pending modification log. Never a real
+/// table.
+pub const MODLOG_SIGNATURE_KEY: &str = "__modlog__";
 
 /// An in-memory database instance.
 pub struct Database {
@@ -325,11 +330,65 @@ impl Database {
     /// Structural fingerprints of every table, keyed by name — the
     /// whole-database state signature the fault-injection suite
     /// compares across rollback. Uncounted.
+    ///
+    /// The map also carries one reserved pseudo-entry,
+    /// [`MODLOG_SIGNATURE_KEY`], fingerprinting the **folded pending
+    /// modification log**: two databases only compare equal when their
+    /// tables match *and* their un-drained work nets to the same
+    /// effective changes. Recovery-equivalence checks therefore cover
+    /// pending deferred batches, not just applied state. The fold (not
+    /// the raw entry list) is hashed, so logs that differ only in
+    /// already-cancelled entries — or one drained log vs. one that
+    /// nets to nothing — still agree.
     pub fn signature(&self) -> HashMap<String, crate::table::TableSignature> {
-        self.tables
+        let mut sig: HashMap<String, crate::table::TableSignature> = self
+            .tables
             .iter()
             .map(|(n, t)| (n.clone(), t.signature()))
-            .collect()
+            .collect();
+        sig.insert(MODLOG_SIGNATURE_KEY.to_string(), self.modlog_signature());
+        sig
+    }
+
+    /// Fingerprint of the folded pending modification log, encoded as a
+    /// single-row pseudo [`TableSignature`](crate::table::TableSignature)
+    /// so it rides the existing signature map without changing its
+    /// type. Canonical order (tables, then keys, both sorted) makes the
+    /// hash independent of `HashMap` iteration order.
+    fn modlog_signature(&self) -> crate::table::TableSignature {
+        use std::hash::{Hash, Hasher};
+        let folded = self.fold_log();
+        let mut tables: Vec<&String> = folded.keys().collect();
+        tables.sort();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for t in tables {
+            t.hash(&mut h);
+            let changes = &folded[t];
+            let mut keys: Vec<&Key> = changes.keys().collect();
+            keys.sort();
+            for k in keys {
+                k.hash(&mut h);
+                match &changes[k] {
+                    NetChange::Inserted { post } => {
+                        0u8.hash(&mut h);
+                        post.hash(&mut h);
+                    }
+                    NetChange::Deleted { pre } => {
+                        1u8.hash(&mut h);
+                        pre.hash(&mut h);
+                    }
+                    NetChange::Updated { pre, post } => {
+                        2u8.hash(&mut h);
+                        pre.hash(&mut h);
+                        post.hash(&mut h);
+                    }
+                }
+            }
+        }
+        crate::table::TableSignature {
+            rows: vec![(Key(vec![Value::Int(h.finish() as i64)]), Row(Vec::new()))],
+            indexes: Vec::new(),
+        }
     }
 
     /// Pre-state view of `table` given the folded `changes` map for the
@@ -487,6 +546,54 @@ mod tests {
         d.abort_round();
         // No journal ⇒ the partial state stands (documented baseline).
         assert_eq!(d.table("parts").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn signature_fingerprints_pending_modlog() {
+        let mut d = db();
+        d.set_logging(false);
+        d.insert("parts", row!["P1", 10]).unwrap();
+        d.set_logging(true);
+        let drained = d.signature();
+        assert!(
+            drained.contains_key(MODLOG_SIGNATURE_KEY),
+            "signature must carry the modlog pseudo-entry"
+        );
+
+        // Pending (un-drained) work is visible in the pseudo-entry.
+        d.update("parts", &k("P1"), &[(1, Value::Int(11))]).unwrap();
+        let pending = d.signature();
+        assert_ne!(
+            pending[MODLOG_SIGNATURE_KEY], drained[MODLOG_SIGNATURE_KEY],
+            "un-drained work must change the modlog fingerprint"
+        );
+
+        // The *fold* is hashed: reverting the update restores the table
+        // AND cancels the net, so the whole signature returns to the
+        // drained state without clearing the log.
+        d.update("parts", &k("P1"), &[(1, Value::Int(10))]).unwrap();
+        assert_eq!(d.signature(), drained);
+
+        // Same table contents, different pending nets ⇒ different
+        // signatures (this is the coverage a table-only signature
+        // lacked: the update below was applied to both, but only one
+        // database still owes its views the maintenance round).
+        d.update("parts", &k("P1"), &[(1, Value::Int(12))]).unwrap();
+        let undrained = d.signature();
+        d.clear_log();
+        let drained_at_12 = d.signature();
+        assert_eq!(undrained["parts"], drained_at_12["parts"]);
+        assert_ne!(undrained, drained_at_12);
+
+        // Two databases with identical tables and identical pending
+        // nets agree, even when the raw entry lists differ.
+        let mut a = db();
+        let mut b = db();
+        a.insert("parts", row!["P1", 10]).unwrap();
+        b.insert("parts", row!["P1", 99]).unwrap();
+        b.update("parts", &k("P1"), &[(1, Value::Int(10))]).unwrap();
+        assert_eq!(a.fold_log(), b.fold_log());
+        assert_eq!(a.signature(), b.signature());
     }
 
     #[test]

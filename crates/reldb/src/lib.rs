@@ -24,7 +24,7 @@ pub mod overlay;
 pub mod stats;
 pub mod table;
 
-pub use database::Database;
+pub use database::{Database, MODLOG_SIGNATURE_KEY};
 pub use log::{
     compose_changes, table_delta, LogEntry, ModificationLog, NetChange, TableChanges, UndoLog,
     UndoOp,

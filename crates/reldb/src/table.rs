@@ -146,6 +146,14 @@ impl Table {
         positions == self.schema.key() || self.find_index(positions).is_some()
     }
 
+    /// Column-position lists of every secondary index, in creation
+    /// order. A checkpoint records these definitions (postings are
+    /// rebuilt from the restored rows via
+    /// [`Table::create_index_positions`], which is content-deterministic).
+    pub fn index_positions(&self) -> Vec<Vec<usize>> {
+        self.indexes.iter().map(|ix| ix.cols().to_vec()).collect()
+    }
+
     fn find_index(&self, positions: &[usize]) -> Option<&SecondaryIndex> {
         self.indexes.iter().find(|ix| ix.cols() == positions)
     }

@@ -208,6 +208,112 @@ impl ViewCatalog {
         Ok(())
     }
 
+    /// Re-register a view over tables that **already hold its
+    /// materialized state** — the crash-recovery path. Identical to
+    /// [`ViewCatalog::register`] except the engine is rebuilt with
+    /// [`IdIvm::setup_over`], which reuses every shape-matched table
+    /// (the view table and its caches) instead of re-materializing from
+    /// current base state. Re-materializing would be wrong for a
+    /// recovered deferred/`OnRead` view with a non-empty pending net:
+    /// its table holds `Q(base at last drain)`, not `Q(current base)`.
+    ///
+    /// Promoted intermediates must be reattached (in the checkpoint's
+    /// backing order) *before* the views, so the same
+    /// structure-substitution rewrite that [`ViewCatalog::register`]
+    /// applies reproduces each view's rewired plan.
+    ///
+    /// # Errors
+    /// Duplicate name ([`Error::Config`]) or any [`IdIvm::setup_over`]
+    /// failure.
+    pub fn reattach(&mut self, name: &str, plan: Plan, options: IvmOptions) -> Result<()> {
+        if self.views.contains_key(name) {
+            return Err(Error::Config(format!(
+                "view `{name}` is already registered"
+            )));
+        }
+        let source = plan.clone();
+        let plan = if self.intermediates.is_empty() {
+            plan
+        } else {
+            let plan = ensure_ids(plan)?;
+            let map = self.backing_substitutions()?;
+            substitute_structures(&plan, options.minimize, &map)
+        };
+        let engine = IdIvm::setup_over(&mut self.db, name, plan, options)?;
+        let tables = scanned_tables(engine.plan());
+        for (backing, iv) in &mut self.intermediates {
+            if tables.iter().any(|t| t == backing) {
+                iv.consumers.insert(name.to_string());
+            }
+        }
+        self.views.insert(
+            name.to_string(),
+            CatalogView {
+                engine,
+                prefixes: SharedPrefixes::none(),
+                tables,
+                source,
+            },
+        );
+        self.refresh_prefixes();
+        Ok(())
+    }
+
+    /// Recovery-path counterpart of [`ViewCatalog::promote`]: rebuild a
+    /// promoted intermediate's registration over its **already
+    /// populated** backing table. The engine is reattached with
+    /// [`IdIvm::setup_over`] (no re-materialization) and the consumer
+    /// set is taken verbatim from the checkpoint — consumer views are
+    /// reattached afterwards and rewired through the substitution map
+    /// this entry feeds.
+    ///
+    /// # Errors
+    /// Duplicate backing name ([`Error::Config`]) or any
+    /// [`IdIvm::setup_over`] failure.
+    pub fn reattach_intermediate(
+        &mut self,
+        backing: &str,
+        subtree: Plan,
+        structure: String,
+        label: String,
+        consumers: BTreeSet<String>,
+        options: IvmOptions,
+    ) -> Result<()> {
+        if self.intermediates.contains_key(backing) {
+            return Err(Error::Config(format!(
+                "intermediate `{backing}` is already registered"
+            )));
+        }
+        let engine = IdIvm::setup_over(&mut self.db, backing, subtree, options)?;
+        let subtree = engine.plan().clone();
+        let tables = scanned_tables(&subtree);
+        self.intermediates.insert(
+            backing.to_string(),
+            IntermediateView {
+                engine,
+                prefixes: SharedPrefixes::none(),
+                subtree,
+                structure,
+                label,
+                tables,
+                consumers,
+            },
+        );
+        self.refresh_prefixes();
+        Ok(())
+    }
+
+    /// Monotone backing-name counter (checkpointed so recovered
+    /// promotions keep minting fresh `__ivm{n}` names).
+    pub fn next_backing(&self) -> u64 {
+        self.next_backing
+    }
+
+    /// Restore the backing-name counter from a checkpoint.
+    pub fn set_next_backing(&mut self, next: u64) {
+        self.next_backing = next;
+    }
+
     /// Drop a view: its materialized table, its caches, and its
     /// registration. Remaining views' shared-prefix designations are
     /// recomputed (a prefix shared only with the dropped view loses its

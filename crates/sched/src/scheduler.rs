@@ -343,6 +343,10 @@ pub struct MaintenanceScheduler {
     /// promote/demote transitions so re-promotion uses the same state
     /// machine.
     trackers: BTreeMap<String, CrossoverModel>,
+    /// Provenance note stamped onto supervised-round reports after a
+    /// crash recovery (set by the durability layer; `None` in ordinary
+    /// sessions).
+    recovery_note: Option<String>,
 }
 
 /// What one intermediate-sync pass (start of tick/barrier) did.
@@ -371,6 +375,7 @@ impl MaintenanceScheduler {
             intermediate_pending: BTreeMap::new(),
             intermediate_stats: BTreeMap::new(),
             trackers: BTreeMap::new(),
+            recovery_note: None,
         }
     }
 
@@ -593,11 +598,12 @@ impl MaintenanceScheduler {
                     // recompute ladder. Its delta is an exact snapshot
                     // diff of the backing (empty if it degraded —
                     // everything rolled back).
-                    let (report, delta) = self.catalog.maintain_intermediate_supervised(
+                    let (mut report, delta) = self.catalog.maintain_intermediate_supervised(
                         &backing,
                         &net,
                         self.config.supervisor,
                     )?;
+                    report.recovered_from = self.recovery_note.clone();
                     let verdict = report.verdict;
                     let stats = self.intermediate_stats.entry(backing.clone()).or_default();
                     stats.supervised_rounds += 1;
@@ -826,9 +832,10 @@ impl MaintenanceScheduler {
                     // The failed round has been rolled back; escalate
                     // to the per-view supervisor, which owns retries,
                     // bisection/quarantine, and the recompute ladder.
-                    let report =
+                    let mut report =
                         self.catalog
                             .maintain_supervised(name, &net, self.config.supervisor)?;
+                    report.recovered_from = self.recovery_note.clone();
                     let spent = self.catalog.db().stats().snapshot().since(&before);
                     let verdict = report.verdict;
                     let state = self.state_mut(name)?;
@@ -1125,5 +1132,144 @@ impl MaintenanceScheduler {
             .iter()
             .map(|s| s.to_string())
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-recovery surface (used by `idivm_durability`)
+    // ------------------------------------------------------------------
+
+    /// Recovery-path [`MaintenanceScheduler::register`]: the view's
+    /// table and caches already hold its materialized state (restored
+    /// from a checkpoint), so the catalog reattaches the engine with
+    /// [`ViewCatalog::reattach`] instead of re-materializing. The
+    /// view's runtime state (pending net, staleness) starts empty —
+    /// restore it with [`MaintenanceScheduler::restore_view_runtime`].
+    ///
+    /// # Errors
+    /// Invalid policy or any [`ViewCatalog::reattach`] failure.
+    pub fn reattach(
+        &mut self,
+        name: &str,
+        plan: idivm_algebra::Plan,
+        policy: RefreshPolicy,
+        options: IvmOptions,
+    ) -> Result<()> {
+        policy.validate()?;
+        self.catalog.reattach(name, plan, options)?;
+        self.states.insert(
+            name.to_string(),
+            ViewState {
+                policy,
+                pending: HashMap::new(),
+                staleness: 0,
+                stats: ViewStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Recovery-path re-registration of a promoted intermediate over
+    /// its restored backing table. Call before reattaching any of its
+    /// consumer views (see [`ViewCatalog::reattach_intermediate`]).
+    ///
+    /// # Errors
+    /// Any [`ViewCatalog::reattach_intermediate`] failure.
+    pub fn reattach_intermediate(
+        &mut self,
+        backing: &str,
+        subtree: idivm_algebra::Plan,
+        structure: String,
+        label: String,
+        consumers: BTreeSet<String>,
+        options: IvmOptions,
+    ) -> Result<()> {
+        self.catalog
+            .reattach_intermediate(backing, subtree, structure, label, consumers, options)?;
+        self.intermediate_pending
+            .insert(backing.to_string(), HashMap::new());
+        self.intermediate_stats
+            .entry(backing.to_string())
+            .or_default();
+        Ok(())
+    }
+
+    /// Restore the scheduler round counter from a checkpoint.
+    pub fn restore_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
+    /// Restore a view's checkpointed runtime state: its composed
+    /// pending net and staleness counter.
+    ///
+    /// # Errors
+    /// Unknown view name.
+    pub fn restore_view_runtime(
+        &mut self,
+        name: &str,
+        pending: HashMap<String, TableChanges>,
+        staleness: u32,
+    ) -> Result<()> {
+        let state = self.state_mut(name)?;
+        state.pending = pending;
+        state.staleness = staleness;
+        Ok(())
+    }
+
+    /// Restore a promoted intermediate's checkpointed pending net.
+    ///
+    /// # Errors
+    /// Unknown backing name.
+    pub fn restore_intermediate_pending(
+        &mut self,
+        backing: &str,
+        pending: HashMap<String, TableChanges>,
+    ) -> Result<()> {
+        self.catalog.intermediate(backing)?;
+        self.intermediate_pending.insert(backing.to_string(), pending);
+        Ok(())
+    }
+
+    /// A promoted intermediate's composed pending net (empty when it is
+    /// up to date). Cloned — this is a checkpoint-cadence read.
+    ///
+    /// # Errors
+    /// Unknown backing name.
+    pub fn intermediate_pending(&self, backing: &str) -> Result<HashMap<String, TableChanges>> {
+        self.catalog.intermediate(backing)?;
+        Ok(self
+            .intermediate_pending
+            .get(backing)
+            .cloned()
+            .unwrap_or_default())
+    }
+
+    /// Streak counters of every crossover tracker, sorted by prefix
+    /// structure — the cost-model state a checkpoint must carry so a
+    /// recovered scheduler replays the exact promote/demote sequence.
+    pub fn tracker_streaks(&self) -> Vec<(String, u32, u32)> {
+        self.trackers
+            .iter()
+            .map(|(s, m)| (s.clone(), m.promote_streak(), m.demote_streak()))
+            .collect()
+    }
+
+    /// Restore one crossover tracker from checkpointed streak counters.
+    pub fn restore_tracker(&mut self, structure: &str, promote_streak: u32, demote_streak: u32) {
+        self.trackers.insert(
+            structure.to_string(),
+            CrossoverModel::with_streaks(promote_streak, demote_streak),
+        );
+    }
+
+    /// Stamp (or clear) the recovery-provenance note copied onto every
+    /// supervised-round report — e.g. `"checkpoint (lsn 12) + 3 wal
+    /// records"` after a crash recovery.
+    pub fn set_recovery_note(&mut self, note: Option<String>) {
+        self.recovery_note = note;
+    }
+
+    /// The current recovery-provenance note, if any.
+    pub fn recovery_note(&self) -> Option<&str> {
+        self.recovery_note.as_deref()
     }
 }

@@ -42,6 +42,13 @@ pub enum Error {
     Budget(String),
     /// Internal invariant violation (a bug, surfaced instead of UB).
     Internal(String),
+    /// On-disk durability state failed a checksum or structural check
+    /// *before* the end of the write-ahead log (mid-log corruption, a
+    /// mangled checkpoint, an impossible record). Never produced by a
+    /// merely torn tail — that is truncated and recovery continues.
+    /// Permanent: retrying the open against the same bytes cannot
+    /// succeed; the operator must repair or discard the store.
+    Corrupt(String),
 }
 
 impl Error {
@@ -73,6 +80,7 @@ impl fmt::Display for Error {
             Error::Poison(m) => write!(f, "poison fault: {m}"),
             Error::Budget(m) => write!(f, "budget exceeded: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt durability state: {m}"),
         }
     }
 }
@@ -109,6 +117,7 @@ mod tests {
             Error::Config("x".into()),
             Error::Poison("x".into()),
             Error::Internal("x".into()),
+            Error::Corrupt("x".into()),
         ] {
             assert!(!e.retryable(), "{e} must be permanent");
         }

@@ -16,6 +16,9 @@ pub use idivm_sched as catalog;
 /// admission queue, adaptive micro-batcher, dead-letter quarantine.
 pub use idivm_ingest as ingest;
 pub use idivm_cost as cost;
+/// Write-ahead logging, checkpoints, and crash-consistent recovery
+/// (`idivm-durability`).
+pub use idivm_durability as durability;
 pub use idivm_exec as exec;
 pub use idivm_reldb as reldb;
 pub use idivm_sdbt as sdbt;
