@@ -337,6 +337,9 @@ fn main() {
     println!("\nrecovery-determinism guard (kill at WAL append 3, two runs × P=1/P=4):");
     let mut determinism_rows: Vec<String> = Vec::new();
     let mut digests: Vec<u64> = Vec::new();
+    // Recovery-time-objective samples: wall-clock of every `reopen`
+    // after a kill, across the determinism guard and the site sweep.
+    let mut rto_samples_ms: Vec<f64> = Vec::new();
     for threads in [1usize, 4] {
         for rep in 0..2u32 {
             let dir = fresh_dir("determinism");
@@ -350,7 +353,9 @@ fn main() {
                 threads,
             );
             assert!(!run.completed, "P={threads} rep {rep}: the kill never fired");
+            let rto_start = Instant::now();
             let recovered = reopen(&dir, sweep_cfg, threads).expect("recovery");
+            rto_samples_ms.push(rto_start.elapsed().as_secs_f64() * 1e3);
             let digest = sig_digest(&recovered.signature());
             println!("  P={threads} rep {rep}: recovered digest {digest:#018x}");
             determinism_rows.push(format!(
@@ -407,8 +412,10 @@ fn main() {
                 std::fs::remove_dir_all(&dir).expect("cleanup");
                 break;
             }
+            let rto_start = Instant::now();
             let mut recovered = reopen(&dir, sweep_cfg, 1)
                 .unwrap_or_else(|e| panic!("site {site} k={k}: recovery failed: {e:?}"));
+            rto_samples_ms.push(rto_start.elapsed().as_secs_f64() * 1e3);
             let sig = recovered.signature();
             let last_ack = run.acks.last().expect("at least the created store was acknowledged");
             let outcome = if sig == *last_ack {
@@ -466,6 +473,25 @@ fn main() {
         "a checkpoint kill lost a journaled round"
     );
 
+    // ── Recovery time objective ────────────────────────────────────
+    // Every post-kill reopen above was timed; report the distribution
+    // and guard against pathological regressions. The guard is
+    // deliberately generous (shared CI machines): recovery of these
+    // small stores takes milliseconds, the guard allows 30 s.
+    const RTO_GUARD_MS: f64 = 30_000.0;
+    assert!(!rto_samples_ms.is_empty(), "no recovery was timed");
+    let rto_max_ms = rto_samples_ms.iter().copied().fold(0.0f64, f64::max);
+    let rto_mean_ms = rto_samples_ms.iter().sum::<f64>() / rto_samples_ms.len() as f64;
+    println!(
+        "\nrecovery time objective: {} recoveries, mean {rto_mean_ms:.3} ms, \
+         max {rto_max_ms:.3} ms (guard {RTO_GUARD_MS:.0} ms)",
+        rto_samples_ms.len()
+    );
+    assert!(
+        rto_max_ms < RTO_GUARD_MS,
+        "recovery took {rto_max_ms:.1} ms, above the {RTO_GUARD_MS:.0} ms guard"
+    );
+
     // ── BENCH_crash.json ───────────────────────────────────────────
     let sweep_json: Vec<String> = sweep_rows
         .iter()
@@ -480,7 +506,10 @@ fn main() {
         "{{\n  \"bench\": \"crash\",\n  \"seed\": {seed},\n  \"smoke\": {smoke},\n  \
          \"overhead\": {{\"rounds\": {timing_rounds}, \"diff\": {td}, \"off_ms\": {off_ms:.3}, \
          \"always_ms\": {wal_ms:.3}, \"overhead_pct\": {overhead_pct:.3}}},\n  \
+         \"rto\": {{\"samples\": {}, \"mean_ms\": {rto_mean_ms:.3}, \
+         \"max_ms\": {rto_max_ms:.3}, \"guard_ms\": {RTO_GUARD_MS:.0}}},\n  \
          \"determinism\": [\n{}\n  ],\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        rto_samples_ms.len(),
         determinism_rows.join(",\n"),
         sweep_json.join(",\n")
     );

@@ -169,12 +169,20 @@ impl ViewCatalog {
     /// joins the intermediate's consumer set).
     ///
     /// # Errors
-    /// Duplicate name ([`Error::Config`]) or any [`IdIvm::setup`]
-    /// failure.
+    /// Duplicate name or a name colliding with an existing base table
+    /// or intermediate backing ([`Error::Config`]), or any
+    /// [`IdIvm::setup`] failure. The collision check lives here and not
+    /// in [`ViewCatalog::reattach`]: reattach is the recovery path,
+    /// where the view's backing table legitimately already exists.
     pub fn register(&mut self, name: &str, plan: Plan, options: IvmOptions) -> Result<()> {
         if self.views.contains_key(name) {
             return Err(Error::Config(format!(
                 "view `{name}` is already registered"
+            )));
+        }
+        if self.db.has_table(name) {
+            return Err(Error::Config(format!(
+                "view name `{name}` collides with an existing table"
             )));
         }
         let source = plan.clone();

@@ -1,0 +1,139 @@
+//! The `EXPLAIN MAINTENANCE` text renderer.
+//!
+//! One renderer serves both the programmatic API
+//! ([`frontend::execute`](crate::frontend::execute) /
+//! [`explain_view`]) and the `sqlshell` batch driver: the lowered
+//! operator tree, the per-base-table i-diff schemas with the paper's
+//! C_op/NC attribute split (Section 5), the generated ∆-script
+//! (Figure 7), and — when a traced round has run — per-operator trace
+//! attribution.
+
+use idivm_algebra::display;
+use idivm_core::schema_gen::TableDiffSchemas;
+use idivm_core::RoundTrace;
+use idivm_reldb::Database;
+use idivm_sched::CatalogView;
+use std::fmt::Write as _;
+
+/// Render the full `EXPLAIN MAINTENANCE` report for one registered
+/// view. `trace` is the most recent round's trace, when one exists
+/// (tracing enabled and at least one maintenance round run).
+pub fn explain_view(db: &Database, view: &CatalogView, trace: Option<&RoundTrace>) -> String {
+    let engine = view.engine();
+    let mut out = String::new();
+    let _ = writeln!(out, "== EXPLAIN MAINTENANCE `{}` ==", engine.view_name());
+
+    // -- operator tree ----------------------------------------------
+    let _ = writeln!(out, "\n-- defining plan --");
+    out.push_str(&display::explain(view.source_plan()));
+    if view.source_plan() != engine.plan() {
+        let _ = writeln!(
+            out,
+            "\n-- maintained plan (after intermediate-view rewrite) --"
+        );
+        out.push_str(&display::explain(engine.plan()));
+    }
+
+    // -- i-diff schemas with the C_op / NC split --------------------
+    let _ = writeln!(out, "\n-- base-table i-diff schemas (paper §5) --");
+    let schemas = engine.schemas();
+    let mut tables: Vec<&String> = schemas.tables.keys().collect();
+    tables.sort();
+    for table in tables {
+        if let Some(ts) = schemas.tables.get(table) {
+            render_table_schemas(&mut out, db, table, ts);
+        }
+    }
+
+    // -- the generated ∆-script -------------------------------------
+    let _ = writeln!(out, "\n-- ∆-script --");
+    out.push_str(&idivm_core::script::explain_script(engine));
+
+    // -- trace attribution ------------------------------------------
+    match trace {
+        Some(t) => {
+            let _ = writeln!(out, "\n-- last traced round (per-operator) --");
+            let _ = writeln!(
+                out,
+                "{:<10} {:<12} {:<11} {:>8} {:>8} {:>8} {:>9}",
+                "path", "op", "phase", "in", "out", "dummies", "accesses"
+            );
+            for op in &t.operators {
+                let path = if op.path.is_empty() {
+                    "root".to_string()
+                } else {
+                    op.path
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(".")
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<12} {:<11} {:>8} {:>8} {:>8} {:>9}",
+                    path,
+                    op.op,
+                    op.phase.label(),
+                    op.diffs_in,
+                    op.diffs_out,
+                    op.dummies,
+                    op.accesses.total()
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "\n-- no traced round yet (enable tracing and run a round) --"
+            );
+        }
+    }
+    out
+}
+
+/// One base table's i-diff schema block: key, insert/delete shapes, and
+/// each update group labelled conditional (`C_op`) or `NC`.
+fn render_table_schemas(out: &mut String, db: &Database, table: &str, ts: &TableDiffSchemas) {
+    let name_of = |idx: usize| -> String {
+        match db.table(table) {
+            Ok(t) => t.schema().name_of(idx).to_string(),
+            Err(_) => format!("#{idx}"),
+        }
+    };
+    let names = |idxs: &[usize]| -> String {
+        let v: Vec<String> = idxs.iter().map(|&i| name_of(i)).collect();
+        v.join(", ")
+    };
+    let _ = writeln!(out, "table `{table}`:");
+    let _ = writeln!(out, "  key: [{}]", names(&ts.key));
+    let _ = writeln!(out, "  Δ+({}; post: all attributes)", names(&ts.key));
+    let _ = writeln!(
+        out,
+        "  Δ-({}; pre: {})",
+        names(&ts.key),
+        names(&ts.non_key)
+    );
+    let mut cop = 0;
+    for g in &ts.updates {
+        if g.non_conditional {
+            let _ = writeln!(
+                out,
+                "  Δu NC ({}; post: {})  [non-conditional — cheap path]",
+                names(&ts.key),
+                names(&g.post_attrs)
+            );
+        } else {
+            cop += 1;
+            let _ = writeln!(
+                out,
+                "  Δu C_op{} ({}; post: {})  [conditional]",
+                cop,
+                names(&ts.key),
+                names(&g.post_attrs)
+            );
+        }
+    }
+    if ts.updates.is_empty() {
+        let _ = writeln!(out, "  (no update groups — all attributes are key)");
+    }
+}

@@ -1,0 +1,245 @@
+//! The SQL lexer: byte-span-carrying tokens over arbitrary input.
+//!
+//! Keywords are recognized case-insensitively *by the parser* — the
+//! lexer only distinguishes identifiers, literals, and punctuation.
+//! `--` line comments are skipped. Any byte sequence the lexer cannot
+//! tokenize yields a typed [`Error::Unsupported`] naming the offending
+//! span; the lexer never panics.
+
+use idivm_types::{Error, Result};
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare or qualified-part identifier (`parts`, `price`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semi,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// One token plus its byte span in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's source text slice (for error messages).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Render a source span for an error message: the offending text plus
+/// its byte offsets.
+pub fn span(src: &str, start: usize, end: usize) -> String {
+    let snippet = src.get(start..end).unwrap_or("<invalid utf-8 span>");
+    format!("`{snippet}` at bytes {start}..{end}")
+}
+
+/// Tokenize `src`.
+///
+/// # Errors
+/// [`Error::Unsupported`] on any character or literal outside the
+/// subset, naming the offending span.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(tok(TokenKind::LParen, i, i + 1));
+                i += 1;
+            }
+            b')' => {
+                out.push(tok(TokenKind::RParen, i, i + 1));
+                i += 1;
+            }
+            b',' => {
+                out.push(tok(TokenKind::Comma, i, i + 1));
+                i += 1;
+            }
+            b'.' => {
+                out.push(tok(TokenKind::Dot, i, i + 1));
+                i += 1;
+            }
+            b'*' => {
+                out.push(tok(TokenKind::Star, i, i + 1));
+                i += 1;
+            }
+            b';' => {
+                out.push(tok(TokenKind::Semi, i, i + 1));
+                i += 1;
+            }
+            b'=' => {
+                out.push(tok(TokenKind::Eq, i, i + 1));
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(tok(TokenKind::Le, i, i + 2));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(tok(TokenKind::Ne, i, i + 2));
+                    i += 2;
+                } else {
+                    out.push(tok(TokenKind::Lt, i, i + 1));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(tok(TokenKind::Ge, i, i + 2));
+                    i += 2;
+                } else {
+                    out.push(tok(TokenKind::Gt, i, i + 1));
+                    i += 1;
+                }
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(tok(TokenKind::Ne, i, i + 2));
+                i += 2;
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Unsupported(format!(
+                                "unterminated string literal {}",
+                                span(src, start, src.len())
+                            )))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Advance one whole UTF-8 character.
+                            let ch = src[i..].chars().next().ok_or_else(|| {
+                                Error::Unsupported(format!(
+                                    "invalid utf-8 inside string literal {}",
+                                    span(src, start, i)
+                                ))
+                            })?;
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(tok(TokenKind::Str(s), start, i));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && (bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E') {
+                    return Err(Error::Unsupported(format!(
+                        "non-integer numeric literal {}",
+                        span(src, start, (i + 1).min(src.len()))
+                    )));
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| {
+                    Error::Unsupported(format!(
+                        "integer literal out of range {}",
+                        span(src, start, i)
+                    ))
+                })?;
+                out.push(tok(TokenKind::Int(n), start, i));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(tok(TokenKind::Ident(src[start..i].to_string()), start, i));
+            }
+            _ => {
+                // One whole character, so the span is valid UTF-8.
+                let ch_len = src
+                    .get(i..)
+                    .and_then(|s| s.chars().next())
+                    .map_or(1, char::len_utf8);
+                return Err(Error::Unsupported(format!(
+                    "unsupported character {}",
+                    span(src, i, i + ch_len)
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
+    Token { kind, start, end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_subset() {
+        let toks = tokenize("SELECT a.b, 42 FROM t WHERE x >= 'ph''one'; -- c\n").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "SELECT"));
+        assert!(kinds.contains(&&TokenKind::Int(42)));
+        assert!(kinds.contains(&&TokenKind::Ge));
+        assert!(kinds.contains(&&TokenKind::Str("ph'one".to_string())));
+        assert_eq!(*kinds.last().unwrap(), &TokenKind::Semi);
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        for bad in ["SELECT ~ FROM t", "SELECT 'open", "SELECT 1.5", "¤"] {
+            match tokenize(bad) {
+                Err(idivm_types::Error::Unsupported(m)) => {
+                    assert!(m.contains("bytes"), "{m}");
+                }
+                other => panic!("{bad:?}: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multibyte_input_never_panics() {
+        let _ = tokenize("SELECT α FROM β");
+        let _ = tokenize("'αβ");
+    }
+}

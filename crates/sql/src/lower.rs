@@ -1,0 +1,876 @@
+//! Name resolution and lowering from [`Query`] ASTs to
+//! [`idivm_algebra::Plan`]s.
+//!
+//! The lowering is deliberately *shape-preserving* so that SQL text
+//! produces plans structurally identical to the hand-written
+//! [`PlanBuilder`] programs in `idivm-workloads`:
+//!
+//! * The `FROM`/`JOIN` list folds left-deep, in written order.
+//! * `WHERE` is split into top-level conjuncts; each conjunct attaches
+//!   at the **earliest** left-deep step where every referenced column is
+//!   in scope, and conjuncts landing at the same step combine with
+//!   [`Expr::and`] into ONE `Select` node.
+//! * `SELECT *` emits no `Project`; an explicit column list emits one
+//!   `Project`; `GROUP BY` lowers straight to the builder's `group_by`.
+//! * `WHERE [NOT] EXISTS (…)` becomes a semi/anti join applied after
+//!   the inner joins, with correlated equality conjuncts as join keys.
+//! * A `FROM` item naming a registered view inlines the view's defining
+//!   plan under a renaming projection (`alias.short_name`), so shared
+//!   subtrees stay visible to prefix detection.
+
+use crate::ast::{
+    AggCall, ColumnRef, FromItem, JoinKind, Query, SelectItem, Span, SqlCmp, SqlExpr,
+};
+use idivm_algebra::builder::SchemaSource;
+use idivm_algebra::{AggFunc, Expr, Plan, PlanBuilder, PlanCol};
+use idivm_types::{Error, Result};
+use std::collections::HashMap;
+
+/// Lower a parsed query against base-table schemas (`tables`) and the
+/// already-registered views (`views`, name → defining plan).
+///
+/// # Errors
+/// [`Error::Unsupported`] naming the offending SQL span for anything
+/// the subset cannot express.
+pub fn lower_query<S: SchemaSource>(
+    src: &str,
+    query: &Query,
+    tables: &S,
+    views: &HashMap<String, Plan>,
+) -> Result<Plan> {
+    let mut plan = lower_single(src, query, tables, views)?;
+    if let Some(tail) = &query.union_all {
+        let right = lower_query(src, tail, tables, views)?;
+        plan = PlanBuilder::from_plan(plan)
+            .union_all(PlanBuilder::from_plan(right))
+            .plan()
+            .clone();
+    }
+    Ok(plan)
+}
+
+fn unsup(what: &str, src: &str, span: Span) -> Error {
+    Error::Unsupported(format!("{what} ({})", span.render(src)))
+}
+
+/// Lower one `SELECT` block (no `UNION ALL` tail).
+fn lower_single<S: SchemaSource>(
+    src: &str,
+    query: &Query,
+    tables: &S,
+    views: &HashMap<String, Plan>,
+) -> Result<Plan> {
+    // -- scans ------------------------------------------------------
+    let items: Vec<&FromItem> = std::iter::once(&query.from)
+        .chain(query.joins.iter().map(|j| &j.item))
+        .collect();
+    for (i, a) in items.iter().enumerate() {
+        for b in &items[..i] {
+            if a.alias == b.alias {
+                return Err(unsup(
+                    &format!("duplicate table alias `{}`", a.alias),
+                    src,
+                    a.span,
+                ));
+            }
+        }
+    }
+    let scans: Vec<Plan> = items
+        .iter()
+        .map(|it| scan_item(src, it, tables, views))
+        .collect::<Result<_>>()?;
+
+    // Full scope: the left-deep join concatenates scan columns in
+    // order, so the final scope is the per-step concatenation.
+    let mut scope: Vec<(String, usize)> = Vec::new();
+    for (step, scan) in scans.iter().enumerate() {
+        for c in scan.output_cols() {
+            scope.push((c.name, step));
+        }
+    }
+
+    // -- WHERE conjunct placement -----------------------------------
+    let mut step_preds: Vec<Vec<SqlExpr>> = vec![Vec::new(); scans.len()];
+    let mut exists_preds: Vec<SqlExpr> = Vec::new();
+    if let Some(pred) = query.where_pred.clone() {
+        for conjunct in pred.conjuncts() {
+            if matches!(conjunct, SqlExpr::Exists { .. }) {
+                exists_preds.push(conjunct);
+                continue;
+            }
+            let step = conjunct_step(src, &conjunct, &scope)?;
+            step_preds[step].push(conjunct);
+        }
+    }
+
+    // -- left-deep fold with earliest-binding selects ---------------
+    let mut scans_iter = scans.into_iter();
+    let first = scans_iter.next().ok_or_else(|| {
+        Error::Unsupported("query has no FROM item".to_string())
+    })?;
+    let mut builder = PlanBuilder::from_plan(first);
+    builder = apply_step_preds(src, builder, &scope, &mut step_preds[0])?;
+    for (idx, (join, scan)) in query.joins.iter().zip(scans_iter).enumerate() {
+        let step = idx + 1;
+        let pairs = join_on_pairs(src, &join.on, builder.plan(), &scan)?;
+        let on: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|(l, r)| (l.as_str(), r.as_str()))
+            .collect();
+        let right = PlanBuilder::from_plan(scan);
+        builder = match join.kind {
+            JoinKind::Inner => builder.join(right, &on)?,
+            JoinKind::LeftOuter => builder.left_outer_join(right, &on)?,
+        };
+        builder = apply_step_preds(src, builder, &scope, &mut step_preds[step])?;
+    }
+
+    // -- EXISTS → semi/anti joins -----------------------------------
+    for pred in exists_preds {
+        builder = lower_exists(src, builder, &pred, tables, views)?;
+    }
+
+    // -- SELECT list / GROUP BY -------------------------------------
+    builder = lower_select_list(src, builder, query, &scope)?;
+    Ok(builder.plan().clone())
+}
+
+/// Build the scan (or inline view expansion) for one `FROM` item.
+///
+/// Registered views shadow base tables: registration materializes a
+/// backing table under the view name, so the view map is consulted
+/// first and the defining plan — not the materialized table — is
+/// inlined. The inline plan is wrapped in a renaming projection
+/// (`alias.short`) so downstream name resolution treats the view like
+/// a base table while the shared subtree below stays intact for
+/// prefix detection.
+fn scan_item<S: SchemaSource>(
+    src: &str,
+    item: &FromItem,
+    tables: &S,
+    views: &HashMap<String, Plan>,
+) -> Result<Plan> {
+    if let Some(view_plan) = views.get(&item.table) {
+        let cols = view_plan.output_cols();
+        let mut renamed: Vec<(String, Expr)> = Vec::with_capacity(cols.len());
+        for (i, c) in cols.iter().enumerate() {
+            let short = c.name.rsplit('.').next().unwrap_or(&c.name);
+            let name = format!("{}.{short}", item.alias);
+            if renamed.iter().any(|(n, _)| n == &name) {
+                return Err(unsup(
+                    &format!(
+                        "view `{}` has colliding short column name `{short}`; \
+                         cannot be referenced from SQL",
+                        item.table
+                    ),
+                    src,
+                    item.span,
+                ));
+            }
+            renamed.push((name, Expr::Col(i)));
+        }
+        return Ok(PlanBuilder::from_plan(view_plan.clone())
+            .project(renamed)
+            .plan()
+            .clone());
+    }
+    match PlanBuilder::scan_as(tables, &item.table, &item.alias) {
+        Ok(b) => Ok(b.plan().clone()),
+        Err(_) => Err(unsup(
+            &format!("unknown table or view `{}`", item.table),
+            src,
+            item.span,
+        )),
+    }
+}
+
+/// Resolve a column reference against a scope of qualified names.
+/// Qualified refs match exactly; bare refs match by unique suffix.
+fn resolve_in<'a>(
+    src: &str,
+    c: &ColumnRef,
+    names: impl Iterator<Item = &'a str>,
+) -> Result<String> {
+    if let Some(q) = &c.qualifier {
+        let want = format!("{q}.{}", c.column);
+        for n in names {
+            if n == want {
+                return Ok(want);
+            }
+        }
+        return Err(unsup(
+            &format!("unknown column `{want}`"),
+            src,
+            c.span,
+        ));
+    }
+    let mut matches: Vec<&str> = Vec::new();
+    let suffix = format!(".{}", c.column);
+    for n in names {
+        if n == c.column || n.ends_with(&suffix) {
+            matches.push(n);
+        }
+    }
+    match matches.len() {
+        1 => Ok(matches[0].to_string()),
+        0 => Err(unsup(
+            &format!("unknown column `{}`", c.column),
+            src,
+            c.span,
+        )),
+        _ => Err(unsup(
+            &format!(
+                "ambiguous column `{}` (matches {matches:?})",
+                c.column
+            ),
+            src,
+            c.span,
+        )),
+    }
+}
+
+fn resolve_in_scope(src: &str, c: &ColumnRef, scope: &[(String, usize)]) -> Result<String> {
+    resolve_in(src, c, scope.iter().map(|(n, _)| n.as_str()))
+}
+
+/// The earliest left-deep step at which every column of `conjunct` is
+/// in scope (= max owning step over its references).
+fn conjunct_step(src: &str, conjunct: &SqlExpr, scope: &[(String, usize)]) -> Result<usize> {
+    let mut step = 0;
+    let mut stack = vec![conjunct];
+    while let Some(e) = stack.pop() {
+        match e {
+            SqlExpr::Column(c) => {
+                let name = resolve_in_scope(src, c, scope)?;
+                if let Some((_, s)) = scope.iter().find(|(n, _)| n == &name) {
+                    step = step.max(*s);
+                }
+            }
+            SqlExpr::Cmp { left, right, .. } => {
+                stack.push(left);
+                stack.push(right);
+            }
+            SqlExpr::And(parts) => stack.extend(parts.iter()),
+            SqlExpr::Or(l, r, _) => {
+                stack.push(l);
+                stack.push(r);
+            }
+            SqlExpr::Not(inner, _) => stack.push(inner),
+            SqlExpr::Exists { span, .. } => {
+                return Err(unsup(
+                    "EXISTS is only supported as a top-level WHERE conjunct",
+                    src,
+                    *span,
+                ));
+            }
+            SqlExpr::IntLit(..) | SqlExpr::StrLit(..) => {}
+        }
+    }
+    Ok(step)
+}
+
+/// Combine the conjuncts assigned to one step into a single `Select`
+/// (via [`Expr::and`], which flattens to one `And` list — the same
+/// shape the builders produce).
+fn apply_step_preds(
+    src: &str,
+    builder: PlanBuilder,
+    scope: &[(String, usize)],
+    preds: &mut Vec<SqlExpr>,
+) -> Result<PlanBuilder> {
+    if preds.is_empty() {
+        return Ok(builder);
+    }
+    let mut combined: Option<Expr> = None;
+    for p in preds.drain(..) {
+        let e = lower_scalar(src, &p, builder.plan(), scope)?;
+        combined = Some(match combined {
+            None => e,
+            Some(prev) => prev.and(e),
+        });
+    }
+    match combined {
+        Some(e) => Ok(builder.select(e)),
+        None => Ok(builder),
+    }
+}
+
+/// Lower a scalar predicate/expression against `plan`'s output schema.
+/// Bare column names resolve via the full-query `scope` first (for a
+/// deterministic unique-suffix rule), then positionally against `plan`.
+fn lower_scalar(
+    src: &str,
+    e: &SqlExpr,
+    plan: &Plan,
+    scope: &[(String, usize)],
+) -> Result<Expr> {
+    match e {
+        SqlExpr::Column(c) => {
+            let name = resolve_in_scope(src, c, scope)?;
+            let pos = plan.col(&name).map_err(|_| {
+                unsup(
+                    &format!("column `{name}` is not in scope here"),
+                    src,
+                    c.span,
+                )
+            })?;
+            Ok(Expr::Col(pos))
+        }
+        SqlExpr::IntLit(n, _) => Ok(Expr::lit(*n)),
+        SqlExpr::StrLit(s, _) => Ok(Expr::lit(s.as_str())),
+        SqlExpr::Cmp {
+            op, left, right, ..
+        } => {
+            let l = lower_scalar(src, left, plan, scope)?;
+            let r = lower_scalar(src, right, plan, scope)?;
+            Ok(match op {
+                SqlCmp::Eq => l.eq(r),
+                SqlCmp::Ne => l.ne(r),
+                SqlCmp::Lt => l.lt(r),
+                SqlCmp::Le => l.le(r),
+                SqlCmp::Gt => l.gt(r),
+                SqlCmp::Ge => l.ge(r),
+            })
+        }
+        SqlExpr::And(parts) => {
+            let mut combined: Option<Expr> = None;
+            for p in parts {
+                let e = lower_scalar(src, p, plan, scope)?;
+                combined = Some(match combined {
+                    None => e,
+                    Some(prev) => prev.and(e),
+                });
+            }
+            combined.ok_or_else(|| Error::Unsupported("empty AND".to_string()))
+        }
+        SqlExpr::Or(l, r, _) => {
+            let le = lower_scalar(src, l, plan, scope)?;
+            let re = lower_scalar(src, r, plan, scope)?;
+            Ok(le.or(re))
+        }
+        SqlExpr::Not(inner, _) => Ok(lower_scalar(src, inner, plan, scope)?.negate()),
+        SqlExpr::Exists { span, .. } => Err(unsup(
+            "EXISTS is only supported as a top-level WHERE conjunct",
+            src,
+            *span,
+        )),
+    }
+}
+
+/// Extract equi-join pairs from an `ON` predicate: a conjunction of
+/// `left_col = right_col` equalities, one side already in the left
+/// scope and the other from the newly joined item, kept in written
+/// order (so the on-pair order matches the hand-written builders).
+fn join_on_pairs(
+    src: &str,
+    on: &SqlExpr,
+    left: &Plan,
+    right: &Plan,
+) -> Result<Vec<(String, String)>> {
+    let left_cols = left.output_cols();
+    let right_cols = right.output_cols();
+    let mut pairs = Vec::new();
+    for conjunct in on.clone().conjuncts() {
+        let SqlExpr::Cmp {
+            op: SqlCmp::Eq,
+            left: a,
+            right: b,
+            span,
+        } = conjunct
+        else {
+            return Err(unsup(
+                "ON clauses must be conjunctions of column equalities",
+                src,
+                conjunct.span(),
+            ));
+        };
+        let (SqlExpr::Column(ca), SqlExpr::Column(cb)) = (a.as_ref(), b.as_ref()) else {
+            return Err(unsup(
+                "ON equalities must compare two columns",
+                src,
+                span,
+            ));
+        };
+        let side = |c: &ColumnRef| -> (Option<String>, Option<String>) {
+            let in_left = resolve_in(src, c, left_cols.iter().map(|x| x.name.as_str())).ok();
+            let in_right = resolve_in(src, c, right_cols.iter().map(|x| x.name.as_str())).ok();
+            (in_left, in_right)
+        };
+        let (a_l, a_r) = side(ca);
+        let (b_l, b_r) = side(cb);
+        let pair = match (a_l, a_r, b_l, b_r) {
+            // written `left = right`
+            (Some(l), _, _, Some(r)) => (l, r),
+            // written `right = left`: orient left-first like the builders
+            (_, Some(r), Some(l), _) => (l, r),
+            _ => {
+                return Err(unsup(
+                    "each ON equality must reference one column from each side",
+                    src,
+                    span,
+                ));
+            }
+        };
+        pairs.push(pair);
+    }
+    if pairs.is_empty() {
+        return Err(unsup("empty ON clause", src, on.span()));
+    }
+    Ok(pairs)
+}
+
+/// Lower one `[NOT] EXISTS (subquery)` conjunct to a semi/anti join.
+fn lower_exists<S: SchemaSource>(
+    src: &str,
+    builder: PlanBuilder,
+    pred: &SqlExpr,
+    tables: &S,
+    views: &HashMap<String, Plan>,
+) -> Result<PlanBuilder> {
+    let SqlExpr::Exists {
+        negated,
+        query,
+        span,
+    } = pred
+    else {
+        return Err(Error::Unsupported("not an EXISTS predicate".to_string()));
+    };
+    if !query.joins.is_empty() || !query.group_by.is_empty() || query.union_all.is_some() {
+        return Err(unsup(
+            "EXISTS subqueries must be a single-table SELECT",
+            src,
+            *span,
+        ));
+    }
+    let inner = scan_item(src, &query.from, tables, views)?;
+    let inner_cols = inner.output_cols();
+    let outer_cols = builder.plan().output_cols();
+    let inner_scope: Vec<(String, usize)> = inner_cols
+        .iter()
+        .map(|c| (c.name.clone(), 0))
+        .collect();
+
+    let mut on_pairs: Vec<(String, String)> = Vec::new();
+    let mut inner_preds: Vec<SqlExpr> = Vec::new();
+    if let Some(pred) = query.where_pred.clone() {
+        for conjunct in pred.conjuncts() {
+            if let Some(pair) =
+                correlation_pair(src, &conjunct, &outer_cols, &inner_cols)?
+            {
+                on_pairs.push(pair);
+            } else {
+                inner_preds.push(conjunct);
+            }
+        }
+    }
+    if on_pairs.is_empty() {
+        return Err(unsup(
+            "EXISTS subqueries must correlate on at least one outer = inner equality",
+            src,
+            *span,
+        ));
+    }
+    let mut inner_builder = PlanBuilder::from_plan(inner);
+    let mut combined: Option<Expr> = None;
+    for p in &inner_preds {
+        let e = lower_scalar(src, p, inner_builder.plan(), &inner_scope)?;
+        combined = Some(match combined {
+            None => e,
+            Some(prev) => prev.and(e),
+        });
+    }
+    if let Some(e) = combined {
+        inner_builder = inner_builder.select(e);
+    }
+    let on: Vec<(&str, &str)> = on_pairs
+        .iter()
+        .map(|(l, r)| (l.as_str(), r.as_str()))
+        .collect();
+    if *negated {
+        builder.anti_join(inner_builder, &on)
+    } else {
+        builder.semi_join(inner_builder, &on)
+    }
+}
+
+/// If `conjunct` is an `outer = inner` column equality, return the
+/// `(outer, inner)` pair; if it resolves fully inner, return `None`
+/// (it becomes an inner select); anything else is unsupported.
+fn correlation_pair(
+    src: &str,
+    conjunct: &SqlExpr,
+    outer_cols: &[PlanCol],
+    inner_cols: &[PlanCol],
+) -> Result<Option<(String, String)>> {
+    let SqlExpr::Cmp {
+        op: SqlCmp::Eq,
+        left,
+        right,
+        ..
+    } = conjunct
+    else {
+        return Ok(None); // non-equality: must be inner-only, checked later
+    };
+    let (SqlExpr::Column(ca), SqlExpr::Column(cb)) = (left.as_ref(), right.as_ref()) else {
+        return Ok(None);
+    };
+    let resolve = |c: &ColumnRef, cols: &[PlanCol]| -> Option<String> {
+        resolve_in(src, c, cols.iter().map(|x| x.name.as_str())).ok()
+    };
+    // Prefer inner resolution (subquery scope shadows the outer query).
+    let a_inner = resolve(ca, inner_cols);
+    let b_inner = resolve(cb, inner_cols);
+    match (a_inner, b_inner) {
+        (Some(_), Some(_)) | (None, None) => Ok(None),
+        (None, Some(i)) => match resolve(ca, outer_cols) {
+            Some(o) => Ok(Some((o, i))),
+            None => Err(unsup(
+                &format!("unknown column `{}`", ca.display()),
+                src,
+                ca.span,
+            )),
+        },
+        (Some(i), None) => match resolve(cb, outer_cols) {
+            Some(o) => Ok(Some((o, i))),
+            None => Err(unsup(
+                &format!("unknown column `{}`", cb.display()),
+                src,
+                cb.span,
+            )),
+        },
+    }
+}
+
+/// Lower the select list: `SELECT *` is a no-op, a plain column list is
+/// one `Project`, and `GROUP BY` lowers directly to the builder's
+/// `group_by` (keys first, in order, then `AS`-named aggregates).
+fn lower_select_list(
+    src: &str,
+    builder: PlanBuilder,
+    query: &Query,
+    scope: &[(String, usize)],
+) -> Result<PlanBuilder> {
+    let Some(items) = &query.select else {
+        if let Some(first) = query.group_by.first() {
+            return Err(unsup(
+                "GROUP BY requires an explicit select list",
+                src,
+                first.span,
+            ));
+        }
+        return Ok(builder);
+    };
+
+    if query.group_by.is_empty() {
+        // Plain projection; aggregates need GROUP BY.
+        let mut names_only = true;
+        let mut cols: Vec<(String, Expr)> = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                SelectItem::Column { col, alias } => {
+                    let name = resolve_in_scope(src, col, scope)?;
+                    let pos = builder.pos(&name).map_err(|_| {
+                        unsup(
+                            &format!("column `{name}` is not in scope here"),
+                            src,
+                            col.span,
+                        )
+                    })?;
+                    let out = match alias {
+                        Some(a) => {
+                            names_only = false;
+                            a.clone()
+                        }
+                        None => name,
+                    };
+                    cols.push((out, Expr::Col(pos)));
+                }
+                SelectItem::Aggregate { span, .. } => {
+                    return Err(unsup(
+                        "aggregates require GROUP BY",
+                        src,
+                        *span,
+                    ));
+                }
+            }
+        }
+        let _ = names_only;
+        return Ok(builder.project(cols));
+    }
+
+    // GROUP BY: select list = keys (in order) then aggregates.
+    let keys = &query.group_by;
+    if items.len() < keys.len() {
+        return Err(unsup(
+            "GROUP BY select list must start with the group keys",
+            src,
+            keys[0].span,
+        ));
+    }
+    let mut key_names: Vec<String> = Vec::with_capacity(keys.len());
+    for (i, key) in keys.iter().enumerate() {
+        let key_name = resolve_in_scope(src, key, scope)?;
+        let SelectItem::Column { col, alias } = &items[i] else {
+            return Err(unsup(
+                "GROUP BY select list must start with the group keys",
+                src,
+                key.span,
+            ));
+        };
+        if alias.is_some() {
+            return Err(unsup(
+                "aliasing group keys is not supported",
+                src,
+                col.span,
+            ));
+        }
+        let sel_name = resolve_in_scope(src, col, scope)?;
+        if sel_name != key_name {
+            return Err(unsup(
+                &format!(
+                    "select item `{}` must match group key `{key_name}` in order",
+                    col.display()
+                ),
+                src,
+                col.span,
+            ));
+        }
+        key_names.push(key_name);
+    }
+    let mut aggs: Vec<(AggFunc, String, String)> = Vec::new();
+    for item in &items[keys.len()..] {
+        let SelectItem::Aggregate { func, alias, span } = item else {
+            let span = match item {
+                SelectItem::Column { col, .. } => col.span,
+                SelectItem::Aggregate { span, .. } => *span,
+            };
+            return Err(unsup(
+                "non-key select items under GROUP BY must be aggregates",
+                src,
+                span,
+            ));
+        };
+        let (f, arg) = match func {
+            AggCall::CountStar => (AggFunc::Count, "*".to_string()),
+            AggCall::OnColumn { func, col } => {
+                let f = match func.to_ascii_lowercase().as_str() {
+                    "count" => AggFunc::Count,
+                    "sum" => AggFunc::Sum,
+                    "min" => AggFunc::Min,
+                    "max" => AggFunc::Max,
+                    "avg" => AggFunc::Avg,
+                    other => {
+                        return Err(unsup(
+                            &format!("unsupported aggregate `{other}`"),
+                            src,
+                            *span,
+                        ));
+                    }
+                };
+                (f, resolve_in_scope(src, col, scope)?)
+            }
+        };
+        aggs.push((f, arg, alias.clone()));
+    }
+    let key_refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
+    let agg_refs: Vec<(AggFunc, &str, &str)> = aggs
+        .iter()
+        .map(|(f, a, n)| (*f, a.as_str(), n.as_str()))
+        .collect();
+    builder.group_by(&key_refs, &agg_refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use idivm_types::{ColumnType, Schema};
+
+    fn schemas() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(
+            "parts".to_string(),
+            Schema::from_pairs(
+                &[("pid", ColumnType::Int), ("price", ColumnType::Int)],
+                &["pid"],
+            )
+            .unwrap(),
+        );
+        m.insert(
+            "devices".to_string(),
+            Schema::from_pairs(
+                &[("did", ColumnType::Int), ("category", ColumnType::Str)],
+                &["did"],
+            )
+            .unwrap(),
+        );
+        m.insert(
+            "devices_parts".to_string(),
+            Schema::from_pairs(
+                &[("did", ColumnType::Int), ("pid", ColumnType::Int)],
+                &["did", "pid"],
+            )
+            .unwrap(),
+        );
+        m
+    }
+
+    fn create_query(sql: &str) -> Query {
+        let stmts = parse(sql).unwrap();
+        match stmts.into_iter().next().unwrap() {
+            crate::ast::Statement::CreateView { query, .. } => *query,
+            other => panic!("not a create: {other:?}"),
+        }
+    }
+
+    fn lower(sql: &str) -> Result<Plan> {
+        let q = create_query(sql);
+        lower_query(sql, &q, &schemas(), &HashMap::new())
+    }
+
+    #[test]
+    fn spj_matches_the_builder_shape() {
+        let sql = "CREATE MATERIALIZED VIEW v AS SELECT * FROM parts \
+                   JOIN devices_parts ON parts.pid = devices_parts.pid \
+                   JOIN devices ON devices_parts.did = devices.did \
+                   WHERE devices.category = 'phone'";
+        let plan = lower(sql).unwrap();
+        let t = schemas();
+        let expected = PlanBuilder::scan(&t, "parts")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&t, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&t, "devices").unwrap(),
+                &[("devices_parts.did", "devices.did")],
+            )
+            .unwrap()
+            .select_eq("devices.category", "phone")
+            .unwrap()
+            .plan()
+            .clone();
+        assert_eq!(plan, expected);
+    }
+
+    #[test]
+    fn conjuncts_bind_earliest_and_combine_per_step() {
+        // Both parts-only conjuncts must land in ONE Select directly
+        // above the parts scan, before the join.
+        let sql = "CREATE MATERIALIZED VIEW v AS SELECT * FROM parts \
+                   JOIN devices_parts ON parts.pid = devices_parts.pid \
+                   WHERE parts.price >= 5 AND parts.price <= 10";
+        let plan = lower(sql).unwrap();
+        let t = schemas();
+        let base = PlanBuilder::scan(&t, "parts").unwrap();
+        let lo = base.col("parts.price").unwrap().ge(Expr::lit(5));
+        let hi = base.col("parts.price").unwrap().le(Expr::lit(10));
+        let expected = base
+            .select(lo.and(hi))
+            .join(
+                PlanBuilder::scan(&t, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .plan()
+            .clone();
+        assert_eq!(plan, expected);
+    }
+
+    #[test]
+    fn group_by_lowers_to_builder_group_by() {
+        let sql = "CREATE MATERIALIZED VIEW v AS \
+                   SELECT devices_parts.did, SUM(parts.price) AS cost \
+                   FROM parts JOIN devices_parts ON parts.pid = devices_parts.pid \
+                   GROUP BY devices_parts.did";
+        let plan = lower(sql).unwrap();
+        let t = schemas();
+        let expected = PlanBuilder::scan(&t, "parts")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&t, "devices_parts").unwrap(),
+                &[("parts.pid", "devices_parts.pid")],
+            )
+            .unwrap()
+            .group_by(
+                &["devices_parts.did"],
+                &[(AggFunc::Sum, "parts.price", "cost")],
+            )
+            .unwrap()
+            .plan()
+            .clone();
+        assert_eq!(plan, expected);
+    }
+
+    #[test]
+    fn exists_lowers_to_semijoin() {
+        let sql = "CREATE MATERIALIZED VIEW v AS SELECT * FROM parts WHERE EXISTS \
+                   (SELECT * FROM devices_parts \
+                    WHERE devices_parts.pid = parts.pid AND devices_parts.did = 7)";
+        let plan = lower(sql).unwrap();
+        let t = schemas();
+        let inner = PlanBuilder::scan(&t, "devices_parts")
+            .unwrap()
+            .select_eq("devices_parts.did", 7i64)
+            .unwrap();
+        let expected = PlanBuilder::scan(&t, "parts")
+            .unwrap()
+            .semi_join(inner, &[("parts.pid", "devices_parts.pid")])
+            .unwrap()
+            .plan()
+            .clone();
+        assert_eq!(plan, expected);
+    }
+
+    #[test]
+    fn view_expansion_inlines_under_a_rename() {
+        let t = schemas();
+        let base = PlanBuilder::scan(&t, "parts")
+            .unwrap()
+            .select_eq("parts.price", 5i64)
+            .unwrap()
+            .plan()
+            .clone();
+        let mut views = HashMap::new();
+        views.insert("cheap_parts".to_string(), base.clone());
+        let sql = "CREATE MATERIALIZED VIEW v AS SELECT cp.pid FROM cheap_parts cp";
+        let q = create_query(sql);
+        let plan = lower_query(sql, &q, &t, &views).unwrap();
+        // The defining subtree is inlined intact beneath the rename.
+        let rendered = format!("{plan:?}");
+        assert!(rendered.contains("Select"), "{rendered}");
+        assert!(plan.col("cp.pid").is_ok());
+        // Prefix reuse requirement: the inlined subtree equals the
+        // view's defining plan.
+        fn find_subtree(p: &Plan, needle: &Plan) -> bool {
+            if p == needle {
+                return true;
+            }
+            p.children().iter().any(|c| find_subtree(c, needle))
+        }
+        assert!(find_subtree(&plan, &base));
+    }
+
+    #[test]
+    fn bad_sql_is_typed_never_panics() {
+        for bad in [
+            "CREATE MATERIALIZED VIEW v AS SELECT * FROM nope",
+            "CREATE MATERIALIZED VIEW v AS SELECT * FROM parts p JOIN parts p ON p.pid = p.pid",
+            "CREATE MATERIALIZED VIEW v AS SELECT * FROM parts WHERE zzz = 1",
+            "CREATE MATERIALIZED VIEW v AS SELECT * FROM parts \
+             JOIN devices ON parts.price < devices.did",
+            "CREATE MATERIALIZED VIEW v AS SELECT pid FROM parts \
+             JOIN devices_parts ON parts.pid = devices_parts.pid", // ambiguous `pid`
+            "CREATE MATERIALIZED VIEW v AS SELECT SUM(parts.price) AS s FROM parts",
+            "CREATE MATERIALIZED VIEW v AS SELECT parts.price, SUM(parts.pid) AS s \
+             FROM parts GROUP BY parts.pid",
+        ] {
+            match lower(bad) {
+                Err(Error::Unsupported(_)) => {}
+                other => panic!("{bad:?}: expected Unsupported, got {other:?}"),
+            }
+        }
+    }
+}

@@ -152,6 +152,50 @@ impl MultiView {
         }
     }
 
+    /// One of the five views as SQL text. Lowered through `idivm-sql`,
+    /// each produces a plan structurally identical to [`Self::plan`]
+    /// for the same name — including the shared σ_ts(mentions ⋈
+    /// microblog) prefix, which the SQL lowering reproduces by binding
+    /// both `ts` conjuncts at the microblog join step in one `Select`.
+    ///
+    /// # Errors
+    /// Unknown view name ([`idivm_types::Error::Config`]).
+    pub fn sql(&self, name: &str) -> Result<String> {
+        let (lo, hi) = self.bsma.time_range();
+        let prefix = format!(
+            "FROM mentions JOIN microblog ON mentions.mid = microblog.mid \
+             {{}}WHERE microblog.ts >= {lo} AND microblog.ts <= {hi}"
+        );
+        let with_users = prefix.replace(
+            "{}",
+            "JOIN users ON mentions.uid = users.uid ",
+        );
+        let plain = prefix.replace("{}", "");
+        Ok(match name {
+            "mention_users" => format!(
+                "SELECT mentions.mid, mentions.uid, users.tweetsnum, users.favornum {with_users}"
+            ),
+            "mention_reach" => {
+                format!("SELECT mentions.mid, mentions.uid, users.tweetsnum {with_users}")
+            }
+            "mention_timeline" => {
+                format!("SELECT mentions.mid, mentions.uid, microblog.ts {plain}")
+            }
+            "mention_topic_counts" => format!(
+                "SELECT microblog.topic, COUNT(*) AS n {plain} GROUP BY microblog.topic"
+            ),
+            "mention_favor" => format!(
+                "SELECT mentions.uid, SUM(users.favornum) AS favor {with_users} \
+                 GROUP BY mentions.uid"
+            ),
+            other => {
+                return Err(idivm_types::Error::Config(format!(
+                    "unknown multi-view suite view `{other}`"
+                )))
+            }
+        })
+    }
+
     /// All five `(name, plan)` pairs, in [`VIEW_NAMES`] order.
     ///
     /// # Errors

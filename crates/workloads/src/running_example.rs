@@ -155,6 +155,40 @@ impl RunningExample {
             .build()
     }
 
+    /// The SPJ view as SQL text. Lowered through `idivm-sql`, this
+    /// produces a plan structurally identical to [`Self::spj_plan`].
+    pub fn spj_sql(&self) -> String {
+        format!("SELECT * {}", self.sql_tail())
+    }
+
+    /// The aggregate view as SQL text (the SQL twin of
+    /// [`Self::agg_plan`]).
+    pub fn agg_sql(&self) -> String {
+        format!(
+            "SELECT devices_parts.did, SUM(parts.price) AS cost {} GROUP BY devices_parts.did",
+            self.sql_tail()
+        )
+    }
+
+    /// The shared `FROM … [WHERE …]` tail of both SQL views, extended
+    /// per the joins parameter exactly like [`Self::joined`].
+    fn sql_tail(&self) -> String {
+        let mut s = String::from(
+            "FROM parts \
+             JOIN devices_parts ON parts.pid = devices_parts.pid \
+             JOIN devices ON devices_parts.did = devices.did",
+        );
+        for t in self.extension_tables() {
+            s.push_str(&format!(
+                " JOIN {t} ON devices_parts.did = {t}.did AND devices_parts.pid = {t}.pid"
+            ));
+        }
+        if self.selection_enabled() {
+            s.push_str(" WHERE devices.category = 'phone'");
+        }
+        s
+    }
+
     fn joined(&self, db: &Database) -> Result<PlanBuilder> {
         let cat = DbCatalog(db);
         let mut b = PlanBuilder::scan(&cat, "parts")?

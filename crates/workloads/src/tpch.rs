@@ -169,6 +169,26 @@ impl Tpch {
             .build()
     }
 
+    /// The MIN/MAX/SUM view as SQL text (the SQL twin of
+    /// [`Tpch::extremes_plan`]).
+    pub fn extremes_sql(&self) -> String {
+        "SELECT orders.custkey, \
+         MIN(lineitem.extendedprice) AS min_price, \
+         MAX(lineitem.extendedprice) AS max_price, \
+         SUM(lineitem.extendedprice) AS revenue \
+         FROM orders JOIN lineitem ON orders.orderkey = lineitem.orderkey \
+         GROUP BY orders.custkey"
+            .to_string()
+    }
+
+    /// The outer-join view as SQL text (the SQL twin of
+    /// [`Tpch::loj_plan`]).
+    pub fn loj_sql(&self) -> String {
+        "SELECT * FROM customer LEFT OUTER JOIN orders \
+         ON customer.custkey = orders.custkey"
+            .to_string()
+    }
+
     /// SDBT partial for lineitem diffs against [`Tpch::extremes_plan`]:
     /// one map `M = orders`, probed by `orderkey`, composing view-input
     /// rows in plan-column order (`orders.* ++ lineitem.*`).

@@ -22,6 +22,9 @@ pub use idivm_durability as durability;
 pub use idivm_exec as exec;
 pub use idivm_reldb as reldb;
 pub use idivm_sdbt as sdbt;
+/// The SQL front-end (`idivm-sql`): `CREATE MATERIALIZED VIEW` text
+/// lowered to algebra plans, plus `EXPLAIN MAINTENANCE`.
+pub use idivm_sql as sql;
 pub use idivm_tuple as tuple;
 pub use idivm_types as types;
 pub use idivm_workloads as workloads;
